@@ -1,0 +1,189 @@
+// Experiment E12: ablations of design choices called out in DESIGN.md.
+//  (a) DP-IR K constant: proof-consistent vs Algorithm 1 pseudocode.
+//  (b) DP-RAM stash probability p: privacy bound vs client storage.
+//  (c) Bucket-tree node capacity t: super-root pressure vs storage blowup.
+//  (d) Empirical-DP event class: sufficient statistic vs whole-transcript
+//      hashing at equal sample sizes.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/empirical_dp.h"
+#include "core/dp_ir.h"
+#include "core/dp_params.h"
+#include "core/dp_ram.h"
+#include "hashing/bucket_tree.h"
+#include "util/table.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kBlockSize = 16;
+
+std::vector<Block> MakeDatabase(uint64_t n) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kBlockSize);
+  return db;
+}
+
+void KConstantAblation() {
+  PrintBanner(std::cout,
+              "E12a: DP-IR K constant - proof version vs Algorithm 1 "
+              "pseudocode (n=2^12, alpha=0.1)");
+  constexpr uint64_t kN = 1 << 12;
+  TablePrinter table({"target_eps", "K_proof", "achieved_eps_proof",
+                      "K_pseudocode", "achieved_eps_pseudocode",
+                      "pseudocode_overshoot"});
+  for (double eps : {4.0, 6.0, 8.0}) {
+    uint64_t k_proof = DpIrBlocksPerQuery(kN, eps, 0.1);
+    uint64_t k_pseudo = DpIrBlocksPerQueryPseudocode(kN, eps, 0.1);
+    double a_proof = DpIrAchievedEpsilon(kN, k_proof, 0.1);
+    double a_pseudo = DpIrAchievedEpsilon(kN, k_pseudo, 0.1);
+    table.AddRow()
+        .AddDouble(eps, 1)
+        .AddUint(k_proof)
+        .AddDouble(a_proof, 2)
+        .AddUint(k_pseudo)
+        .AddDouble(a_pseudo, 2)
+        .AddCell(a_pseudo > eps ? "+" + FormatDouble(a_pseudo - eps, 2)
+                                : "none");
+  }
+  table.Print(std::cout);
+  std::cout << "The pseudocode constant under-provisions K by the 1/alpha\n"
+               "factor, overshooting the target budget; the library defaults\n"
+               "to the proof-consistent constant.\n";
+}
+
+void StashProbabilityAblation() {
+  PrintBanner(std::cout,
+              "E12b: DP-RAM stash probability p - privacy bound vs client "
+              "storage (n=2^14)");
+  constexpr uint64_t kN = 1 << 14;
+  TablePrinter table({"p", "E[stash]=p*n", "eps_upper_bound",
+                      "meets_omega_log_n"});
+  double log_n = std::log2(static_cast<double>(kN));
+  for (double phi :
+       {0.25 * log_n, log_n, std::pow(log_n, 1.5), log_n * log_n,
+        std::sqrt(static_cast<double>(kN)), static_cast<double>(kN) / 4.0}) {
+    double p = phi / static_cast<double>(kN);
+    table.AddRow()
+        .AddScientific(p)
+        .AddDouble(phi, 1)
+        .AddDouble(DpRamEpsilonUpperBound(kN, p), 2)
+        .AddCell(phi > log_n ? "yes" : "no (stash bound unproven)");
+  }
+  table.Print(std::cout);
+  std::cout << "Raising p buys a smaller privacy bound at linear client\n"
+               "storage cost; the p = log^1.5(n)/n default sits at the knee.\n";
+}
+
+void NodeCapacityAblation() {
+  PrintBanner(std::cout,
+              "E12c: bucket-tree node capacity t - super-root pressure vs "
+              "storage (2n = 2^17 keys into an n = 2^16 geometry)");
+  constexpr uint64_t kN = 1 << 16;
+  // Overload the structure to 2x its design capacity so the node-capacity
+  // choice becomes the binding constraint.
+  constexpr uint64_t kKeys = 2 * kN;
+  TablePrinter table({"t", "storage_blocks", "blowup", "super_root_keys"});
+  BucketTreeGeometry g = BucketTreeGeometry::ForCapacity(kN);
+  for (uint64_t t : {uint64_t{1}, uint64_t{2}, uint64_t{4}, uint64_t{8}}) {
+    std::vector<uint8_t> load(g.total_nodes(), 0);
+    Rng rng(t * 101);
+    uint64_t super_root = 0;
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      uint64_t l1 = rng.Uniform(g.num_leaves());
+      uint64_t l2 = rng.Uniform(g.num_leaves());
+      auto p1 = g.Path(l1);
+      auto p2 = g.Path(l2);
+      bool placed = false;
+      for (size_t h = 0; h < p1.size() && !placed; ++h) {
+        if (load[p1[h]] < t) {
+          ++load[p1[h]];
+          placed = true;
+        } else if (l1 != l2 && load[p2[h]] < t) {
+          ++load[p2[h]];
+          placed = true;
+        }
+      }
+      if (!placed) ++super_root;
+    }
+    table.AddRow()
+        .AddUint(t)
+        .AddUint(g.total_nodes() * t)
+        .AddDouble(static_cast<double>(g.total_nodes() * t) /
+                       static_cast<double>(kN),
+                   2)
+        .AddUint(super_root);
+  }
+  table.Print(std::cout);
+  std::cout << "At design capacity every t suffices (the tree levels add\n"
+               "~2x slack); under 2x overload t=1 pushes tens of thousands\n"
+               "of keys to the client while t>=2 absorbs the surge - the\n"
+               "paper's t = Theta(1) with constant headroom.\n";
+}
+
+void EventClassAblation() {
+  PrintBanner(std::cout,
+              "E12d: empirical-DP event class - sufficient statistic vs "
+              "whole-transcript hash (DP-RAM, n=8, 20k pairs)");
+  constexpr uint64_t kN = 8;
+  constexpr int kTrials = 20000;
+  std::vector<Block> db = MakeDatabase(kN);
+  EventHistogram pair1;
+  EventHistogram pair2;
+  EventHistogram hash1;
+  EventHistogram hash2;
+  for (int t = 0; t < kTrials; ++t) {
+    DpRamOptions options;
+    options.stash_probability = 0.5;
+    options.seed = 90000 + static_cast<uint64_t>(t);
+    {
+      DpRam ram(db, options);
+      DPSTORE_CHECK_OK(ram.Read(1).status());
+      pair1.Add(DpRamQueryEvent(ram.server().transcript(), 0, kN));
+      hash1.Add(TranscriptHashEvent(ram.server().transcript()));
+    }
+    {
+      DpRam ram(db, options);
+      DPSTORE_CHECK_OK(ram.Read(2).status());
+      pair2.Add(DpRamQueryEvent(ram.server().transcript(), 0, kN));
+      hash2.Add(TranscriptHashEvent(ram.server().transcript()));
+    }
+  }
+  DpEstimate pair_est = EstimatePrivacy(pair1, pair2, 20);
+  DpEstimate hash_est = EstimatePrivacy(hash1, hash2, 20);
+  TablePrinter table({"event_class", "distinct_events", "supported_events",
+                      "epsilon_hat", "one_sided_mass"});
+  table.AddRow()
+      .AddCell("(download,overwrite) pair")
+      .AddUint(pair1.distinct())
+      .AddUint(pair_est.supported_events)
+      .AddDouble(pair_est.epsilon_hat, 2)
+      .AddScientific(pair_est.one_sided_mass);
+  table.AddRow()
+      .AddCell("whole-transcript hash")
+      .AddUint(hash1.distinct())
+      .AddUint(hash_est.supported_events)
+      .AddDouble(hash_est.epsilon_hat, 2)
+      .AddScientific(hash_est.one_sided_mass);
+  table.Print(std::cout);
+  std::cout << "Both classes agree here because a single-query transcript\n"
+               "IS the (download,overwrite) pair; on longer sequences the\n"
+               "hash class fragments into unsupported singleton events while\n"
+               "the proof's per-position statistic keeps converging.\n";
+}
+
+void Run() {
+  KConstantAblation();
+  StashProbabilityAblation();
+  NodeCapacityAblation();
+  EventClassAblation();
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  dpstore::Run();
+  return 0;
+}

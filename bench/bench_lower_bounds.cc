@@ -1,0 +1,105 @@
+// Experiment E8 (Theorems 3.3, 3.4, 3.7, C.1): the lower-bound landscape.
+// Prints (a) the Theorem 3.7 surface log_c((1-alpha) n / e^eps) over
+// (eps, c), showing that constant overhead forces eps = Omega(log n);
+// (b) the minimum epsilon compatible with a given overhead budget; and
+// (c) where the paper's constructions sit relative to their bounds.
+#include <cmath>
+#include <iostream>
+
+#include "core/dp_params.h"
+#include "core/dp_ram.h"
+#include "util/table.h"
+
+namespace dpstore {
+namespace {
+
+void SurfaceTable() {
+  constexpr uint64_t kN = 1 << 20;
+  double log_n = std::log(static_cast<double>(kN));
+  PrintBanner(std::cout,
+              "E8a / Theorem 3.7: ops-per-query lower bound, n=2^20 "
+              "(rows: eps, cols: client storage c)");
+  TablePrinter table({"epsilon", "c=2", "c=16", "c=256", "c=4096"});
+  for (double eps :
+       {0.0, 1.0, 0.25 * log_n, 0.5 * log_n, 0.75 * log_n, log_n}) {
+    auto row = &table.AddRow().AddCell(
+        FormatDouble(eps, 2) +
+        (eps == 0.0 ? " (oblivious)"
+                    : (eps >= log_n ? " (=ln n)" : "")));
+    for (uint64_t c : {uint64_t{2}, uint64_t{16}, uint64_t{256},
+                       uint64_t{4096}}) {
+      row->AddDouble(DpRamLowerBound(kN, eps, 0.0, c), 2);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void MinEpsilonTable() {
+  PrintBanner(std::cout,
+              "E8b: minimum epsilon forced by an overhead budget "
+              "(Theorem 3.7 inverted, c=8)");
+  TablePrinter table({"n", "overhead=3", "overhead=8", "overhead=log2(n)",
+                      "ln(n)"});
+  for (uint64_t log_n = 10; log_n <= 24; log_n += 2) {
+    uint64_t n = uint64_t{1} << log_n;
+    double ln_n = std::log(static_cast<double>(n));
+    table.AddRow()
+        .AddCell("2^" + std::to_string(log_n))
+        .AddDouble(DpRamMinEpsilonForOverhead(n, 3.0, 0.0, 8), 2)
+        .AddDouble(DpRamMinEpsilonForOverhead(n, 8.0, 0.0, 8), 2)
+        .AddDouble(DpRamMinEpsilonForOverhead(
+                       n, std::log2(static_cast<double>(n)), 0.0, 8),
+                   2)
+        .AddDouble(ln_n, 2);
+  }
+  table.Print(std::cout);
+}
+
+void ConstructionsVsBounds() {
+  PrintBanner(std::cout,
+              "E8c: the paper's constructions against their lower bounds");
+  TablePrinter table({"primitive", "n", "construction", "lower_bound",
+                      "construction_eps", "eps_floor(Thm 3.7)"});
+  constexpr uint64_t kN = 1 << 16;
+  double ln_n = std::log(static_cast<double>(kN));
+  // DP-IR at eps = ln n, alpha = 0.1.
+  uint64_t k = DpIrBlocksPerQuery(kN, ln_n, 0.1);
+  table.AddRow()
+      .AddCell("DP-IR (Thm 5.1)")
+      .AddUint(kN)
+      .AddCell(std::to_string(k) + " blocks")
+      .AddDouble(DpIrLowerBound(kN, ln_n, 0.1, 0.0), 2)
+      .AddDouble(DpIrAchievedEpsilon(kN, k, 0.1), 2)
+      .AddCell("-");
+  // DP-RAM at default p.
+  double p = DefaultStashProbability(kN);
+  table.AddRow()
+      .AddCell("DP-RAM (Thm 6.1)")
+      .AddUint(kN)
+      .AddCell("3 blocks")
+      .AddDouble(DpRamLowerBound(kN, DpRamEpsilonUpperBound(kN, p), 0.0, 64),
+                 2)
+      .AddDouble(DpRamEpsilonUpperBound(kN, p), 2)
+      .AddDouble(DpRamMinEpsilonForOverhead(kN, 3.0, 0.0, 64), 2);
+  table.Print(std::cout);
+}
+
+void Run() {
+  SurfaceTable();
+  MinEpsilonTable();
+  ConstructionsVsBounds();
+  std::cout
+      << "\nPaper claim: the Theorem 3.7 surface collapses to O(1) exactly\n"
+         "when eps reaches Theta(log n) (E8a); any O(1)-overhead scheme is\n"
+         "forced to eps = Omega(log n) as n grows (E8b); and both\n"
+         "constructions sit within constants of their bounds at\n"
+         "eps = Theta(log n) (E8c).\n";
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  dpstore::Run();
+  return 0;
+}

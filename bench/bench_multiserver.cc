@@ -1,0 +1,169 @@
+// Experiment E11 (Theorem C.1): multi-server DP-IR. Sweeps the server count
+// D and the corruption fraction t, comparing the construction's total work
+// D*K against the lower bound ((1-alpha) t - delta)(n-1)/e^eps, plus the
+// two-server XOR PIR as the fully oblivious multi-server reference point.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/dp_params.h"
+#include "analysis/empirical_dp.h"
+#include "core/multi_server_dp_ir.h"
+#include "pir/xor_pir.h"
+#include "util/table.h"
+
+namespace dpstore {
+namespace {
+
+constexpr uint64_t kN = 1 << 14;
+constexpr size_t kBlockSize = 32;
+
+std::vector<Block> MakeDatabase(uint64_t n) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kBlockSize);
+  return db;
+}
+
+void ConstructionSweep() {
+  PrintBanner(std::cout,
+              "E11a / Theorem C.1: multi-server DP-IR work vs D "
+              "(n=2^14, alpha=0.1, eps=4)");
+  TablePrinter table({"D", "K_per_server", "total_work", "lb(t=0.5)",
+                      "lb(t=1/D)", "per_server_eps"});
+  for (uint64_t d : {uint64_t{2}, uint64_t{3}, uint64_t{4}, uint64_t{8}}) {
+    std::vector<std::unique_ptr<StorageServer>> replicas;
+    std::vector<StorageServer*> pointers;
+    for (uint64_t s = 0; s < d; ++s) {
+      replicas.push_back(std::make_unique<StorageServer>(kN, kBlockSize));
+      DPSTORE_CHECK_OK(replicas.back()->SetArray(MakeDatabase(kN)));
+      pointers.push_back(replicas.back().get());
+    }
+    MultiServerDpIrOptions options;
+    options.num_servers = d;
+    options.epsilon = 4.0;
+    options.alpha = 0.1;
+    MultiServerDpIr ir(pointers, options);
+    // Measure real downloads over a few queries.
+    constexpr int kQueries = 50;
+    for (int q = 0; q < kQueries; ++q) {
+      DPSTORE_CHECK_OK(ir.Query(static_cast<BlockId>(q)).status());
+    }
+    uint64_t total = 0;
+    for (StorageServer* s : pointers) total += s->download_count();
+    table.AddRow()
+        .AddUint(d)
+        .AddUint(ir.k())
+        .AddDouble(static_cast<double>(total) / kQueries, 1)
+        .AddDouble(MultiServerDpIrLowerBound(kN, 4.0, 0.1, 0.0, 0.5), 1)
+        .AddDouble(MultiServerDpIrLowerBound(kN, 4.0, 0.1, 0.0,
+                                             1.0 / static_cast<double>(d)),
+                   1)
+        .AddDouble(ir.achieved_epsilon(), 2);
+  }
+  table.Print(std::cout);
+}
+
+void EpsilonSweep() {
+  PrintBanner(std::cout,
+              "E11b: total work vs epsilon at D=2 against the t=0.5 lower "
+              "bound and XOR PIR");
+  TablePrinter table({"epsilon", "dp_total_work", "lower_bound(t=0.5)",
+                      "xor_pir_work"});
+  XorPirServer x0(MakeDatabase(kN));
+  XorPirServer x1(MakeDatabase(kN));
+  TwoServerXorPir xor_pir(&x0, &x1);
+  DPSTORE_CHECK_OK(xor_pir.Query(0).status());
+  double xor_work = static_cast<double>(x0.ops_count() + x1.ops_count());
+  double log_n = std::log(static_cast<double>(kN));
+  for (double eps : {1.0, 2.0, 4.0, 6.0, 8.0, log_n}) {
+    std::vector<std::unique_ptr<StorageServer>> replicas;
+    std::vector<StorageServer*> pointers;
+    for (uint64_t s = 0; s < 2; ++s) {
+      replicas.push_back(std::make_unique<StorageServer>(kN, kBlockSize));
+      DPSTORE_CHECK_OK(replicas.back()->SetArray(MakeDatabase(kN)));
+      pointers.push_back(replicas.back().get());
+    }
+    MultiServerDpIrOptions options;
+    options.num_servers = 2;
+    options.epsilon = eps;
+    options.alpha = 0.1;
+    MultiServerDpIr ir(pointers, options);
+    table.AddRow()
+        .AddDouble(eps, 2)
+        .AddUint(2 * ir.k())
+        .AddDouble(MultiServerDpIrLowerBound(kN, eps, 0.1, 0.0, 0.5), 1)
+        .AddDouble(xor_work, 0);
+  }
+  table.Print(std::cout);
+}
+
+void CorruptedViewPrivacy() {
+  PrintBanner(std::cout,
+              "E11c: empirical per-corrupted-server epsilon "
+              "(D=4, n=256, 60k trial pairs)");
+  constexpr uint64_t kSmallN = 256;
+  TablePrinter table({"epsilon_target", "K", "design_eps", "empirical_eps",
+                      "one_sided_mass"});
+  for (double eps : {2.0, 3.0, 4.0}) {
+    std::vector<std::unique_ptr<StorageServer>> replicas;
+    std::vector<StorageServer*> pointers;
+    for (uint64_t s = 0; s < 4; ++s) {
+      replicas.push_back(std::make_unique<StorageServer>(kSmallN,
+                                                         kBlockSize));
+      DPSTORE_CHECK_OK(replicas.back()->SetArray(MakeDatabase(kSmallN)));
+      pointers.push_back(replicas.back().get());
+    }
+    MultiServerDpIrOptions options;
+    options.num_servers = 4;
+    options.epsilon = eps;
+    options.alpha = 0.1;
+    MultiServerDpIr ir(pointers, options);
+    // The adversary corrupts server 0 and observes only its transcript;
+    // histogram the Lemma 3.2 membership events there.
+    const BlockId qi = 5;
+    const BlockId qj = 99;
+    EventHistogram hi;
+    EventHistogram hj;
+    constexpr int kTrials = 60000;
+    for (int t = 0; t < kTrials; ++t) {
+      for (auto& r : replicas) r->ResetTranscript();
+      DPSTORE_CHECK_OK(ir.Query(qi).status());
+      hi.Add(DpIrMembershipEvent(pointers[0]->transcript().QueryDownloads(0),
+                                 qi, qj));
+      for (auto& r : replicas) r->ResetTranscript();
+      DPSTORE_CHECK_OK(ir.Query(qj).status());
+      hj.Add(DpIrMembershipEvent(pointers[0]->transcript().QueryDownloads(0),
+                                 qi, qj));
+    }
+    DpEstimate est = EstimatePrivacy(hi, hj, /*min_count=*/10);
+    table.AddRow()
+        .AddDouble(eps, 2)
+        .AddUint(ir.k())
+        .AddDouble(ir.achieved_epsilon(), 2)
+        .AddDouble(est.epsilon_hat, 2)
+        .AddScientific(est.one_sided_mass);
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  ConstructionSweep();
+  EpsilonSweep();
+  CorruptedViewPrivacy();
+  std::cout
+      << "\nPaper claim: any multi-server (eps,delta)-DP-IR performs\n"
+         "Omega(((1-alpha) t - delta) n / e^eps) expected operations\n"
+         "(Thm C.1), and the [49]-style construction is optimal for\n"
+         "constant t. Measured: total work tracks the bound within small\n"
+         "constants across D and eps, decays exponentially in eps, and at\n"
+         "eps = Theta(log n) costs O(1) blocks - versus the XOR PIR's fixed\n"
+         "Theta(n) server work for perfect obliviousness.\n";
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  dpstore::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment E4 (Section 4): the tempting "query real w.p. 1, every other
+// block w.p. 1/n" scheme is insecure - it is (eps, delta)-DP only for
+// delta >= (n-1)/n. We measure the empirical delta floor at several n and
+// compare against the paper's closed form, alongside the honest DP-IR at
+// the same expected bandwidth for contrast.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/empirical_dp.h"
+#include "core/dp_ir.h"
+#include "core/dp_params.h"
+#include "core/strawman_ir.h"
+#include "util/table.h"
+
+namespace dpstore {
+namespace {
+
+void Run() {
+  PrintBanner(std::cout,
+              "E4 / Section 4: the strawman's delta -> 1 (100k trial pairs/n)");
+  // "one_sided_mass" = probability mass on events that are *impossible*
+  // under the adjacent query - the transcript-ratio is infinite there, so
+  // it lower-bounds delta at every finite epsilon. The strawman's mass is
+  // ~(n-1)/n; the honest Algorithm 1 at the same bandwidth has none (it is
+  // pure eps-DP).
+  TablePrinter table({"n", "blocks/query", "delta_floor_formula",
+                      "strawman_delta@eps=8", "strawman_one_sided",
+                      "honest_dpir_one_sided"});
+  for (uint64_t log_n = 6; log_n <= 12; log_n += 2) {
+    uint64_t n = uint64_t{1} << log_n;
+    StorageServer server(n, 32);
+    StrawmanIr strawman(&server, /*seed=*/7);
+    const BlockId qi = 1;
+    const BlockId qj = n - 2;
+    EventHistogram hi;
+    EventHistogram hj;
+    constexpr int kTrials = 100000;
+    uint64_t blocks = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      server.ResetTranscript();
+      DPSTORE_CHECK_OK(strawman.Query(qi).status());
+      blocks += server.transcript().download_count();
+      hi.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi,
+                                 qj));
+      server.ResetTranscript();
+      DPSTORE_CHECK_OK(strawman.Query(qj).status());
+      hj.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi,
+                                 qj));
+    }
+    double empirical_delta = EstimateDeltaAtEpsilon(hi, hj, 8.0);
+
+    // Honest DP-IR tuned to the same expected bandwidth (~2 blocks).
+    DpIrOptions options;
+    options.alpha = 0.25;
+    options.epsilon = DpIrAchievedEpsilon(n, 2, options.alpha);
+    DpIr honest(&server, options);
+    EventHistogram gi;
+    EventHistogram gj;
+    for (int t = 0; t < kTrials; ++t) {
+      server.ResetTranscript();
+      DPSTORE_CHECK_OK(honest.Query(qi).status());
+      gi.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi,
+                                 qj));
+      server.ResetTranscript();
+      DPSTORE_CHECK_OK(honest.Query(qj).status());
+      gj.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi,
+                                 qj));
+    }
+    DpEstimate strawman_est = EstimatePrivacy(hi, hj, /*min_count=*/10);
+    DpEstimate honest_est = EstimatePrivacy(gi, gj, /*min_count=*/10);
+
+    table.AddRow()
+        .AddUint(n)
+        .AddDouble(static_cast<double>(blocks) / kTrials, 2)
+        .AddDouble(StrawmanDeltaFloor(n), 4)
+        .AddDouble(empirical_delta, 4)
+        .AddDouble(strawman_est.one_sided_mass, 4)
+        .AddScientific(honest_est.one_sided_mass);
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper claim: the strawman needs delta >= (n-1)/n - no privacy -\n"
+         "because Pr[B_i not in T | query i] = 0 identifies non-queried\n"
+         "blocks. Measured: the empirical delta tracks (n-1)/n and grows\n"
+         "toward 1 with n, while the honest Algorithm 1 at the same ~2\n"
+         "blocks/query needs delta ~ 0 at its achieved epsilon.\n";
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  dpstore::Run();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Experiment E13: wall-clock throughput of every scheme (google-benchmark).
+// Blocks-per-query is the paper's cost model; this harness confirms the
+// ordering survives real execution (encryption, hashing, memory traffic):
+// plaintext > DP-RAM >> DP-KVS > Path ORAM >> ORAM-KVS / linear ORAM.
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/workload.h"
+#include "core/dp_ir.h"
+#include "core/dp_kvs.h"
+#include "core/dp_ram.h"
+#include "oram/linear_oram.h"
+#include "oram/oram_kvs.h"
+#include "oram/path_oram.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kRecordSize = 64;
+
+std::vector<Block> MakeDatabase(uint64_t n) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kRecordSize);
+  return db;
+}
+
+void BM_PlaintextServer(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  StorageServer server(n, kRecordSize);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto block = server.Download(rng.Uniform(n));
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlaintextServer)->Arg(1 << 14);
+
+void BM_DpRamRead(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  DpRam ram(MakeDatabase(n), DpRamOptions{.seed = 2});
+  Rng rng(3);
+  for (auto _ : state) {
+    auto block = ram.Read(rng.Uniform(n));
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpRamRead)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DpRamWrite(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  DpRam ram(MakeDatabase(n), DpRamOptions{.seed = 4});
+  Rng rng(5);
+  Block value = MarkerBlock(1, kRecordSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ram.Write(rng.Uniform(n), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpRamWrite)->Arg(1 << 14);
+
+void BM_DpIrQuery(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  StorageServer server(n, kRecordSize);
+  DPSTORE_CHECK_OK(server.SetArray(MakeDatabase(n)));
+  DpIrOptions options;
+  options.epsilon = std::log(static_cast<double>(n));
+  options.alpha = 0.1;
+  DpIr ir(&server, options);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto block = ir.Query(rng.Uniform(n));
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpIrQuery)->Arg(1 << 14);
+
+void BM_PathOramRead(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  PathOram oram(MakeDatabase(n), PathOramOptions{.block_size = kRecordSize});
+  Rng rng(9);
+  for (auto _ : state) {
+    auto block = oram.Read(rng.Uniform(n));
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathOramRead)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_LinearOramRead(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  LinearOram oram(MakeDatabase(n));
+  Rng rng(11);
+  for (auto _ : state) {
+    auto block = oram.Read(rng.Uniform(n));
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearOramRead)->Arg(1 << 10);
+
+void BM_DpKvsGet(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  DpKvsOptions options;
+  options.capacity = n;
+  options.value_size = kRecordSize;
+  DpKvs kvs(options);
+  for (uint64_t i = 0; i < n / 2; ++i) {
+    DPSTORE_CHECK_OK(kvs.Put(ScatterKey(i), MarkerBlock(i, kRecordSize)));
+  }
+  Rng rng(13);
+  for (auto _ : state) {
+    auto value = kvs.Get(ScatterKey(rng.Uniform(n / 2)));
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpKvsGet)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DpKvsPut(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  DpKvsOptions options;
+  options.capacity = n;
+  options.value_size = kRecordSize;
+  DpKvs kvs(options);
+  Rng rng(15);
+  Block value = MarkerBlock(2, kRecordSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kvs.Put(ScatterKey(rng.Uniform(n / 2)), value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DpKvsPut)->Arg(1 << 12);
+
+void BM_OramKvsGet(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  OramKvsOptions options;
+  options.capacity = n;
+  options.value_size = kRecordSize;
+  OramKvs kvs(options);
+  for (uint64_t i = 0; i < n / 2; ++i) {
+    DPSTORE_CHECK_OK(kvs.Put(ScatterKey(i), MarkerBlock(i, kRecordSize)));
+  }
+  Rng rng(17);
+  for (auto _ : state) {
+    auto value = kvs.Get(ScatterKey(rng.Uniform(n / 2)));
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OramKvsGet)->Arg(1 << 10);
+
+}  // namespace
+}  // namespace dpstore
+
+BENCHMARK_MAIN();

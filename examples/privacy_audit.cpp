@@ -1,0 +1,85 @@
+// Scenario: auditing a storage scheme's privacy empirically.
+//
+// Section 4 of the paper warns that "simple and tempting" schemes can look
+// private and be completely broken. This example shows how to use the
+// analysis harness to audit two schemes with identical cost (~2 blocks per
+// query): the insecure Section 4 strawman and the honest Algorithm 1 DP-IR.
+// The audit runs adjacent query pairs, histograms the proof's membership
+// events, and reports (epsilon-hat, one-sided mass).
+#include <iostream>
+
+#include "analysis/empirical_dp.h"
+#include "core/dp_ir.h"
+#include "core/dp_params.h"
+#include "core/strawman_ir.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dpstore;
+
+  constexpr uint64_t kN = 256;
+  constexpr int kTrials = 50000;
+
+  StorageServer server(kN, 32);
+  std::vector<Block> db(kN);
+  for (uint64_t i = 0; i < kN; ++i) db[i] = MarkerBlock(i, 32);
+  DPSTORE_CHECK_OK(server.SetArray(std::move(db)));
+
+  const BlockId qi = 10;
+  const BlockId qj = 20;
+
+  // Generic audit loop: run the same scheme on two adjacent queries many
+  // times and compare event histograms.
+  auto audit = [&](auto&& query_fn) -> DpEstimate {
+    EventHistogram hi;
+    EventHistogram hj;
+    for (int t = 0; t < kTrials; ++t) {
+      server.ResetTranscript();
+      query_fn(qi);
+      hi.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi,
+                                 qj));
+      server.ResetTranscript();
+      query_fn(qj);
+      hj.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi,
+                                 qj));
+    }
+    return EstimatePrivacy(hi, hj, /*min_count=*/10);
+  };
+
+  StrawmanIr strawman(&server);
+  DpEstimate strawman_audit =
+      audit([&](BlockId q) { DPSTORE_CHECK_OK(strawman.Query(q).status()); });
+
+  DpIrOptions options;
+  options.alpha = 0.25;
+  options.epsilon = DpIrAchievedEpsilon(kN, 2, options.alpha);
+  DpIr honest(&server, options);
+  DpEstimate honest_audit =
+      audit([&](BlockId q) { DPSTORE_CHECK_OK(honest.Query(q).status()); });
+
+  TablePrinter table({"scheme", "blocks/query", "epsilon_hat",
+                      "one_sided_mass(delta floor)", "verdict"});
+  table.AddRow()
+      .AddCell("Section 4 strawman")
+      .AddCell("~2")
+      .AddDouble(strawman_audit.epsilon_hat, 2)
+      .AddDouble(strawman_audit.one_sided_mass, 4)
+      .AddCell("BROKEN: delta ~ (n-1)/n");
+  table.AddRow()
+      .AddCell("Algorithm 1 DP-IR")
+      .AddCell(std::to_string(honest.k()))
+      .AddDouble(honest_audit.epsilon_hat, 2)
+      .AddDouble(honest_audit.one_sided_mass, 4)
+      .AddCell("pure eps-DP");
+  table.Print(std::cout);
+
+  std::cout
+      << "\nThe one-sided mass is probability on transcripts *impossible*\n"
+         "under the adjacent query (here: the real block missing from the\n"
+         "download set). Any nonzero value means no finite epsilon works -\n"
+         "the scheme only satisfies (eps, delta)-DP with delta at least\n"
+         "that mass. The strawman concentrates ~"
+      << FormatDouble(StrawmanDeltaFloor(kN), 3)
+      << " there; the honest scheme, none.\n";
+  return 0;
+}

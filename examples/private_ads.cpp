@@ -1,0 +1,80 @@
+// Scenario: private advertisement retrieval (the paper's introduction cites
+// ad delivery [30] as a system needing retrieval privacy at scale).
+//
+// A broker hosts a public catalog of ad creatives. Clients fetch the
+// creative matching their interest profile, but the fetched index reveals
+// the interest - so we fetch through the Section 5 DP-IR: each request
+// downloads a handful of decoy creatives alongside the real one, and with
+// a small probability alpha fetches only decoys (the app then shows a
+// default/house ad). At eps = Theta(log n) this costs O(1) creatives per
+// request instead of PIR's full-catalog scan.
+#include <cmath>
+#include <iostream>
+
+#include "core/dp_ir.h"
+#include "core/dp_params.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dpstore;
+
+  constexpr uint64_t kCatalogSize = 4096;
+  constexpr size_t kCreativeBytes = 128;
+
+  // The broker's public catalog.
+  StorageServer broker(kCatalogSize, kCreativeBytes);
+  std::vector<Block> catalog;
+  for (uint64_t i = 0; i < kCatalogSize; ++i) {
+    catalog.push_back(BlockFromString("creative for interest segment " +
+                                          std::to_string(i),
+                                      kCreativeBytes));
+  }
+  DPSTORE_CHECK_OK(broker.SetArray(std::move(catalog)));
+
+  // Client-side DP-IR: 10% house-ad rate, eps = ln(n) privacy budget.
+  DpIrOptions options;
+  options.alpha = 0.10;
+  options.epsilon = std::log(static_cast<double>(kCatalogSize));
+  DpIr retriever(&broker, options);
+
+  std::cout << "Catalog: " << kCatalogSize << " creatives. DP-IR fetches "
+            << retriever.k() << " creatives per request (vs " << kCatalogSize
+            << " for PIR), achieved epsilon "
+            << FormatDouble(retriever.achieved_epsilon(), 2) << ".\n\n";
+
+  // Simulate a day of requests from one client.
+  int house_ads = 0;
+  int served = 0;
+  constexpr int kRequests = 1000;
+  Rng interests(2024);
+  for (int r = 0; r < kRequests; ++r) {
+    BlockId segment = interests.Uniform(kCatalogSize);
+    auto creative = retriever.Query(segment);
+    DPSTORE_CHECK_OK(creative.status());
+    if (creative->has_value()) {
+      ++served;
+    } else {
+      ++house_ads;  // decoy-only fetch: show the house ad
+    }
+  }
+  std::cout << "Served " << served << " targeted and " << house_ads
+            << " house ads (" << FormatDouble(100.0 * house_ads / kRequests, 1)
+            << "% ~ alpha=10%).\n";
+  std::cout << "Broker-observed blocks/request: "
+            << FormatDouble(broker.transcript().BlocksPerQuery(), 1)
+            << "; total bandwidth "
+            << broker.bytes_moved() / 1024 << " KiB for " << kRequests
+            << " requests.\n\n";
+
+  // Why not the "obvious" cheaper scheme? See Section 4 of the paper (and
+  // bench_strawman): fetching the real creative always plus decoys w.p. 1/n
+  // looks similar but admits delta ~ 1 attacks.
+  std::cout << "Lower-bound context (Thm 3.4): any DP-IR this cheap must\n"
+               "have eps >= ln((1-alpha)n/K) - delta-free floor "
+            << FormatDouble(
+                   std::log((1.0 - options.alpha) * kCatalogSize /
+                            static_cast<double>(retriever.k())),
+                   2)
+            << "; we operate right at it.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Scenario: differentially private analytics over an outsourced database -
+// the setting the paper uses to *motivate* differentially private access
+// (Section 1): if the disclosed statistic is only eps-DP anyway, paying for
+// full obliviousness when fetching the sample is wasted money; DP access
+// with a matching budget is the complementary notion.
+//
+// A data scientist outsources n patient records to an untrusted server via
+// DP-RAM, samples records to estimate a mean, adds Laplace noise to the
+// estimate, and uses the PrivacyAccountant to track the end-to-end spend of
+// both the accesses and the disclosure.
+#include <cmath>
+#include <iostream>
+
+#include "core/dp_ram.h"
+#include "core/privacy_accountant.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dpstore;
+
+  constexpr uint64_t kRecords = 4096;
+  constexpr size_t kRecordBytes = 16;
+
+  // Synthetic records: first byte carries a bounded measurement in [0,100].
+  Rng data_rng(7);
+  std::vector<Block> records(kRecords);
+  double true_sum = 0;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    records[i] = ZeroBlock(kRecordBytes);
+    records[i][0] = static_cast<uint8_t>(data_rng.Uniform(101));
+    true_sum += records[i][0];
+  }
+  double true_mean = true_sum / kRecords;
+
+  DpRam store(records, DpRamOptions{.seed = 11});
+  // Each DP-RAM access is (at most) eps_access-DP against the server.
+  double eps_access = store.epsilon_upper_bound();
+
+  // Sample m records through the DP-RAM and release a Laplace-noised mean.
+  constexpr int kSample = 256;
+  const double eps_disclosure = 1.0;
+  PrivacyAccountant server_ledger;   // what the storage server learns
+  PrivacyAccountant analyst_ledger;  // what the public disclosure reveals
+
+  Rng sample_rng(13);
+  double sum = 0;
+  for (int s = 0; s < kSample; ++s) {
+    auto record = store.Read(sample_rng.Uniform(kRecords));
+    DPSTORE_CHECK_OK(record.status());
+    sum += (*record)[0];
+    server_ledger.Spend(eps_access);
+  }
+  double mean = sum / kSample;
+  // Laplace mechanism: sensitivity of the mean is 100/kSample.
+  double b = (100.0 / kSample) / eps_disclosure;
+  double u = sample_rng.UniformDouble() - 0.5;
+  double noised_mean =
+      mean - b * (u < 0 ? -1.0 : 1.0) * std::log(1.0 - 2.0 * std::abs(u));
+  analyst_ledger.Spend(eps_disclosure);
+
+  TablePrinter table({"quantity", "value"});
+  table.AddRow().AddCell("records outsourced").AddUint(kRecords);
+  table.AddRow().AddCell("true mean").AddDouble(true_mean, 2);
+  table.AddRow().AddCell("released (noised) mean").AddDouble(noised_mean, 2);
+  table.AddRow()
+      .AddCell("disclosure budget (Laplace)")
+      .AddDouble(analyst_ledger.total_epsilon(), 2);
+  table.AddRow()
+      .AddCell("per-access budget vs server")
+      .AddDouble(eps_access, 1);
+  table.AddRow()
+      .AddCell("server-side spend, basic composition")
+      .AddDouble(server_ledger.total_epsilon(), 1);
+  table.AddRow()
+      .AddCell("server-side, single-record guarantee (group k=1)")
+      .AddDouble(PrivacyAccountant::GroupEpsilon(eps_access, 1), 1);
+  table.AddRow()
+      .AddCell("blocks/access observed by server")
+      .AddDouble(store.server().transcript().BlocksPerQuery(), 1);
+  table.Print(std::cout);
+
+  std::cout
+      << "\nThe paper's point (Section 1): the disclosure is only "
+      << eps_disclosure
+      << "-DP, so hiding the *entire* sample's identity with an ORAM is\n"
+         "overkill - differentially private access already guarantees that\n"
+         "whether any single record was retrieved changes the server's view\n"
+         "by at most e^eps, at 3 blocks per access instead of Theta(log n).\n";
+  return 0;
+}

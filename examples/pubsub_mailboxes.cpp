@@ -1,0 +1,65 @@
+// Scenario: private publish-subscribe (the paper's introduction cites
+// Talek-style pub/sub [18]).
+//
+// Publishers drop messages into per-topic mailboxes hosted on an untrusted
+// server; subscribers poll their topics. Both the publish (write) and the
+// poll (read) access patterns reveal topic popularity and subscriptions, so
+// the mailbox array lives inside the Section 6 DP-RAM: each operation
+// touches 3 blocks total and the server learns topic identities only up to
+// eps = O(log n).
+#include <iostream>
+#include <string>
+
+#include "core/dp_ram.h"
+
+int main() {
+  using namespace dpstore;
+
+  constexpr uint64_t kTopics = 256;
+  constexpr size_t kMailboxBytes = 96;
+
+  // One mailbox per topic, initially empty.
+  std::vector<Block> mailboxes(kTopics, ZeroBlock(kMailboxBytes));
+  DpRam board(mailboxes, DpRamOptions{.seed = 99});
+
+  auto topic_id = [](const std::string& topic) -> BlockId {
+    // Toy topic directory; a real deployment hashes topic names.
+    if (topic == "kernel-dev") return 3;
+    if (topic == "pods-2019") return 42;
+    if (topic == "coffee") return 200;
+    return 0;
+  };
+
+  auto publish = [&](const std::string& topic, const std::string& message) {
+    DPSTORE_CHECK_OK(board.Write(
+        topic_id(topic), BlockFromString(message, kMailboxBytes)));
+    std::cout << "publish[" << topic << "]: \"" << message << "\"\n";
+  };
+  auto poll = [&](const std::string& topic) {
+    auto mailbox = board.Read(topic_id(topic));
+    DPSTORE_CHECK_OK(mailbox.status());
+    std::string message = BlockToString(*mailbox);
+    std::cout << "poll[" << topic << "] -> "
+              << (message.empty() ? "(empty)" : "\"" + message + "\"")
+              << "\n";
+  };
+
+  publish("pods-2019", "DP-ORAM session moved to room B");
+  publish("coffee", "fresh pot in the lounge");
+  poll("pods-2019");
+  poll("kernel-dev");
+  poll("coffee");
+  publish("pods-2019", "slides are online");
+  poll("pods-2019");
+
+  const Transcript& transcript = board.server().transcript();
+  std::cout << "\nServer saw " << transcript.query_count()
+            << " operations, each moving exactly "
+            << transcript.BlocksPerQuery()
+            << " blocks - publishes and polls are shape-identical, and the\n"
+               "touched indices are differentially private, so topic\n"
+               "popularity and subscriptions stay hidden up to eps = O(log "
+               "n).\n";
+  std::cout << "Transcript: " << transcript.ToString() << "\n";
+  return 0;
+}

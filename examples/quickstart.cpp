@@ -1,0 +1,62 @@
+// Quickstart: outsource a small database to an untrusted server with
+// differentially private access (the Section 6 DP-RAM), read and write a
+// few records, and inspect what the adversary actually saw.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/dp_ram.h"
+
+int main() {
+  using namespace dpstore;
+
+  // 1. The plaintext database: 16 records of 64 bytes each.
+  constexpr uint64_t kN = 16;
+  constexpr size_t kRecordSize = 64;
+  std::vector<Block> database;
+  for (uint64_t i = 0; i < kN; ++i) {
+    database.push_back(BlockFromString(
+        "record #" + std::to_string(i) + ": hello dpstore", kRecordSize));
+  }
+
+  // 2. Setup: encrypts every record, uploads to the (simulated) untrusted
+  //    server, and seeds the client stash. Defaults give the paper's
+  //    p = Phi(n)/n with Phi(n) = log^1.5(n).
+  DpRam ram(database, DpRamOptions{});
+  std::cout << "DP-RAM over n=" << ram.n() << " records; stash probability "
+            << ram.stash_probability() << ", epsilon upper bound "
+            << ram.epsilon_upper_bound() << "\n\n";
+
+  // 3. Read a record. Every query moves exactly 3 blocks (2 downloads +
+  //    1 upload), no matter n - the O(1) overhead of Theorem 6.1.
+  auto record = ram.Read(7);
+  if (!record.ok()) {
+    std::cerr << "read failed: " << record.status() << "\n";
+    return 1;
+  }
+  std::cout << "Read(7)  -> \"" << BlockToString(*record) << "\"\n";
+
+  // 4. Overwrite it and read it back.
+  Status written =
+      ram.Write(7, BlockFromString("record #7: updated!", kRecordSize));
+  if (!written.ok()) {
+    std::cerr << "write failed: " << written << "\n";
+    return 1;
+  }
+  record = ram.Read(7);
+  std::cout << "Read(7)  -> \"" << BlockToString(*record) << "\" (after "
+            << "Write)\n\n";
+
+  // 5. What did the server see? Only (possibly dummy) block indices and
+  //    fresh ciphertexts - 3 per query.
+  std::cout << "Adversary transcript (D=download, U=upload, | = query "
+               "boundary):\n  "
+            << ram.server().transcript().ToString() << "\n";
+  std::cout << "Blocks per query: "
+            << ram.server().transcript().BlocksPerQuery()
+            << " (constant; Path ORAM would move ~"
+            << 8 * 5 << "+ blocks per query at this n)\n";
+  return 0;
+}

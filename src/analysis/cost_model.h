@@ -1,0 +1,32 @@
+#ifndef DPSTORE_ANALYSIS_COST_MODEL_H_
+#define DPSTORE_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace dpstore {
+
+/// Simple client-server latency model turning the paper's two cost axes -
+/// blocks moved and roundtrips - into a single wall-clock estimate:
+///
+///   latency = roundtrips * roundtrip_ms + blocks * per_block_ms
+///
+/// The paper's related-work critique of [50] is precisely that recursive
+/// position maps multiply *roundtrips*, which dominate on WAN links even
+/// when block counts are comparable; this model quantifies that.
+struct CostModel {
+  double roundtrip_ms;
+  double per_block_ms;
+
+  double QueryLatencyMs(double blocks, double roundtrips) const {
+    return roundtrips * roundtrip_ms + blocks * per_block_ms;
+  }
+};
+
+/// Same-datacenter link: 0.5 ms RTT, ~4 KiB blocks at 10 Gb/s.
+inline constexpr CostModel kLanModel{0.5, 0.003};
+/// Cross-region WAN link: 50 ms RTT, ~4 KiB blocks at 100 Mb/s.
+inline constexpr CostModel kWanModel{50.0, 0.33};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ANALYSIS_COST_MODEL_H_

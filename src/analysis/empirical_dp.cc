@@ -1,0 +1,109 @@
+#include "analysis/empirical_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+DpEstimate EstimatePrivacy(const EventHistogram& h1, const EventHistogram& h2,
+                           uint64_t min_count) {
+  DpEstimate est;
+  if (h1.total() == 0 || h2.total() == 0) return est;
+  double mass12 = 0.0;  // mass under h1 on events never seen under h2
+  double mass21 = 0.0;
+  for (uint64_t event : EventHistogram::UnionEvents(h1, h2)) {
+    uint64_t c1 = h1.Count(event);
+    uint64_t c2 = h2.Count(event);
+    double p1 = h1.Probability(event);
+    double p2 = h2.Probability(event);
+    if (c1 >= min_count && c2 >= min_count) {
+      est.epsilon_hat =
+          std::max(est.epsilon_hat, std::abs(std::log(p1 / p2)));
+      ++est.supported_events;
+    } else if (c1 >= min_count && c2 == 0) {
+      mass12 += p1;
+    } else if (c2 >= min_count && c1 == 0) {
+      mass21 += p2;
+    }
+  }
+  est.one_sided_mass = std::max(mass12, mass21);
+  return est;
+}
+
+double EstimateDeltaAtEpsilon(const EventHistogram& h1,
+                              const EventHistogram& h2, double epsilon) {
+  if (h1.total() == 0 || h2.total() == 0) return 0.0;
+  double scale = std::exp(epsilon);
+  double delta12 = 0.0;
+  double delta21 = 0.0;
+  for (uint64_t event : EventHistogram::UnionEvents(h1, h2)) {
+    double p1 = h1.Probability(event);
+    double p2 = h2.Probability(event);
+    delta12 += std::max(0.0, p1 - scale * p2);
+    delta21 += std::max(0.0, p2 - scale * p1);
+  }
+  return std::max(delta12, delta21);
+}
+
+uint64_t DpIrMembershipEvent(const std::vector<BlockId>& downloads, BlockId i,
+                             BlockId j) {
+  bool has_i = false;
+  bool has_j = false;
+  for (BlockId d : downloads) {
+    has_i |= (d == i);
+    has_j |= (d == j);
+  }
+  return (has_i ? 1u : 0u) | (has_j ? 2u : 0u);
+}
+
+uint64_t DpRamPairEvent(BlockId download, BlockId overwrite, uint64_t n) {
+  DPSTORE_CHECK_LT(download, n);
+  DPSTORE_CHECK_LT(overwrite, n);
+  return download * n + overwrite;
+}
+
+uint64_t DpRamQueryEvent(const Transcript& transcript, size_t q, uint64_t n) {
+  std::vector<BlockId> downloads = transcript.QueryDownloads(q);
+  std::vector<BlockId> uploads = transcript.QueryUploads(q);
+  DPSTORE_CHECK_EQ(downloads.size(), 2u)
+      << "DP-RAM query shape: expected 2 downloads";
+  DPSTORE_CHECK_EQ(uploads.size(), 1u)
+      << "DP-RAM query shape: expected 1 upload";
+  return DpRamPairEvent(downloads[0], uploads[0], n);
+}
+
+uint64_t DpRamCategoricalEvent(BlockId download, BlockId overwrite,
+                               BlockId q1, BlockId q2) {
+  auto category = [&](BlockId x) -> uint64_t {
+    if (x == q1) return 0;
+    if (x == q2) return 1;
+    return 2;
+  };
+  return category(download) * 3 + category(overwrite);
+}
+
+uint64_t DpRamCategoricalQueryEvent(const Transcript& transcript, size_t q,
+                                    BlockId q1, BlockId q2) {
+  std::vector<BlockId> downloads = transcript.QueryDownloads(q);
+  std::vector<BlockId> uploads = transcript.QueryUploads(q);
+  DPSTORE_CHECK_EQ(downloads.size(), 2u);
+  DPSTORE_CHECK_EQ(uploads.size(), 1u);
+  return DpRamCategoricalEvent(downloads[0], uploads[0], q1, q2);
+}
+
+uint64_t TranscriptHashEvent(const Transcript& transcript) {
+  // FNV-1a over the canonical rendering; collisions only blur the naive
+  // ablation estimate further, which is the point being demonstrated.
+  std::string s = transcript.ToString();
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dpstore

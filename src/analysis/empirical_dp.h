@@ -1,0 +1,83 @@
+#ifndef DPSTORE_ANALYSIS_EMPIRICAL_DP_H_
+#define DPSTORE_ANALYSIS_EMPIRICAL_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/transcript.h"
+#include "util/histogram.h"
+
+namespace dpstore {
+
+/// Plug-in differential-privacy estimate from two empirical event
+/// histograms (one per query sequence of an adjacent pair).
+///
+/// Differential privacy cannot be measured exactly from samples; these are
+/// the standard plug-in estimators over a chosen *event class*. When the
+/// event class is a sufficient statistic for the transcript distribution
+/// (we take the exact event classes used by the paper's proofs - see the
+/// encoders below), epsilon_hat converges to the true optimal budget.
+struct DpEstimate {
+  /// max over two-sided events of |ln(P1/P2)|, restricted to events with at
+  /// least `min_count` observations on both sides (plug-in ratios below
+  /// that are sampling noise).
+  double epsilon_hat = 0.0;
+  /// Probability mass sitting on events observed (>= min_count) on one side
+  /// but never on the other (max over the two directions) - a lower bound
+  /// on the delta required to explain the data at any finite epsilon. This
+  /// is what explodes for the Section 4 strawman.
+  double one_sided_mass = 0.0;
+  /// Number of events that met min_count on both sides.
+  uint64_t supported_events = 0;
+};
+
+/// Estimates (epsilon, one-sided mass) from paired histograms.
+DpEstimate EstimatePrivacy(const EventHistogram& h1, const EventHistogram& h2,
+                           uint64_t min_count = 5);
+
+/// Plug-in delta at a fixed epsilon:
+///   max over both directions of sum_e max(0, Pa(e) - e^eps * Pb(e)).
+/// For the optimal adversarial event set this is exactly the smallest delta
+/// making the pair (eps,delta)-indistinguishable under the event class.
+double EstimateDeltaAtEpsilon(const EventHistogram& h1,
+                              const EventHistogram& h2, double epsilon);
+
+// --- Event encoders (sufficient statistics from the paper's proofs) --------
+
+/// DP-IR / strawman event class (Lemma 3.2): joint membership of the two
+/// differing indices in the download set -> event in {0,1,2,3}.
+uint64_t DpIrMembershipEvent(const std::vector<BlockId>& downloads, BlockId i,
+                             BlockId j);
+
+/// DP-RAM per-query event (Section 6.1): the (download, overwrite) index
+/// pair of one query, as an event id in [0, n^2). Compare the distributions
+/// at the <= 3 divergent positions identified by Lemma 6.7.
+uint64_t DpRamPairEvent(BlockId download, BlockId overwrite, uint64_t n);
+
+/// Extracts the DpRamPairEvent of query q from a transcript whose queries
+/// each have the canonical 2-download + 1-upload shape. The event pairs the
+/// *first* download (download phase) with the upload index (overwrite
+/// phase).
+uint64_t DpRamQueryEvent(const Transcript& transcript, size_t q, uint64_t n);
+
+/// Coarsened DP-RAM event for adjacent single-query sequences differing in
+/// (q1 vs q2): classifies the (download, overwrite) pair into
+/// {q1, q2, other} x {q1, q2, other} -> event in [0, 9). Because all
+/// "other" indices are exchangeable under both sequences, this coarsening
+/// is a sufficient statistic for the pair of transcript distributions and
+/// needs ~n^2/9 fewer samples than the raw pair event.
+uint64_t DpRamCategoricalEvent(BlockId download, BlockId overwrite,
+                               BlockId q1, BlockId q2);
+
+/// Categorical event extracted from query `q` of a canonical transcript.
+uint64_t DpRamCategoricalQueryEvent(const Transcript& transcript, size_t q,
+                                    BlockId q1, BlockId q2);
+
+/// Whole-transcript hash event - the naive event class for the E12
+/// ablation; needs exponentially more samples to resolve the same epsilon.
+uint64_t TranscriptHashEvent(const Transcript& transcript);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ANALYSIS_EMPIRICAL_DP_H_

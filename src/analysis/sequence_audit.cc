@@ -1,0 +1,72 @@
+#include "analysis/sequence_audit.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+std::vector<size_t> Lemma67DivergenceSet(const RamSequence& q1,
+                                         const RamSequence& q2, size_t k) {
+  DPSTORE_CHECK_EQ(q1.size(), q2.size());
+  DPSTORE_CHECK_LT(k, q1.size());
+  std::vector<size_t> divergent = {k};
+  // nx(Q, k): the next query for the record q1[k] touches after position k.
+  for (size_t j = k + 1; j < q1.size(); ++j) {
+    if (q1[j].index == q1[k].index) {
+      divergent.push_back(j);
+      break;
+    }
+  }
+  // nx(Q', k) likewise for q2's record at k.
+  for (size_t j = k + 1; j < q2.size(); ++j) {
+    if (q2[j].index == q2[k].index) {
+      if (std::find(divergent.begin(), divergent.end(), j) ==
+          divergent.end()) {
+        divergent.push_back(j);
+      }
+      break;
+    }
+  }
+  std::sort(divergent.begin(), divergent.end());
+  return divergent;
+}
+
+SequenceAuditResult AuditPositions(
+    const std::vector<std::vector<std::vector<uint64_t>>>& events,
+    const std::vector<size_t>& allowed_positions, double noise_threshold,
+    uint64_t min_count) {
+  DPSTORE_CHECK_EQ(events.size(), 2u);
+  DPSTORE_CHECK(!events[0].empty());
+  DPSTORE_CHECK_EQ(events[0].size(), events[1].size());
+  const size_t num_positions = events[0][0].size();
+
+  SequenceAuditResult result;
+  for (size_t j = 0; j < num_positions; ++j) {
+    EventHistogram h1;
+    EventHistogram h2;
+    for (size_t t = 0; t < events[0].size(); ++t) {
+      DPSTORE_CHECK_EQ(events[0][t].size(), num_positions);
+      DPSTORE_CHECK_EQ(events[1][t].size(), num_positions);
+      h1.Add(events[0][t][j]);
+      h2.Add(events[1][t][j]);
+    }
+    DpEstimate est = EstimatePrivacy(h1, h2, min_count);
+    PositionDivergence pd;
+    pd.position = j;
+    pd.epsilon_hat = est.epsilon_hat;
+    pd.one_sided_mass = est.one_sided_mass;
+    pd.allowed_by_lemma =
+        std::find(allowed_positions.begin(), allowed_positions.end(), j) !=
+        allowed_positions.end();
+    if (pd.epsilon_hat > noise_threshold || pd.one_sided_mass > 0.0) {
+      ++result.divergent_count;
+      if (!pd.allowed_by_lemma) ++result.unexplained_count;
+    }
+    if (pd.allowed_by_lemma) result.total_epsilon += pd.epsilon_hat;
+    result.positions.push_back(pd);
+  }
+  return result;
+}
+
+}  // namespace dpstore

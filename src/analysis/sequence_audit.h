@@ -1,0 +1,59 @@
+#ifndef DPSTORE_ANALYSIS_SEQUENCE_AUDIT_H_
+#define DPSTORE_ANALYSIS_SEQUENCE_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/empirical_dp.h"
+#include "analysis/workload.h"
+
+namespace dpstore {
+
+/// Per-position divergence profile between the transcript distributions of
+/// two adjacent query sequences.
+///
+/// This operationalizes Step III of the paper's DP-RAM proof (Section 6.4):
+/// for sequences Q, Q' differing at position k, Lemma 6.7 shows the
+/// per-query transcript distributions can differ only at positions
+/// {k, nx(Q,k), nx(Q',k)} - everywhere else the ratio is exactly 1. The
+/// audit estimates an epsilon-hat per position and reports which positions
+/// measurably diverge.
+struct PositionDivergence {
+  size_t position;
+  double epsilon_hat;
+  double one_sided_mass;
+  /// True when this position is in the {k, nx(Q,k), nx(Q',k)} set the
+  /// lemma permits to diverge.
+  bool allowed_by_lemma;
+};
+
+struct SequenceAuditResult {
+  std::vector<PositionDivergence> positions;
+  /// Positions with epsilon_hat above the noise threshold.
+  size_t divergent_count = 0;
+  /// Divergent positions NOT allowed by Lemma 6.7 (should be zero).
+  size_t unexplained_count = 0;
+  /// Sum of per-position epsilon-hats over the allowed set - an empirical
+  /// analogue of the composition the proof's wrap-up performs.
+  double total_epsilon = 0.0;
+};
+
+/// The divergence set {k, nx(Q,k), nx(Q',k)} of Lemma 6.7 for RAM query
+/// sequences differing at position k (indices into the sequence; nx = the
+/// next query touching the same record, if any).
+std::vector<size_t> Lemma67DivergenceSet(const RamSequence& q1,
+                                         const RamSequence& q2, size_t k);
+
+/// Audits per-position divergence given per-trial, per-position event
+/// samples: events[s][t][j] = event of sequence s (0/1), trial t,
+/// position j. `noise_threshold` separates genuine divergence from plug-in
+/// sampling noise.
+SequenceAuditResult AuditPositions(
+    const std::vector<std::vector<std::vector<uint64_t>>>& events,
+    const std::vector<size_t>& allowed_positions,
+    double noise_threshold = 0.15, uint64_t min_count = 10);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ANALYSIS_SEQUENCE_AUDIT_H_

@@ -1,0 +1,112 @@
+#include "analysis/workload.h"
+
+#include "util/check.h"
+
+namespace dpstore {
+
+IrSequence UniformIrSequence(Rng* rng, uint64_t n, size_t len) {
+  IrSequence q(len);
+  for (auto& x : q) x = rng->Uniform(n);
+  return q;
+}
+
+IrSequence ZipfIrSequence(Rng* rng, uint64_t n, size_t len, double s) {
+  ZipfDistribution zipf(n, s);
+  IrSequence q(len);
+  for (auto& x : q) x = zipf.Sample(rng);
+  return q;
+}
+
+IrSequence SequentialIrSequence(uint64_t n, size_t len) {
+  IrSequence q(len);
+  for (size_t i = 0; i < len; ++i) q[i] = i % n;
+  return q;
+}
+
+RamSequence UniformRamSequence(Rng* rng, uint64_t n, size_t len,
+                               double write_fraction) {
+  RamSequence q(len);
+  for (auto& op : q) {
+    op.index = rng->Uniform(n);
+    op.is_write = rng->Bernoulli(write_fraction);
+  }
+  return q;
+}
+
+RamSequence ZipfRamSequence(Rng* rng, uint64_t n, size_t len,
+                            double write_fraction, double s) {
+  ZipfDistribution zipf(n, s);
+  RamSequence q(len);
+  for (auto& op : q) {
+    op.index = zipf.Sample(rng);
+    op.is_write = rng->Bernoulli(write_fraction);
+  }
+  return q;
+}
+
+uint64_t ScatterKey(uint64_t rank) {
+  // SplitMix64-style bijective mixing: dense ranks become sparse keys.
+  uint64_t z = rank + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+KvsSequence YcsbKvsSequence(Rng* rng, uint64_t num_keys, size_t len,
+                            double read_fraction, double zipf_s,
+                            double absent_fraction) {
+  DPSTORE_CHECK_GT(num_keys, 0u);
+  ZipfDistribution zipf(num_keys, zipf_s);
+  KvsSequence ops(len);
+  for (auto& op : ops) {
+    uint64_t rank = zipf.Sample(rng);
+    if (rng->Bernoulli(read_fraction)) {
+      op.type = KvsOp::Type::kGet;
+      // Absent keys live in a disjoint rank range so they can never have
+      // been inserted.
+      op.key = rng->Bernoulli(absent_fraction)
+                   ? ScatterKey(num_keys + rank)
+                   : ScatterKey(rank);
+    } else {
+      op.type = KvsOp::Type::kPut;
+      op.key = ScatterKey(rank);
+    }
+  }
+  return ops;
+}
+
+IrSequence WithReplacedQuery(const IrSequence& q, size_t k,
+                             BlockId replacement) {
+  DPSTORE_CHECK_LT(k, q.size());
+  IrSequence out = q;
+  out[k] = replacement;
+  return out;
+}
+
+RamSequence WithReplacedQuery(const RamSequence& q, size_t k,
+                              RamQuery replacement) {
+  DPSTORE_CHECK_LT(k, q.size());
+  RamSequence out = q;
+  out[k] = replacement;
+  return out;
+}
+
+size_t HammingDistance(const IrSequence& a, const IrSequence& b) {
+  DPSTORE_CHECK_EQ(a.size(), b.size());
+  size_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+size_t HammingDistance(const RamSequence& a, const RamSequence& b) {
+  DPSTORE_CHECK_EQ(a.size(), b.size());
+  size_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) ++d;
+  }
+  return d;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,71 @@
+#ifndef DPSTORE_ANALYSIS_WORKLOAD_H_
+#define DPSTORE_ANALYSIS_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block.h"
+#include "util/random.h"
+
+namespace dpstore {
+
+/// One RAM query: (index, op) per the paper's Section 2.1.
+struct RamQuery {
+  BlockId index;
+  bool is_write;
+
+  friend bool operator==(const RamQuery& a, const RamQuery& b) {
+    return a.index == b.index && a.is_write == b.is_write;
+  }
+};
+
+/// IR query sequences are plain index lists.
+using IrSequence = std::vector<BlockId>;
+using RamSequence = std::vector<RamQuery>;
+
+/// One KVS operation over the 64-bit key universe.
+struct KvsOp {
+  enum class Type : uint8_t { kGet = 0, kPut = 1, kErase = 2 };
+  Type type;
+  uint64_t key;
+};
+using KvsSequence = std::vector<KvsOp>;
+
+// --- Sequence generators ---------------------------------------------------
+
+IrSequence UniformIrSequence(Rng* rng, uint64_t n, size_t len);
+IrSequence ZipfIrSequence(Rng* rng, uint64_t n, size_t len, double s);
+IrSequence SequentialIrSequence(uint64_t n, size_t len);
+
+RamSequence UniformRamSequence(Rng* rng, uint64_t n, size_t len,
+                               double write_fraction);
+RamSequence ZipfRamSequence(Rng* rng, uint64_t n, size_t len,
+                            double write_fraction, double s);
+
+/// YCSB-style KVS workload over `num_keys` keys drawn from a sparse 64-bit
+/// universe (keys are PRF-scattered so the universe is genuinely large).
+/// `read_fraction` 0.5 ~ YCSB-A, 0.95 ~ YCSB-B, 1.0 ~ YCSB-C; zipf_s 0.99 is
+/// the YCSB default. A fraction `absent_fraction` of Gets target keys never
+/// inserted, exercising the KVS perp path.
+KvsSequence YcsbKvsSequence(Rng* rng, uint64_t num_keys, size_t len,
+                            double read_fraction, double zipf_s,
+                            double absent_fraction = 0.0);
+
+/// Scatters a dense key rank into the sparse 64-bit universe (deterministic).
+uint64_t ScatterKey(uint64_t rank);
+
+// --- Adjacent pairs (Hamming distance exactly 1) ---------------------------
+
+/// Copy of `q` with position `k` replaced (the Definition 2.1 adjacency).
+IrSequence WithReplacedQuery(const IrSequence& q, size_t k,
+                             BlockId replacement);
+RamSequence WithReplacedQuery(const RamSequence& q, size_t k,
+                              RamQuery replacement);
+
+/// Hamming distance between equal-length sequences.
+size_t HammingDistance(const IrSequence& a, const IrSequence& b);
+size_t HammingDistance(const RamSequence& a, const RamSequence& b);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ANALYSIS_WORKLOAD_H_

@@ -1,0 +1,194 @@
+#include "core/bucket_dp_ram.h"
+
+#include <algorithm>
+
+#include "core/dp_ram.h"
+#include "crypto/prg.h"
+
+namespace dpstore {
+
+BucketDpRam::BucketDpRam(std::vector<std::vector<NodeId>> buckets,
+                         uint64_t num_nodes, size_t node_size,
+                         BucketDpRamOptions options)
+    : buckets_(std::move(buckets)),
+      num_nodes_(num_nodes),
+      node_size_(node_size),
+      options_(options),
+      cipher_(crypto::RandomChaChaKey()),
+      rng_(options.seed) {
+  DPSTORE_CHECK(!buckets_.empty());
+  DPSTORE_CHECK_GT(num_nodes_, 0u);
+  // Privacy requires a homogeneous repertoire: every bucket moves the same
+  // number of nodes, so bucket identity cannot leak through transcript size.
+  const size_t arity = buckets_[0].size();
+  for (const auto& bucket : buckets_) {
+    DPSTORE_CHECK_EQ(bucket.size(), arity) << "buckets must have equal size";
+    for (NodeId node : bucket) DPSTORE_CHECK_LT(node, num_nodes_);
+  }
+  if (options_.stash_probability <= 0.0) {
+    options_.stash_probability = DefaultStashProbability(buckets_.size());
+  }
+  DPSTORE_CHECK_LE(options_.stash_probability, 1.0);
+  server_ = std::make_unique<StorageServer>(
+      num_nodes_, crypto::Cipher::CiphertextSize(node_size_));
+}
+
+Status BucketDpRam::Setup(const std::vector<Block>& node_plaintexts) {
+  if (node_plaintexts.size() != num_nodes_) {
+    return InvalidArgumentError("Setup: wrong node count");
+  }
+  std::vector<Block> array(num_nodes_);
+  for (uint64_t i = 0; i < num_nodes_; ++i) {
+    if (node_plaintexts[i].size() != node_size_) {
+      return InvalidArgumentError("Setup: node size mismatch");
+    }
+    array[i] = cipher_.Encrypt(node_plaintexts[i]);
+  }
+  return server_->SetArray(std::move(array));
+}
+
+Status BucketDpRam::SetupZero() {
+  return Setup(std::vector<Block>(num_nodes_, ZeroBlock(node_size_)));
+}
+
+StatusOr<std::vector<Block>> BucketDpRam::ReadBucket(uint64_t bucket) {
+  return Query(bucket, nullptr);
+}
+
+Status BucketDpRam::WriteBucket(uint64_t bucket, const MutateFn& mutate) {
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> unused, Query(bucket, &mutate));
+  (void)unused;
+  return OkStatus();
+}
+
+void BucketDpRam::StashBucket(uint64_t bucket,
+                              const std::vector<Block>& content) {
+  stashed_buckets_.insert(bucket);
+  peak_stashed_ = std::max(peak_stashed_, stashed_buckets_.size());
+  const auto& nodes = buckets_[bucket];
+  for (size_t k = 0; k < nodes.size(); ++k) {
+    overlay_[nodes[k]] = content[k];
+    ++overlay_refcount_[nodes[k]];
+  }
+}
+
+std::vector<Block> BucketDpRam::UnstashBucket(uint64_t bucket) {
+  const auto& nodes = buckets_[bucket];
+  std::vector<Block> content(nodes.size());
+  for (size_t k = 0; k < nodes.size(); ++k) {
+    auto it = overlay_.find(nodes[k]);
+    DPSTORE_CHECK(it != overlay_.end())
+        << "stashed bucket " << bucket << " missing overlay node "
+        << nodes[k];
+    content[k] = it->second;
+    auto rc = overlay_refcount_.find(nodes[k]);
+    DPSTORE_CHECK(rc != overlay_refcount_.end());
+    if (--rc->second == 0) {
+      overlay_refcount_.erase(rc);
+      overlay_.erase(it);
+    }
+  }
+  stashed_buckets_.erase(bucket);
+  return content;
+}
+
+StatusOr<Block> BucketDpRam::PeekNode(NodeId node) const {
+  DPSTORE_CHECK_LT(node, num_nodes_);
+  auto it = overlay_.find(node);
+  if (it != overlay_.end()) return it->second;
+  return cipher_.Decrypt(server_->PeekBlock(node));
+}
+
+StatusOr<std::vector<Block>> BucketDpRam::Query(uint64_t bucket,
+                                                const MutateFn* mutate) {
+  if (bucket >= buckets_.size()) {
+    return OutOfRangeError("BucketDpRam::Query bucket out of range");
+  }
+  server_->BeginQuery();
+  const auto& nodes = buckets_[bucket];
+
+  // Client-state mutations (stash/overlay) are deferred until all server
+  // operations succeed so that a mid-query fault rolls back cleanly (same
+  // discipline as DpRam::Query).
+
+  // --- Download phase ---
+  const bool was_stashed = stashed_buckets_.contains(bucket);
+  std::vector<Block> content(nodes.size());
+  if (was_stashed) {
+    // Dummy-download a uniformly random bucket, then serve from the overlay.
+    uint64_t d = rng_.Uniform(buckets_.size());
+    for (NodeId node : buckets_[d]) {
+      DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(node));
+      (void)discarded;
+    }
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      auto it = overlay_.find(nodes[k]);
+      DPSTORE_CHECK(it != overlay_.end())
+          << "stashed bucket " << bucket << " missing overlay node "
+          << nodes[k];
+      content[k] = it->second;
+    }
+  } else {
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(nodes[k]));
+      // Appendix E: a node shared with a stashed bucket is served from the
+      // client copy, not the (stale) server copy.
+      auto it = overlay_.find(nodes[k]);
+      if (it != overlay_.end()) {
+        content[k] = it->second;
+      } else {
+        DPSTORE_ASSIGN_OR_RETURN(content[k], cipher_.Decrypt(std::move(raw)));
+      }
+    }
+  }
+
+  if (mutate != nullptr) {
+    (*mutate)(&content);
+    DPSTORE_CHECK_EQ(content.size(), nodes.size())
+        << "mutate changed bucket arity";
+    for (const Block& b : content) DPSTORE_CHECK_EQ(b.size(), node_size_);
+  }
+
+  // --- Overwrite phase ---
+  if (rng_.Bernoulli(options_.stash_probability)) {
+    // Re-randomize a uniformly random bucket on the server (possibly stale
+    // copies; staleness is tracked by the overlay, so re-encrypting the
+    // server value verbatim is correct).
+    uint64_t o = rng_.Uniform(buckets_.size());
+    for (NodeId node : buckets_[o]) {
+      DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(node));
+      DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(std::move(raw)));
+      DPSTORE_RETURN_IF_ERROR(server_->Upload(node, cipher_.Encrypt(plain)));
+    }
+    // Commit: (re-)stash the bucket with its current content.
+    if (was_stashed) {
+      for (size_t k = 0; k < nodes.size(); ++k) {
+        overlay_[nodes[k]] = content[k];
+      }
+    } else {
+      StashBucket(bucket, content);
+    }
+  } else {
+    // Write the bucket back to its own nodes; keep the transcript shape by
+    // downloading-and-discarding first, as in Algorithm 3.
+    for (NodeId node : nodes) {
+      DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(node));
+      (void)discarded;
+    }
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      DPSTORE_RETURN_IF_ERROR(
+          server_->Upload(nodes[k], cipher_.Encrypt(content[k])));
+    }
+    // Commit: update client copies of shared nodes (Appendix E requires the
+    // write to reach stashed overlapping buckets), then drop this bucket
+    // from the stash.
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      auto it = overlay_.find(nodes[k]);
+      if (it != overlay_.end()) it->second = content[k];
+    }
+    if (was_stashed) UnstashBucket(bucket);
+  }
+  return content;
+}
+
+}  // namespace dpstore

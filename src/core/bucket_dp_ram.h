@@ -1,0 +1,105 @@
+#ifndef DPSTORE_CORE_BUCKET_DP_RAM_H_
+#define DPSTORE_CORE_BUCKET_DP_RAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "hashing/bucket_tree.h"
+#include "storage/server.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Options for the bucketized DP-RAM (Appendix E).
+struct BucketDpRamOptions {
+  /// Stash probability p for bucket stashing, as in DpRamOptions.
+  double stash_probability = 0.0;
+  uint64_t seed = 4321;
+};
+
+/// Appendix E generalization of the Section 6 DP-RAM: the query repertoire
+/// is a set Sigma of b buckets, each bucket a fixed sequence of s node
+/// addresses in server storage, and *buckets may overlap*. The server stores
+/// only the underlying nodes once (O(n) storage); a query on bucket sigma
+/// fetches/uploads sigma's s nodes, so each query moves exactly 3s blocks
+/// (the DP-RAM's 2 downloads + 1 upload at bucket granularity).
+///
+/// Overlap handling follows the appendix's prescription: the client keeps an
+/// authoritative overlay copy of every node belonging to a currently stashed
+/// bucket (refcounted across overlapping stashed buckets). Retrievals prefer
+/// the overlay copy over the server copy; write-backs update both the server
+/// copy and any live overlay copy.
+///
+/// This is the storage engine underneath DpKvs; bucket = the leaf-to-root
+/// path of the oblivious two-choice bucket tree.
+class BucketDpRam {
+ public:
+  /// `buckets[b]` lists the node addresses of bucket b; node addresses must
+  /// be < num_nodes. Node plaintexts are `node_size` bytes.
+  BucketDpRam(std::vector<std::vector<NodeId>> buckets, uint64_t num_nodes,
+              size_t node_size, BucketDpRamOptions options);
+
+  /// Uploads initial node contents (all num_nodes of them, encrypted).
+  /// Unlike queries this is the setup phase and is not transcript-recorded.
+  Status Setup(const std::vector<Block>& node_plaintexts);
+
+  /// Convenience: setup with all-zero nodes.
+  Status SetupZero();
+
+  /// Reads the current plaintext contents of bucket `bucket`'s nodes, in
+  /// bucket order. One DP-RAM query: 2s downloads + s uploads.
+  StatusOr<std::vector<Block>> ReadBucket(uint64_t bucket);
+
+  /// Receives the bucket's current node contents for in-place mutation.
+  using MutateFn = std::function<void(std::vector<Block>*)>;
+
+  /// Read-modify-write of bucket `bucket` in one DP-RAM query. A no-op
+  /// `mutate` is a "fake update" - outwardly indistinguishable from a real
+  /// one because every node is re-encrypted with fresh randomness anyway.
+  Status WriteBucket(uint64_t bucket, const MutateFn& mutate);
+
+  uint64_t bucket_count() const { return buckets_.size(); }
+  uint64_t num_nodes() const { return num_nodes_; }
+  size_t node_size() const { return node_size_; }
+  double stash_probability() const { return options_.stash_probability; }
+
+  size_t stashed_bucket_count() const { return stashed_buckets_.size(); }
+  size_t overlay_node_count() const { return overlay_.size(); }
+  size_t peak_stashed_bucket_count() const { return peak_stashed_; }
+
+  StorageServer& server() { return *server_; }
+  const StorageServer& server() const { return *server_; }
+
+  /// Authoritative current plaintext of a node (overlay copy if live, else
+  /// decrypted server copy). Unrecorded; for tests and invariant checks.
+  StatusOr<Block> PeekNode(NodeId node) const;
+
+ private:
+  StatusOr<std::vector<Block>> Query(uint64_t bucket, const MutateFn* mutate);
+
+  void StashBucket(uint64_t bucket, const std::vector<Block>& content);
+  std::vector<Block> UnstashBucket(uint64_t bucket);
+
+  std::vector<std::vector<NodeId>> buckets_;
+  uint64_t num_nodes_;
+  size_t node_size_;
+  BucketDpRamOptions options_;
+  std::unique_ptr<StorageServer> server_;
+  crypto::Cipher cipher_;
+  Rng rng_;
+
+  std::unordered_set<uint64_t> stashed_buckets_;
+  std::unordered_map<NodeId, Block> overlay_;
+  std::unordered_map<NodeId, uint32_t> overlay_refcount_;
+  size_t peak_stashed_ = 0;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_BUCKET_DP_RAM_H_

@@ -1,0 +1,64 @@
+#include "core/dp_ir.h"
+
+#include <algorithm>
+
+namespace dpstore {
+
+DpIr::DpIr(StorageServer* server, DpIrOptions options)
+    : server_(server), options_(options), rng_(options.seed) {
+  DPSTORE_CHECK(server != nullptr);
+  DPSTORE_CHECK_GE(options_.epsilon, 0.0);
+  DPSTORE_CHECK_GE(options_.alpha, 0.0);
+  DPSTORE_CHECK_LT(options_.alpha, 1.0);
+  errorless_ = options_.alpha == 0.0;
+  if (errorless_) {
+    // Theorem 3.3: an errorless DP-IR must touch (1 - delta) n blocks no
+    // matter the budget; the only errorless instantiation is the full scan.
+    k_ = server_->n();
+  } else if (options_.use_pseudocode_constant) {
+    k_ = DpIrBlocksPerQueryPseudocode(server_->n(), options_.epsilon,
+                                      options_.alpha);
+  } else {
+    k_ = DpIrBlocksPerQuery(server_->n(), options_.epsilon, options_.alpha);
+  }
+}
+
+double DpIr::achieved_epsilon() const {
+  if (errorless_) return 0.0;  // full scan: transcript independent of query
+  return DpIrAchievedEpsilon(server_->n(), k_, options_.alpha);
+}
+
+StatusOr<std::optional<Block>> DpIr::Query(BlockId index) {
+  const uint64_t n = server_->n();
+  if (index >= n) return OutOfRangeError("DpIr::Query index out of range");
+  server_->BeginQuery();
+
+  // Algorithm 1: with probability alpha take the error branch (the download
+  // set is a uniform K-subset not conditioned on `index`).
+  const bool error_branch = !errorless_ && rng_.Bernoulli(options_.alpha);
+
+  std::vector<uint64_t> download_set;
+  if (error_branch) {
+    download_set = rng_.SampleDistinct(k_, n);
+  } else if (k_ >= n) {
+    download_set.resize(n);
+    for (uint64_t i = 0; i < n; ++i) download_set[i] = i;
+  } else {
+    download_set = rng_.SampleDistinctExcluding(k_ - 1, n, index);
+    download_set.push_back(index);
+  }
+  // The privacy analysis treats the transcript as a set; shuffle so the
+  // download order cannot leak which element was the real query.
+  rng_.Shuffle(&download_set);
+
+  std::optional<Block> result;
+  for (uint64_t j : download_set) {
+    DPSTORE_ASSIGN_OR_RETURN(Block b, server_->Download(j));
+    if (!error_branch && j == index) result = std::move(b);
+  }
+  if (error_branch) return std::optional<Block>();
+  DPSTORE_CHECK(result.has_value());
+  return result;
+}
+
+}  // namespace dpstore

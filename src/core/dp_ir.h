@@ -1,0 +1,70 @@
+#ifndef DPSTORE_CORE_DP_IR_H_
+#define DPSTORE_CORE_DP_IR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/dp_params.h"
+#include "storage/server.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Options for the Section 5 / Algorithm 1 DP-IR scheme.
+struct DpIrOptions {
+  /// Pure differential privacy budget (eps >= 0). eps = Theta(log n) gives
+  /// constant overhead (Theorem 5.1); eps = 0 degenerates to downloading
+  /// the whole database (Theorem 3.3 floor).
+  double epsilon = 0.0;
+  /// Error probability in (0, 1): with probability alpha the query
+  /// deliberately downloads only dummies and returns nothing. alpha = 0 is
+  /// allowed but forces K = n (errorless lower bound).
+  double alpha = 0.1;
+  /// Seed for the scheme's internal coins.
+  uint64_t seed = 42;
+  /// E12 ablation: use the Appendix G pseudocode constant for K instead of
+  /// the proof-consistent one (see DpIrBlocksPerQuery).
+  bool use_pseudocode_constant = false;
+};
+
+/// Differentially private information retrieval (Section 5, Algorithm 1).
+///
+/// IR is stateless on both sides: the server stores the public plaintext
+/// database; the client keeps no state between queries (the Rng only feeds
+/// the per-query coins, which the definition permits as "internal
+/// randomness"). A query downloads a uniformly random K-subset of [n] that,
+/// with probability 1 - alpha, is conditioned to contain the requested
+/// index; with probability alpha it is an unconditioned random subset and
+/// the query errors (returns nullopt, the paper's perp).
+///
+/// Privacy: pure eps-DP with eps = ln(1 + (1-alpha) n / (alpha K))
+/// (Theorem 5.1); the transcript is the *set* of downloaded indices, so the
+/// implementation shuffles the download order to avoid leaking which element
+/// was real through position.
+class DpIr {
+ public:
+  /// `server` must outlive this object and hold the public database.
+  DpIr(StorageServer* server, DpIrOptions options);
+
+  /// Retrieves block `index`, or nullopt when the scheme's alpha-coin chose
+  /// the error branch. Errors (OutOfRange etc.) are propagated.
+  StatusOr<std::optional<Block>> Query(BlockId index);
+
+  /// Download-set size per query.
+  uint64_t k() const { return k_; }
+  /// The exact pure-DP budget this configuration achieves.
+  double achieved_epsilon() const;
+  const DpIrOptions& options() const { return options_; }
+
+ private:
+  StorageServer* server_;
+  DpIrOptions options_;
+  uint64_t k_;
+  bool errorless_;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_DP_IR_H_

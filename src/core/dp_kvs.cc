@@ -1,0 +1,366 @@
+#include "core/dp_kvs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/dp_ram.h"
+
+namespace dpstore {
+
+// ---------------------------------------------------------------------------
+// NodeCodec
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kFlagBytes = 1;
+constexpr size_t kKeyBytes = 8;
+}  // namespace
+
+NodeCodec::NodeCodec(uint64_t slots_per_node, size_t value_size)
+    : slots_per_node_(slots_per_node), value_size_(value_size) {
+  DPSTORE_CHECK_GT(slots_per_node, 0u);
+  node_size_ = static_cast<size_t>(slots_per_node) *
+               (kFlagBytes + kKeyBytes + value_size);
+}
+
+size_t NodeCodec::SlotOffset(uint64_t slot) const {
+  DPSTORE_CHECK_LT(slot, slots_per_node_);
+  return static_cast<size_t>(slot) * (kFlagBytes + kKeyBytes + value_size_);
+}
+
+bool NodeCodec::SlotOccupied(const Block& node, uint64_t slot) const {
+  DPSTORE_CHECK_EQ(node.size(), node_size_);
+  return node[SlotOffset(slot)] != 0;
+}
+
+uint64_t NodeCodec::SlotKey(const Block& node, uint64_t slot) const {
+  DPSTORE_CHECK_EQ(node.size(), node_size_);
+  uint64_t key;
+  std::memcpy(&key, node.data() + SlotOffset(slot) + kFlagBytes, kKeyBytes);
+  return key;
+}
+
+std::vector<uint8_t> NodeCodec::SlotValue(const Block& node,
+                                          uint64_t slot) const {
+  DPSTORE_CHECK_EQ(node.size(), node_size_);
+  size_t off = SlotOffset(slot) + kFlagBytes + kKeyBytes;
+  return std::vector<uint8_t>(node.begin() + off,
+                              node.begin() + off + value_size_);
+}
+
+void NodeCodec::SetSlot(Block* node, uint64_t slot, uint64_t key,
+                        const std::vector<uint8_t>& value) const {
+  DPSTORE_CHECK_EQ(node->size(), node_size_);
+  DPSTORE_CHECK_EQ(value.size(), value_size_);
+  size_t off = SlotOffset(slot);
+  (*node)[off] = 1;
+  std::memcpy(node->data() + off + kFlagBytes, &key, kKeyBytes);
+  std::memcpy(node->data() + off + kFlagBytes + kKeyBytes, value.data(),
+              value_size_);
+}
+
+void NodeCodec::ClearSlot(Block* node, uint64_t slot) const {
+  DPSTORE_CHECK_EQ(node->size(), node_size_);
+  size_t off = SlotOffset(slot);
+  std::memset(node->data() + off, 0, kFlagBytes + kKeyBytes + value_size_);
+}
+
+std::optional<uint64_t> NodeCodec::FindKey(const Block& node,
+                                           uint64_t key) const {
+  for (uint64_t s = 0; s < slots_per_node_; ++s) {
+    if (SlotOccupied(node, s) && SlotKey(node, s) == key) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> NodeCodec::FindFree(const Block& node) const {
+  for (uint64_t s = 0; s < slots_per_node_; ++s) {
+    if (!SlotOccupied(node, s)) return s;
+  }
+  return std::nullopt;
+}
+
+uint64_t NodeCodec::OccupiedCount(const Block& node) const {
+  uint64_t count = 0;
+  for (uint64_t s = 0; s < slots_per_node_; ++s) {
+    if (SlotOccupied(node, s)) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// DpKvs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t DefaultSuperRootCapacity(uint64_t n) {
+  double log_n = std::log2(static_cast<double>(n) + 1.0);
+  return std::max<uint64_t>(
+      16, static_cast<uint64_t>(std::ceil(std::pow(log_n, 1.5))));
+}
+
+crypto::PrfKey DerivePrfKey(Rng* rng) {
+  crypto::PrfKey key;
+  for (size_t i = 0; i < key.size(); i += 8) {
+    uint64_t x = rng->NextUint64();
+    std::memcpy(key.data() + i, &x, 8);
+  }
+  return key;
+}
+
+}  // namespace
+
+DpKvs::DpKvs(DpKvsOptions options)
+    : options_(options),
+      geometry_(BucketTreeGeometry::ForCapacity(options.capacity)),
+      codec_(options.node_slots, options.value_size),
+      rng_(options.seed) {
+  prf_key1_ = DerivePrfKey(&rng_);
+  prf_key2_ = DerivePrfKey(&rng_);
+  super_root_capacity_ = options_.super_root_capacity != 0
+                             ? options_.super_root_capacity
+                             : DefaultSuperRootCapacity(options_.capacity);
+
+  std::vector<std::vector<NodeId>> buckets(geometry_.num_leaves());
+  for (uint64_t leaf = 0; leaf < geometry_.num_leaves(); ++leaf) {
+    buckets[leaf] = geometry_.Path(leaf);
+  }
+  BucketDpRamOptions ram_options;
+  ram_options.stash_probability = options_.stash_probability;
+  ram_options.seed = rng_.NextUint64();
+  bucket_ram_ = std::make_unique<BucketDpRam>(
+      std::move(buckets), geometry_.total_nodes(), codec_.node_size(),
+      ram_options);
+  DPSTORE_CHECK_OK(bucket_ram_->SetupZero());
+}
+
+std::pair<uint64_t, uint64_t> DpKvs::Choices(Key key) const {
+  return {crypto::PrfMod(prf_key1_, key, geometry_.num_leaves()),
+          crypto::PrfMod(prf_key2_, key, geometry_.num_leaves())};
+}
+
+Status DpKvs::BulkLoad(const std::vector<std::pair<Key, Value>>& items) {
+  if (size_ != 0) {
+    return FailedPreconditionError("BulkLoad requires an empty store");
+  }
+  std::vector<Block> nodes(geometry_.total_nodes(),
+                           ZeroBlock(codec_.node_size()));
+  std::unordered_map<Key, bool> seen;
+  seen.reserve(items.size());
+  uint64_t placed = 0;
+  for (const auto& [key, value] : items) {
+    if (value.size() != options_.value_size) {
+      return InvalidArgumentError("BulkLoad: value size mismatch");
+    }
+    if (!seen.emplace(key, true).second) {
+      return InvalidArgumentError("BulkLoad: duplicate key");
+    }
+    auto [l1, l2] = Choices(key);
+    auto path1 = geometry_.Path(l1);
+    auto path2 = geometry_.Path(l2);
+    bool stored = false;
+    for (size_t h = 0; h < path1.size() && !stored; ++h) {
+      if (auto slot = codec_.FindFree(nodes[path1[h]]); slot.has_value()) {
+        codec_.SetSlot(&nodes[path1[h]], *slot, key, value);
+        stored = true;
+        break;
+      }
+      if (l1 != l2) {
+        if (auto slot = codec_.FindFree(nodes[path2[h]]); slot.has_value()) {
+          codec_.SetSlot(&nodes[path2[h]], *slot, key, value);
+          stored = true;
+          break;
+        }
+      }
+    }
+    if (!stored) {
+      if (super_root_.size() >= super_root_capacity_) {
+        return ResourceExhaustedError("BulkLoad: super root overflow");
+      }
+      super_root_[key] = value;
+      super_root_peak_ =
+          std::max<uint64_t>(super_root_peak_, super_root_.size());
+    }
+    ++placed;
+  }
+  DPSTORE_RETURN_IF_ERROR(bucket_ram_->Setup(nodes));
+  size_ = placed;
+  return OkStatus();
+}
+
+StatusOr<DpKvs::Snapshot> DpKvs::ReadBoth(Key key) {
+  Snapshot snap;
+  auto [l1, l2] = Choices(key);
+  snap.leaf1 = l1;
+  snap.same_choice = (l1 == l2);
+  // Pi(u) smaller than k(n)=2: pad with a uniformly random dummy bucket so
+  // every query touches exactly two buckets (Section 7.1).
+  snap.leaf2 = snap.same_choice ? rng_.Uniform(geometry_.num_leaves()) : l2;
+  DPSTORE_ASSIGN_OR_RETURN(snap.content1, bucket_ram_->ReadBucket(snap.leaf1));
+  DPSTORE_ASSIGN_OR_RETURN(snap.content2, bucket_ram_->ReadBucket(snap.leaf2));
+  return snap;
+}
+
+StatusOr<std::optional<DpKvs::Value>> DpKvs::Get(Key key) {
+  DPSTORE_ASSIGN_OR_RETURN(Snapshot snap, ReadBoth(key));
+  // Search the real path(s). The dummy pad bucket never holds `key` by
+  // construction of the storing algorithm, searching it anyway is harmless.
+  for (const std::vector<Block>* content : {&snap.content1, &snap.content2}) {
+    for (const Block& node : *content) {
+      if (auto slot = codec_.FindKey(node, key); slot.has_value()) {
+        return std::optional<Value>(codec_.SlotValue(node, *slot));
+      }
+    }
+  }
+  if (auto it = super_root_.find(key); it != super_root_.end()) {
+    return std::optional<Value>(it->second);
+  }
+  return std::optional<Value>();  // perp: key never stored
+}
+
+Status DpKvs::WriteBoth(const Snapshot& snap,
+                        std::optional<uint64_t> target_leaf,
+                        std::optional<uint64_t> target_path_index,
+                        const std::function<void(Block*)>& edit) {
+  // One real update (when a target node exists) and fake updates elsewhere;
+  // fresh re-encryption makes them outwardly identical.
+  auto make_mutator = [&](uint64_t leaf) -> BucketDpRam::MutateFn {
+    if (target_leaf.has_value() && *target_leaf == leaf) {
+      uint64_t index = *target_path_index;
+      return [&edit, index](std::vector<Block>* content) {
+        edit(&(*content)[index]);
+      };
+    }
+    return [](std::vector<Block>*) {};
+  };
+  DPSTORE_RETURN_IF_ERROR(
+      bucket_ram_->WriteBucket(snap.leaf1, make_mutator(snap.leaf1)));
+  // If both queried buckets are the same leaf, the second write must be a
+  // fake one (the first already applied the edit).
+  BucketDpRam::MutateFn second = snap.leaf2 == snap.leaf1
+                                     ? BucketDpRam::MutateFn(
+                                           [](std::vector<Block>*) {})
+                                     : make_mutator(snap.leaf2);
+  return bucket_ram_->WriteBucket(snap.leaf2, second);
+}
+
+Status DpKvs::Put(Key key, const Value& value) {
+  if (value.size() != options_.value_size) {
+    return InvalidArgumentError("Put: value size mismatch");
+  }
+  DPSTORE_ASSIGN_OR_RETURN(Snapshot snap, ReadBoth(key));
+
+  // Locate an existing copy of `key` along the real path(s).
+  std::optional<uint64_t> target_leaf;
+  std::optional<uint64_t> target_index;
+  std::optional<uint64_t> target_slot;
+  auto search = [&](uint64_t leaf, const std::vector<Block>& content,
+                    bool real) {
+    if (!real || target_leaf.has_value()) return;
+    for (size_t k = 0; k < content.size(); ++k) {
+      if (auto slot = codec_.FindKey(content[k], key); slot.has_value()) {
+        target_leaf = leaf;
+        target_index = k;
+        target_slot = *slot;
+        return;
+      }
+    }
+  };
+  search(snap.leaf1, snap.content1, true);
+  search(snap.leaf2, snap.content2, !snap.same_choice);
+
+  bool fresh_insert = false;
+  if (!target_leaf.has_value()) {
+    if (auto it = super_root_.find(key); it != super_root_.end()) {
+      // Update in the client super root; both bucket writes are fake.
+      it->second = value;
+      return WriteBoth(snap, std::nullopt, std::nullopt, nullptr);
+    }
+    // Storing algorithm S: lowest-height node with a free slot along either
+    // path (paths are ordered leaf -> root, i.e. by increasing height).
+    for (size_t h = 0; h < snap.content1.size() && !target_leaf.has_value();
+         ++h) {
+      if (auto slot = codec_.FindFree(snap.content1[h]); slot.has_value()) {
+        target_leaf = snap.leaf1;
+        target_index = h;
+        target_slot = *slot;
+        break;
+      }
+      if (!snap.same_choice) {
+        if (auto slot = codec_.FindFree(snap.content2[h]); slot.has_value()) {
+          target_leaf = snap.leaf2;
+          target_index = h;
+          target_slot = *slot;
+          break;
+        }
+      }
+    }
+    if (!target_leaf.has_value()) {
+      // Both paths full: overflow into the super root (Theorem 7.2 bounds
+      // its load by Phi(n) except with negligible probability).
+      if (super_root_.size() >= super_root_capacity_) {
+        return ResourceExhaustedError(
+            "DpKvs super root overflow (negligible-probability event; "
+            "increase capacity or super_root_capacity)");
+      }
+      super_root_[key] = value;
+      super_root_peak_ =
+          std::max<uint64_t>(super_root_peak_, super_root_.size());
+      ++size_;
+      return WriteBoth(snap, std::nullopt, std::nullopt, nullptr);
+    }
+    fresh_insert = true;
+  }
+
+  uint64_t slot = *target_slot;
+  const NodeCodec& codec = codec_;
+  Status status = WriteBoth(snap, target_leaf, target_index,
+                            [&codec, slot, key, &value](Block* node) {
+                              codec.SetSlot(node, slot, key, value);
+                            });
+  if (status.ok() && fresh_insert) ++size_;
+  return status;
+}
+
+Status DpKvs::Erase(Key key) {
+  DPSTORE_ASSIGN_OR_RETURN(Snapshot snap, ReadBoth(key));
+
+  std::optional<uint64_t> target_leaf;
+  std::optional<uint64_t> target_index;
+  std::optional<uint64_t> target_slot;
+  auto search = [&](uint64_t leaf, const std::vector<Block>& content,
+                    bool real) {
+    if (!real || target_leaf.has_value()) return;
+    for (size_t k = 0; k < content.size(); ++k) {
+      if (auto slot = codec_.FindKey(content[k], key); slot.has_value()) {
+        target_leaf = leaf;
+        target_index = k;
+        target_slot = *slot;
+        return;
+      }
+    }
+  };
+  search(snap.leaf1, snap.content1, true);
+  search(snap.leaf2, snap.content2, !snap.same_choice);
+
+  bool existed = target_leaf.has_value();
+  if (!existed) {
+    size_t erased = super_root_.erase(key);
+    if (erased > 0) --size_;
+    // Access shape stays identical whether or not the key existed.
+    return WriteBoth(snap, std::nullopt, std::nullopt, nullptr);
+  }
+
+  uint64_t slot = *target_slot;
+  const NodeCodec& codec = codec_;
+  Status status = WriteBoth(snap, target_leaf, target_index,
+                            [&codec, slot](Block* node) {
+                              codec.ClearSlot(node, slot);
+                            });
+  if (status.ok()) --size_;
+  return status;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,168 @@
+#ifndef DPSTORE_CORE_DP_KVS_H_
+#define DPSTORE_CORE_DP_KVS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bucket_dp_ram.h"
+#include "crypto/prf.h"
+#include "hashing/bucket_tree.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Fixed-layout codec for the slots inside one bucket-tree node block.
+/// A node holds `slots_per_node` (the paper's t = Theta(1)) entries, each
+/// entry a presence flag, a 64-bit key, and a fixed-size value:
+///
+///   [flag:1][key:8][value:value_size]  x  slots_per_node
+class NodeCodec {
+ public:
+  NodeCodec(uint64_t slots_per_node, size_t value_size);
+
+  uint64_t slots_per_node() const { return slots_per_node_; }
+  size_t value_size() const { return value_size_; }
+  size_t node_size() const { return node_size_; }
+
+  bool SlotOccupied(const Block& node, uint64_t slot) const;
+  uint64_t SlotKey(const Block& node, uint64_t slot) const;
+  std::vector<uint8_t> SlotValue(const Block& node, uint64_t slot) const;
+
+  void SetSlot(Block* node, uint64_t slot, uint64_t key,
+               const std::vector<uint8_t>& value) const;
+  void ClearSlot(Block* node, uint64_t slot) const;
+
+  /// Slot index holding `key`, if present.
+  std::optional<uint64_t> FindKey(const Block& node, uint64_t key) const;
+  /// Lowest free slot index, if any.
+  std::optional<uint64_t> FindFree(const Block& node) const;
+  uint64_t OccupiedCount(const Block& node) const;
+
+ private:
+  size_t SlotOffset(uint64_t slot) const;
+
+  uint64_t slots_per_node_;
+  size_t value_size_;
+  size_t node_size_;
+};
+
+/// Options for DpKvs.
+struct DpKvsOptions {
+  /// Target number of keys (the paper's n). The bucket forest is sized for
+  /// this; inserting far beyond it raises the super-root overflow risk.
+  uint64_t capacity = 1024;
+  size_t value_size = 64;
+  /// Slots per tree node (the paper's t = Theta(1)).
+  uint64_t node_slots = 4;
+  /// Client super-root capacity Phi(n) = omega(log n); 0 picks
+  /// ceil(log2(n)^1.5), matching Theorem 7.2's requirement.
+  uint64_t super_root_capacity = 0;
+  /// Stash probability for the underlying bucketized DP-RAM; 0 picks the
+  /// DefaultStashProbability of the bucket count.
+  double stash_probability = 0.0;
+  uint64_t seed = 777;
+};
+
+/// Differentially private key-value storage (Section 7): keys from the
+/// 64-bit universe, values of fixed size, Get of an absent key returns
+/// nullopt (the paper's perp).
+///
+/// Composition (Theorem 7.1): an oblivious two-choice *mapping scheme*
+/// assigns each key two buckets Pi(u) = {F(key1,u), F(key2,u)} - leaf-to-root
+/// paths in a forest of Theta(n/log n) binary trees with shared node storage
+/// (Section 7.2) - and the buckets are accessed through the Appendix E
+/// bucketized DP-RAM. Every Get performs k(n)=2 bucket queries and every Put
+/// performs 2 reads + 2 updates (one real, one fake), so the privacy budget
+/// is eps = O(k(n) log n) by composition and the overhead is
+/// O(k(n) s(n)) = O(log log n) node blocks per operation.
+///
+/// The storing algorithm S places a new key at the lowest-height node with a
+/// free slot along either of its two paths, overflowing into the client-side
+/// super root (capacity Phi(n) = omega(log n)); by Theorem 7.2 the super
+/// root overflows only with negligible probability, which surfaces here as
+/// ResourceExhausted.
+class DpKvs {
+ public:
+  using Key = uint64_t;
+  using Value = std::vector<uint8_t>;
+
+  explicit DpKvs(DpKvsOptions options);
+
+  /// Populates an empty store with `items` in one setup pass: the storing
+  /// algorithm runs client-side over all keys and the node array is
+  /// uploaded once, instead of paying 4 bucket queries per key through
+  /// Put. FailedPrecondition if the store is non-empty; InvalidArgument on
+  /// duplicate keys or wrong value sizes; ResourceExhausted if the super
+  /// root overflows (negligible under Theorem 7.2 sizing).
+  Status BulkLoad(const std::vector<std::pair<Key, Value>>& items);
+
+  /// Retrieves the value for `key`, or nullopt if `key` was never stored
+  /// (both bucket paths and the super root are always searched; absent keys
+  /// cost exactly as much as present ones).
+  StatusOr<std::optional<Value>> Get(Key key);
+
+  /// Inserts or updates `key`. Values must be exactly value_size bytes.
+  Status Put(Key key, const Value& value);
+
+  /// Removes `key` if present (extension beyond the paper's read/overwrite
+  /// repertoire; uses the same 2-read + 2-update access shape as Put).
+  Status Erase(Key key);
+
+  /// Number of distinct keys currently stored.
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return options_.capacity; }
+
+  uint64_t super_root_size() const { return super_root_.size(); }
+  uint64_t super_root_peak_size() const { return super_root_peak_; }
+  uint64_t super_root_capacity() const { return super_root_capacity_; }
+
+  const BucketTreeGeometry& geometry() const { return geometry_; }
+  const NodeCodec& codec() const { return codec_; }
+  BucketDpRam& bucket_ram() { return *bucket_ram_; }
+  StorageServer& server() { return bucket_ram_->server(); }
+
+  /// Node blocks moved per Get (2 bucket queries x 3 s(n)).
+  uint64_t BlocksPerGet() const { return 2 * 3 * geometry_.path_length(); }
+  /// Node blocks moved per Put (2 reads + 2 updates).
+  uint64_t BlocksPerPut() const { return 4 * 3 * geometry_.path_length(); }
+
+  /// The two candidate leaves Pi(key) (may coincide; queries pad with a
+  /// random dummy bucket in that case).
+  std::pair<uint64_t, uint64_t> Choices(Key key) const;
+
+ private:
+  struct Snapshot {
+    uint64_t leaf1;
+    uint64_t leaf2;  // dummy-padded second bucket actually queried
+    bool same_choice;  // true when Pi gave two equal leaves
+    std::vector<Block> content1;
+    std::vector<Block> content2;
+  };
+
+  StatusOr<Snapshot> ReadBoth(Key key);
+
+  /// Applies `edit` to the node at `path_index` of leaf `leaf`'s bucket
+  /// while fake-updating the other queried bucket.
+  Status WriteBoth(const Snapshot& snap, std::optional<uint64_t> target_leaf,
+                   std::optional<uint64_t> target_path_index,
+                   const std::function<void(Block*)>& edit);
+
+  DpKvsOptions options_;
+  BucketTreeGeometry geometry_;
+  NodeCodec codec_;
+  crypto::PrfKey prf_key1_;
+  crypto::PrfKey prf_key2_;
+  std::unique_ptr<BucketDpRam> bucket_ram_;
+  std::unordered_map<Key, Value> super_root_;
+  uint64_t super_root_capacity_;
+  uint64_t super_root_peak_ = 0;
+  uint64_t size_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_DP_KVS_H_

@@ -1,0 +1,97 @@
+#include "core/dp_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+namespace {
+
+uint64_t ClampK(double k, uint64_t n) {
+  if (!(k > 0.0)) return 1;
+  if (k >= static_cast<double>(n)) return n;
+  return static_cast<uint64_t>(std::ceil(k));
+}
+
+}  // namespace
+
+uint64_t DpIrBlocksPerQuery(uint64_t n, double epsilon, double alpha) {
+  DPSTORE_CHECK_GT(n, 0u);
+  DPSTORE_CHECK_GT(alpha, 0.0) << "Algorithm 1 requires alpha > 0";
+  DPSTORE_CHECK_LT(alpha, 1.0);
+  DPSTORE_CHECK_GE(epsilon, 0.0);
+  double denom = alpha * std::expm1(epsilon);
+  if (denom <= 0.0) return n;  // eps = 0 forces the full database
+  return ClampK((1.0 - alpha) * static_cast<double>(n) / denom, n);
+}
+
+uint64_t DpIrBlocksPerQueryPseudocode(uint64_t n, double epsilon,
+                                      double alpha) {
+  DPSTORE_CHECK_GT(n, 0u);
+  DPSTORE_CHECK_GT(alpha, 0.0);
+  DPSTORE_CHECK_LT(alpha, 1.0);
+  double denom = std::expm1(epsilon);
+  if (denom <= 0.0) return n;
+  return ClampK((1.0 - alpha) * static_cast<double>(n) / denom, n);
+}
+
+double DpIrAchievedEpsilon(uint64_t n, uint64_t k, double alpha) {
+  DPSTORE_CHECK_GT(k, 0u);
+  DPSTORE_CHECK_GT(alpha, 0.0);
+  return std::log1p((1.0 - alpha) * static_cast<double>(n) /
+                    (alpha * static_cast<double>(k)));
+}
+
+double DpIrErrorlessLowerBound(uint64_t n, double delta) {
+  return std::max(0.0, (1.0 - delta) * static_cast<double>(n));
+}
+
+double DpIrLowerBound(uint64_t n, double epsilon, double alpha, double delta) {
+  if (n == 0) return 0.0;
+  double numer = (1.0 - alpha - delta) * static_cast<double>(n - 1);
+  return std::max(0.0, numer / std::exp(epsilon));
+}
+
+double DpRamLowerBound(uint64_t n, double epsilon, double alpha, uint64_t c) {
+  DPSTORE_CHECK_GE(c, 2u) << "log_c needs c >= 2";
+  double inner = (1.0 - alpha) * static_cast<double>(n) / std::exp(epsilon);
+  if (inner <= 1.0) return 0.0;
+  return std::log(inner) / std::log(static_cast<double>(c));
+}
+
+double DpRamEpsilonUpperBound(uint64_t n, double p) {
+  DPSTORE_CHECK_GT(p, 0.0);
+  DPSTORE_CHECK_LE(p, 1.0);
+  double dn = static_cast<double>(n);
+  // Three divergent positions (Lemma 6.7); each contributes at most
+  // (n^2/p) * (n/p) across Lemmas 6.4 and 6.5.
+  return 3.0 * (std::log(dn * dn / p) + std::log(dn / p));
+}
+
+double DpRamMinEpsilonForOverhead(uint64_t n, double overhead, double alpha,
+                                  uint64_t c) {
+  DPSTORE_CHECK_GE(c, 2u);
+  double eps = std::log((1.0 - alpha) * static_cast<double>(n)) -
+               overhead * std::log(static_cast<double>(c));
+  return std::max(0.0, eps);
+}
+
+double MultiServerDpIrLowerBound(uint64_t n, double epsilon, double alpha,
+                                 double delta, double t) {
+  if (n == 0) return 0.0;
+  double numer = ((1.0 - alpha) * t - delta) * static_cast<double>(n - 1);
+  return std::max(0.0, numer / std::exp(epsilon));
+}
+
+double ComposeEpsilon(double epsilon, uint64_t k) {
+  return epsilon * static_cast<double>(k);
+}
+
+double StrawmanDeltaFloor(uint64_t n) {
+  DPSTORE_CHECK_GT(n, 0u);
+  return static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+}  // namespace dpstore

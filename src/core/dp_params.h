@@ -1,0 +1,88 @@
+#ifndef DPSTORE_CORE_DP_PARAMS_H_
+#define DPSTORE_CORE_DP_PARAMS_H_
+
+#include <cstdint>
+
+namespace dpstore {
+
+/// Closed-form parameter conversions and the paper's lower-bound formulas.
+/// All bounds are stated in expected *block operations per query*, matching
+/// the balls-and-bins accounting of Section 3.
+
+// ---------------------------------------------------------------------------
+// DP-IR (Section 5 construction, Theorems 3.3 / 3.4 / 5.1)
+// ---------------------------------------------------------------------------
+
+/// Download-set size K for the Algorithm 1 DP-IR at privacy budget `epsilon`
+/// and error rate `alpha` over `n` records, using the constant from the
+/// *proof* of Theorem 5.1: e^eps = 1 + (1-alpha) n / (alpha K), i.e.
+/// K = ceil((1-alpha) n / (alpha (e^eps - 1))), clamped to [1, n].
+///
+/// Note: the paper's Algorithm 1 pseudocode drops the alpha factor in the
+/// denominator (K = ceil((1-alpha) n / (e^eps - 1))); that variant is exposed
+/// below for the E12 ablation. Both give K = Theta(n / e^eps).
+uint64_t DpIrBlocksPerQuery(uint64_t n, double epsilon, double alpha);
+
+/// The pseudocode variant (Appendix G constant).
+uint64_t DpIrBlocksPerQueryPseudocode(uint64_t n, double epsilon,
+                                      double alpha);
+
+/// The exact pure-DP budget achieved by Algorithm 1 with download-set size K
+/// and error alpha (from the proof of Theorem 5.1):
+/// eps = ln(1 + (1-alpha) n / (alpha K)).
+double DpIrAchievedEpsilon(uint64_t n, uint64_t k, double alpha);
+
+/// Theorem 3.3: an errorless (eps,delta)-DP-IR performs at least
+/// (1-delta) n expected operations - for every eps.
+double DpIrErrorlessLowerBound(uint64_t n, double delta);
+
+/// Theorem 3.4: an (eps,delta)-DP-IR with error alpha performs at least
+/// (n-1)(1-alpha-delta)/e^eps expected operations.
+double DpIrLowerBound(uint64_t n, double epsilon, double alpha, double delta);
+
+// ---------------------------------------------------------------------------
+// DP-RAM (Theorem 3.7, Theorem 6.1)
+// ---------------------------------------------------------------------------
+
+/// Theorem 3.7: an eps-DP-RAM with error alpha and client storage for c >= 2
+/// blocks performs Omega(log_c((1-alpha) n / e^eps)) expected amortized
+/// operations per query. Returns max(0, that log).
+double DpRamLowerBound(uint64_t n, double epsilon, double alpha, uint64_t c);
+
+/// Upper bound on the budget of the Section 6 DP-RAM with stash probability
+/// p, from wrapping up the proof of Theorem 6.1: the transcript ratio of
+/// adjacent sequences differs at <= 3 positions, each contributing at most
+/// n^2/p (Lemma 6.4) times n/p (Lemma 6.5), so
+/// eps <= 3 ln(n^2/p) + 3 ln(n/p) = O(log n) for p = Phi(n)/n.
+double DpRamEpsilonUpperBound(uint64_t n, double p);
+
+/// Minimum privacy budget a scheme with `overhead` blocks/query can have by
+/// Theorem 3.7 (inverting the lower bound): eps >= ln((1-alpha) n) -
+/// overhead ln(c). Returns max(0, that).
+double DpRamMinEpsilonForOverhead(uint64_t n, double overhead, double alpha,
+                                  uint64_t c);
+
+// ---------------------------------------------------------------------------
+// Multi-server DP-IR (Theorem C.1)
+// ---------------------------------------------------------------------------
+
+/// Theorem C.1: a D-server (eps,delta)-DP-IR with error alpha against an
+/// adversary corrupting fraction t of servers performs at least
+/// ((1-alpha) t - delta)(n-1)/e^eps expected operations.
+double MultiServerDpIrLowerBound(uint64_t n, double epsilon, double alpha,
+                                 double delta, double t);
+
+// ---------------------------------------------------------------------------
+// Composition and misc.
+// ---------------------------------------------------------------------------
+
+/// Basic sequential composition: k mechanisms at eps each are k*eps-DP.
+double ComposeEpsilon(double epsilon, uint64_t k);
+
+/// The strawman of Section 4 is (Theta(log n), delta)-DP only for
+/// delta >= (n-1)/n. Returns that delta floor.
+double StrawmanDeltaFloor(uint64_t n);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_DP_PARAMS_H_

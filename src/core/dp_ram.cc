@@ -1,0 +1,141 @@
+#include "core/dp_ram.h"
+
+#include <cmath>
+
+#include "core/dp_params.h"
+#include "crypto/prg.h"
+
+namespace dpstore {
+
+double DefaultStashProbability(uint64_t n) {
+  DPSTORE_CHECK_GT(n, 0u);
+  double log_n = std::log2(static_cast<double>(n) + 1.0);
+  double phi = std::ceil(std::pow(log_n, 1.5));
+  double p = phi / static_cast<double>(n);
+  return p < 1.0 ? p : 1.0;
+}
+
+DpRam::DpRam(std::vector<Block> database, DpRamOptions options)
+    : n_(database.size()), options_(options), rng_(options.seed) {
+  DPSTORE_CHECK_GT(n_, 0u);
+  record_size_ = database[0].size();
+  for (const Block& b : database) {
+    DPSTORE_CHECK_EQ(b.size(), record_size_) << "ragged database";
+  }
+  if (options_.stash_probability <= 0.0) {
+    options_.stash_probability = DefaultStashProbability(n_);
+  }
+  DPSTORE_CHECK_LE(options_.stash_probability, 1.0);
+
+  size_t server_block_size =
+      options_.encrypted ? crypto::Cipher::CiphertextSize(record_size_)
+                         : record_size_;
+  server_ = std::make_unique<StorageServer>(n_, server_block_size);
+  if (options_.encrypted) {
+    cipher_ = std::make_unique<crypto::Cipher>(crypto::RandomChaChaKey());
+  }
+
+  // Algorithm 2 (Setup): A[i] <- Enc(K, B_i); stash each record w.p. p.
+  std::vector<Block> array(n_);
+  for (uint64_t i = 0; i < n_; ++i) {
+    array[i] = options_.encrypted ? cipher_->Encrypt(database[i])
+                                  : database[i];
+    if (rng_.Bernoulli(options_.stash_probability)) {
+      stash_.Put(i, database[i]);
+    }
+  }
+  DPSTORE_CHECK_OK(server_->SetArray(std::move(array)));
+}
+
+double DpRam::epsilon_upper_bound() const {
+  return DpRamEpsilonUpperBound(n_, options_.stash_probability);
+}
+
+double DpRam::BlocksPerQueryExpected() const {
+  if (options_.encrypted) return 3.0;  // 2 downloads + 1 upload, always
+  return 1.0;  // retrieval-only: download phase only
+}
+
+Status DpRam::UploadRecord(BlockId index, const Block& record) {
+  return server_->Upload(
+      index, options_.encrypted ? cipher_->Encrypt(record) : record);
+}
+
+StatusOr<Block> DpRam::DecodeRecord(Block server_block) const {
+  if (!options_.encrypted) return server_block;
+  return cipher_->Decrypt(server_block);
+}
+
+StatusOr<Block> DpRam::Read(BlockId index) {
+  return Query(index, Op::kRead, nullptr);
+}
+
+Status DpRam::Write(BlockId index, Block value) {
+  if (!options_.encrypted) {
+    return FailedPreconditionError(
+        "DpRam configured retrieval-only (encrypted=false)");
+  }
+  if (value.size() != record_size_) {
+    return InvalidArgumentError("Write: record size mismatch");
+  }
+  DPSTORE_ASSIGN_OR_RETURN(Block unused, Query(index, Op::kWrite, &value));
+  (void)unused;
+  return OkStatus();
+}
+
+StatusOr<Block> DpRam::Query(BlockId index, Op op, const Block* new_value) {
+  if (index >= n_) return OutOfRangeError("DpRam::Query index out of range");
+  server_->BeginQuery();
+
+  // Client-state mutations (stash insert/remove) are deferred until every
+  // server operation has succeeded, so a mid-query server fault rolls back
+  // cleanly instead of dropping the only up-to-date copy of a record.
+
+  // --- Download phase (Algorithm 3) ---
+  const bool was_stashed = stash_.Contains(index);
+  Block current;
+  if (was_stashed) {
+    // Record served from the stash; download a uniformly random slot as a
+    // dummy so the access pattern is index-independent in this branch.
+    BlockId d = rng_.Uniform(n_);
+    DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(d));
+    (void)discarded;
+    current = *stash_.Get(index);
+  } else {
+    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(index));
+    DPSTORE_ASSIGN_OR_RETURN(current, DecodeRecord(std::move(raw)));
+  }
+  if (op == Op::kWrite) current = *new_value;
+
+  // Retrieval-only mode skips the overwrite phase entirely (Section 6
+  // discussion): no upload, no stash re-insertion, no encryption needed.
+  // The stash entry (if any) is consumed, matching Algorithm 3's download
+  // phase with the overwrite phase deleted.
+  if (!options_.encrypted) {
+    if (was_stashed) stash_.Take(index);
+    return current;
+  }
+
+  // --- Overwrite phase (Algorithm 3) ---
+  if (rng_.Bernoulli(options_.stash_probability)) {
+    // Re-randomize a uniformly random slot: download, decrypt, re-encrypt
+    // with fresh randomness, upload. Note o may equal `index`; the stale
+    // server copy stays stale, which is fine because the stash copy is
+    // authoritative while `index` is stashed.
+    BlockId o = rng_.Uniform(n_);
+    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(o));
+    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_->Decrypt(std::move(raw)));
+    DPSTORE_RETURN_IF_ERROR(UploadRecord(o, plain));
+    stash_.Put(index, current);  // commit
+  } else {
+    // Write the current version back to its own slot. The download-and-
+    // discard keeps the transcript shape identical across branches.
+    DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(index));
+    (void)discarded;
+    DPSTORE_RETURN_IF_ERROR(UploadRecord(index, current));
+    if (was_stashed) stash_.Take(index);  // commit removal
+  }
+  return current;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,72 @@
+#include "core/multi_server_dp_ir.h"
+
+#include <cmath>
+
+namespace dpstore {
+
+MultiServerDpIr::MultiServerDpIr(std::vector<StorageServer*> servers,
+                                 MultiServerDpIrOptions options)
+    : servers_(std::move(servers)), options_(options), rng_(options.seed) {
+  DPSTORE_CHECK_GE(servers_.size(), 2u);
+  DPSTORE_CHECK_EQ(servers_.size(), options_.num_servers);
+  n_ = servers_[0]->n();
+  for (StorageServer* s : servers_) {
+    DPSTORE_CHECK(s != nullptr);
+    DPSTORE_CHECK_EQ(s->n(), n_) << "replicas must have equal size";
+  }
+  DPSTORE_CHECK_GT(options_.alpha, 0.0);
+  DPSTORE_CHECK_LT(options_.alpha, 1.0);
+  DPSTORE_CHECK_GE(options_.epsilon, 0.0);
+  double denom = (static_cast<double>(servers_.size()) -
+                  (1.0 - options_.alpha)) *
+                 std::expm1(options_.epsilon);
+  double k = denom <= 0.0
+                 ? static_cast<double>(n_)
+                 : (1.0 - options_.alpha) * static_cast<double>(n_) / denom;
+  if (k < 1.0) k = 1.0;
+  if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+  k_ = static_cast<uint64_t>(std::ceil(k));
+}
+
+double MultiServerDpIr::achieved_epsilon() const {
+  return std::log1p(
+      (1.0 - options_.alpha) * static_cast<double>(n_) /
+      (static_cast<double>(k_) *
+       (static_cast<double>(servers_.size()) - (1.0 - options_.alpha))));
+}
+
+StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
+  if (index >= n_) {
+    return OutOfRangeError("MultiServerDpIr::Query index out of range");
+  }
+  const bool error_branch = rng_.Bernoulli(options_.alpha);
+  const uint64_t real_server =
+      error_branch ? servers_.size() : rng_.Uniform(servers_.size());
+
+  std::optional<Block> result;
+  for (uint64_t s = 0; s < servers_.size(); ++s) {
+    servers_[s]->BeginQuery();
+    std::vector<uint64_t> download_set;
+    if (s == real_server) {
+      if (k_ >= n_) {
+        download_set.resize(n_);
+        for (uint64_t i = 0; i < n_; ++i) download_set[i] = i;
+      } else {
+        download_set = rng_.SampleDistinctExcluding(k_ - 1, n_, index);
+        download_set.push_back(index);
+      }
+    } else {
+      download_set = rng_.SampleDistinct(k_, n_);
+    }
+    rng_.Shuffle(&download_set);
+    for (uint64_t j : download_set) {
+      DPSTORE_ASSIGN_OR_RETURN(Block b, servers_[s]->Download(j));
+      if (s == real_server && j == index) result = std::move(b);
+    }
+  }
+  if (error_branch) return std::optional<Block>();
+  DPSTORE_CHECK(result.has_value());
+  return result;
+}
+
+}  // namespace dpstore

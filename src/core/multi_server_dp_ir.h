@@ -1,0 +1,71 @@
+#ifndef DPSTORE_CORE_MULTI_SERVER_DP_IR_H_
+#define DPSTORE_CORE_MULTI_SERVER_DP_IR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "storage/server.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Options for the multi-server DP-IR (Appendix C setting).
+struct MultiServerDpIrOptions {
+  /// Number of non-colluding replica servers D >= 2.
+  uint64_t num_servers = 2;
+  /// Per-corrupted-server privacy budget; determines the per-server
+  /// download-set size K (see below).
+  double epsilon = 0.0;
+  /// Error probability: with probability alpha no server receives the real
+  /// index and the query returns nullopt.
+  double alpha = 0.1;
+  uint64_t seed = 2024;
+};
+
+/// Multi-server differentially private IR in the Appendix C model: the
+/// public database is replicated across D servers; an adversary corrupts a
+/// t-fraction of them and sees only their transcripts.
+///
+/// Construction (Toledo et al.-style plausible deniability [49]): each query
+/// sends every server a uniformly random K-subset of [n]; with probability
+/// 1 - alpha the real index is additionally planted into the subset of one
+/// uniformly chosen server. For a corrupted server, the worst-case event
+/// between adjacent queries i / j is the joint membership pattern
+/// (B_i in T, B_j not in T), whose likelihood ratio is exactly
+/// 1 + (1-alpha) n / (K (D - (1-alpha))) - the planting probability
+/// (1-alpha)/D against the dummy-coverage floor (1-(1-alpha)/D) K/n. The
+/// per-server budget is the log of that, and the total expected work D*K
+/// matches the Theorem C.1 lower bound shape
+/// Omega(((1-alpha) t - delta) n / e^eps) up to constants for constant t.
+class MultiServerDpIr {
+ public:
+  /// `servers` are replicas holding identical public databases; they must
+  /// outlive this object and all have equal n.
+  MultiServerDpIr(std::vector<StorageServer*> servers,
+                  MultiServerDpIrOptions options);
+
+  /// Retrieves block `index`, or nullopt on the alpha error branch.
+  StatusOr<std::optional<Block>> Query(BlockId index);
+
+  /// Per-server download-set size
+  /// K = ceil((1-alpha) n / ((e^eps - 1)(D - (1-alpha)))), clamped to
+  /// [1, n].
+  uint64_t k() const { return k_; }
+  uint64_t num_servers() const { return servers_.size(); }
+  /// Exact per-corrupted-server budget for the configured K.
+  double achieved_epsilon() const;
+
+ private:
+  std::vector<StorageServer*> servers_;
+  MultiServerDpIrOptions options_;
+  uint64_t n_;
+  uint64_t k_;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_MULTI_SERVER_DP_IR_H_

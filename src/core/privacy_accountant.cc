@@ -1,0 +1,56 @@
+#include "core/privacy_accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+PrivacyAccountant::PrivacyAccountant(double epsilon_limit, double delta_limit)
+    : epsilon_limit_(epsilon_limit), delta_limit_(delta_limit) {}
+
+bool PrivacyAccountant::Spend(double epsilon, double delta) {
+  DPSTORE_CHECK_GE(epsilon, 0.0);
+  DPSTORE_CHECK_GE(delta, 0.0);
+  if (epsilon_limit_ > 0.0 && total_epsilon_ + epsilon > epsilon_limit_) {
+    return false;
+  }
+  if (delta_limit_ > 0.0 && total_delta_ + delta > delta_limit_) {
+    return false;
+  }
+  total_epsilon_ += epsilon;
+  total_delta_ += delta;
+  ++operations_;
+  return true;
+}
+
+double PrivacyAccountant::epsilon_remaining() const {
+  if (epsilon_limit_ <= 0.0) return std::numeric_limits<double>::infinity();
+  double remaining = epsilon_limit_ - total_epsilon_;
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+double PrivacyAccountant::GroupEpsilon(double per_query_epsilon,
+                                       uint64_t hamming_k) {
+  return per_query_epsilon * static_cast<double>(hamming_k);
+}
+
+double PrivacyAccountant::GroupDelta(double per_query_epsilon,
+                                     double per_query_delta,
+                                     uint64_t hamming_k) {
+  if (hamming_k == 0) return 0.0;
+  // delta_k = delta * sum_{i<k} e^{i eps} = delta * (e^{k eps}-1)/(e^eps-1).
+  double e = per_query_epsilon;
+  if (e == 0.0) return per_query_delta * static_cast<double>(hamming_k);
+  return per_query_delta * std::expm1(static_cast<double>(hamming_k) * e) /
+         std::expm1(e);
+}
+
+void PrivacyAccountant::Reset() {
+  total_epsilon_ = 0.0;
+  total_delta_ = 0.0;
+  operations_ = 0;
+}
+
+}  // namespace dpstore

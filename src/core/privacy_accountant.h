@@ -1,0 +1,55 @@
+#ifndef DPSTORE_CORE_PRIVACY_ACCOUNTANT_H_
+#define DPSTORE_CORE_PRIVACY_ACCOUNTANT_H_
+
+#include <cstdint>
+
+namespace dpstore {
+
+/// Tracks cumulative differential-privacy spend across operations.
+///
+/// The paper's Definition 2.1 protects *adjacent* query sequences (Hamming
+/// distance 1): one swapped query costs the scheme's per-query budget once.
+/// Deployments usually care about richer adversarial hypotheses - "these k
+/// queries differ" (group privacy: k * eps by the Hamming-distance bound of
+/// Lemma 3.5) or "each operation composes with independent mechanisms"
+/// (basic composition: budgets add). This accountant implements both
+/// ledgers so applications can enforce a budget ceiling.
+class PrivacyAccountant {
+ public:
+  /// `epsilon_limit` <= 0 means unlimited.
+  explicit PrivacyAccountant(double epsilon_limit = 0.0,
+                             double delta_limit = 0.0);
+
+  /// Records one mechanism invocation at (epsilon, delta). Returns false
+  /// (and does not record) if doing so would exceed a configured limit.
+  bool Spend(double epsilon, double delta = 0.0);
+
+  /// Basic sequential composition over everything recorded.
+  double total_epsilon() const { return total_epsilon_; }
+  double total_delta() const { return total_delta_; }
+  uint64_t operations() const { return operations_; }
+
+  double epsilon_remaining() const;
+  bool limited() const { return epsilon_limit_ > 0.0; }
+
+  /// Group privacy (Lemma 3.5 shape): protecting sequences at Hamming
+  /// distance k under a per-query budget eps costs k * eps.
+  static double GroupEpsilon(double per_query_epsilon, uint64_t hamming_k);
+
+  /// Approximate-DP group privacy: delta scales by k * e^{(k-1) eps}.
+  static double GroupDelta(double per_query_epsilon, double per_query_delta,
+                           uint64_t hamming_k);
+
+  void Reset();
+
+ private:
+  double epsilon_limit_;
+  double delta_limit_;
+  double total_epsilon_ = 0.0;
+  double total_delta_ = 0.0;
+  uint64_t operations_ = 0;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_PRIVACY_ACCOUNTANT_H_

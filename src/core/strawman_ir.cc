@@ -1,0 +1,31 @@
+#include "core/strawman_ir.h"
+
+#include <vector>
+
+namespace dpstore {
+
+StrawmanIr::StrawmanIr(StorageServer* server, uint64_t seed)
+    : server_(server), rng_(seed) {
+  DPSTORE_CHECK(server != nullptr);
+}
+
+StatusOr<Block> StrawmanIr::Query(BlockId index) {
+  const uint64_t n = server_->n();
+  if (index >= n) return OutOfRangeError("StrawmanIr::Query out of range");
+  server_->BeginQuery();
+  std::vector<uint64_t> download_set;
+  download_set.push_back(index);
+  const double p = 1.0 / static_cast<double>(n);
+  for (uint64_t j = 0; j < n; ++j) {
+    if (j != index && rng_.Bernoulli(p)) download_set.push_back(j);
+  }
+  rng_.Shuffle(&download_set);
+  Block result;
+  for (uint64_t j : download_set) {
+    DPSTORE_ASSIGN_OR_RETURN(Block b, server_->Download(j));
+    if (j == index) result = std::move(b);
+  }
+  return result;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,37 @@
+#ifndef DPSTORE_CORE_STRAWMAN_IR_H_
+#define DPSTORE_CORE_STRAWMAN_IR_H_
+
+#include <cstdint>
+
+#include "storage/server.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// The deliberately *insecure* construction of Section 4, kept in the
+/// library as a cautionary baseline for experiment E4.
+///
+/// Each query downloads the requested block with probability 1 and every
+/// other block independently with probability 1/n - so the expected cost is
+/// O(1) and the scheme "looks" like eps = Theta(log n) DP. But
+/// Pr[B_i not in T | query i] = 0 while Pr[B_i not in T | query j] =
+/// ((n-1)/n)^... ~ constant, which forces delta >= (n-1)/n in
+/// (eps,delta)-DP: the absence of a block from the transcript almost surely
+/// identifies what was not queried. See StrawmanDeltaFloor().
+class StrawmanIr {
+ public:
+  StrawmanIr(StorageServer* server, uint64_t seed = 99);
+
+  /// Always returns the requested block (the scheme is perfectly correct;
+  /// it is the privacy that is broken).
+  StatusOr<Block> Query(BlockId index);
+
+ private:
+  StorageServer* server_;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_STRAWMAN_IR_H_

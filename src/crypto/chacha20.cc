@@ -1,0 +1,77 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace dpstore {
+namespace crypto {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline uint32_t Load32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32Le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = Rotl32(d, 16);
+  c += d; b ^= c; b = Rotl32(b, 12);
+  a += b; d ^= a; d = Rotl32(d, 8);
+  c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+}  // namespace
+
+void ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   uint32_t counter, uint8_t out[kChaChaBlockSize]) {
+  // RFC 8439 Section 2.3 state layout: constants, key, counter, nonce.
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = Load32Le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = Load32Le(nonce.data() + 4 * i);
+
+  uint32_t w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    // Diagonal rounds.
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) Store32Le(out + 4 * i, w[i] + state[i]);
+}
+
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                 uint32_t counter, uint8_t* data, size_t len) {
+  uint8_t block[kChaChaBlockSize];
+  size_t offset = 0;
+  while (offset < len) {
+    ChaCha20Block(key, nonce, counter++, block);
+    size_t chunk = len - offset < kChaChaBlockSize ? len - offset
+                                                   : kChaChaBlockSize;
+    for (size_t i = 0; i < chunk; ++i) data[offset + i] ^= block[i];
+    offset += chunk;
+  }
+}
+
+}  // namespace crypto
+}  // namespace dpstore

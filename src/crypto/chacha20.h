@@ -1,0 +1,32 @@
+#ifndef DPSTORE_CRYPTO_CHACHA20_H_
+#define DPSTORE_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace dpstore {
+namespace crypto {
+
+inline constexpr size_t kChaChaKeySize = 32;
+inline constexpr size_t kChaChaNonceSize = 12;
+inline constexpr size_t kChaChaBlockSize = 64;
+
+using ChaChaKey = std::array<uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<uint8_t, kChaChaNonceSize>;
+
+/// Computes one 64-byte ChaCha20 keystream block (RFC 8439, 20 rounds) for
+/// (key, nonce, counter) into `out`.
+void ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   uint32_t counter, uint8_t out[kChaChaBlockSize]);
+
+/// XORs `len` bytes of keystream (starting at block `counter`) into
+/// `data` in place. Symmetric: applying twice with the same parameters
+/// restores the input. This is the whole cipher - no padding, no state.
+void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                 uint32_t counter, uint8_t* data, size_t len);
+
+}  // namespace crypto
+}  // namespace dpstore
+
+#endif  // DPSTORE_CRYPTO_CHACHA20_H_

@@ -1,0 +1,63 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+#include "crypto/prg.h"
+
+namespace dpstore {
+namespace crypto {
+
+Cipher::Cipher(const ChaChaKey& master_key) {
+  // Domain-separated subkey derivation: expand the master key through the
+  // ChaCha keystream and split.
+  Prg kdf(master_key);
+  kdf.Fill(enc_key_.data(), enc_key_.size());
+  kdf.Fill(mac_key_.data(), mac_key_.size());
+}
+
+Cipher Cipher::WithRandomKey() { return Cipher(RandomChaChaKey()); }
+
+std::vector<uint8_t> Cipher::Encrypt(
+    const std::vector<uint8_t>& plaintext) const {
+  std::vector<uint8_t> out(CiphertextSize(plaintext.size()));
+  ChaChaNonce nonce;
+  SystemRandomBytes(nonce.data(), nonce.size());
+  std::memcpy(out.data(), nonce.data(), nonce.size());
+  if (!plaintext.empty()) {
+    std::memcpy(out.data() + nonce.size(), plaintext.data(), plaintext.size());
+    ChaCha20Xor(enc_key_, nonce, /*counter=*/1, out.data() + nonce.size(),
+                plaintext.size());
+  }
+  uint64_t tag = Siphash24(mac_key_, out.data(),
+                           nonce.size() + plaintext.size());
+  std::memcpy(out.data() + nonce.size() + plaintext.size(), &tag,
+              kTagSize);
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> Cipher::Decrypt(
+    const std::vector<uint8_t>& ciphertext) const {
+  if (ciphertext.size() < kChaChaNonceSize + kTagSize) {
+    return DataLossError("ciphertext shorter than nonce+tag");
+  }
+  size_t body_len = ciphertext.size() - kChaChaNonceSize - kTagSize;
+  uint64_t expected = Siphash24(mac_key_, ciphertext.data(),
+                                kChaChaNonceSize + body_len);
+  uint64_t got;
+  std::memcpy(&got, ciphertext.data() + kChaChaNonceSize + body_len, kTagSize);
+  if (expected != got) {
+    return DataLossError("ciphertext authentication tag mismatch");
+  }
+  ChaChaNonce nonce;
+  std::memcpy(nonce.data(), ciphertext.data(), nonce.size());
+  std::vector<uint8_t> plaintext(body_len);
+  if (body_len > 0) {
+    std::memcpy(plaintext.data(), ciphertext.data() + kChaChaNonceSize,
+                body_len);
+    ChaCha20Xor(enc_key_, nonce, /*counter=*/1, plaintext.data(), body_len);
+  }
+  return plaintext;
+}
+
+}  // namespace crypto
+}  // namespace dpstore

@@ -1,0 +1,54 @@
+#ifndef DPSTORE_CRYPTO_CIPHER_H_
+#define DPSTORE_CRYPTO_CIPHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/prf.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+namespace crypto {
+
+/// IND-CPA symmetric encryption, the (Enc, Dec) pair assumed by the paper's
+/// DP-RAM construction (Section 6). Each Encrypt draws a fresh random
+/// 96-bit nonce, so encrypting the same plaintext twice yields independent
+/// ciphertexts - exactly the re-randomization property the overwrite phase
+/// of Algorithm 3 relies on ("decrypted and then re-encrypted with fresh
+/// randomness").
+///
+/// Layout: nonce (12B) || body (ChaCha20 keystream XOR plaintext) || tag (8B,
+/// SipHash-2-4 over nonce||body). The tag is not needed for IND-CPA but lets
+/// the storage layer detect tampering/corruption in failure-injection tests
+/// (DataLoss instead of silently returning garbage).
+class Cipher {
+ public:
+  /// Derives the encryption and MAC subkeys from one master key.
+  explicit Cipher(const ChaChaKey& master_key);
+
+  /// Fresh random key from system entropy.
+  static Cipher WithRandomKey();
+
+  /// Ciphertext size for a given plaintext size (adds nonce + tag).
+  static size_t CiphertextSize(size_t plaintext_size) {
+    return plaintext_size + kChaChaNonceSize + kTagSize;
+  }
+  static constexpr size_t kTagSize = 8;
+
+  std::vector<uint8_t> Encrypt(const std::vector<uint8_t>& plaintext) const;
+
+  /// Returns DataLoss if the ciphertext was truncated or its tag does not
+  /// verify.
+  StatusOr<std::vector<uint8_t>> Decrypt(
+      const std::vector<uint8_t>& ciphertext) const;
+
+ private:
+  ChaChaKey enc_key_;
+  PrfKey mac_key_;
+};
+
+}  // namespace crypto
+}  // namespace dpstore
+
+#endif  // DPSTORE_CRYPTO_CIPHER_H_

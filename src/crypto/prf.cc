@@ -1,0 +1,103 @@
+#include "crypto/prf.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dpstore {
+namespace crypto {
+
+namespace {
+
+inline uint64_t Rotl64(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline uint64_t Load64Le(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only (x86/arm64), fine for this repo
+}
+
+#define DPSTORE_SIPROUND    \
+  do {                      \
+    v0 += v1;               \
+    v1 = Rotl64(v1, 13);    \
+    v1 ^= v0;               \
+    v0 = Rotl64(v0, 32);    \
+    v2 += v3;               \
+    v3 = Rotl64(v3, 16);    \
+    v3 ^= v2;               \
+    v0 += v3;               \
+    v3 = Rotl64(v3, 21);    \
+    v3 ^= v0;               \
+    v2 += v1;               \
+    v1 = Rotl64(v1, 17);    \
+    v1 ^= v2;               \
+    v2 = Rotl64(v2, 32);    \
+  } while (0)
+
+}  // namespace
+
+uint64_t Siphash24(const PrfKey& key, const uint8_t* data, size_t len) {
+  uint64_t k0 = Load64Le(key.data());
+  uint64_t k1 = Load64Le(key.data() + 8);
+  uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const uint8_t* end = data + (len & ~size_t{7});
+  for (; data != end; data += 8) {
+    uint64_t m = Load64Le(data);
+    v3 ^= m;
+    DPSTORE_SIPROUND;
+    DPSTORE_SIPROUND;
+    v0 ^= m;
+  }
+  uint64_t b = static_cast<uint64_t>(len) << 56;
+  switch (len & 7) {
+    case 7: b |= static_cast<uint64_t>(data[6]) << 48; [[fallthrough]];
+    case 6: b |= static_cast<uint64_t>(data[5]) << 40; [[fallthrough]];
+    case 5: b |= static_cast<uint64_t>(data[4]) << 32; [[fallthrough]];
+    case 4: b |= static_cast<uint64_t>(data[3]) << 24; [[fallthrough]];
+    case 3: b |= static_cast<uint64_t>(data[2]) << 16; [[fallthrough]];
+    case 2: b |= static_cast<uint64_t>(data[1]) << 8; [[fallthrough]];
+    case 1: b |= static_cast<uint64_t>(data[0]); break;
+    case 0: break;
+  }
+  v3 ^= b;
+  DPSTORE_SIPROUND;
+  DPSTORE_SIPROUND;
+  v0 ^= b;
+  v2 ^= 0xff;
+  DPSTORE_SIPROUND;
+  DPSTORE_SIPROUND;
+  DPSTORE_SIPROUND;
+  DPSTORE_SIPROUND;
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+#undef DPSTORE_SIPROUND
+
+uint64_t Prf(const PrfKey& key, std::string_view input) {
+  return Siphash24(key, reinterpret_cast<const uint8_t*>(input.data()),
+                   input.size());
+}
+
+uint64_t Prf(const PrfKey& key, uint64_t input) {
+  uint8_t buf[8];
+  std::memcpy(buf, &input, 8);
+  return Siphash24(key, buf, 8);
+}
+
+uint64_t PrfMod(const PrfKey& key, std::string_view input, uint64_t range) {
+  DPSTORE_CHECK_GT(range, 0u);
+  return Prf(key, input) % range;
+}
+
+uint64_t PrfMod(const PrfKey& key, uint64_t input, uint64_t range) {
+  DPSTORE_CHECK_GT(range, 0u);
+  return Prf(key, input) % range;
+}
+
+}  // namespace crypto
+}  // namespace dpstore

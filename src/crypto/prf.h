@@ -1,0 +1,34 @@
+#ifndef DPSTORE_CRYPTO_PRF_H_
+#define DPSTORE_CRYPTO_PRF_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace dpstore {
+namespace crypto {
+
+inline constexpr size_t kPrfKeySize = 16;
+using PrfKey = std::array<uint8_t, kPrfKeySize>;
+
+/// Keyed pseudo-random function F(key, input) -> 64 bits, implemented as
+/// SipHash-2-4 (Aumasson & Bernstein). This is the F(key1, u) / F(key2, u)
+/// the paper's two-choice mapping scheme uses to map keys from a large
+/// universe U to buckets.
+uint64_t Siphash24(const PrfKey& key, const uint8_t* data, size_t len);
+
+/// Convenience overloads for string and integer inputs.
+uint64_t Prf(const PrfKey& key, std::string_view input);
+uint64_t Prf(const PrfKey& key, uint64_t input);
+
+/// PRF output reduced to [0, range) without modulo bias worth caring about
+/// for range << 2^64 (the bias is <= range/2^64).
+uint64_t PrfMod(const PrfKey& key, std::string_view input, uint64_t range);
+uint64_t PrfMod(const PrfKey& key, uint64_t input, uint64_t range);
+
+}  // namespace crypto
+}  // namespace dpstore
+
+#endif  // DPSTORE_CRYPTO_PRF_H_

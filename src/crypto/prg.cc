@@ -1,0 +1,58 @@
+#include "crypto/prg.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dpstore {
+namespace crypto {
+
+Prg::Prg(const ChaChaKey& key) : key_(key) {}
+
+void Prg::Refill() {
+  ChaCha20Block(key_, nonce_, counter_++, buffer_);
+  buffer_pos_ = 0;
+}
+
+void Prg::Fill(uint8_t* out, size_t len) {
+  size_t produced = 0;
+  while (produced < len) {
+    if (buffer_pos_ == kChaChaBlockSize) Refill();
+    size_t chunk = kChaChaBlockSize - buffer_pos_;
+    if (chunk > len - produced) chunk = len - produced;
+    std::memcpy(out + produced, buffer_ + buffer_pos_, chunk);
+    buffer_pos_ += chunk;
+    produced += chunk;
+  }
+}
+
+std::vector<uint8_t> Prg::Bytes(size_t len) {
+  std::vector<uint8_t> out(len);
+  Fill(out.data(), len);
+  return out;
+}
+
+uint64_t Prg::NextUint64() {
+  uint8_t buf[8];
+  Fill(buf, 8);
+  uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+void SystemRandomBytes(uint8_t* out, size_t len) {
+  static FILE* urandom = std::fopen("/dev/urandom", "rb");
+  DPSTORE_CHECK(urandom != nullptr) << "cannot open /dev/urandom";
+  size_t got = std::fread(out, 1, len, urandom);
+  DPSTORE_CHECK_EQ(got, len) << "short read from /dev/urandom";
+}
+
+ChaChaKey RandomChaChaKey() {
+  ChaChaKey key;
+  SystemRandomBytes(key.data(), key.size());
+  return key;
+}
+
+}  // namespace crypto
+}  // namespace dpstore

@@ -1,0 +1,47 @@
+#ifndef DPSTORE_CRYPTO_PRG_H_
+#define DPSTORE_CRYPTO_PRG_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "crypto/chacha20.h"
+
+namespace dpstore {
+namespace crypto {
+
+/// Deterministic pseudo-random byte generator built on the ChaCha20
+/// keystream. Used wherever a scheme needs cryptographic-quality coins that
+/// must be reproducible under a fixed key (e.g. re-randomizing ciphertexts in
+/// tests with pinned seeds).
+class Prg {
+ public:
+  explicit Prg(const ChaChaKey& key);
+
+  /// Fills `out[0..len)` with the next keystream bytes.
+  void Fill(uint8_t* out, size_t len);
+
+  std::vector<uint8_t> Bytes(size_t len);
+  uint64_t NextUint64();
+
+ private:
+  void Refill();
+
+  ChaChaKey key_;
+  ChaChaNonce nonce_{};  // all-zero; the counter provides the stream position
+  uint32_t counter_ = 0;
+  uint8_t buffer_[kChaChaBlockSize];
+  size_t buffer_pos_ = kChaChaBlockSize;
+};
+
+/// Fills `out` with operating-system entropy (/dev/urandom). Aborts if the
+/// entropy source is unavailable: keys must never silently default.
+void SystemRandomBytes(uint8_t* out, size_t len);
+
+/// Fresh uniformly random ChaCha key from system entropy.
+ChaChaKey RandomChaChaKey();
+
+}  // namespace crypto
+}  // namespace dpstore
+
+#endif  // DPSTORE_CRYPTO_PRG_H_

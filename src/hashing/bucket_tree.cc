@@ -1,0 +1,78 @@
+#include "hashing/bucket_tree.h"
+
+#include <bit>
+
+namespace dpstore {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+uint64_t Log2Floor(uint64_t x) {
+  DPSTORE_CHECK_GT(x, 0u);
+  return 63 - static_cast<uint64_t>(std::countl_zero(x));
+}
+
+}  // namespace
+
+BucketTreeGeometry::BucketTreeGeometry(uint64_t num_leaves,
+                                       uint64_t leaves_per_tree)
+    : num_leaves_(num_leaves), leaves_per_tree_(leaves_per_tree) {
+  DPSTORE_CHECK_GT(num_leaves, 0u);
+  DPSTORE_CHECK(IsPowerOfTwo(leaves_per_tree))
+      << "leaves_per_tree=" << leaves_per_tree;
+  DPSTORE_CHECK_EQ(num_leaves % leaves_per_tree, 0u)
+      << "num_leaves=" << num_leaves
+      << " not divisible by leaves_per_tree=" << leaves_per_tree;
+  depth_ = Log2Floor(leaves_per_tree);
+}
+
+BucketTreeGeometry BucketTreeGeometry::ForCapacity(uint64_t n) {
+  DPSTORE_CHECK_GT(n, 0u);
+  // Theta(log n) leaves per tree, rounded to a power of two, at least 2.
+  uint64_t log_n = n > 1 ? Log2Floor(n) : 1;
+  uint64_t leaves_per_tree = uint64_t{1} << Log2Floor(log_n | 1);
+  if (leaves_per_tree < 2) leaves_per_tree = 2;
+  // Round n up to a multiple of leaves_per_tree.
+  uint64_t num_leaves =
+      (n + leaves_per_tree - 1) / leaves_per_tree * leaves_per_tree;
+  return BucketTreeGeometry(num_leaves, leaves_per_tree);
+}
+
+uint64_t BucketTreeGeometry::NodeHeight(NodeId node) const {
+  DPSTORE_CHECK_LT(node, total_nodes());
+  uint64_t local = node % nodes_per_tree();
+  // Heap order: level k (from the root, k=0..depth_) occupies local indices
+  // [2^k - 1, 2^{k+1} - 1). Height = depth_ - k.
+  uint64_t level = Log2Floor(local + 1);
+  return depth_ - level;
+}
+
+NodeId BucketTreeGeometry::LeafNode(uint64_t leaf) const {
+  DPSTORE_CHECK_LT(leaf, num_leaves_);
+  uint64_t tree = leaf / leaves_per_tree_;
+  uint64_t offset = leaf % leaves_per_tree_;
+  // Leaves occupy local heap indices [leaves_per_tree - 1, 2*leaves_per_tree - 1).
+  return tree * nodes_per_tree() + (leaves_per_tree_ - 1) + offset;
+}
+
+std::vector<NodeId> BucketTreeGeometry::Path(uint64_t leaf) const {
+  std::vector<NodeId> path;
+  path.reserve(path_length());
+  uint64_t tree = leaf / leaves_per_tree_;
+  uint64_t base = tree * nodes_per_tree();
+  // Work in 1-based heap indices within the tree for easy parent moves.
+  uint64_t heap = leaves_per_tree_ + (leaf % leaves_per_tree_);
+  while (true) {
+    path.push_back(base + heap - 1);
+    if (heap == 1) break;
+    heap /= 2;
+  }
+  return path;
+}
+
+uint64_t BucketTreeGeometry::SubtreeLeaves(NodeId node) const {
+  return uint64_t{1} << NodeHeight(node);
+}
+
+}  // namespace dpstore

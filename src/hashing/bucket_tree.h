@@ -1,0 +1,65 @@
+#ifndef DPSTORE_HASHING_BUCKET_TREE_H_
+#define DPSTORE_HASHING_BUCKET_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+/// Node index in a bucket-tree forest.
+using NodeId = uint64_t;
+
+/// Geometry of the paper's shared-storage bucket arrangement (Section 7.2):
+/// Theta(n / log n) identical complete binary trees, each with Theta(log n)
+/// leaves (so Theta(log log n) depth). Bucket `b` (one per leaf, n total)
+/// consists of the nodes on the path from leaf `b` up to its tree root; the
+/// single "super root" above all trees lives on the client and is not part
+/// of this geometry.
+///
+/// Node ids are global and contiguous: tree tau occupies the range
+/// [tau * nodes_per_tree, (tau+1) * nodes_per_tree) in heap order (root at
+/// local offset 0). Total node count is Theta(n), which is the whole point:
+/// buckets of size Theta(log log n) share storage instead of each being
+/// padded to the max load.
+class BucketTreeGeometry {
+ public:
+  /// `num_leaves` buckets overall; `leaves_per_tree` must be a power of two
+  /// dividing num_leaves.
+  BucketTreeGeometry(uint64_t num_leaves, uint64_t leaves_per_tree);
+
+  /// Picks leaves_per_tree ~= max(2, round_pow2(log2(n))) per the paper and
+  /// rounds num_leaves up to a multiple of it.
+  static BucketTreeGeometry ForCapacity(uint64_t n);
+
+  uint64_t num_leaves() const { return num_leaves_; }
+  uint64_t leaves_per_tree() const { return leaves_per_tree_; }
+  uint64_t num_trees() const { return num_leaves_ / leaves_per_tree_; }
+  uint64_t nodes_per_tree() const { return 2 * leaves_per_tree_ - 1; }
+  uint64_t total_nodes() const { return num_trees() * nodes_per_tree(); }
+  /// Path length leaf -> tree root = depth levels (log2(leaves_per_tree)+1).
+  uint64_t path_length() const { return depth_ + 1; }
+
+  /// Height of `node` above the leaves: 0 for leaves, depth_ for tree roots.
+  uint64_t NodeHeight(NodeId node) const;
+
+  /// Global node id of leaf `leaf` (leaf in [0, num_leaves)).
+  NodeId LeafNode(uint64_t leaf) const;
+
+  /// Nodes on the path from leaf `leaf` to its tree root, ordered from the
+  /// leaf (height 0) upward. Size == path_length().
+  std::vector<NodeId> Path(uint64_t leaf) const;
+
+  /// Number of leaves under `node` within its tree (2^height).
+  uint64_t SubtreeLeaves(NodeId node) const;
+
+ private:
+  uint64_t num_leaves_;
+  uint64_t leaves_per_tree_;
+  uint64_t depth_;  // log2(leaves_per_tree)
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_HASHING_BUCKET_TREE_H_

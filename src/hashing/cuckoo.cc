@@ -1,0 +1,122 @@
+#include "hashing/cuckoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dpstore {
+
+namespace {
+
+crypto::PrfKey DeriveKey(uint64_t seed, uint64_t which) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + which);
+  crypto::PrfKey key;
+  for (size_t i = 0; i < key.size(); i += 8) {
+    uint64_t x = rng.NextUint64();
+    std::memcpy(key.data() + i, &x, 8);
+  }
+  return key;
+}
+
+}  // namespace
+
+CuckooTable::CuckooTable(uint64_t capacity, double headroom, uint64_t seed)
+    : key0_(DeriveKey(seed, 0)), key1_(DeriveKey(seed, 1)) {
+  DPSTORE_CHECK_GT(capacity, 0u);
+  DPSTORE_CHECK_GE(headroom, 0.0);
+  table_size_ = std::max<uint64_t>(
+      2, static_cast<uint64_t>(
+             std::ceil((1.0 + headroom) *
+                       static_cast<double>(capacity))));
+  slots_.resize(2 * table_size_);
+}
+
+uint64_t CuckooTable::SlotInTable(int table, uint64_t key) const {
+  const crypto::PrfKey& prf = table == 0 ? key0_ : key1_;
+  return crypto::PrfMod(prf, key, table_size_) +
+         (table == 0 ? 0 : table_size_);
+}
+
+std::pair<uint64_t, uint64_t> CuckooTable::Candidates(uint64_t key) const {
+  return {SlotInTable(0, key), SlotInTable(1, key)};
+}
+
+std::optional<uint64_t> CuckooTable::Find(uint64_t key) const {
+  auto [s0, s1] = Candidates(key);
+  if (slots_[s0].occupied && slots_[s0].key == key) return slots_[s0].value;
+  if (slots_[s1].occupied && slots_[s1].key == key) return slots_[s1].value;
+  for (const auto& [k, v] : stash_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+Status CuckooTable::Insert(uint64_t key, uint64_t value) {
+  // Update in place if present.
+  auto [s0, s1] = Candidates(key);
+  if (slots_[s0].occupied && slots_[s0].key == key) {
+    slots_[s0].value = value;
+    return OkStatus();
+  }
+  if (slots_[s1].occupied && slots_[s1].key == key) {
+    slots_[s1].value = value;
+    return OkStatus();
+  }
+  for (auto& [k, v] : stash_) {
+    if (k == key) {
+      v = value;
+      return OkStatus();
+    }
+  }
+
+  // Cuckoo eviction loop: place in table 0's slot, kicking occupants to
+  // their alternate slot.
+  uint64_t cur_key = key;
+  uint64_t cur_value = value;
+  int table = 0;
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    uint64_t slot = SlotInTable(table, cur_key);
+    if (!slots_[slot].occupied) {
+      slots_[slot] = Entry{true, cur_key, cur_value};
+      ++size_;
+      return OkStatus();
+    }
+    std::swap(cur_key, slots_[slot].key);
+    std::swap(cur_value, slots_[slot].value);
+    // The evicted entry goes to its *other* table.
+    table = slot < table_size_ ? 1 : 0;
+    // Recompute: which table was the evicted key occupying? It sat in
+    // `slot`; move it to the opposite one.
+  }
+  if (stash_.size() < kMaxStash) {
+    stash_.emplace_back(cur_key, cur_value);
+    ++size_;
+    return OkStatus();
+  }
+  return ResourceExhaustedError(
+      "CuckooTable: eviction chain exceeded and stash full");
+}
+
+bool CuckooTable::Erase(uint64_t key) {
+  auto [s0, s1] = Candidates(key);
+  for (uint64_t s : {s0, s1}) {
+    if (slots_[s].occupied && slots_[s].key == key) {
+      slots_[s] = Entry{};
+      --size_;
+      return true;
+    }
+  }
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (it->first == key) {
+      stash_.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,69 @@
+#ifndef DPSTORE_HASHING_CUCKOO_H_
+#define DPSTORE_HASHING_CUCKOO_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/prf.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Classic cuckoo hash table over 64-bit keys with a small stash: every key
+/// lives in one of exactly two PRF-determined slots (or the stash), so
+/// lookups probe a *constant* number of locations - the property that makes
+/// cuckoo directories attractive for oblivious storage (each lookup is a
+/// fixed two-probe pattern plus a client-side stash check).
+///
+/// Standard parameters: two tables of (1+headroom) * capacity slots each
+/// (one-slot cuckoo buckets threshold at 50% total load, so the pair of
+/// tables must hold >= 2x the keys), eviction chains bounded by kMaxKicks,
+/// overflow into the stash. With headroom ~ 0.3 and a small stash,
+/// insertion failure is negligible at the design load of ~38%.
+class CuckooTable {
+ public:
+  /// `capacity` keys expected; `headroom` fractional extra space.
+  CuckooTable(uint64_t capacity, double headroom, uint64_t seed);
+
+  /// Inserts or updates a key -> value association (value is an opaque
+  /// 64-bit handle here; the KVS stores slot indices). Returns
+  /// ResourceExhausted if the eviction chain and the stash both overflow.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Returns the value, or nullopt if absent.
+  std::optional<uint64_t> Find(uint64_t key) const;
+
+  /// Removes the key; returns true if it was present.
+  bool Erase(uint64_t key);
+
+  /// The two candidate slot indices (into a flat array of Slots()) probed
+  /// for `key`. Always distinct tables.
+  std::pair<uint64_t, uint64_t> Candidates(uint64_t key) const;
+
+  uint64_t Slots() const { return 2 * table_size_; }
+  uint64_t size() const { return size_; }
+  size_t stash_size() const { return stash_.size(); }
+  static constexpr size_t kMaxStash = 8;
+  static constexpr int kMaxKicks = 64;
+
+ private:
+  struct Entry {
+    bool occupied = false;
+    uint64_t key = 0;
+    uint64_t value = 0;
+  };
+
+  uint64_t SlotInTable(int table, uint64_t key) const;
+
+  uint64_t table_size_;
+  std::vector<Entry> slots_;  // [0, table_size_) table 0, rest table 1
+  std::vector<std::pair<uint64_t, uint64_t>> stash_;
+  crypto::PrfKey key0_;
+  crypto::PrfKey key1_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_HASHING_CUCKOO_H_

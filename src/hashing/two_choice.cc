@@ -1,0 +1,80 @@
+#include "hashing/two_choice.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dpstore {
+
+namespace {
+
+crypto::PrfKey DeriveKey(uint64_t seed, uint64_t which) {
+  Rng rng(seed ^ (which * 0xA24BAED4963EE407ULL));
+  crypto::PrfKey key;
+  for (size_t i = 0; i < key.size(); i += 8) {
+    uint64_t x = rng.NextUint64();
+    std::memcpy(key.data() + i, &x, 8);
+  }
+  return key;
+}
+
+}  // namespace
+
+TwoChoiceTable::TwoChoiceTable(uint64_t bins, uint64_t seed)
+    : bins_(bins), key1_(DeriveKey(seed, 1)), key2_(DeriveKey(seed, 2)) {
+  DPSTORE_CHECK_GT(bins, 0u);
+}
+
+std::pair<uint64_t, uint64_t> TwoChoiceTable::Choices(uint64_t key) const {
+  return {crypto::PrfMod(key1_, key, bins()),
+          crypto::PrfMod(key2_, key, bins())};
+}
+
+uint64_t TwoChoiceTable::Insert(uint64_t key) {
+  auto [b1, b2] = Choices(key);
+  uint64_t target = bins_[b1].size() <= bins_[b2].size() ? b1 : b2;
+  bins_[target].push_back(key);
+  ++size_;
+  return target;
+}
+
+bool TwoChoiceTable::Contains(uint64_t key) const {
+  auto [b1, b2] = Choices(key);
+  auto in = [&](uint64_t b) {
+    return std::find(bins_[b].begin(), bins_[b].end(), key) != bins_[b].end();
+  };
+  return in(b1) || (b2 != b1 && in(b2));
+}
+
+uint64_t TwoChoiceTable::MaxLoad() const {
+  uint64_t max_load = 0;
+  for (const auto& bin : bins_) {
+    max_load = std::max(max_load, static_cast<uint64_t>(bin.size()));
+  }
+  return max_load;
+}
+
+uint64_t TwoChoiceTable::Load(uint64_t b) const {
+  DPSTORE_CHECK_LT(b, bins());
+  return bins_[b].size();
+}
+
+std::vector<uint64_t> TwoChoiceTable::LoadVector() const {
+  std::vector<uint64_t> loads;
+  loads.reserve(bins_.size());
+  for (const auto& bin : bins_) loads.push_back(bin.size());
+  return loads;
+}
+
+std::vector<uint64_t> OneChoiceLoads(uint64_t bins, uint64_t keys,
+                                     uint64_t seed) {
+  DPSTORE_CHECK_GT(bins, 0u);
+  std::vector<uint64_t> loads(bins, 0);
+  Rng rng(seed);
+  for (uint64_t k = 0; k < keys; ++k) ++loads[rng.Uniform(bins)];
+  return loads;
+}
+
+}  // namespace dpstore

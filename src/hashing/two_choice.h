@@ -1,0 +1,57 @@
+#ifndef DPSTORE_HASHING_TWO_CHOICE_H_
+#define DPSTORE_HASHING_TWO_CHOICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prf.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Classic power-of-two-choices hash table over `bins` bins (Mitzenmacher;
+/// paper Section A.1): each key hashes to two bins via independent PRFs and
+/// is placed in the less loaded one. With m = bins keys the maximum load is
+/// O(log log n) w.h.p. (Theorem A.1), which experiment E9 verifies and which
+/// calibrates the padded-bin ORAM-KVS baseline.
+///
+/// This classic table leaks bin loads; the oblivious variant the paper
+/// builds for DP-KVS lives in core/two_choice_mapping.
+class TwoChoiceTable {
+ public:
+  /// `bins` > 0. PRF keys are drawn from `seed` deterministically.
+  TwoChoiceTable(uint64_t bins, uint64_t seed);
+
+  /// The two candidate bins for `key` (may coincide).
+  std::pair<uint64_t, uint64_t> Choices(uint64_t key) const;
+
+  /// Places `key` into its less loaded candidate bin; returns the bin used.
+  uint64_t Insert(uint64_t key);
+
+  /// True if `key` was inserted (searches both candidate bins).
+  bool Contains(uint64_t key) const;
+
+  uint64_t bins() const { return static_cast<uint64_t>(bins_.size()); }
+  uint64_t size() const { return size_; }
+  uint64_t MaxLoad() const;
+  /// Load of bin `b`.
+  uint64_t Load(uint64_t b) const;
+
+  /// Loads of all bins (for distribution experiments).
+  std::vector<uint64_t> LoadVector() const;
+
+ private:
+  std::vector<std::vector<uint64_t>> bins_;
+  crypto::PrfKey key1_;
+  crypto::PrfKey key2_;
+  uint64_t size_ = 0;
+};
+
+/// Single-choice baseline: each key to one uniform bin; max load
+/// Theta(log n / log log n) w.h.p. Used as the contrast series in E9.
+std::vector<uint64_t> OneChoiceLoads(uint64_t bins, uint64_t keys,
+                                     uint64_t seed);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_HASHING_TWO_CHOICE_H_

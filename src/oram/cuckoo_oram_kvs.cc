@@ -1,0 +1,182 @@
+#include "oram/cuckoo_oram_kvs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace dpstore {
+
+namespace {
+
+constexpr size_t kSlotHeader = 1 + 8;  // flag + key
+
+crypto::PrfKey DeriveKey(Rng* rng) {
+  crypto::PrfKey key;
+  for (size_t i = 0; i < key.size(); i += 8) {
+    uint64_t x = rng->NextUint64();
+    std::memcpy(key.data() + i, &x, 8);
+  }
+  return key;
+}
+
+}  // namespace
+
+CuckooOramKvs::CuckooOramKvs(CuckooOramKvsOptions options)
+    : options_(options), rng_(options.seed) {
+  DPSTORE_CHECK_GT(options_.capacity, 0u);
+  table_size_ = std::max<uint64_t>(
+      2, static_cast<uint64_t>(std::ceil(
+             (1.0 + options_.headroom) *
+             static_cast<double>(options_.capacity))));
+  slot_count_ = 2 * table_size_;
+  slot_bytes_ = kSlotHeader + options_.value_size;
+  key0_ = DeriveKey(&rng_);
+  key1_ = DeriveKey(&rng_);
+
+  PathOramOptions oram_options;
+  oram_options.block_size = slot_bytes_;
+  oram_options.seed = rng_.NextUint64();
+  oram_options.recursive_position_map = options_.recursive_position_map;
+  std::vector<Block> slots(slot_count_, Block(slot_bytes_, 0));
+  oram_ = std::make_unique<PathOram>(std::move(slots), oram_options);
+}
+
+uint64_t CuckooOramKvs::SlotIndex(int table, Key key) const {
+  const crypto::PrfKey& prf = table == 0 ? key0_ : key1_;
+  return crypto::PrfMod(prf, key, table_size_) +
+         (table == 0 ? 0 : table_size_);
+}
+
+std::pair<uint64_t, uint64_t> CuckooOramKvs::Candidates(Key key) const {
+  return {SlotIndex(0, key), SlotIndex(1, key)};
+}
+
+Block CuckooOramKvs::EncodeSlot(const Slot& slot) const {
+  Block block(slot_bytes_, 0);
+  block[0] = slot.occupied ? 1 : 0;
+  std::memcpy(block.data() + 1, &slot.key, 8);
+  if (slot.occupied) {
+    DPSTORE_CHECK_EQ(slot.value.size(), options_.value_size);
+    std::memcpy(block.data() + kSlotHeader, slot.value.data(),
+                slot.value.size());
+  }
+  return block;
+}
+
+CuckooOramKvs::Slot CuckooOramKvs::DecodeSlot(const Block& block) const {
+  DPSTORE_CHECK_EQ(block.size(), slot_bytes_);
+  Slot slot;
+  slot.occupied = block[0] != 0;
+  std::memcpy(&slot.key, block.data() + 1, 8);
+  slot.value.assign(block.begin() + kSlotHeader, block.end());
+  return slot;
+}
+
+Status CuckooOramKvs::DummyAccess() {
+  DPSTORE_ASSIGN_OR_RETURN(Block unused,
+                           oram_->Read(rng_.Uniform(slot_count_)));
+  (void)unused;
+  return OkStatus();
+}
+
+StatusOr<std::optional<CuckooOramKvs::Value>> CuckooOramKvs::Get(Key key) {
+  auto [s0, s1] = Candidates(key);
+  std::optional<Value> result;
+  for (uint64_t s : {s0, s1}) {
+    DPSTORE_ASSIGN_OR_RETURN(Block raw, oram_->Read(s));
+    Slot slot = DecodeSlot(raw);
+    if (!result.has_value() && slot.occupied && slot.key == key) {
+      result = slot.value;
+    }
+  }
+  if (!result.has_value()) {
+    if (auto it = stash_.find(key); it != stash_.end()) result = it->second;
+  }
+  return result;
+}
+
+Status CuckooOramKvs::Put(Key key, const Value& value) {
+  if (value.size() != options_.value_size) {
+    return InvalidArgumentError("CuckooOramKvs::Put value size mismatch");
+  }
+  // Phase 1: probe both candidate slots (2 accesses).
+  auto [s0, s1] = Candidates(key);
+  DPSTORE_ASSIGN_OR_RETURN(Block raw0, oram_->Read(s0));
+  DPSTORE_ASSIGN_OR_RETURN(Block raw1, oram_->Read(s1));
+  Slot slot0 = DecodeSlot(raw0);
+  Slot slot1 = DecodeSlot(raw1);
+
+  // Every Put performs exactly `total` ORAM accesses: real work first,
+  // uniform dummy reads after.
+  const int total = static_cast<int>(OramAccessesPerPut());
+  int accesses = 2;  // the two probes above
+  auto pad_to_total = [&]() -> Status {
+    while (accesses < total) {
+      DPSTORE_RETURN_IF_ERROR(DummyAccess());
+      ++accesses;
+    }
+    return OkStatus();
+  };
+
+  // Update-in-place / stash-update / direct-insert fast paths.
+  if (slot0.occupied && slot0.key == key) {
+    DPSTORE_RETURN_IF_ERROR(
+        oram_->Write(s0, EncodeSlot(Slot{true, key, value})));
+    ++accesses;
+    return pad_to_total();
+  }
+  if (slot1.occupied && slot1.key == key) {
+    DPSTORE_RETURN_IF_ERROR(
+        oram_->Write(s1, EncodeSlot(Slot{true, key, value})));
+    ++accesses;
+    return pad_to_total();
+  }
+  if (auto it = stash_.find(key); it != stash_.end()) {
+    it->second = value;
+    return pad_to_total();
+  }
+  if (!slot0.occupied || !slot1.occupied) {
+    uint64_t target = !slot0.occupied ? s0 : s1;
+    DPSTORE_RETURN_IF_ERROR(
+        oram_->Write(target, EncodeSlot(Slot{true, key, value})));
+    ++accesses;
+    ++size_;
+    return pad_to_total();
+  }
+
+  // Eviction chain: kick slot0's occupant, place the new key there, and
+  // chase the victim to its alternate slot through the ORAM until the
+  // access budget runs out.
+  Slot incoming{true, key, value};
+  uint64_t target = s0;
+  Slot victim = slot0;  // already read above
+  while (true) {
+    DPSTORE_RETURN_IF_ERROR(oram_->Write(target, EncodeSlot(incoming)));
+    ++accesses;
+    auto [v0, v1] = Candidates(victim.key);
+    uint64_t alt = (target == v0) ? v1 : v0;
+    if (accesses + 2 > total) break;  // no room for another read + write
+    DPSTORE_ASSIGN_OR_RETURN(Block raw, oram_->Read(alt));
+    ++accesses;
+    Slot occupant = DecodeSlot(raw);
+    if (!occupant.occupied) {
+      DPSTORE_RETURN_IF_ERROR(oram_->Write(alt, EncodeSlot(victim)));
+      ++accesses;
+      ++size_;
+      return pad_to_total();
+    }
+    incoming = victim;
+    victim = occupant;
+    target = alt;
+  }
+  // Chain exhausted: the last displaced entry goes to the client stash.
+  if (stash_.size() >= kMaxClientStash) {
+    return ResourceExhaustedError(
+        "CuckooOramKvs: eviction chain overflow with full client stash");
+  }
+  stash_[victim.key] = victim.value;
+  ++size_;
+  return pad_to_total();
+}
+
+}  // namespace dpstore

@@ -1,0 +1,105 @@
+#ifndef DPSTORE_ORAM_CUCKOO_ORAM_KVS_H_
+#define DPSTORE_ORAM_CUCKOO_ORAM_KVS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/prf.h"
+#include "oram/path_oram.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Options for CuckooOramKvs.
+struct CuckooOramKvsOptions {
+  uint64_t capacity = 1024;
+  size_t value_size = 64;
+  /// Fractional extra slots per table beyond `capacity` (one-slot cuckoo
+  /// buckets threshold at 50% total load, so each of the two tables holds
+  /// (1+headroom)*capacity slots).
+  double headroom = 0.3;
+  uint64_t seed = 909;
+  bool recursive_position_map = false;
+};
+
+/// Oblivious KVS from cuckoo hashing over Path ORAM - the second classic
+/// point in the oblivious-hashing design space (cf. [16,35] in the paper's
+/// references), complementing the padded-bin two-choice OramKvs baseline:
+///
+///  * Get probes exactly the key's two PRF-determined slots (2 ORAM
+///    accesses = Theta(log n) blocks) plus a client stash - cheaper than
+///    the two-choice directory's 2 * O(log log n) probes.
+///  * Put pays for that: cuckoo insertion chases an eviction chain through
+///    the ORAM. We cap the chain at kChainLength and pad every Put to the
+///    same access count so writes are shape-uniform; chain overflow lands
+///    in the bounded client stash.
+///
+/// Still Theta(log n) blocks per operation - the point of experiment E10 is
+/// that DP-KVS beats *every* ORAM-backed directory by an exponential factor
+/// in n, whichever hashing scheme the directory uses.
+class CuckooOramKvs {
+ public:
+  using Key = uint64_t;
+  using Value = std::vector<uint8_t>;
+
+  static constexpr int kChainLength = 4;
+  static constexpr size_t kMaxClientStash = 32;
+
+  explicit CuckooOramKvs(CuckooOramKvsOptions options);
+
+  /// nullopt when absent; always exactly 2 ORAM accesses.
+  StatusOr<std::optional<Value>> Get(Key key);
+
+  /// Insert or update; always exactly 2 + 2*kChainLength ORAM accesses.
+  /// ResourceExhausted if the eviction chain overflows a full client stash.
+  Status Put(Key key, const Value& value);
+
+  uint64_t size() const { return size_; }
+  size_t client_stash_size() const { return stash_.size(); }
+  uint64_t slot_count() const { return slot_count_; }
+
+  uint64_t OramAccessesPerGet() const { return 2; }
+  uint64_t OramAccessesPerPut() const { return 2 + 2 * kChainLength; }
+  uint64_t BlocksPerGet() const {
+    return OramAccessesPerGet() * oram_->BlocksPerAccess();
+  }
+  uint64_t BlocksPerPut() const {
+    return OramAccessesPerPut() * oram_->BlocksPerAccess();
+  }
+
+  PathOram& oram() { return *oram_; }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    Key key = 0;
+    Value value;
+  };
+
+  uint64_t SlotIndex(int table, Key key) const;
+  std::pair<uint64_t, uint64_t> Candidates(Key key) const;
+
+  Block EncodeSlot(const Slot& slot) const;
+  Slot DecodeSlot(const Block& block) const;
+
+  /// One padded dummy ORAM access (uniform slot read).
+  Status DummyAccess();
+
+  CuckooOramKvsOptions options_;
+  uint64_t table_size_;
+  uint64_t slot_count_;
+  size_t slot_bytes_;
+  crypto::PrfKey key0_;
+  crypto::PrfKey key1_;
+  std::unique_ptr<PathOram> oram_;
+  std::unordered_map<Key, Value> stash_;
+  uint64_t size_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ORAM_CUCKOO_ORAM_KVS_H_

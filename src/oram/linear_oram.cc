@@ -1,0 +1,49 @@
+#include "oram/linear_oram.h"
+
+#include "crypto/prg.h"
+
+namespace dpstore {
+
+LinearOram::LinearOram(std::vector<Block> database, uint64_t seed)
+    : n_(database.size()), cipher_(crypto::RandomChaChaKey()) {
+  (void)seed;  // scheme is deterministic given the database
+  DPSTORE_CHECK_GT(n_, 0u);
+  record_size_ = database[0].size();
+  std::vector<Block> array(n_);
+  for (uint64_t i = 0; i < n_; ++i) {
+    DPSTORE_CHECK_EQ(database[i].size(), record_size_);
+    array[i] = cipher_.Encrypt(database[i]);
+  }
+  server_ = std::make_unique<StorageServer>(
+      n_, crypto::Cipher::CiphertextSize(record_size_));
+  DPSTORE_CHECK_OK(server_->SetArray(std::move(array)));
+}
+
+StatusOr<Block> LinearOram::Access(BlockId id, const Block* new_value) {
+  if (id >= n_) return OutOfRangeError("LinearOram::Access out of range");
+  server_->BeginQuery();
+  Block result;
+  for (uint64_t i = 0; i < n_; ++i) {
+    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(i));
+    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(std::move(raw)));
+    if (i == id) {
+      result = plain;
+      if (new_value != nullptr) plain = *new_value;
+    }
+    DPSTORE_RETURN_IF_ERROR(server_->Upload(i, cipher_.Encrypt(plain)));
+  }
+  return result;
+}
+
+StatusOr<Block> LinearOram::Read(BlockId id) { return Access(id, nullptr); }
+
+Status LinearOram::Write(BlockId id, Block value) {
+  if (value.size() != record_size_) {
+    return InvalidArgumentError("LinearOram::Write size mismatch");
+  }
+  DPSTORE_ASSIGN_OR_RETURN(Block unused, Access(id, &value));
+  (void)unused;
+  return OkStatus();
+}
+
+}  // namespace dpstore

@@ -1,0 +1,41 @@
+#ifndef DPSTORE_ORAM_LINEAR_ORAM_H_
+#define DPSTORE_ORAM_LINEAR_ORAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "storage/server.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Trivial scan ORAM: every access downloads all n blocks and re-uploads all
+/// n with fresh encryption, so the transcript is completely independent of
+/// the query - perfect obliviousness at Theta(n) overhead. The floor series
+/// in the E5 overhead experiment.
+class LinearOram {
+ public:
+  LinearOram(std::vector<Block> database, uint64_t seed = 5150);
+
+  StatusOr<Block> Read(BlockId id);
+  Status Write(BlockId id, Block value);
+
+  uint64_t n() const { return n_; }
+  uint64_t BlocksPerAccess() const { return 2 * n_; }
+
+  StorageServer& server() { return *server_; }
+
+ private:
+  StatusOr<Block> Access(BlockId id, const Block* new_value);
+
+  uint64_t n_;
+  size_t record_size_;
+  std::unique_ptr<StorageServer> server_;
+  crypto::Cipher cipher_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ORAM_LINEAR_ORAM_H_

@@ -1,0 +1,78 @@
+#include "oram/oblivious_sort.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// One oblivious compare-exchange: after it, the block with the smaller
+/// key sits at `lo` iff `ascending`. Both slots are re-encrypted with
+/// fresh randomness whether or not a swap happened, so the transcript
+/// carries no outcome information.
+Status CompareExchange(StorageServer* server, const crypto::Cipher& cipher,
+                       const SortKeyFn& key_fn, uint64_t lo, uint64_t hi,
+                       bool ascending) {
+  DPSTORE_ASSIGN_OR_RETURN(Block raw_lo, server->Download(lo));
+  DPSTORE_ASSIGN_OR_RETURN(Block raw_hi, server->Download(hi));
+  DPSTORE_ASSIGN_OR_RETURN(Block plain_lo, cipher.Decrypt(std::move(raw_lo)));
+  DPSTORE_ASSIGN_OR_RETURN(Block plain_hi, cipher.Decrypt(std::move(raw_hi)));
+  // Swap iff the current order violates the requested direction.
+  bool swap = ascending ? key_fn(plain_lo) > key_fn(plain_hi)
+                        : key_fn(plain_lo) < key_fn(plain_hi);
+  if (swap) std::swap(plain_lo, plain_hi);
+  DPSTORE_RETURN_IF_ERROR(server->Upload(lo, cipher.Encrypt(plain_lo)));
+  DPSTORE_RETURN_IF_ERROR(server->Upload(hi, cipher.Encrypt(plain_hi)));
+  return OkStatus();
+}
+
+}  // namespace
+
+uint64_t BitonicCompareExchanges(uint64_t n) {
+  DPSTORE_CHECK(IsPowerOfTwo(n));
+  uint64_t k = 0;
+  while ((uint64_t{1} << k) < n) ++k;
+  return (n / 2) * (k * (k + 1) / 2);
+}
+
+Status ObliviousSort(StorageServer* server, const crypto::Cipher& cipher,
+                     const SortKeyFn& key_fn) {
+  DPSTORE_CHECK(server != nullptr);
+  const uint64_t n = server->n();
+  if (!IsPowerOfTwo(n)) {
+    return InvalidArgumentError(
+        "ObliviousSort requires a power-of-two element count (pad with "
+        "max-key dummies)");
+  }
+  if (n == 1) return OkStatus();
+  // Standard iterative bitonic network: stage sizes 2, 4, ..., n; within a
+  // stage, strides size/2, size/4, ..., 1. The schedule depends only on n.
+  for (uint64_t size = 2; size <= n; size <<= 1) {
+    for (uint64_t stride = size >> 1; stride > 0; stride >>= 1) {
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t partner = i ^ stride;
+        if (partner <= i) continue;
+        bool ascending = (i & size) == 0;
+        DPSTORE_RETURN_IF_ERROR(
+            CompareExchange(server, cipher, key_fn, i, partner, ascending));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status ObliviousShuffle(StorageServer* server, const crypto::Cipher& cipher,
+                        const crypto::PrfKey& prf_key) {
+  return ObliviousSort(server, cipher, [&prf_key](const Block& plaintext) {
+    DPSTORE_CHECK_GE(plaintext.size(), 8u);
+    uint64_t id;
+    std::memcpy(&id, plaintext.data(), 8);
+    return crypto::Prf(prf_key, id);
+  });
+}
+
+}  // namespace dpstore

@@ -1,0 +1,48 @@
+#ifndef DPSTORE_ORAM_OBLIVIOUS_SORT_H_
+#define DPSTORE_ORAM_OBLIVIOUS_SORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "crypto/cipher.h"
+#include "crypto/prf.h"
+#include "storage/server.h"
+#include "util/status.h"
+
+namespace dpstore {
+
+/// Extracts the sort key from a *plaintext* block (the client decrypts
+/// before comparing; the server never sees keys or outcomes).
+using SortKeyFn = std::function<uint64_t(const Block& plaintext)>;
+
+/// Oblivious sort over server-resident encrypted blocks via Batcher's
+/// bitonic sorting network (paper reference [6]; the oblivious
+/// sorting/shuffling substrate of [43, 45, 51]).
+///
+/// Every compare-exchange downloads two fixed addresses, decrypts,
+/// compares client-side, and uploads two *fresh* ciphertexts in the chosen
+/// order - so the adversarial transcript is exactly the data-independent
+/// (i, j) schedule of the network: O(n log^2 n) operations whose addresses
+/// depend only on n. ObliviousSortTranscriptIsDataIndependent in the tests
+/// asserts this property literally.
+///
+/// Requires server->n() to be a power of two (callers pad with max-key
+/// dummies otherwise). Blocks must decrypt under `cipher`.
+Status ObliviousSort(StorageServer* server, const crypto::Cipher& cipher,
+                     const SortKeyFn& key_fn);
+
+/// Oblivious shuffle = oblivious sort by a PRF of each block's identity:
+/// blocks whose first 8 plaintext bytes carry a unique identifier are
+/// rearranged into a pseudorandom permutation determined by `prf_key`,
+/// with the same data-independent transcript as ObliviousSort. This is the
+/// building block ORAM constructions use between epochs ([43, 45]).
+Status ObliviousShuffle(StorageServer* server, const crypto::Cipher& cipher,
+                        const crypto::PrfKey& prf_key);
+
+/// Compare-exchange count of the bitonic network on n = 2^k elements
+/// (each costs 2 downloads + 2 uploads): n/2 * k(k+1)/2.
+uint64_t BitonicCompareExchanges(uint64_t n);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ORAM_OBLIVIOUS_SORT_H_

@@ -1,0 +1,137 @@
+#include "oram/oram_kvs.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace dpstore {
+
+namespace {
+
+constexpr size_t kSlotHeader = 1 + 8;  // flag + key
+
+crypto::PrfKey DeriveKey(Rng* rng) {
+  crypto::PrfKey key;
+  for (size_t i = 0; i < key.size(); i += 8) {
+    uint64_t x = rng->NextUint64();
+    std::memcpy(key.data() + i, &x, 8);
+  }
+  return key;
+}
+
+bool SlotMatches(const Block& slot, uint64_t key) {
+  if (slot[0] == 0) return false;
+  uint64_t k;
+  std::memcpy(&k, slot.data() + 1, 8);
+  return k == key;
+}
+
+}  // namespace
+
+uint64_t TwoChoiceMaxLoadBound(uint64_t n) {
+  double log_n = std::log2(static_cast<double>(n) + 2.0);
+  double loglog = std::log2(log_n + 1.0);
+  return static_cast<uint64_t>(std::ceil(loglog)) + 3;
+}
+
+OramKvs::OramKvs(OramKvsOptions options)
+    : options_(options), rng_(options.seed) {
+  DPSTORE_CHECK_GT(options_.capacity, 0u);
+  bins_ = options_.capacity;
+  bin_capacity_ = options_.bin_capacity != 0
+                      ? options_.bin_capacity
+                      : TwoChoiceMaxLoadBound(options_.capacity);
+  slot_size_ = kSlotHeader + options_.value_size;
+  key1_ = DeriveKey(&rng_);
+  key2_ = DeriveKey(&rng_);
+
+  PathOramOptions oram_options;
+  oram_options.block_size = slot_size_;
+  oram_options.seed = rng_.NextUint64();
+  oram_options.recursive_position_map = options_.recursive_position_map;
+  std::vector<Block> slots(bins_ * bin_capacity_, Block(slot_size_, 0));
+  oram_ = std::make_unique<PathOram>(std::move(slots), oram_options);
+}
+
+StatusOr<std::optional<OramKvs::Value>> OramKvs::Get(Key key) {
+  uint64_t b1 = crypto::PrfMod(key1_, key, bins_);
+  uint64_t b2 = crypto::PrfMod(key2_, key, bins_);
+  std::optional<Value> result;
+  // Obliviousness requires touching every candidate slot every time, even
+  // after a hit; if the two bins coincide, scan the bin twice to keep the
+  // access count fixed.
+  for (uint64_t bin : {b1, b2}) {
+    for (uint64_t z = 0; z < bin_capacity_; ++z) {
+      DPSTORE_ASSIGN_OR_RETURN(Block slot, oram_->Read(SlotIndex(bin, z)));
+      if (!result.has_value() && SlotMatches(slot, key)) {
+        result = Value(slot.begin() + kSlotHeader, slot.end());
+      }
+    }
+  }
+  return result;
+}
+
+Status OramKvs::Put(Key key, const Value& value) {
+  if (value.size() != options_.value_size) {
+    return InvalidArgumentError("OramKvs::Put value size mismatch");
+  }
+  uint64_t b1 = crypto::PrfMod(key1_, key, bins_);
+  uint64_t b2 = crypto::PrfMod(key2_, key, bins_);
+
+  // Scan both bins, tracking where the key lives (update case), each bin's
+  // load, and the first free slot per bin.
+  std::optional<uint64_t> existing_slot;
+  uint64_t load1 = 0;
+  uint64_t load2 = 0;
+  std::optional<uint64_t> free1;
+  std::optional<uint64_t> free2;
+  for (uint64_t z = 0; z < bin_capacity_; ++z) {
+    DPSTORE_ASSIGN_OR_RETURN(Block slot, oram_->Read(SlotIndex(b1, z)));
+    if (slot[0] != 0) {
+      ++load1;
+      if (SlotMatches(slot, key)) existing_slot = SlotIndex(b1, z);
+    } else if (!free1.has_value()) {
+      free1 = SlotIndex(b1, z);
+    }
+  }
+  for (uint64_t z = 0; z < bin_capacity_; ++z) {
+    DPSTORE_ASSIGN_OR_RETURN(Block slot, oram_->Read(SlotIndex(b2, z)));
+    if (slot[0] != 0) {
+      ++load2;
+      if (SlotMatches(slot, key) && !existing_slot.has_value() && b2 != b1) {
+        existing_slot = SlotIndex(b2, z);
+      }
+    } else if (!free2.has_value()) {
+      free2 = SlotIndex(b2, z);
+    }
+  }
+
+  uint64_t target;
+  bool fresh = false;
+  if (existing_slot.has_value()) {
+    target = *existing_slot;
+  } else {
+    // Two-choice rule: insert into the less loaded bin with space.
+    std::optional<uint64_t> choice;
+    if (free1.has_value() && (!free2.has_value() || load1 <= load2)) {
+      choice = free1;
+    } else if (free2.has_value()) {
+      choice = free2;
+    }
+    if (!choice.has_value()) {
+      return ResourceExhaustedError(
+          "OramKvs: both candidate bins full (raise bin_capacity)");
+    }
+    target = *choice;
+    fresh = true;
+  }
+
+  Block slot(slot_size_, 0);
+  slot[0] = 1;
+  std::memcpy(slot.data() + 1, &key, 8);
+  std::memcpy(slot.data() + kSlotHeader, value.data(), value.size());
+  DPSTORE_RETURN_IF_ERROR(oram_->Write(target, std::move(slot)));
+  if (fresh) ++size_;
+  return OkStatus();
+}
+
+}  // namespace dpstore

@@ -1,0 +1,92 @@
+#ifndef DPSTORE_ORAM_ORAM_KVS_H_
+#define DPSTORE_ORAM_ORAM_KVS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/prf.h"
+#include "oram/path_oram.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Options for OramKvs.
+struct OramKvsOptions {
+  /// Expected number of keys; also the bin count of the static directory.
+  uint64_t capacity = 1024;
+  size_t value_size = 64;
+  /// Slots per bin. 0 picks the two-choice max-load bound
+  /// O(log log n) + slack, so overflow is negligible (Theorem A.1).
+  uint64_t bin_capacity = 0;
+  uint64_t seed = 606;
+  /// Forwarded to the underlying Path ORAM.
+  bool recursive_position_map = false;
+};
+
+/// Returns a conservative two-choice max-load bound ~ log2 log2 n + slack,
+/// used to size padded bins.
+uint64_t TwoChoiceMaxLoadBound(uint64_t n);
+
+/// The "previous oblivious key-value storage built from ORAMs" baseline the
+/// paper's DP-KVS is exponentially better than (experiment E10): a static
+/// two-choice hash directory whose bins are padded to the max-load bound
+/// O(log log n), stored slot-by-slot inside a Path ORAM.
+///
+/// Every Get obliviously reads all 2 * bin_capacity candidate slots; every
+/// Put additionally rewrites one slot (padded to a fixed access count), so
+/// the overhead is Theta(log log n) ORAM accesses x Theta(log n) blocks each
+/// = Theta(log n log log n) blocks per operation, versus DP-KVS's
+/// O(log log n) blocks.
+class OramKvs {
+ public:
+  using Key = uint64_t;
+  using Value = std::vector<uint8_t>;
+
+  explicit OramKvs(OramKvsOptions options);
+
+  /// nullopt when the key was never stored. Always touches the same number
+  /// of ORAM slots regardless of presence.
+  StatusOr<std::optional<Value>> Get(Key key);
+
+  /// Inserts or updates. ResourceExhausted if both candidate bins are full
+  /// (negligible when bin_capacity matches the max-load bound).
+  Status Put(Key key, const Value& value);
+
+  uint64_t size() const { return size_; }
+  uint64_t bin_capacity() const { return bin_capacity_; }
+  /// ORAM slot accesses per Get: 2 * bin_capacity.
+  uint64_t SlotAccessesPerGet() const { return 2 * bin_capacity_; }
+  /// ORAM slot accesses per Put: 2 * bin_capacity + 1 (padded).
+  uint64_t SlotAccessesPerPut() const { return 2 * bin_capacity_ + 1; }
+  /// Blocks moved per Get.
+  uint64_t BlocksPerGet() const {
+    return SlotAccessesPerGet() * oram_->BlocksPerAccess();
+  }
+  uint64_t BlocksPerPut() const {
+    return SlotAccessesPerPut() * oram_->BlocksPerAccess();
+  }
+
+  PathOram& oram() { return *oram_; }
+
+ private:
+  /// Slot index of (bin, offset) in the ORAM address space.
+  uint64_t SlotIndex(uint64_t bin, uint64_t offset) const {
+    return bin * bin_capacity_ + offset;
+  }
+
+  OramKvsOptions options_;
+  uint64_t bins_;
+  uint64_t bin_capacity_;
+  size_t slot_size_;  // flag + key + value
+  crypto::PrfKey key1_;
+  crypto::PrfKey key2_;
+  std::unique_ptr<PathOram> oram_;
+  uint64_t size_ = 0;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ORAM_ORAM_KVS_H_

@@ -1,0 +1,23 @@
+#include "oram/tunable_dp_oram.h"
+
+namespace dpstore {
+
+TunableDpOram::TunableDpOram(std::vector<Block> database,
+                             TunableDpOramOptions options)
+    : options_(options) {
+  PathOramOptions oram_options;
+  oram_options.block_size = options.block_size;
+  oram_options.seed = options.seed;
+  oram_options.recursive_position_map = options.recursive_position_map;
+  oram_options.remap_subtree_height = options.remap_subtree_height;
+  oram_options.remap_escape_probability = options.remap_escape_probability;
+  oram_ = std::make_unique<PathOram>(std::move(database), oram_options);
+}
+
+StatusOr<Block> TunableDpOram::Read(BlockId id) { return oram_->Read(id); }
+
+Status TunableDpOram::Write(BlockId id, Block value) {
+  return oram_->Write(id, std::move(value));
+}
+
+}  // namespace dpstore

@@ -1,0 +1,22 @@
+#include "pir/trivial_pir.h"
+
+namespace dpstore {
+
+TrivialPir::TrivialPir(StorageServer* server) : server_(server) {
+  DPSTORE_CHECK(server != nullptr);
+}
+
+StatusOr<Block> TrivialPir::Query(BlockId index) {
+  if (index >= server_->n()) {
+    return OutOfRangeError("TrivialPir::Query index out of range");
+  }
+  server_->BeginQuery();
+  Block result;
+  for (uint64_t i = 0; i < server_->n(); ++i) {
+    DPSTORE_ASSIGN_OR_RETURN(Block b, server_->Download(i));
+    if (i == index) result = std::move(b);
+  }
+  return result;
+}
+
+}  // namespace dpstore

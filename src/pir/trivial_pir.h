@@ -1,0 +1,30 @@
+#ifndef DPSTORE_PIR_TRIVIAL_PIR_H_
+#define DPSTORE_PIR_TRIVIAL_PIR_H_
+
+#include <cstdint>
+
+#include "storage/server.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Download-everything PIR: the client fetches all n blocks and selects the
+/// one it wants locally. Perfectly private (the transcript is constant) and
+/// perfectly correct, at n blocks per query - exactly the cost Theorem 3.3
+/// proves unavoidable for *any* errorless DP-IR, whatever the budget. The
+/// baseline for experiment E1.
+class TrivialPir {
+ public:
+  explicit TrivialPir(StorageServer* server);
+
+  StatusOr<Block> Query(BlockId index);
+
+  uint64_t BlocksPerQuery() const { return server_->n(); }
+
+ private:
+  StorageServer* server_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_PIR_TRIVIAL_PIR_H_

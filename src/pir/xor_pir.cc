@@ -1,0 +1,55 @@
+#include "pir/xor_pir.h"
+
+#include "util/check.h"
+
+namespace dpstore {
+
+XorPirServer::XorPirServer(std::vector<Block> database)
+    : database_(std::move(database)) {
+  DPSTORE_CHECK(!database_.empty());
+  block_size_ = database_[0].size();
+  for (const Block& b : database_) DPSTORE_CHECK_EQ(b.size(), block_size_);
+}
+
+StatusOr<Block> XorPirServer::Answer(const std::vector<uint8_t>& selector) {
+  if (selector.size() != database_.size()) {
+    return InvalidArgumentError("XorPirServer: selector length mismatch");
+  }
+  query_bits_received_ += selector.size();
+  Block answer(block_size_, 0);
+  for (uint64_t i = 0; i < database_.size(); ++i) {
+    if (selector[i] == 0) continue;
+    ++ops_count_;
+    for (size_t b = 0; b < block_size_; ++b) answer[b] ^= database_[i][b];
+  }
+  return answer;
+}
+
+TwoServerXorPir::TwoServerXorPir(XorPirServer* server0, XorPirServer* server1,
+                                 uint64_t seed)
+    : server0_(server0), server1_(server1), rng_(seed) {
+  DPSTORE_CHECK(server0 != nullptr);
+  DPSTORE_CHECK(server1 != nullptr);
+  DPSTORE_CHECK_EQ(server0->n(), server1->n());
+}
+
+StatusOr<Block> TwoServerXorPir::Query(BlockId index) {
+  const uint64_t n = server0_->n();
+  if (index >= n) {
+    return OutOfRangeError("TwoServerXorPir::Query index out of range");
+  }
+  std::vector<uint8_t> s0(n);
+  for (uint64_t i = 0; i < n; ++i) s0[i] = rng_.Bernoulli(0.5) ? 1 : 0;
+  std::vector<uint8_t> s1 = s0;
+  s1[index] ^= 1;
+  DPSTORE_ASSIGN_OR_RETURN(Block a0, server0_->Answer(s0));
+  DPSTORE_ASSIGN_OR_RETURN(Block a1, server1_->Answer(s1));
+  for (size_t b = 0; b < a0.size(); ++b) a0[b] ^= a1[b];
+  return a0;
+}
+
+double TwoServerXorPir::ExpectedServerOps() const {
+  return static_cast<double>(server0_->n());
+}
+
+}  // namespace dpstore

@@ -1,0 +1,65 @@
+#ifndef DPSTORE_PIR_XOR_PIR_H_
+#define DPSTORE_PIR_XOR_PIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// One server of the classic two-server XOR PIR (Chor-Goldreich-Kushilevitz-
+/// Sudan): holds a database replica and answers subset-XOR queries. Unlike
+/// the balls-and-bins StorageServer this server *computes* (it XORs the
+/// selected blocks), so we meter server operations rather than transferred
+/// blocks - this is the "PIR requires Omega(n) server computation" cost the
+/// paper's introduction contrasts with.
+class XorPirServer {
+ public:
+  explicit XorPirServer(std::vector<Block> database);
+
+  uint64_t n() const { return database_.size(); }
+
+  /// XOR of the blocks selected by `selector` (selector[i] != 0 selects
+  /// block i). selector must have length n.
+  StatusOr<Block> Answer(const std::vector<uint8_t>& selector);
+
+  /// Cumulative blocks the server has operated on.
+  uint64_t ops_count() const { return ops_count_; }
+  /// Cumulative query-vector bits received.
+  uint64_t query_bits_received() const { return query_bits_received_; }
+
+ private:
+  std::vector<Block> database_;
+  size_t block_size_;
+  uint64_t ops_count_ = 0;
+  uint64_t query_bits_received_ = 0;
+};
+
+/// Two-server information-theoretic XOR PIR. The client sends a uniformly
+/// random subset S to server 0 and S xor {index} to server 1; XORing the two
+/// answers yields block `index`. Each server's view is a uniform subset,
+/// independent of the query - statistical obliviousness, at Theta(n) server
+/// work and Theta(n) query bits per retrieval.
+class TwoServerXorPir {
+ public:
+  /// Both servers must hold identical databases of equal n.
+  TwoServerXorPir(XorPirServer* server0, XorPirServer* server1,
+                  uint64_t seed = 1789);
+
+  StatusOr<Block> Query(BlockId index);
+
+  /// Expected per-query server operations across both servers (~ n).
+  double ExpectedServerOps() const;
+
+ private:
+  XorPirServer* server0_;
+  XorPirServer* server1_;
+  Rng rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_PIR_XOR_PIR_H_

@@ -1,0 +1,54 @@
+#include "storage/block.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dpstore {
+
+Block ZeroBlock(size_t block_size) { return Block(block_size, 0); }
+
+Block BlockFromString(std::string_view text, size_t block_size) {
+  Block block(block_size, 0);
+  size_t n = std::min(text.size(), block_size);
+  std::memcpy(block.data(), text.data(), n);
+  return block;
+}
+
+std::string BlockToString(const Block& block) {
+  size_t end = block.size();
+  while (end > 0 && block[end - 1] == 0) --end;
+  return std::string(reinterpret_cast<const char*>(block.data()), end);
+}
+
+Block MarkerBlock(BlockId id, size_t block_size) {
+  Block block(block_size);
+  // Simple position-dependent mixing so distinct ids differ in every byte.
+  uint64_t x = id * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  for (size_t i = 0; i < block_size; ++i) {
+    x ^= x >> 27;
+    x *= 0x3C79AC492BA7B653ULL;
+    block[i] = static_cast<uint8_t>(x >> 56);
+  }
+  return block;
+}
+
+bool IsMarkerBlock(const Block& block, BlockId id) {
+  return block == MarkerBlock(id, block.size());
+}
+
+Block RandomBlock(Rng* rng, size_t block_size) {
+  Block block(block_size);
+  size_t i = 0;
+  while (i + 8 <= block_size) {
+    uint64_t x = rng->NextUint64();
+    std::memcpy(block.data() + i, &x, 8);
+    i += 8;
+  }
+  if (i < block_size) {
+    uint64_t x = rng->NextUint64();
+    std::memcpy(block.data() + i, &x, block_size - i);
+  }
+  return block;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,44 @@
+#ifndef DPSTORE_STORAGE_BLOCK_H_
+#define DPSTORE_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dpstore {
+
+/// A database record ("ball" in the paper's balls-and-bins model): an opaque
+/// fixed-size byte string. All blocks in one store share the same size; the
+/// schemes treat contents as immutable payloads and never inspect them.
+using Block = std::vector<uint8_t>;
+
+/// Index of a block within a server array. The paper's [n].
+using BlockId = uint64_t;
+
+/// Sentinel used by transcripts for "no block" (the paper's perp).
+inline constexpr BlockId kInvalidBlockId = ~BlockId{0};
+
+/// A zeroed block of the given size.
+Block ZeroBlock(size_t block_size);
+
+/// Encodes `text` into a block of exactly `block_size` bytes (truncating or
+/// zero-padding). The inverse strips trailing zero bytes.
+Block BlockFromString(std::string_view text, size_t block_size);
+std::string BlockToString(const Block& block);
+
+/// Deterministic test payload: block whose bytes are derived from `id` so
+/// correctness checks can recognize which logical record they received.
+Block MarkerBlock(BlockId id, size_t block_size);
+
+/// True if `block` equals MarkerBlock(id, block.size()).
+bool IsMarkerBlock(const Block& block, BlockId id);
+
+/// Uniformly random payload from `rng`.
+Block RandomBlock(Rng* rng, size_t block_size);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_BLOCK_H_

@@ -1,0 +1,69 @@
+#include "storage/server.h"
+
+#include <string>
+
+namespace dpstore {
+
+StorageServer::StorageServer(uint64_t n, size_t block_size)
+    : array_(n, ZeroBlock(block_size)),
+      block_size_(block_size),
+      fault_rng_(7) {}
+
+Status StorageServer::SetArray(std::vector<Block> blocks) {
+  for (const Block& b : blocks) {
+    if (b.size() != block_size_) {
+      return InvalidArgumentError("SetArray: block size mismatch");
+    }
+  }
+  array_ = std::move(blocks);
+  return OkStatus();
+}
+
+Status StorageServer::MaybeInjectFault() {
+  if (failure_rate_ > 0.0 && fault_rng_.Bernoulli(failure_rate_)) {
+    return UnavailableError("injected storage fault");
+  }
+  return OkStatus();
+}
+
+StatusOr<Block> StorageServer::Download(BlockId index) {
+  if (index >= array_.size()) {
+    return OutOfRangeError("Download index " + std::to_string(index) +
+                           " >= n=" + std::to_string(array_.size()));
+  }
+  DPSTORE_RETURN_IF_ERROR(MaybeInjectFault());
+  transcript_.Record(AccessEvent::Type::kDownload, index);
+  return array_[index];
+}
+
+Status StorageServer::Upload(BlockId index, Block block) {
+  if (index >= array_.size()) {
+    return OutOfRangeError("Upload index " + std::to_string(index) +
+                           " >= n=" + std::to_string(array_.size()));
+  }
+  if (block.size() != block_size_) {
+    return InvalidArgumentError("Upload: block size mismatch");
+  }
+  DPSTORE_RETURN_IF_ERROR(MaybeInjectFault());
+  transcript_.Record(AccessEvent::Type::kUpload, index);
+  array_[index] = std::move(block);
+  return OkStatus();
+}
+
+const Block& StorageServer::PeekBlock(BlockId index) const {
+  DPSTORE_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
+void StorageServer::CorruptBlock(BlockId index) {
+  DPSTORE_CHECK_LT(index, array_.size());
+  DPSTORE_CHECK(!array_[index].empty());
+  array_[index][0] ^= 0xFF;
+}
+
+void StorageServer::SetFailureRate(double rate, uint64_t seed) {
+  failure_rate_ = rate;
+  fault_rng_ = Rng(seed);
+}
+
+}  // namespace dpstore

@@ -1,0 +1,80 @@
+#ifndef DPSTORE_STORAGE_SERVER_H_
+#define DPSTORE_STORAGE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/transcript.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Simulated untrusted storage server (the paper's server_m): a passive array
+/// of equal-sized blocks supporting only the balls-and-bins operations of
+/// Definition 3.1 (download block at address i / upload block to address i).
+///
+/// Every operation is recorded in the adversarial Transcript, which is what
+/// the differential-privacy definitions and the empirical-privacy harness
+/// quantify over. The server also meters bandwidth so overhead experiments
+/// read directly off it.
+///
+/// Fault injection (for failure-path tests): with probability
+/// `failure_rate`, Download/Upload return Unavailable without touching
+/// storage or the transcript, modeling a dropped RPC.
+class StorageServer {
+ public:
+  /// Creates a server holding `n` zeroed blocks of `block_size` bytes.
+  StorageServer(uint64_t n, size_t block_size);
+
+  /// Replaces the whole array (setup phase upload). All blocks must have
+  /// size block_size(). Not recorded in the transcript: the paper treats the
+  /// initial database as public input to the adversary's view.
+  Status SetArray(std::vector<Block> blocks);
+
+  uint64_t n() const { return array_.size(); }
+  size_t block_size() const { return block_size_; }
+
+  /// Download the block at address `index` (recorded in the transcript).
+  StatusOr<Block> Download(BlockId index);
+
+  /// Upload `block` to address `index` (recorded in the transcript).
+  Status Upload(BlockId index, Block block);
+
+  /// Direct unrecorded read, for test assertions and adversary "knowledge of
+  /// the public database" - never used by schemes during queries.
+  const Block& PeekBlock(BlockId index) const;
+
+  /// Flips one byte of the stored block; used to exercise tamper detection.
+  void CorruptBlock(BlockId index);
+
+  /// Starts a new logical query in the transcript. Schemes call this once
+  /// per client operation.
+  void BeginQuery() { transcript_.BeginQuery(); }
+
+  const Transcript& transcript() const { return transcript_; }
+  void ResetTranscript() { transcript_.Clear(); }
+
+  /// Every Download/Upload fails with this probability (default 0).
+  void SetFailureRate(double rate, uint64_t seed = 7);
+
+  uint64_t download_count() const { return transcript_.download_count(); }
+  uint64_t upload_count() const { return transcript_.upload_count(); }
+  uint64_t bytes_moved() const {
+    return transcript_.TotalBlocksMoved() * block_size_;
+  }
+
+ private:
+  Status MaybeInjectFault();
+
+  std::vector<Block> array_;
+  size_t block_size_;
+  Transcript transcript_;
+  double failure_rate_ = 0.0;
+  Rng fault_rng_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_SERVER_H_

@@ -1,0 +1,33 @@
+#include "storage/stash.h"
+
+namespace dpstore {
+
+void Stash::Put(BlockId id, Block block) {
+  blocks_[id] = std::move(block);
+  if (blocks_.size() > peak_size_) peak_size_ = blocks_.size();
+}
+
+std::optional<Block> Stash::Get(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Block> Stash::Take(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) return std::nullopt;
+  Block out = std::move(it->second);
+  blocks_.erase(it);
+  return out;
+}
+
+std::vector<BlockId> Stash::Ids() const {
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, block] : blocks_) ids.push_back(id);
+  return ids;
+}
+
+void Stash::Clear() { blocks_.clear(); }
+
+}  // namespace dpstore

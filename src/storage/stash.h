@@ -1,0 +1,45 @@
+#ifndef DPSTORE_STORAGE_STASH_H_
+#define DPSTORE_STORAGE_STASH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block.h"
+
+namespace dpstore {
+
+/// Client-side block stash (the paper's bStash): a map from logical block id
+/// to the authoritative current version of that block. Tracks its peak
+/// occupancy so the stash-bound experiments (Lemma D.1) can read it off.
+class Stash {
+ public:
+  /// Inserts or overwrites the stashed copy of `id`.
+  void Put(BlockId id, Block block);
+
+  bool Contains(BlockId id) const { return blocks_.contains(id); }
+
+  /// Returns the stashed block, or nullopt.
+  std::optional<Block> Get(BlockId id) const;
+
+  /// Removes and returns the stashed block, or nullopt if absent.
+  std::optional<Block> Take(BlockId id);
+
+  size_t size() const { return blocks_.size(); }
+  size_t peak_size() const { return peak_size_; }
+  bool empty() const { return blocks_.empty(); }
+
+  /// Ids currently stashed (unordered).
+  std::vector<BlockId> Ids() const;
+
+  void Clear();
+
+ private:
+  std::unordered_map<BlockId, Block> blocks_;
+  size_t peak_size_ = 0;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_STASH_H_

@@ -1,0 +1,83 @@
+#include "storage/transcript.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+void Transcript::BeginQuery() { query_starts_.push_back(events_.size()); }
+
+void Transcript::Record(AccessEvent::Type type, BlockId index) {
+  events_.push_back(AccessEvent{type, index});
+  if (type == AccessEvent::Type::kDownload) {
+    ++download_count_;
+  } else {
+    ++upload_count_;
+  }
+}
+
+std::pair<size_t, size_t> Transcript::QueryRange(size_t q) const {
+  DPSTORE_CHECK_LT(q, query_starts_.size());
+  size_t begin = query_starts_[q];
+  size_t end =
+      q + 1 < query_starts_.size() ? query_starts_[q + 1] : events_.size();
+  return {begin, end};
+}
+
+std::vector<AccessEvent> Transcript::QueryEvents(size_t q) const {
+  auto [begin, end] = QueryRange(q);
+  return std::vector<AccessEvent>(events_.begin() + begin,
+                                  events_.begin() + end);
+}
+
+std::vector<BlockId> Transcript::QueryDownloads(size_t q) const {
+  auto [begin, end] = QueryRange(q);
+  std::vector<BlockId> out;
+  for (size_t i = begin; i < end; ++i) {
+    if (events_[i].type == AccessEvent::Type::kDownload) {
+      out.push_back(events_[i].index);
+    }
+  }
+  return out;
+}
+
+std::vector<BlockId> Transcript::QueryUploads(size_t q) const {
+  auto [begin, end] = QueryRange(q);
+  std::vector<BlockId> out;
+  for (size_t i = begin; i < end; ++i) {
+    if (events_[i].type == AccessEvent::Type::kUpload) {
+      out.push_back(events_[i].index);
+    }
+  }
+  return out;
+}
+
+double Transcript::BlocksPerQuery() const {
+  if (query_starts_.empty()) return 0.0;
+  return static_cast<double>(TotalBlocksMoved()) /
+         static_cast<double>(query_starts_.size());
+}
+
+void Transcript::Clear() {
+  events_.clear();
+  query_starts_.clear();
+  download_count_ = 0;
+  upload_count_ = 0;
+}
+
+std::string Transcript::ToString() const {
+  std::ostringstream os;
+  size_t next_query = 0;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    while (next_query < query_starts_.size() && query_starts_[next_query] == i) {
+      if (i != 0 || next_query > 0) os << "| ";
+      ++next_query;
+    }
+    os << (events_[i].type == AccessEvent::Type::kDownload ? "D" : "U")
+       << events_[i].index << " ";
+  }
+  return os.str();
+}
+
+}  // namespace dpstore

@@ -1,0 +1,76 @@
+#ifndef DPSTORE_STORAGE_TRANSCRIPT_H_
+#define DPSTORE_STORAGE_TRANSCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+
+namespace dpstore {
+
+/// One observable client-server interaction in the balls-and-bins model
+/// (Definition 3.1 of the paper): either a download of the block at a server
+/// address or an upload to a server address. Ciphertext bytes are
+/// deliberately *not* part of the adversary's view here, mirroring the
+/// paper's proof step that removes them via IND-CPA.
+struct AccessEvent {
+  enum class Type : uint8_t { kDownload = 0, kUpload = 1 };
+
+  Type type;
+  BlockId index;
+
+  friend bool operator==(const AccessEvent& a, const AccessEvent& b) {
+    return a.type == b.type && a.index == b.index;
+  }
+};
+
+/// The adversary's view of an execution: the ordered list of access events,
+/// partitioned into queries. The privacy definitions quantify over exactly
+/// this object, and the empirical-privacy harness consumes it.
+class Transcript {
+ public:
+  /// Marks the start of a logical query; subsequent events belong to it.
+  void BeginQuery();
+
+  void Record(AccessEvent::Type type, BlockId index);
+
+  const std::vector<AccessEvent>& events() const { return events_; }
+  size_t query_count() const { return query_starts_.size(); }
+
+  /// Events of query `q` (0-based). Requires q < query_count().
+  std::vector<AccessEvent> QueryEvents(size_t q) const;
+
+  /// Indices downloaded during query `q`, in order.
+  std::vector<BlockId> QueryDownloads(size_t q) const;
+  /// Indices uploaded during query `q`, in order.
+  std::vector<BlockId> QueryUploads(size_t q) const;
+
+  uint64_t download_count() const { return download_count_; }
+  uint64_t upload_count() const { return upload_count_; }
+  /// Total blocks moved (the paper's "operations" / bandwidth in blocks).
+  uint64_t TotalBlocksMoved() const {
+    return download_count_ + upload_count_;
+  }
+
+  /// Blocks moved per query, or 0 with no queries.
+  double BlocksPerQuery() const;
+
+  void Clear();
+
+  /// Compact rendering "D3 U7 | D1 U1" (| separates queries), for debugging
+  /// and for whole-transcript event hashing in the analysis ablation.
+  std::string ToString() const;
+
+ private:
+  std::pair<size_t, size_t> QueryRange(size_t q) const;
+
+  std::vector<AccessEvent> events_;
+  std::vector<size_t> query_starts_;
+  uint64_t download_count_ = 0;
+  uint64_t upload_count_ = 0;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_TRANSCRIPT_H_

@@ -1,0 +1,80 @@
+#ifndef DPSTORE_UTIL_CHECK_H_
+#define DPSTORE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dpstore {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the DPSTORE_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// glog-style voidifier: operator& has lower precedence than operator<< so
+/// the streamed message is fully built before the expression becomes void
+/// (both arms of the ?: in the macros below must have type void).
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace internal_check
+}  // namespace dpstore
+
+/// Aborts with a message when `condition` is false. Active in all build
+/// modes: these guard internal invariants whose violation would otherwise be
+/// silent memory corruption in a storage engine. Supports streaming extra
+/// context: DPSTORE_CHECK(x > 0) << "x=" << x;
+#define DPSTORE_CHECK(condition)                                 \
+  (condition) ? (void)0                                          \
+              : ::dpstore::internal_check::Voidify() &           \
+                    ::dpstore::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define DPSTORE_CHECK_OP_(a, b, op)                              \
+  ((a)op(b)) ? (void)0                                           \
+             : ::dpstore::internal_check::Voidify() &            \
+                   ::dpstore::internal_check::CheckFailureStream( \
+                       #a " " #op " " #b, __FILE__, __LINE__)
+
+#define DPSTORE_CHECK_EQ(a, b) DPSTORE_CHECK_OP_(a, b, ==)
+#define DPSTORE_CHECK_NE(a, b) DPSTORE_CHECK_OP_(a, b, !=)
+#define DPSTORE_CHECK_LT(a, b) DPSTORE_CHECK_OP_(a, b, <)
+#define DPSTORE_CHECK_LE(a, b) DPSTORE_CHECK_OP_(a, b, <=)
+#define DPSTORE_CHECK_GT(a, b) DPSTORE_CHECK_OP_(a, b, >)
+#define DPSTORE_CHECK_GE(a, b) DPSTORE_CHECK_OP_(a, b, >=)
+
+/// Checks that a Status expression is OK.
+#define DPSTORE_CHECK_OK(expr)                                          \
+  do {                                                                  \
+    const auto _dpstore_check_status = (expr);                          \
+    if (!_dpstore_check_status.ok()) {                                  \
+      ::dpstore::internal_check::CheckFailureStream(#expr, __FILE__,    \
+                                                    __LINE__)           \
+          << _dpstore_check_status.ToString();                          \
+    }                                                                   \
+  } while (0)
+
+#endif  // DPSTORE_UTIL_CHECK_H_

@@ -1,0 +1,84 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+void EventHistogram::Add(uint64_t event, uint64_t count) {
+  counts_[event] += count;
+  total_ += count;
+}
+
+uint64_t EventHistogram::Count(uint64_t event) const {
+  auto it = counts_.find(event);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double EventHistogram::Probability(uint64_t event) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(Count(event)) / static_cast<double>(total_);
+}
+
+std::vector<uint64_t> EventHistogram::Events() const {
+  std::vector<uint64_t> out;
+  out.reserve(counts_.size());
+  for (const auto& [event, count] : counts_) out.push_back(event);
+  return out;
+}
+
+std::vector<uint64_t> EventHistogram::UnionEvents(const EventHistogram& a,
+                                                  const EventHistogram& b) {
+  std::vector<uint64_t> ea = a.Events();
+  std::vector<uint64_t> eb = b.Events();
+  std::vector<uint64_t> out;
+  out.reserve(ea.size() + eb.size());
+  std::set_union(ea.begin(), ea.end(), eb.begin(), eb.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void EventHistogram::Merge(const EventHistogram& other) {
+  for (const auto& [event, count] : other.counts_) Add(event, count);
+}
+
+void EventHistogram::Clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+void ValueHistogram::Add(int64_t value) {
+  ++buckets_[value];
+  ++total_;
+}
+
+int64_t ValueHistogram::min() const {
+  DPSTORE_CHECK(!buckets_.empty());
+  return buckets_.begin()->first;
+}
+
+int64_t ValueHistogram::max() const {
+  DPSTORE_CHECK(!buckets_.empty());
+  return buckets_.rbegin()->first;
+}
+
+double ValueHistogram::Mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, count] : buckets_) {
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double ValueHistogram::TailFraction(int64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  uint64_t tail = 0;
+  for (auto it = buckets_.upper_bound(threshold); it != buckets_.end(); ++it) {
+    tail += it->second;
+  }
+  return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+}  // namespace dpstore

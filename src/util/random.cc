@@ -1,0 +1,146 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace dpstore {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  // xoshiro must not start at the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** step.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  DPSTORE_CHECK_GT(n, 0u);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  DPSTORE_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t k, uint64_t n) {
+  DPSTORE_CHECK_LE(k, n);
+  // Floyd's algorithm: O(k) expected time, O(k) space.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> Rng::SampleDistinctExcluding(uint64_t k, uint64_t n,
+                                                   uint64_t excluded) {
+  DPSTORE_CHECK_LT(excluded, n);
+  DPSTORE_CHECK_LE(k, n - 1);
+  // Sample from [0, n-1) and remap values >= excluded up by one.
+  std::vector<uint64_t> raw = SampleDistinct(k, n - 1);
+  for (auto& v : raw) {
+    if (v >= excluded) ++v;
+  }
+  return raw;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xD2B74407B1CE6E93ULL); }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  DPSTORE_CHECK_GE(n, 1u);
+  DPSTORE_CHECK_GE(s, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of 1/t^s: (x^(1-s) - 1)/(1-s), with the s=1 limit ln(x).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (n_ == 1) return 0;
+  if (s_ == 0.0) return rng->Uniform(n_);
+  // Rejection-inversion (Hörmann & Derflinger 1996).
+  while (true) {
+    double u = h_n_ + rng->UniformDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double dk = static_cast<double>(k);
+    if (dk - x <= threshold_ ||
+        u >= H(dk + 0.5) - std::pow(dk, -s_)) {
+      return k - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+}  // namespace dpstore

@@ -1,0 +1,63 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+void OnlineStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Percentiles::Quantile(double q) {
+  DPSTORE_CHECK(!samples_.empty());
+  DPSTORE_CHECK_GE(q, 0.0);
+  DPSTORE_CHECK_LE(q, 1.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,61 @@
+#ifndef DPSTORE_UTIL_STATS_H_
+#define DPSTORE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dpstore {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable for the very long series the benches produce.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const OnlineStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of raw samples for exact quantiles. For bench-scale series
+/// (<= tens of millions) this is simpler and more trustworthy than sketches.
+class Percentiles {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t count() const { return samples_.size(); }
+
+  /// Quantile in [0, 1] by linear interpolation. Requires at least one
+  /// sample. Sorts lazily.
+  double Quantile(double q);
+
+  double Median() { return Quantile(0.5); }
+  double P95() { return Quantile(0.95); }
+  double P99() { return Quantile(0.99); }
+  double Max() { return Quantile(1.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_UTIL_STATS_H_

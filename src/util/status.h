@@ -1,0 +1,90 @@
+#ifndef DPSTORE_UTIL_STATUS_H_
+#define DPSTORE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dpstore {
+
+/// Canonical error space, modeled after the usual database-engine status
+/// codes. The library does not use exceptions (see DESIGN.md); every fallible
+/// public operation returns a Status or a StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kResourceExhausted = 6,
+  kDataLoss = 7,
+  kUnavailable = 8,
+  kUnimplemented = 9,
+};
+
+/// Returns a stable human-readable name ("OK", "NOT_FOUND", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying an error code plus a context message.
+///
+/// Usage mirrors absl::Status:
+///
+///     Status s = server.ReadBlock(i, &block);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, one per canonical code.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if not OK.
+#define DPSTORE_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::dpstore::Status _dpstore_status = (expr);         \
+    if (!_dpstore_status.ok()) return _dpstore_status;  \
+  } while (0)
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_UTIL_STATUS_H_

@@ -1,0 +1,74 @@
+#ifndef DPSTORE_UTIL_STATUSOR_H_
+#define DPSTORE_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace dpstore {
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. Accessing the value of a non-OK StatusOr aborts (CHECK failure),
+/// matching absl::StatusOr semantics.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicitly constructible from a value...
+  StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  /// ...or from a non-OK status. Constructing from an OK status is a bug.
+  StatusOr(Status status) : status_(std::move(status)) {
+    DPSTORE_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DPSTORE_CHECK(ok()) << "value() on non-OK StatusOr: " << status_;
+    return *value_;
+  }
+  T& value() & {
+    DPSTORE_CHECK(ok()) << "value() on non-OK StatusOr: " << status_;
+    return *value_;
+  }
+  T&& value() && {
+    DPSTORE_CHECK(ok()) << "value() on non-OK StatusOr: " << status_;
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns the error.
+#define DPSTORE_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto DPSTORE_CONCAT_(_statusor_, __LINE__) = (expr);   \
+  if (!DPSTORE_CONCAT_(_statusor_, __LINE__).ok())       \
+    return DPSTORE_CONCAT_(_statusor_, __LINE__).status(); \
+  lhs = std::move(DPSTORE_CONCAT_(_statusor_, __LINE__)).value()
+
+#define DPSTORE_CONCAT_INNER_(a, b) a##b
+#define DPSTORE_CONCAT_(a, b) DPSTORE_CONCAT_INNER_(a, b)
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_UTIL_STATUSOR_H_

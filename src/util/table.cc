@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  DPSTORE_CHECK(!columns_.empty());
+}
+
+TablePrinter& TablePrinter::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(std::string value) {
+  DPSTORE_CHECK(!rows_.empty()) << "AddRow() before AddCell()";
+  DPSTORE_CHECK_LT(rows_.back().size(), columns_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddInt(int64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddUint(uint64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddDouble(double value, int digits) {
+  return AddCell(FormatDouble(value, digits));
+}
+
+TablePrinter& TablePrinter::AddScientific(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << value;
+  return AddCell(os.str());
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < columns_.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << ",";
+      os << (c < cells.size() ? cells[c] : std::string());
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace dpstore

@@ -1,0 +1,52 @@
+#ifndef DPSTORE_UTIL_TABLE_H_
+#define DPSTORE_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpstore {
+
+/// Fixed-width ASCII table printer used by every bench binary so that the
+/// regenerated "paper tables" share one format. Cells are strings; numeric
+/// helpers format with sensible precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Starts a new row; fill it with the Add* calls below. Rows with fewer
+  /// cells than columns are padded with empty cells at print time.
+  TablePrinter& AddRow();
+  TablePrinter& AddCell(std::string value);
+  TablePrinter& AddInt(int64_t value);
+  TablePrinter& AddUint(uint64_t value);
+  /// Fixed-point with `digits` fractional digits.
+  TablePrinter& AddDouble(double value, int digits = 3);
+  /// Scientific notation, for negligible probabilities.
+  TablePrinter& AddScientific(double value, int digits = 2);
+
+  /// Renders the table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Comma-separated form for downstream plotting.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` as fixed point with `digits` fractional digits.
+std::string FormatDouble(double value, int digits = 3);
+
+/// Prints a section banner ("== title ==") so multi-table bench output stays
+/// skimmable.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_UTIL_TABLE_H_

@@ -1,0 +1,232 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical_dp.h"
+#include "analysis/workload.h"
+
+namespace dpstore {
+namespace {
+
+// --- Workload generators ------------------------------------------------------
+
+TEST(WorkloadTest, UniformIrSequenceInRange) {
+  Rng rng(1);
+  IrSequence q = UniformIrSequence(&rng, 100, 5000);
+  EXPECT_EQ(q.size(), 5000u);
+  for (BlockId x : q) EXPECT_LT(x, 100u);
+  // All values should appear.
+  std::set<BlockId> seen(q.begin(), q.end());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(WorkloadTest, ZipfIrSequenceIsSkewed) {
+  Rng rng(3);
+  IrSequence q = ZipfIrSequence(&rng, 1000, 20000, 1.1);
+  std::vector<int> counts(1000, 0);
+  for (BlockId x : q) ++counts[x];
+  EXPECT_GT(counts[0], counts[100] * 2);
+}
+
+TEST(WorkloadTest, SequentialWraps) {
+  IrSequence q = SequentialIrSequence(4, 10);
+  EXPECT_EQ(q, (IrSequence{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}));
+}
+
+TEST(WorkloadTest, RamSequenceWriteFraction) {
+  Rng rng(5);
+  RamSequence q = UniformRamSequence(&rng, 64, 20000, 0.25);
+  int writes = 0;
+  for (const RamQuery& op : q) {
+    EXPECT_LT(op.index, 64u);
+    writes += op.is_write ? 1 : 0;
+  }
+  EXPECT_NEAR(writes / 20000.0, 0.25, 0.02);
+}
+
+TEST(WorkloadTest, YcsbMixesAndAbsents) {
+  Rng rng(7);
+  KvsSequence ops = YcsbKvsSequence(&rng, 100, 20000, 0.9, 0.99, 0.2);
+  int gets = 0;
+  int absent_targets = 0;
+  std::set<uint64_t> insert_universe;
+  for (uint64_t r = 0; r < 100; ++r) insert_universe.insert(ScatterKey(r));
+  for (const KvsOp& op : ops) {
+    if (op.type == KvsOp::Type::kGet) {
+      ++gets;
+      if (!insert_universe.contains(op.key)) ++absent_targets;
+    } else {
+      EXPECT_TRUE(insert_universe.contains(op.key))
+          << "puts only target the insertable key set";
+    }
+  }
+  EXPECT_NEAR(gets / 20000.0, 0.9, 0.02);
+  EXPECT_NEAR(static_cast<double>(absent_targets) / gets, 0.2, 0.03);
+}
+
+TEST(WorkloadTest, ScatterKeyIsInjectiveOnPrefix) {
+  std::set<uint64_t> seen;
+  for (uint64_t r = 0; r < 100000; ++r) seen.insert(ScatterKey(r));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(WorkloadTest, AdjacencyHelpers) {
+  Rng rng(9);
+  IrSequence q = UniformIrSequence(&rng, 50, 20);
+  IrSequence q2 = WithReplacedQuery(q, 7, (q[7] + 1) % 50);
+  EXPECT_EQ(HammingDistance(q, q2), 1u);
+  EXPECT_EQ(HammingDistance(q, q), 0u);
+
+  RamSequence r = UniformRamSequence(&rng, 50, 20, 0.5);
+  RamQuery replacement{r[3].index, !r[3].is_write};  // op flip is adjacent too
+  RamSequence r2 = WithReplacedQuery(r, 3, replacement);
+  EXPECT_EQ(HammingDistance(r, r2), 1u);
+}
+
+// --- Empirical DP estimators ----------------------------------------------------
+
+TEST(EmpiricalDpTest, IdenticalHistogramsGiveZeroEpsilon) {
+  EventHistogram a;
+  EventHistogram b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Add(i % 4);
+    b.Add(i % 4);
+  }
+  DpEstimate est = EstimatePrivacy(a, b);
+  EXPECT_DOUBLE_EQ(est.epsilon_hat, 0.0);
+  EXPECT_EQ(est.one_sided_mass, 0.0);
+  EXPECT_EQ(est.supported_events, 4u);
+}
+
+TEST(EmpiricalDpTest, KnownRatioRecovered) {
+  // Construct histograms with an exact 8x ratio on one event.
+  EventHistogram a;
+  EventHistogram b;
+  a.Add(0, 800);
+  a.Add(1, 200);
+  b.Add(0, 100);
+  b.Add(1, 900);
+  DpEstimate est = EstimatePrivacy(a, b);
+  EXPECT_NEAR(est.epsilon_hat, std::log(8.0), 1e-9);
+}
+
+TEST(EmpiricalDpTest, OneSidedMassDetected) {
+  EventHistogram a;
+  EventHistogram b;
+  a.Add(0, 50);
+  a.Add(1, 50);
+  b.Add(0, 100);  // event 1 never occurs under b
+  DpEstimate est = EstimatePrivacy(a, b);
+  EXPECT_DOUBLE_EQ(est.one_sided_mass, 0.5);
+}
+
+TEST(EmpiricalDpTest, MinCountFiltersNoise) {
+  EventHistogram a;
+  EventHistogram b;
+  a.Add(0, 1000);
+  b.Add(0, 1000);
+  a.Add(1, 1);  // single-observation event: not evidence
+  b.Add(1, 1);
+  DpEstimate est = EstimatePrivacy(a, b, /*min_count=*/5);
+  EXPECT_EQ(est.supported_events, 1u);
+  EXPECT_DOUBLE_EQ(est.one_sided_mass, 0.0);
+}
+
+TEST(EmpiricalDpTest, DeltaAtEpsilonZeroIsTotalVariation) {
+  EventHistogram a;
+  EventHistogram b;
+  a.Add(0, 75);
+  a.Add(1, 25);
+  b.Add(0, 25);
+  b.Add(1, 75);
+  EXPECT_NEAR(EstimateDeltaAtEpsilon(a, b, 0.0), 0.5, 1e-9);
+}
+
+TEST(EmpiricalDpTest, DeltaShrinksWithEpsilon) {
+  EventHistogram a;
+  EventHistogram b;
+  a.Add(0, 90);
+  a.Add(1, 10);
+  b.Add(0, 10);
+  b.Add(1, 90);
+  double d0 = EstimateDeltaAtEpsilon(a, b, 0.0);
+  double d1 = EstimateDeltaAtEpsilon(a, b, 1.0);
+  double d3 = EstimateDeltaAtEpsilon(a, b, 3.0);
+  EXPECT_GT(d0, d1);
+  EXPECT_GT(d1, d3);
+  EXPECT_DOUBLE_EQ(EstimateDeltaAtEpsilon(a, b, 10.0), 0.0);
+}
+
+TEST(EmpiricalDpTest, MembershipEventEncoding) {
+  std::vector<BlockId> downloads = {3, 9, 12};
+  EXPECT_EQ(DpIrMembershipEvent(downloads, 3, 9), 3u);   // both
+  EXPECT_EQ(DpIrMembershipEvent(downloads, 3, 5), 1u);   // i only
+  EXPECT_EQ(DpIrMembershipEvent(downloads, 5, 12), 2u);  // j only
+  EXPECT_EQ(DpIrMembershipEvent(downloads, 5, 6), 0u);   // neither
+}
+
+TEST(EmpiricalDpTest, DpRamPairEventBijective) {
+  constexpr uint64_t kN = 7;
+  std::set<uint64_t> events;
+  for (uint64_t d = 0; d < kN; ++d) {
+    for (uint64_t o = 0; o < kN; ++o) {
+      events.insert(DpRamPairEvent(d, o, kN));
+    }
+  }
+  EXPECT_EQ(events.size(), kN * kN);
+}
+
+TEST(EmpiricalDpTest, DpRamQueryEventReadsTranscript) {
+  Transcript t;
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 2);
+  t.Record(AccessEvent::Type::kDownload, 5);
+  t.Record(AccessEvent::Type::kUpload, 4);
+  EXPECT_EQ(DpRamQueryEvent(t, 0, 8), DpRamPairEvent(2, 4, 8));
+}
+
+TEST(EmpiricalDpTest, CategoricalEventClassifiesPairs) {
+  const BlockId q1 = 3;
+  const BlockId q2 = 7;
+  EXPECT_EQ(DpRamCategoricalEvent(q1, q1, q1, q2), 0u);
+  EXPECT_EQ(DpRamCategoricalEvent(q1, q2, q1, q2), 1u);
+  EXPECT_EQ(DpRamCategoricalEvent(q1, 5, q1, q2), 2u);
+  EXPECT_EQ(DpRamCategoricalEvent(q2, q1, q1, q2), 3u);
+  EXPECT_EQ(DpRamCategoricalEvent(9, 9, q1, q2), 8u);
+  // All nine classes are reachable and distinct.
+  std::set<uint64_t> events;
+  for (BlockId d : {q1, q2, BlockId{5}}) {
+    for (BlockId o : {q1, q2, BlockId{5}}) {
+      events.insert(DpRamCategoricalEvent(d, o, q1, q2));
+    }
+  }
+  EXPECT_EQ(events.size(), 9u);
+}
+
+TEST(EmpiricalDpTest, CategoricalQueryEventReadsTranscript) {
+  Transcript t;
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 3);
+  t.Record(AccessEvent::Type::kDownload, 5);
+  t.Record(AccessEvent::Type::kUpload, 7);
+  EXPECT_EQ(DpRamCategoricalQueryEvent(t, 0, 3, 7),
+            DpRamCategoricalEvent(3, 7, 3, 7));
+}
+
+TEST(EmpiricalDpTest, TranscriptHashDistinguishesTranscripts) {
+  Transcript t1;
+  t1.BeginQuery();
+  t1.Record(AccessEvent::Type::kDownload, 1);
+  Transcript t2;
+  t2.BeginQuery();
+  t2.Record(AccessEvent::Type::kDownload, 2);
+  EXPECT_NE(TranscriptHashEvent(t1), TranscriptHashEvent(t2));
+  Transcript t3;
+  t3.BeginQuery();
+  t3.Record(AccessEvent::Type::kDownload, 1);
+  EXPECT_EQ(TranscriptHashEvent(t1), TranscriptHashEvent(t3));
+}
+
+}  // namespace
+}  // namespace dpstore

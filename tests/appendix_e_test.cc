@@ -1,0 +1,159 @@
+// Appendix E stress tests: the bucketized DP-RAM must stay coherent for
+// *any* homogeneous repertoire of overlapping buckets, not just the
+// tree paths DP-KVS uses. These exercise identical buckets, permuted
+// buckets, chain overlaps, and randomized repertoires against a node-level
+// reference model.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bucket_dp_ram.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kNodeSize = 16;
+
+BucketDpRam MakeRam(std::vector<std::vector<NodeId>> buckets,
+                    uint64_t num_nodes, double p, uint64_t seed) {
+  BucketDpRamOptions options;
+  options.stash_probability = p;
+  options.seed = seed;
+  BucketDpRam ram(std::move(buckets), num_nodes, kNodeSize, options);
+  DPSTORE_CHECK_OK(ram.SetupZero());
+  return ram;
+}
+
+TEST(AppendixETest, IdenticalBucketsStayCoherent) {
+  // Buckets 0 and 1 are the same node list: a write through either must be
+  // visible through both, whatever the stash does.
+  BucketDpRam ram = MakeRam({{0, 1}, {0, 1}}, 2, 0.5, /*seed=*/3);
+  for (int round = 0; round < 50; ++round) {
+    uint64_t writer = round % 2;
+    uint64_t marker = 100 + static_cast<uint64_t>(round);
+    ASSERT_TRUE(ram.WriteBucket(writer, [&](std::vector<Block>* content) {
+                     (*content)[0] = MarkerBlock(marker, kNodeSize);
+                   }).ok());
+    auto via_other = ram.ReadBucket(1 - writer);
+    ASSERT_TRUE(via_other.ok());
+    EXPECT_TRUE(IsMarkerBlock((*via_other)[0], marker)) << "round " << round;
+  }
+}
+
+TEST(AppendixETest, PermutedBucketsShareNodes) {
+  // Bucket 1 lists the same nodes as bucket 0 in reverse order; positions
+  // differ but node identity governs sharing.
+  BucketDpRam ram = MakeRam({{0, 1, 2}, {2, 1, 0}}, 3, 0.4, /*seed=*/5);
+  ASSERT_TRUE(ram.WriteBucket(0, [](std::vector<Block>* content) {
+                   (*content)[2] = MarkerBlock(9, kNodeSize);  // node 2
+                 }).ok());
+  auto via_reversed = ram.ReadBucket(1);
+  ASSERT_TRUE(via_reversed.ok());
+  EXPECT_TRUE(IsMarkerBlock((*via_reversed)[0], 9));  // node 2 first there
+}
+
+TEST(AppendixETest, ChainOverlapPropagatesWrites) {
+  // b_i = {i, i+1}: each bucket shares one node with each neighbour.
+  std::vector<std::vector<NodeId>> buckets;
+  for (NodeId i = 0; i < 7; ++i) buckets.push_back({i, i + 1});
+  BucketDpRam ram = MakeRam(std::move(buckets), 8, 0.5, /*seed=*/7);
+  // Write node 3 via bucket 2 ({2,3}); read via bucket 3 ({3,4}).
+  ASSERT_TRUE(ram.WriteBucket(2, [](std::vector<Block>* content) {
+                   (*content)[1] = MarkerBlock(33, kNodeSize);
+                 }).ok());
+  auto via_next = ram.ReadBucket(3);
+  ASSERT_TRUE(via_next.ok());
+  EXPECT_TRUE(IsMarkerBlock((*via_next)[0], 33));
+}
+
+TEST(AppendixETest, RandomRepertoireFuzzAgainstReference) {
+  // Random homogeneous repertoire over 12 nodes, arity 3, heavy stashing;
+  // 4000 random read/write ops checked against a node map.
+  constexpr uint64_t kNodes = 12;
+  constexpr uint64_t kBuckets = 10;
+  Rng build_rng(11);
+  std::vector<std::vector<NodeId>> buckets(kBuckets);
+  for (auto& bucket : buckets) {
+    auto sample = build_rng.SampleDistinct(3, kNodes);
+    bucket.assign(sample.begin(), sample.end());
+  }
+  std::vector<std::vector<NodeId>> buckets_copy = buckets;
+  BucketDpRam ram = MakeRam(std::move(buckets_copy), kNodes, 0.6,
+                            /*seed=*/13);
+  std::map<NodeId, uint64_t> reference;
+  Rng rng(17);
+  for (int op = 0; op < 4000; ++op) {
+    uint64_t b = rng.Uniform(kBuckets);
+    if (rng.Bernoulli(0.5)) {
+      size_t k = rng.Uniform(3);
+      uint64_t marker = 1000 + static_cast<uint64_t>(op);
+      ASSERT_TRUE(ram.WriteBucket(b, [&](std::vector<Block>* content) {
+                       (*content)[k] = MarkerBlock(marker, kNodeSize);
+                     }).ok());
+      reference[buckets[b][k]] = marker;
+    } else {
+      auto content = ram.ReadBucket(b);
+      ASSERT_TRUE(content.ok());
+      for (size_t k = 0; k < 3; ++k) {
+        auto it = reference.find(buckets[b][k]);
+        if (it == reference.end()) {
+          EXPECT_EQ((*content)[k], ZeroBlock(kNodeSize)) << "op " << op;
+        } else {
+          EXPECT_TRUE(IsMarkerBlock((*content)[k], it->second))
+              << "op " << op << " node " << buckets[b][k];
+        }
+      }
+    }
+  }
+}
+
+TEST(AppendixETest, MultiNodeWriteIsAtomicPerQuery) {
+  // A single WriteBucket mutating several nodes lands entirely.
+  BucketDpRam ram = MakeRam({{0, 1, 2}, {2, 3, 4}}, 5, 0.5, /*seed=*/19);
+  ASSERT_TRUE(ram.WriteBucket(0, [](std::vector<Block>* content) {
+                   (*content)[0] = MarkerBlock(1, kNodeSize);
+                   (*content)[1] = MarkerBlock(2, kNodeSize);
+                   (*content)[2] = MarkerBlock(3, kNodeSize);
+                 }).ok());
+  auto own = ram.ReadBucket(0);
+  ASSERT_TRUE(own.ok());
+  EXPECT_TRUE(IsMarkerBlock((*own)[0], 1));
+  EXPECT_TRUE(IsMarkerBlock((*own)[1], 2));
+  EXPECT_TRUE(IsMarkerBlock((*own)[2], 3));
+  auto neighbour = ram.ReadBucket(1);
+  ASSERT_TRUE(neighbour.ok());
+  EXPECT_TRUE(IsMarkerBlock((*neighbour)[0], 3));  // shared node 2
+}
+
+class AppendixESweep
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(AppendixESweep, TranscriptShapeUniformAcrossRepertoires) {
+  auto [p, arity] = GetParam();
+  constexpr uint64_t kNodes = 16;
+  Rng build_rng(23 + arity);
+  std::vector<std::vector<NodeId>> buckets(8);
+  for (auto& bucket : buckets) {
+    auto sample = build_rng.SampleDistinct(arity, kNodes);
+    bucket.assign(sample.begin(), sample.end());
+  }
+  BucketDpRam ram = MakeRam(std::move(buckets), kNodes, p,
+                            /*seed=*/29 + arity);
+  Rng rng(31);
+  for (int op = 0; op < 200; ++op) {
+    ram.server().ResetTranscript();
+    ASSERT_TRUE(ram.ReadBucket(rng.Uniform(8)).ok());
+    EXPECT_EQ(ram.server().transcript().download_count(), 2 * arity);
+    EXPECT_EQ(ram.server().transcript().upload_count(), arity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AppendixESweep,
+    ::testing::Combine(::testing::Values(0.05, 0.5, 0.95),
+                       ::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{4})));
+
+}  // namespace
+}  // namespace dpstore

@@ -1,0 +1,200 @@
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bucket_dp_ram.h"
+#include "hashing/bucket_tree.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kNodeSize = 16;
+
+/// Overlapping repertoire from a small bucket forest: bucket b = path of
+/// leaf b, so sibling buckets share their upper nodes.
+std::vector<std::vector<NodeId>> TreeBuckets(const BucketTreeGeometry& g) {
+  std::vector<std::vector<NodeId>> buckets(g.num_leaves());
+  for (uint64_t leaf = 0; leaf < g.num_leaves(); ++leaf) {
+    buckets[leaf] = g.Path(leaf);
+  }
+  return buckets;
+}
+
+BucketDpRam MakeTreeRam(uint64_t leaves, uint64_t leaves_per_tree, double p,
+                        uint64_t seed = 7) {
+  BucketTreeGeometry g(leaves, leaves_per_tree);
+  BucketDpRamOptions options;
+  options.stash_probability = p;
+  options.seed = seed;
+  BucketDpRam ram(TreeBuckets(g), g.total_nodes(), kNodeSize, options);
+  DPSTORE_CHECK_OK(ram.SetupZero());
+  return ram;
+}
+
+TEST(BucketDpRamTest, SetupZeroAndRead) {
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.1);
+  auto content = ram.ReadBucket(0);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 3u);  // path length of a 4-leaf tree
+  for (const Block& b : *content) EXPECT_EQ(b, ZeroBlock(kNodeSize));
+}
+
+TEST(BucketDpRamTest, WriteVisibleThroughOwnBucket) {
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.1);
+  ASSERT_TRUE(ram.WriteBucket(2, [](std::vector<Block>* content) {
+                   (*content)[0] = MarkerBlock(42, kNodeSize);
+                 }).ok());
+  auto content = ram.ReadBucket(2);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(IsMarkerBlock((*content)[0], 42));
+}
+
+TEST(BucketDpRamTest, SharedNodeWriteVisibleThroughSiblingBucket) {
+  // Leaves 0 and 1 share their parent (path index 1) and root (index 2).
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.0);  // no stashing: pure server path
+  ASSERT_TRUE(ram.WriteBucket(0, [](std::vector<Block>* content) {
+                   (*content)[1] = MarkerBlock(7, kNodeSize);
+                 }).ok());
+  auto via_sibling = ram.ReadBucket(1);
+  ASSERT_TRUE(via_sibling.ok());
+  EXPECT_TRUE(IsMarkerBlock((*via_sibling)[1], 7));
+}
+
+TEST(BucketDpRamTest, SharedNodeWriteVisibleWhileSiblingStashed) {
+  // Force heavy stashing so shared nodes live in the overlay, then verify
+  // the Appendix E client-copy update rule keeps them coherent.
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.9, /*seed=*/13);
+  // Touch both buckets repeatedly so at least one gets stashed.
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(ram.ReadBucket(0).ok());
+    ASSERT_TRUE(ram.ReadBucket(1).ok());
+  }
+  ASSERT_TRUE(ram.WriteBucket(0, [](std::vector<Block>* content) {
+                   (*content)[2] = MarkerBlock(99, kNodeSize);  // tree root
+                 }).ok());
+  auto via_sibling = ram.ReadBucket(1);
+  ASSERT_TRUE(via_sibling.ok());
+  EXPECT_TRUE(IsMarkerBlock((*via_sibling)[2], 99));
+}
+
+TEST(BucketDpRamTest, RandomOpsMatchNodeReferenceModel) {
+  constexpr uint64_t kLeaves = 16;
+  BucketTreeGeometry g(kLeaves, 4);
+  BucketDpRamOptions options;
+  options.stash_probability = 0.3;
+  options.seed = 17;
+  BucketDpRam ram(TreeBuckets(g), g.total_nodes(), kNodeSize, options);
+  ASSERT_TRUE(ram.SetupZero().ok());
+
+  // Reference: authoritative per-node contents.
+  std::map<NodeId, uint64_t> reference;  // node -> marker (0 = zero block)
+  Rng rng(23);
+  for (int op = 0; op < 3000; ++op) {
+    uint64_t bucket = rng.Uniform(kLeaves);
+    auto path = g.Path(bucket);
+    if (rng.Bernoulli(0.5)) {
+      size_t k = rng.Uniform(path.size());
+      uint64_t marker = 1000 + static_cast<uint64_t>(op);
+      ASSERT_TRUE(ram.WriteBucket(bucket, [&](std::vector<Block>* content) {
+                       (*content)[k] = MarkerBlock(marker, kNodeSize);
+                     }).ok());
+      reference[path[k]] = marker;
+    } else {
+      auto content = ram.ReadBucket(bucket);
+      ASSERT_TRUE(content.ok());
+      for (size_t k = 0; k < path.size(); ++k) {
+        auto it = reference.find(path[k]);
+        if (it == reference.end()) {
+          EXPECT_EQ((*content)[k], ZeroBlock(kNodeSize)) << "op " << op;
+        } else {
+          EXPECT_TRUE(IsMarkerBlock((*content)[k], it->second))
+              << "op " << op << " node " << path[k];
+        }
+      }
+    }
+  }
+}
+
+TEST(BucketDpRamTest, PeekNodeMatchesReadBucket) {
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.5, /*seed=*/29);
+  BucketTreeGeometry g(8, 4);
+  ASSERT_TRUE(ram.WriteBucket(3, [](std::vector<Block>* content) {
+                   (*content)[0] = MarkerBlock(5, kNodeSize);
+                 }).ok());
+  auto path = g.Path(3);
+  auto peeked = ram.PeekNode(path[0]);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_TRUE(IsMarkerBlock(*peeked, 5));
+}
+
+TEST(BucketDpRamTest, TranscriptShapeIsThreeBucketsWorth) {
+  BucketDpRam ram = MakeTreeRam(16, 4, 0.4, /*seed=*/31);
+  const uint64_t s = 3;  // path length
+  for (int t = 0; t < 200; ++t) {
+    ram.server().ResetTranscript();
+    ASSERT_TRUE(ram.ReadBucket(static_cast<uint64_t>(t) % 16).ok());
+    EXPECT_EQ(ram.server().transcript().download_count(), 2 * s);
+    EXPECT_EQ(ram.server().transcript().upload_count(), s);
+  }
+}
+
+TEST(BucketDpRamTest, OverlayRefcountsBalance) {
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.6, /*seed=*/37);
+  Rng rng(41);
+  for (int op = 0; op < 2000; ++op) {
+    ASSERT_TRUE(ram.ReadBucket(rng.Uniform(8)).ok());
+  }
+  // Every stashed bucket contributes path_length nodes of refcount; the
+  // overlay can never exceed stashed_buckets * path_length entries.
+  EXPECT_LE(ram.overlay_node_count(), ram.stashed_bucket_count() * 3);
+  if (ram.stashed_bucket_count() == 0) {
+    EXPECT_EQ(ram.overlay_node_count(), 0u);
+  }
+}
+
+TEST(BucketDpRamTest, FaultInjectionRollsBackCleanly) {
+  constexpr uint64_t kLeaves = 8;
+  BucketTreeGeometry g(kLeaves, 4);
+  BucketDpRamOptions options;
+  options.stash_probability = 0.5;
+  options.seed = 43;
+  BucketDpRam ram(TreeBuckets(g), g.total_nodes(), kNodeSize, options);
+  ASSERT_TRUE(ram.SetupZero().ok());
+  // Mark a node, then hammer with faults; reads that succeed must stay
+  // correct.
+  ASSERT_TRUE(ram.WriteBucket(0, [](std::vector<Block>* content) {
+                   (*content)[0] = MarkerBlock(8, kNodeSize);
+                 }).ok());
+  // Each bucket query performs 9 server ops (3 nodes x 3 phases), so the
+  // per-query success probability is 0.9^9 ~ 0.39.
+  ram.server().SetFailureRate(0.1, /*seed=*/47);
+  int ok_reads = 0;
+  for (int t = 0; t < 500; ++t) {
+    auto content = ram.ReadBucket(0);
+    if (content.ok()) {
+      EXPECT_TRUE(IsMarkerBlock((*content)[0], 8)) << "iteration " << t;
+      ++ok_reads;
+    }
+  }
+  EXPECT_GT(ok_reads, 50);
+}
+
+TEST(BucketDpRamTest, OutOfRangeBucketRejected) {
+  BucketDpRam ram = MakeTreeRam(8, 4, 0.1);
+  EXPECT_EQ(ram.ReadBucket(8).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BucketDpRamTest, SetupValidatesInput) {
+  BucketTreeGeometry g(8, 4);
+  BucketDpRamOptions options;
+  BucketDpRam ram(TreeBuckets(g), g.total_nodes(), kNodeSize, options);
+  EXPECT_EQ(ram.Setup(std::vector<Block>(3, ZeroBlock(kNodeSize))).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ram.Setup(std::vector<Block>(g.total_nodes(), ZeroBlock(8)))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpstore

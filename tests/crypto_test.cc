@@ -1,0 +1,258 @@
+#include <cstring>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/cipher.h"
+#include "crypto/prf.h"
+#include "crypto/prg.h"
+
+namespace dpstore {
+namespace crypto {
+namespace {
+
+// --- ChaCha20 (RFC 8439 test vectors) ---------------------------------------
+
+ChaChaKey Rfc8439Key() {
+  ChaChaKey key;
+  for (size_t i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  return key;
+}
+
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  // RFC 8439 Section 2.3.2.
+  ChaChaKey key = Rfc8439Key();
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  uint8_t out[kChaChaBlockSize];
+  ChaCha20Block(key, nonce, 1, out);
+  const uint8_t expected[kChaChaBlockSize] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(0, std::memcmp(out, expected, kChaChaBlockSize));
+}
+
+TEST(ChaCha20Test, Rfc8439EncryptionVector) {
+  // RFC 8439 Section 2.4.2: "Ladies and Gentlemen..." plaintext.
+  ChaChaKey key = Rfc8439Key();
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<uint8_t> data(plaintext.begin(), plaintext.end());
+  ChaCha20Xor(key, nonce, 1, data.data(), data.size());
+  const uint8_t expected_prefix[16] = {0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68,
+                                       0xf9, 0x80, 0x41, 0xba, 0x07, 0x28,
+                                       0xdd, 0x0d, 0x69, 0x81};
+  EXPECT_EQ(0, std::memcmp(data.data(), expected_prefix, 16));
+  // Round trip restores the plaintext.
+  ChaCha20Xor(key, nonce, 1, data.data(), data.size());
+  EXPECT_EQ(std::string(data.begin(), data.end()), plaintext);
+}
+
+TEST(ChaCha20Test, XorHandlesNonBlockMultiples) {
+  ChaChaKey key = Rfc8439Key();
+  ChaChaNonce nonce{};
+  for (size_t len : {0u, 1u, 63u, 64u, 65u, 127u, 200u}) {
+    std::vector<uint8_t> data(len, 0xAB);
+    std::vector<uint8_t> orig = data;
+    ChaCha20Xor(key, nonce, 0, data.data(), data.size());
+    if (len > 0) {
+      EXPECT_NE(data, orig) << "len=" << len;
+    }
+    ChaCha20Xor(key, nonce, 0, data.data(), data.size());
+    EXPECT_EQ(data, orig) << "len=" << len;
+  }
+}
+
+TEST(ChaCha20Test, CounterContinuity) {
+  // XOR with counter c over two blocks == block c then block c+1.
+  ChaChaKey key = Rfc8439Key();
+  ChaChaNonce nonce{};
+  std::vector<uint8_t> both(128, 0);
+  ChaCha20Xor(key, nonce, 5, both.data(), both.size());
+  uint8_t b5[64];
+  uint8_t b6[64];
+  ChaCha20Block(key, nonce, 5, b5);
+  ChaCha20Block(key, nonce, 6, b6);
+  EXPECT_EQ(0, std::memcmp(both.data(), b5, 64));
+  EXPECT_EQ(0, std::memcmp(both.data() + 64, b6, 64));
+}
+
+// --- SipHash -----------------------------------------------------------------
+
+TEST(SiphashTest, ReferenceVector) {
+  // Reference test vector from the SipHash paper / reference implementation:
+  // key = 000102...0f, input = 000102...0e (15 bytes).
+  PrfKey key;
+  for (size_t i = 0; i < 16; ++i) key[i] = static_cast<uint8_t>(i);
+  uint8_t input[15];
+  for (size_t i = 0; i < 15; ++i) input[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Siphash24(key, input, 15), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SiphashTest, EmptyInputVector) {
+  PrfKey key;
+  for (size_t i = 0; i < 16; ++i) key[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Siphash24(key, nullptr, 0), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(PrfTest, DeterministicAndKeyed) {
+  PrfKey k1{};
+  PrfKey k2{};
+  k2[0] = 1;
+  EXPECT_EQ(Prf(k1, uint64_t{42}), Prf(k1, uint64_t{42}));
+  EXPECT_NE(Prf(k1, uint64_t{42}), Prf(k2, uint64_t{42}));
+  EXPECT_NE(Prf(k1, uint64_t{42}), Prf(k1, uint64_t{43}));
+}
+
+TEST(PrfTest, StringAndIntegerInputsDiffer) {
+  PrfKey key{};
+  // No cheap relation between encodings should hold.
+  EXPECT_NE(Prf(key, "42"), Prf(key, uint64_t{42}));
+}
+
+TEST(PrfTest, PrfModInRange) {
+  PrfKey key{};
+  key[3] = 7;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(PrfMod(key, i, 37), 37u);
+  }
+}
+
+TEST(PrfTest, PrfModSpreadsAcrossRange) {
+  PrfKey key{};
+  key[5] = 9;
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 200; ++i) seen.insert(PrfMod(key, i, 16));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+// --- Prg ---------------------------------------------------------------------
+
+TEST(PrgTest, DeterministicUnderKey) {
+  ChaChaKey key{};
+  key[0] = 0x55;
+  Prg a(key);
+  Prg b(key);
+  EXPECT_EQ(a.Bytes(100), b.Bytes(100));
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(PrgTest, StreamsAreContinuous) {
+  ChaChaKey key{};
+  Prg a(key);
+  Prg b(key);
+  auto first = a.Bytes(10);
+  auto second = a.Bytes(10);
+  auto both = b.Bytes(20);
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), both.begin()));
+  EXPECT_TRUE(std::equal(second.begin(), second.end(), both.begin() + 10));
+}
+
+TEST(PrgTest, DifferentKeysDiverge) {
+  ChaChaKey k1{};
+  ChaChaKey k2{};
+  k2[31] = 1;
+  Prg a(k1);
+  Prg b(k2);
+  EXPECT_NE(a.Bytes(32), b.Bytes(32));
+}
+
+TEST(SystemRandomTest, ProducesDistinctKeys) {
+  ChaChaKey a = RandomChaChaKey();
+  ChaChaKey b = RandomChaChaKey();
+  EXPECT_NE(a, b);
+}
+
+// --- Cipher ------------------------------------------------------------------
+
+TEST(CipherTest, EncryptDecryptRoundTrip) {
+  Cipher cipher = Cipher::WithRandomKey();
+  std::vector<uint8_t> plaintext = {1, 2, 3, 4, 5, 255, 0, 17};
+  auto ciphertext = cipher.Encrypt(plaintext);
+  EXPECT_EQ(ciphertext.size(), Cipher::CiphertextSize(plaintext.size()));
+  auto decrypted = cipher.Decrypt(ciphertext);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_EQ(*decrypted, plaintext);
+}
+
+TEST(CipherTest, EmptyPlaintext) {
+  Cipher cipher = Cipher::WithRandomKey();
+  std::vector<uint8_t> empty;
+  auto ct = cipher.Encrypt(empty);
+  auto pt = cipher.Decrypt(ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(pt->empty());
+}
+
+TEST(CipherTest, EncryptionIsRandomized) {
+  // IND-CPA sanity: same plaintext twice -> different ciphertexts. This is
+  // the re-randomization property Algorithm 3's overwrite phase needs.
+  Cipher cipher = Cipher::WithRandomKey();
+  std::vector<uint8_t> plaintext(64, 0x42);
+  auto c1 = cipher.Encrypt(plaintext);
+  auto c2 = cipher.Encrypt(plaintext);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(*cipher.Decrypt(c1), *cipher.Decrypt(c2));
+}
+
+TEST(CipherTest, TamperDetection) {
+  Cipher cipher = Cipher::WithRandomKey();
+  std::vector<uint8_t> plaintext(32, 7);
+  auto ct = cipher.Encrypt(plaintext);
+  for (size_t pos : {size_t{0}, ct.size() / 2, ct.size() - 1}) {
+    auto tampered = ct;
+    tampered[pos] ^= 0x01;
+    EXPECT_EQ(cipher.Decrypt(tampered).status().code(), StatusCode::kDataLoss)
+        << "tamper at " << pos;
+  }
+}
+
+TEST(CipherTest, TruncationDetected) {
+  Cipher cipher = Cipher::WithRandomKey();
+  auto ct = cipher.Encrypt(std::vector<uint8_t>(16, 1));
+  ct.resize(10);
+  EXPECT_EQ(cipher.Decrypt(ct).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CipherTest, WrongKeyFailsAuthentication) {
+  Cipher a = Cipher::WithRandomKey();
+  Cipher b = Cipher::WithRandomKey();
+  auto ct = a.Encrypt(std::vector<uint8_t>(16, 9));
+  EXPECT_FALSE(b.Decrypt(ct).ok());
+}
+
+TEST(CipherTest, DerivedFromMasterKeyIsDeterministic) {
+  ChaChaKey master{};
+  master[7] = 0x33;
+  Cipher a(master);
+  Cipher b(master);
+  auto ct = a.Encrypt(std::vector<uint8_t>(8, 4));
+  auto pt = b.Decrypt(ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ((*pt)[0], 4);
+}
+
+TEST(CipherTest, CiphertextHidesPlaintextBytes) {
+  Cipher cipher = Cipher::WithRandomKey();
+  std::vector<uint8_t> plaintext(128, 0x00);
+  auto ct = cipher.Encrypt(plaintext);
+  // The body (between nonce and tag) should not be all zeros.
+  size_t zeros = 0;
+  for (size_t i = kChaChaNonceSize; i < ct.size() - Cipher::kTagSize; ++i) {
+    if (ct[i] == 0) ++zeros;
+  }
+  EXPECT_LT(zeros, 16u);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dpstore

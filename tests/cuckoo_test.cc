@@ -1,0 +1,192 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/workload.h"
+#include "hashing/cuckoo.h"
+#include "oram/cuckoo_oram_kvs.h"
+
+namespace dpstore {
+namespace {
+
+// --- CuckooTable ---------------------------------------------------------------
+
+TEST(CuckooTableTest, InsertFindErase) {
+  CuckooTable table(64, 0.3, /*seed=*/1);
+  ASSERT_TRUE(table.Insert(42, 100).ok());
+  ASSERT_TRUE(table.Insert(43, 101).ok());
+  EXPECT_EQ(table.Find(42), std::optional<uint64_t>(100));
+  EXPECT_EQ(table.Find(43), std::optional<uint64_t>(101));
+  EXPECT_EQ(table.Find(44), std::nullopt);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.Erase(42));
+  EXPECT_FALSE(table.Erase(42));
+  EXPECT_EQ(table.Find(42), std::nullopt);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CuckooTableTest, InsertUpdatesExisting) {
+  CuckooTable table(16, 0.3, /*seed=*/2);
+  ASSERT_TRUE(table.Insert(7, 1).ok());
+  ASSERT_TRUE(table.Insert(7, 2).ok());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find(7), std::optional<uint64_t>(2));
+}
+
+TEST(CuckooTableTest, FillsToCapacityWithTinyStash) {
+  constexpr uint64_t kN = 4096;
+  CuckooTable table(kN, 0.3, /*seed=*/3);
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(table.Insert(ScatterKey(k), k).ok()) << "key " << k;
+  }
+  EXPECT_EQ(table.size(), kN);
+  EXPECT_LE(table.stash_size(), CuckooTable::kMaxStash);
+  for (uint64_t k = 0; k < kN; ++k) {
+    EXPECT_EQ(table.Find(ScatterKey(k)), std::optional<uint64_t>(k));
+  }
+}
+
+TEST(CuckooTableTest, CandidatesInDistinctTables) {
+  CuckooTable table(128, 0.3, /*seed=*/4);
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto [s0, s1] = table.Candidates(k);
+    EXPECT_LT(s0, table.Slots() / 2);
+    EXPECT_GE(s1, table.Slots() / 2);
+    EXPECT_LT(s1, table.Slots());
+  }
+}
+
+TEST(CuckooTableTest, EveryKeyResidesInCandidateSlotOrStash) {
+  CuckooTable table(256, 0.3, /*seed=*/5);
+  std::set<uint64_t> keys;
+  for (uint64_t k = 0; k < 256; ++k) {
+    uint64_t key = ScatterKey(k);
+    ASSERT_TRUE(table.Insert(key, k).ok());
+    keys.insert(key);
+  }
+  // Find() only probes the two candidates + stash, so success for every
+  // key IS the invariant.
+  for (uint64_t key : keys) {
+    EXPECT_TRUE(table.Find(key).has_value());
+  }
+}
+
+// --- CuckooOramKvs ----------------------------------------------------------------
+
+CuckooOramKvs::Value ValueOf(uint64_t tag) { return MarkerBlock(tag, 24); }
+
+CuckooOramKvsOptions SmallOptions(uint64_t capacity, uint64_t seed = 11) {
+  CuckooOramKvsOptions options;
+  options.capacity = capacity;
+  options.value_size = 24;
+  options.seed = seed;
+  return options;
+}
+
+TEST(CuckooOramKvsTest, PutGetRoundTrip) {
+  CuckooOramKvs kvs(SmallOptions(64));
+  ASSERT_TRUE(kvs.Put(42, ValueOf(1)).ok());
+  auto got = kvs.Get(42);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, ValueOf(1));
+  EXPECT_EQ(kvs.size(), 1u);
+}
+
+TEST(CuckooOramKvsTest, AbsentReturnsNullopt) {
+  CuckooOramKvs kvs(SmallOptions(32));
+  auto got = kvs.Get(999);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+}
+
+TEST(CuckooOramKvsTest, UpdateInPlace) {
+  CuckooOramKvs kvs(SmallOptions(32));
+  ASSERT_TRUE(kvs.Put(5, ValueOf(1)).ok());
+  ASSERT_TRUE(kvs.Put(5, ValueOf(2)).ok());
+  EXPECT_EQ(kvs.size(), 1u);
+  EXPECT_EQ(**kvs.Get(5), ValueOf(2));
+}
+
+TEST(CuckooOramKvsTest, FillAndReadBack) {
+  constexpr uint64_t kN = 128;
+  CuckooOramKvs kvs(SmallOptions(kN, /*seed=*/13));
+  std::map<uint64_t, uint64_t> reference;
+  for (uint64_t k = 0; k < kN; ++k) {
+    uint64_t key = ScatterKey(k);
+    ASSERT_TRUE(kvs.Put(key, ValueOf(k)).ok()) << "insert " << k;
+    reference[key] = k;
+  }
+  EXPECT_EQ(kvs.size(), kN);
+  EXPECT_LE(kvs.client_stash_size(), CuckooOramKvs::kMaxClientStash);
+  for (const auto& [key, tag] : reference) {
+    auto got = kvs.Get(key);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value()) << "key " << key;
+    EXPECT_EQ(**got, ValueOf(tag));
+  }
+}
+
+TEST(CuckooOramKvsTest, AccessShapeIsFixed) {
+  CuckooOramKvs kvs(SmallOptions(64, /*seed=*/17));
+  ASSERT_TRUE(kvs.Put(1, ValueOf(1)).ok());
+
+  kvs.oram().server().ResetTranscript();
+  ASSERT_TRUE(kvs.Get(1).ok());
+  uint64_t get_moved = kvs.oram().server().transcript().TotalBlocksMoved();
+  EXPECT_EQ(get_moved, kvs.BlocksPerGet());
+
+  kvs.oram().server().ResetTranscript();
+  ASSERT_TRUE(kvs.Get(987654).ok());  // absent: identical shape
+  EXPECT_EQ(kvs.oram().server().transcript().TotalBlocksMoved(), get_moved);
+
+  // Puts: update, fresh insert, and (likely) evicting insert all move the
+  // same number of blocks.
+  std::set<uint64_t> put_costs;
+  Rng rng(19);
+  for (int t = 0; t < 20; ++t) {
+    kvs.oram().server().ResetTranscript();
+    ASSERT_TRUE(kvs.Put(ScatterKey(rng.Uniform(50)), ValueOf(9)).ok());
+    put_costs.insert(kvs.oram().server().transcript().TotalBlocksMoved());
+  }
+  EXPECT_EQ(put_costs.size(), 1u);
+  EXPECT_EQ(*put_costs.begin(), kvs.BlocksPerPut());
+}
+
+TEST(CuckooOramKvsTest, MixedWorkloadAgainstReference) {
+  constexpr uint64_t kKeys = 48;
+  CuckooOramKvs kvs(SmallOptions(96, /*seed=*/23));
+  std::map<uint64_t, CuckooOramKvs::Value> reference;
+  Rng rng(29);
+  KvsSequence ops = YcsbKvsSequence(&rng, kKeys, 500, 0.6, 0.9, 0.1);
+  uint64_t counter = 0;
+  for (const KvsOp& op : ops) {
+    if (op.type == KvsOp::Type::kPut) {
+      CuckooOramKvs::Value v = ValueOf(++counter + 4000);
+      ASSERT_TRUE(kvs.Put(op.key, v).ok());
+      reference[op.key] = v;
+    } else {
+      auto got = kvs.Get(op.key);
+      ASSERT_TRUE(got.ok());
+      auto it = reference.find(op.key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(got->has_value());
+      } else {
+        ASSERT_TRUE(got->has_value());
+        EXPECT_EQ(**got, it->second);
+      }
+    }
+  }
+}
+
+TEST(CuckooOramKvsTest, GetCheaperThanBinnedOramKvs) {
+  // The design-space point: cuckoo directories probe 2 slots per Get, the
+  // padded-bin two-choice directory probes 2 * bin_capacity.
+  CuckooOramKvs cuckoo(SmallOptions(1024));
+  EXPECT_EQ(cuckoo.OramAccessesPerGet(), 2u);
+  EXPECT_GT(cuckoo.OramAccessesPerPut(), cuckoo.OramAccessesPerGet());
+}
+
+}  // namespace
+}  // namespace dpstore

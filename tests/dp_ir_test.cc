@@ -1,0 +1,273 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical_dp.h"
+#include "core/dp_ir.h"
+#include "core/dp_params.h"
+#include "core/strawman_ir.h"
+#include "pir/trivial_pir.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kBlockSize = 32;
+
+StorageServer MakePublicDatabase(uint64_t n) {
+  StorageServer server(n, kBlockSize);
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kBlockSize);
+  DPSTORE_CHECK_OK(server.SetArray(std::move(db)));
+  return server;
+}
+
+TEST(DpIrTest, NonErrorQueriesReturnCorrectBlock) {
+  StorageServer server = MakePublicDatabase(256);
+  DpIrOptions options;
+  options.epsilon = 4.0;
+  options.alpha = 0.1;
+  DpIr ir(&server, options);
+  int returned = 0;
+  for (int t = 0; t < 300; ++t) {
+    BlockId q = static_cast<BlockId>(t) % 256;
+    auto result = ir.Query(q);
+    ASSERT_TRUE(result.ok());
+    if (result->has_value()) {
+      EXPECT_TRUE(IsMarkerBlock(**result, q));
+      ++returned;
+    }
+  }
+  EXPECT_GT(returned, 200);
+}
+
+TEST(DpIrTest, ErrorRateMatchesAlpha) {
+  StorageServer server = MakePublicDatabase(128);
+  DpIrOptions options;
+  options.epsilon = 5.0;
+  options.alpha = 0.25;
+  options.seed = 5;
+  DpIr ir(&server, options);
+  int errors = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto result = ir.Query(7);
+    ASSERT_TRUE(result.ok());
+    if (!result->has_value()) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / kTrials, 0.25, 0.03);
+}
+
+TEST(DpIrTest, DownloadsExactlyKDistinctBlocks) {
+  StorageServer server = MakePublicDatabase(512);
+  DpIrOptions options;
+  options.epsilon = 3.0;
+  options.alpha = 0.1;
+  DpIr ir(&server, options);
+  for (int t = 0; t < 50; ++t) {
+    server.ResetTranscript();
+    ASSERT_TRUE(ir.Query(9).ok());
+    auto downloads = server.transcript().QueryDownloads(0);
+    EXPECT_EQ(downloads.size(), ir.k());
+    std::set<BlockId> unique(downloads.begin(), downloads.end());
+    EXPECT_EQ(unique.size(), downloads.size()) << "duplicate downloads";
+    EXPECT_EQ(server.transcript().upload_count(), 0u) << "IR never uploads";
+  }
+}
+
+TEST(DpIrTest, RealIndexPresentExactlyWhenNoError) {
+  StorageServer server = MakePublicDatabase(256);
+  DpIrOptions options;
+  options.epsilon = 6.0;
+  options.alpha = 0.2;
+  DpIr ir(&server, options);
+  for (int t = 0; t < 400; ++t) {
+    server.ResetTranscript();
+    auto result = ir.Query(42);
+    ASSERT_TRUE(result.ok());
+    auto downloads = server.transcript().QueryDownloads(0);
+    bool contains = false;
+    for (BlockId d : downloads) contains |= (d == 42);
+    if (result->has_value()) {
+      EXPECT_TRUE(contains) << "answered without downloading the block";
+    }
+    // On the error branch the set is uniform; it may or may not contain 42.
+  }
+}
+
+TEST(DpIrTest, ErrorlessModeDownloadsWholeDatabase) {
+  // Theorem 3.3 in action: alpha = 0 degenerates to the trivial PIR scan.
+  StorageServer server = MakePublicDatabase(64);
+  DpIrOptions options;
+  options.epsilon = 10.0;  // budget is irrelevant
+  options.alpha = 0.0;
+  DpIr ir(&server, options);
+  EXPECT_EQ(ir.k(), 64u);
+  auto result = ir.Query(3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->has_value());
+  EXPECT_TRUE(IsMarkerBlock(**result, 3));
+  EXPECT_EQ(server.transcript().download_count(), 64u);
+}
+
+TEST(DpIrTest, KMatchesFormula) {
+  StorageServer server = MakePublicDatabase(1 << 12);
+  DpIrOptions options;
+  options.epsilon = 7.0;
+  options.alpha = 0.1;
+  DpIr ir(&server, options);
+  EXPECT_EQ(ir.k(), DpIrBlocksPerQuery(1 << 12, 7.0, 0.1));
+  EXPECT_LE(ir.achieved_epsilon(), 7.0 + 1e-9);
+}
+
+TEST(DpIrTest, OutOfRangeRejected) {
+  StorageServer server = MakePublicDatabase(16);
+  DpIr ir(&server, DpIrOptions{.epsilon = 3.0, .alpha = 0.1});
+  EXPECT_EQ(ir.Query(16).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DpIrTest, ServerFaultPropagates) {
+  StorageServer server = MakePublicDatabase(32);
+  server.SetFailureRate(1.0);
+  DpIr ir(&server, DpIrOptions{.epsilon = 3.0, .alpha = 0.1});
+  EXPECT_EQ(ir.Query(0).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DpIrTest, EmpiricalEpsilonWithinBudget) {
+  // Estimate epsilon over the Lemma 3.2 membership event class for an
+  // adjacent pair (query i vs query j) and compare against the achieved
+  // budget. 60k trials resolve a ln-ratio of ~4 comfortably at n=64.
+  constexpr uint64_t kN = 64;
+  StorageServer server = MakePublicDatabase(kN);
+  DpIrOptions options;
+  options.epsilon = 4.0;
+  options.alpha = 0.2;
+  DpIr ir(&server, options);
+  const BlockId qi = 3;
+  const BlockId qj = 11;
+  EventHistogram hi;
+  EventHistogram hj;
+  constexpr int kTrials = 60000;
+  for (int t = 0; t < kTrials; ++t) {
+    server.ResetTranscript();
+    ASSERT_TRUE(ir.Query(qi).ok());
+    hi.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi, qj));
+    server.ResetTranscript();
+    ASSERT_TRUE(ir.Query(qj).ok());
+    hj.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi, qj));
+  }
+  DpEstimate est = EstimatePrivacy(hi, hj);
+  EXPECT_GT(est.supported_events, 0u);
+  // Plug-in estimate must not exceed the proven budget (plus sampling slack)
+  // and should be non-trivial (the scheme does leak at eps ~ 4).
+  EXPECT_LE(est.epsilon_hat, ir.achieved_epsilon() + 0.5);
+  EXPECT_GT(est.epsilon_hat, 0.5);
+  EXPECT_EQ(est.one_sided_mass, 0.0);
+}
+
+// --- Strawman (Section 4) -------------------------------------------------------
+
+TEST(StrawmanTest, AlwaysCorrect) {
+  StorageServer server = MakePublicDatabase(128);
+  StrawmanIr ir(&server);
+  for (int t = 0; t < 200; ++t) {
+    BlockId q = static_cast<BlockId>(t) % 128;
+    auto result = ir.Query(q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(IsMarkerBlock(*result, q));
+  }
+}
+
+TEST(StrawmanTest, ConstantExpectedOverhead) {
+  StorageServer server = MakePublicDatabase(256);
+  StrawmanIr ir(&server);
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) ASSERT_TRUE(ir.Query(5).ok());
+  // Expected downloads per query: 1 + (n-1)/n ~= 2.
+  double per_query = server.transcript().BlocksPerQuery();
+  EXPECT_NEAR(per_query, 2.0, 0.15);
+}
+
+TEST(StrawmanTest, LeaksThroughAbsenceEvents) {
+  // The paper's Section 4 argument: Pr[B_i not in T | query i] = 0 but
+  // Pr[B_i not in T | query j] ~ 1 - 1/n, so the one-sided event mass -
+  // a lower bound on delta - is enormous. This is what makes the scheme
+  // insecure despite its eps = Theta(log n) appearance.
+  constexpr uint64_t kN = 64;
+  StorageServer server = MakePublicDatabase(kN);
+  StrawmanIr ir(&server);
+  const BlockId qi = 3;
+  const BlockId qj = 11;
+  EventHistogram hi;
+  EventHistogram hj;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    server.ResetTranscript();
+    ASSERT_TRUE(ir.Query(qi).ok());
+    hi.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi, qj));
+    server.ResetTranscript();
+    ASSERT_TRUE(ir.Query(qj).ok());
+    hj.Add(DpIrMembershipEvent(server.transcript().QueryDownloads(0), qi, qj));
+  }
+  // Under query i, B_i is always present -> events without bit 1 never
+  // occur; under query j they occur with probability ~ (1-1/n)^2 ~ 0.97.
+  double delta_floor = EstimateDeltaAtEpsilon(hi, hj, /*epsilon=*/8.0);
+  EXPECT_GT(delta_floor, 0.8);
+}
+
+// --- Trivial PIR ------------------------------------------------------------------
+
+TEST(TrivialPirTest, CorrectAndFullScan) {
+  StorageServer server = MakePublicDatabase(64);
+  TrivialPir pir(&server);
+  auto result = pir.Query(17);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsMarkerBlock(*result, 17));
+  EXPECT_EQ(server.transcript().download_count(), 64u);
+  EXPECT_EQ(pir.BlocksPerQuery(), 64u);
+}
+
+TEST(TrivialPirTest, TranscriptIndependentOfQuery) {
+  StorageServer server = MakePublicDatabase(32);
+  TrivialPir pir(&server);
+  ASSERT_TRUE(pir.Query(1).ok());
+  auto t1 = server.transcript().QueryDownloads(0);
+  server.ResetTranscript();
+  ASSERT_TRUE(pir.Query(30).ok());
+  auto t2 = server.transcript().QueryDownloads(0);
+  EXPECT_EQ(t1, t2);  // identical scans: perfect obliviousness
+}
+
+// --- Parameterized DP-IR sweep ------------------------------------------------------
+
+class DpIrSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double, double>> {};
+
+TEST_P(DpIrSweep, QueryShapeInvariants) {
+  auto [n, eps, alpha] = GetParam();
+  StorageServer server = MakePublicDatabase(n);
+  DpIrOptions options;
+  options.epsilon = eps;
+  options.alpha = alpha;
+  DpIr ir(&server, options);
+  for (int t = 0; t < 30; ++t) {
+    server.ResetTranscript();
+    BlockId q = static_cast<BlockId>(t) % n;
+    auto result = ir.Query(q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(server.transcript().download_count(), ir.k());
+    if (result->has_value()) {
+      EXPECT_TRUE(IsMarkerBlock(**result, q));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpIrSweep,
+    ::testing::Combine(::testing::Values(uint64_t{16}, uint64_t{256},
+                                         uint64_t{2048}),
+                       ::testing::Values(1.0, 4.0, 10.0),
+                       ::testing::Values(0.05, 0.3)));
+
+}  // namespace
+}  // namespace dpstore

@@ -1,0 +1,168 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dp_params.h"
+
+namespace dpstore {
+namespace {
+
+constexpr uint64_t kN = 1 << 14;
+
+// --- DP-IR parameter conversions ----------------------------------------------
+
+TEST(DpIrParamsTest, KDecreasesWithEpsilon) {
+  uint64_t prev = kN + 1;
+  for (double eps = 0.5; eps < 20.0; eps += 0.5) {
+    uint64_t k = DpIrBlocksPerQuery(kN, eps, 0.1);
+    EXPECT_LE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(DpIrParamsTest, KDecreasesWithAlpha) {
+  EXPECT_GE(DpIrBlocksPerQuery(kN, 5.0, 0.05),
+            DpIrBlocksPerQuery(kN, 5.0, 0.5));
+}
+
+TEST(DpIrParamsTest, EpsilonZeroForcesFullDatabase) {
+  EXPECT_EQ(DpIrBlocksPerQuery(kN, 0.0, 0.1), kN);
+}
+
+TEST(DpIrParamsTest, LogNEpsilonGivesConstantK) {
+  // Theorem 5.1 headline: eps = Theta(log n) -> O(1) blocks.
+  double eps = std::log(static_cast<double>(kN));
+  uint64_t k = DpIrBlocksPerQuery(kN, eps, 0.25);
+  EXPECT_LE(k, 16u);
+  EXPECT_GE(k, 1u);
+}
+
+TEST(DpIrParamsTest, AchievedEpsilonInvertsK) {
+  // eps -> K -> achieved eps' should give eps' <= eps (ceil only shrinks
+  // the ratio) and close to eps.
+  for (double eps : {3.0, 5.0, 8.0, 12.0}) {
+    uint64_t k = DpIrBlocksPerQuery(kN, eps, 0.1);
+    double achieved = DpIrAchievedEpsilon(kN, k, 0.1);
+    EXPECT_LE(achieved, eps + 1e-9);
+    EXPECT_GT(achieved, eps - 1.0);
+  }
+}
+
+TEST(DpIrParamsTest, PseudocodeConstantIsSmallerK) {
+  // Dropping alpha<1 from the denominator yields a smaller download set
+  // (hence a weaker achieved budget) - the E12 ablation.
+  uint64_t proof = DpIrBlocksPerQuery(kN, 6.0, 0.1);
+  uint64_t pseudo = DpIrBlocksPerQueryPseudocode(kN, 6.0, 0.1);
+  EXPECT_LT(pseudo, proof);
+}
+
+TEST(DpIrParamsTest, ConstructionMatchesLowerBoundShape) {
+  // K = Theta(lower bound): ratio bounded by a constant across eps.
+  for (double eps = 2.0; eps <= 12.0; eps += 1.0) {
+    double lb = DpIrLowerBound(kN, eps, 0.1, 0.0);
+    uint64_t k = DpIrBlocksPerQuery(kN, eps, 0.1);
+    if (lb < 1.0) continue;
+    double ratio = static_cast<double>(k) / lb;
+    EXPECT_GT(ratio, 0.5) << "eps=" << eps;
+    EXPECT_LT(ratio, 30.0) << "eps=" << eps;
+  }
+}
+
+// --- Lower bound formulas ------------------------------------------------------
+
+TEST(LowerBoundTest, ErrorlessIsLinear) {
+  EXPECT_DOUBLE_EQ(DpIrErrorlessLowerBound(kN, 0.0), kN);
+  EXPECT_DOUBLE_EQ(DpIrErrorlessLowerBound(kN, 0.25), 0.75 * kN);
+  EXPECT_DOUBLE_EQ(DpIrErrorlessLowerBound(kN, 1.0), 0.0);
+}
+
+TEST(LowerBoundTest, DpIrBoundDecaysExponentially) {
+  double at2 = DpIrLowerBound(kN, 2.0, 0.1, 0.0);
+  double at4 = DpIrLowerBound(kN, 4.0, 0.1, 0.0);
+  EXPECT_NEAR(at2 / at4, std::exp(2.0), 0.01);
+}
+
+TEST(LowerBoundTest, DpIrBoundNonNegative) {
+  EXPECT_EQ(DpIrLowerBound(kN, 1.0, 0.9, 0.2), 0.0);  // 1-alpha-delta < 0
+  EXPECT_EQ(DpIrLowerBound(0, 1.0, 0.1, 0.0), 0.0);
+}
+
+TEST(LowerBoundTest, DpRamBoundMatchesPaperHeadline) {
+  // Constant eps -> Omega(log n) overhead.
+  double bound = DpRamLowerBound(kN, 1.0, 0.0, 2);
+  EXPECT_GT(bound, 0.5 * std::log2(static_cast<double>(kN)));
+  // eps = log n -> bound collapses to O(1).
+  double collapsed =
+      DpRamLowerBound(kN, std::log(static_cast<double>(kN)), 0.0, 2);
+  EXPECT_LT(collapsed, 1.0);
+}
+
+TEST(LowerBoundTest, DpRamBoundShrinksWithClientStorage) {
+  EXPECT_GT(DpRamLowerBound(kN, 1.0, 0.0, 2),
+            DpRamLowerBound(kN, 1.0, 0.0, 64));
+}
+
+TEST(LowerBoundTest, DpRamMinEpsilonForConstantOverhead) {
+  // Theorem 3.7 inverted: O(1) overhead forces eps = Omega(log n).
+  double min_eps = DpRamMinEpsilonForOverhead(kN, 3.0, 0.0, 2);
+  EXPECT_GT(min_eps, 0.5 * std::log(static_cast<double>(kN)));
+  // Logarithmic overhead is compatible with eps ~ 0 (ORAM regime).
+  double log_overhead = std::log2(static_cast<double>(kN));
+  EXPECT_LT(DpRamMinEpsilonForOverhead(kN, log_overhead, 0.0, 2), 1e-9);
+}
+
+TEST(LowerBoundTest, DpRamEpsilonUpperBoundIsLogN) {
+  // The Section 6 construction's bound is O(log n) for p = Phi(n)/n.
+  for (uint64_t n : {uint64_t{1} << 10, uint64_t{1} << 16, uint64_t{1} << 22}) {
+    double p = 64.0 / static_cast<double>(n);
+    double bound = DpRamEpsilonUpperBound(n, p);
+    double log_n = std::log(static_cast<double>(n));
+    EXPECT_LT(bound, 15.0 * log_n);
+    EXPECT_GT(bound, log_n);
+  }
+}
+
+TEST(LowerBoundTest, MultiServerBoundScalesWithCorruption) {
+  double half = MultiServerDpIrLowerBound(kN, 2.0, 0.1, 0.0, 0.5);
+  double quarter = MultiServerDpIrLowerBound(kN, 2.0, 0.1, 0.0, 0.25);
+  EXPECT_NEAR(half / quarter, 2.0, 1e-9);
+  EXPECT_EQ(MultiServerDpIrLowerBound(kN, 2.0, 0.1, 0.5, 0.25), 0.0);
+}
+
+TEST(CompositionTest, Linear) {
+  EXPECT_DOUBLE_EQ(ComposeEpsilon(1.5, 4), 6.0);
+  EXPECT_DOUBLE_EQ(ComposeEpsilon(2.0, 0), 0.0);
+}
+
+TEST(StrawmanTest, DeltaFloorApproachesOne) {
+  EXPECT_DOUBLE_EQ(StrawmanDeltaFloor(2), 0.5);
+  EXPECT_GE(StrawmanDeltaFloor(1000), 0.999);
+  EXPECT_LT(StrawmanDeltaFloor(1000), 1.0);
+}
+
+// --- Parameterized consistency sweep -------------------------------------------
+
+class DpIrParamSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double, double>> {};
+
+TEST_P(DpIrParamSweep, KAlwaysInRangeAndConsistent) {
+  auto [n, eps, alpha] = GetParam();
+  uint64_t k = DpIrBlocksPerQuery(n, eps, alpha);
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, n);
+  double achieved = DpIrAchievedEpsilon(n, k, alpha);
+  EXPECT_GE(achieved, 0.0);
+  if (k < n) {
+    EXPECT_LE(achieved, eps + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpIrParamSweep,
+    ::testing::Combine(::testing::Values(uint64_t{16}, uint64_t{1024},
+                                         uint64_t{1} << 18),
+                       ::testing::Values(0.5, 2.0, 8.0, 16.0),
+                       ::testing::Values(0.01, 0.1, 0.5)));
+
+}  // namespace
+}  // namespace dpstore

@@ -1,0 +1,283 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical_dp.h"
+#include "analysis/workload.h"
+#include "core/dp_params.h"
+#include "core/dp_ram.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kRecordSize = 24;
+
+std::vector<Block> MakeDatabase(uint64_t n) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kRecordSize);
+  return db;
+}
+
+TEST(DpRamTest, ReadsReturnSetupContents) {
+  DpRam ram(MakeDatabase(64), DpRamOptions{});
+  for (BlockId i = 0; i < 64; ++i) {
+    auto got = ram.Read(i);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(IsMarkerBlock(*got, i)) << "block " << i;
+  }
+}
+
+TEST(DpRamTest, WritesAreVisibleToSubsequentReads) {
+  DpRam ram(MakeDatabase(32), DpRamOptions{});
+  ASSERT_TRUE(ram.Write(5, MarkerBlock(1000, kRecordSize)).ok());
+  auto got = ram.Read(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(IsMarkerBlock(*got, 1000));
+  // Other records untouched.
+  EXPECT_TRUE(IsMarkerBlock(*ram.Read(6), 6));
+}
+
+TEST(DpRamTest, RandomOpsMatchReferenceModel) {
+  constexpr uint64_t kN = 128;
+  DpRamOptions options;
+  options.stash_probability = 0.2;  // aggressive stashing stresses the logic
+  options.seed = 11;
+  DpRam ram(MakeDatabase(kN), options);
+  std::map<BlockId, uint64_t> reference;  // id -> marker
+  for (uint64_t i = 0; i < kN; ++i) reference[i] = i;
+  Rng rng(99);
+  for (int op = 0; op < 5000; ++op) {
+    BlockId id = rng.Uniform(kN);
+    if (rng.Bernoulli(0.5)) {
+      uint64_t marker = 100000 + static_cast<uint64_t>(op);
+      ASSERT_TRUE(ram.Write(id, MarkerBlock(marker, kRecordSize)).ok());
+      reference[id] = marker;
+    } else {
+      auto got = ram.Read(id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, reference[id]))
+          << "op " << op << " id " << id;
+    }
+  }
+}
+
+TEST(DpRamTest, TranscriptShapeIsTwoDownloadsOneUpload) {
+  // The O(1) overhead of Theorem 6.1, query by query.
+  DpRam ram(MakeDatabase(256), DpRamOptions{});
+  Rng rng(3);
+  for (int t = 0; t < 500; ++t) {
+    ram.server().ResetTranscript();
+    BlockId id = rng.Uniform(256);
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(ram.Write(id, MarkerBlock(id, kRecordSize)).ok());
+    } else {
+      ASSERT_TRUE(ram.Read(id).ok());
+    }
+    const Transcript& tr = ram.server().transcript();
+    EXPECT_EQ(tr.download_count(), 2u);
+    EXPECT_EQ(tr.upload_count(), 1u);
+  }
+  EXPECT_DOUBLE_EQ(ram.BlocksPerQueryExpected(), 3.0);
+}
+
+TEST(DpRamTest, ReadsAndWritesAreIndistinguishableInShape) {
+  // Encryption hides content; shape (downloads/uploads counts) must match
+  // exactly between read and write queries.
+  DpRam ram(MakeDatabase(64), DpRamOptions{.stash_probability = 0.1});
+  ram.server().ResetTranscript();
+  ASSERT_TRUE(ram.Read(1).ok());
+  uint64_t read_downloads = ram.server().transcript().download_count();
+  uint64_t read_uploads = ram.server().transcript().upload_count();
+  ram.server().ResetTranscript();
+  ASSERT_TRUE(ram.Write(1, MarkerBlock(7, kRecordSize)).ok());
+  EXPECT_EQ(ram.server().transcript().download_count(), read_downloads);
+  EXPECT_EQ(ram.server().transcript().upload_count(), read_uploads);
+}
+
+TEST(DpRamTest, StashSizeStaysNearExpectation) {
+  // Lemma D.1: stash size concentrates around p*n; default p gives
+  // Phi(n) = log2(n)^1.5.
+  constexpr uint64_t kN = 1 << 12;
+  DpRam ram(MakeDatabase(kN), DpRamOptions{.seed = 21});
+  double expected = ram.stash_probability() * static_cast<double>(kN);
+  Rng rng(5);
+  for (int t = 0; t < 4000; ++t) {
+    ASSERT_TRUE(ram.Read(rng.Uniform(kN)).ok());
+  }
+  EXPECT_LT(static_cast<double>(ram.stash_peak_size()), 3.0 * expected + 10);
+  EXPECT_GT(static_cast<double>(ram.stash_peak_size()), 0.2 * expected);
+}
+
+TEST(DpRamTest, ServerBlocksAreCiphertexts) {
+  DpRam ram(MakeDatabase(16), DpRamOptions{});
+  // Server block size includes nonce+tag overhead and contents differ from
+  // the plaintext records.
+  EXPECT_EQ(ram.server().block_size(),
+            crypto::Cipher::CiphertextSize(kRecordSize));
+  const Block& stored = ram.server().PeekBlock(3);
+  EXPECT_NE(BlockToString(stored), BlockToString(MarkerBlock(3, kRecordSize)));
+}
+
+TEST(DpRamTest, RetrievalOnlyModeSkipsOverwritePhase) {
+  DpRamOptions options;
+  options.encrypted = false;
+  DpRam ram(MakeDatabase(64), options);
+  ram.server().ResetTranscript();
+  for (BlockId i = 0; i < 64; ++i) {
+    auto got = ram.Read(i);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(IsMarkerBlock(*got, i));
+  }
+  EXPECT_EQ(ram.server().transcript().upload_count(), 0u);
+  EXPECT_EQ(ram.server().transcript().download_count(), 64u);
+  // Plaintext mode: server stores the records verbatim.
+  EXPECT_EQ(ram.server().block_size(), kRecordSize);
+}
+
+TEST(DpRamTest, RetrievalOnlyModeRejectsWrites) {
+  DpRamOptions options;
+  options.encrypted = false;
+  DpRam ram(MakeDatabase(8), options);
+  EXPECT_EQ(ram.Write(0, MarkerBlock(0, kRecordSize)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DpRamTest, RetrievalOnlyModeStaysCorrectAfterStashDrain) {
+  // Once a stashed record is served, it leaves the stash for good in
+  // retrieval-only mode; later reads must hit the (still pristine) server.
+  DpRamOptions options;
+  options.encrypted = false;
+  options.stash_probability = 0.9;
+  DpRam ram(MakeDatabase(32), options);
+  for (int round = 0; round < 3; ++round) {
+    for (BlockId i = 0; i < 32; ++i) {
+      auto got = ram.Read(i);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, i));
+    }
+  }
+  EXPECT_EQ(ram.stash_size(), 0u);
+}
+
+TEST(DpRamTest, OutOfRangeRejected) {
+  DpRam ram(MakeDatabase(8), DpRamOptions{});
+  EXPECT_EQ(ram.Read(8).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ram.Write(100, MarkerBlock(0, kRecordSize)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DpRamTest, WriteSizeMismatchRejected) {
+  DpRam ram(MakeDatabase(8), DpRamOptions{});
+  EXPECT_EQ(ram.Write(0, ZeroBlock(kRecordSize + 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DpRamTest, ServerFaultsPropagate) {
+  DpRam ram(MakeDatabase(16), DpRamOptions{});
+  ram.server().SetFailureRate(1.0);
+  EXPECT_EQ(ram.Read(0).status().code(), StatusCode::kUnavailable);
+  ram.server().SetFailureRate(0.0);
+  EXPECT_TRUE(ram.Read(0).ok());
+}
+
+TEST(DpRamTest, IntermittentFaultsNeverCorrupt) {
+  // Failure injection: operations may fail, but whenever they succeed they
+  // return the correct record.
+  constexpr uint64_t kN = 64;
+  DpRam ram(MakeDatabase(kN), DpRamOptions{.seed = 17});
+  ram.server().SetFailureRate(0.2, /*seed=*/23);
+  std::map<BlockId, uint64_t> reference;
+  for (uint64_t i = 0; i < kN; ++i) reference[i] = i;
+  Rng rng(31);
+  int successes = 0;
+  for (int op = 0; op < 2000; ++op) {
+    BlockId id = rng.Uniform(kN);
+    if (rng.Bernoulli(0.4)) {
+      uint64_t marker = 200000 + static_cast<uint64_t>(op);
+      Status s = ram.Write(id, MarkerBlock(marker, kRecordSize));
+      if (s.ok()) {
+        reference[id] = marker;
+        ++successes;
+      }
+      // The client defers stash commits until all server ops succeed, so a
+      // failed write should roll back cleanly - but the final upload may
+      // land before the error is surfaced elsewhere, so re-synchronize the
+      // model by reading back with faults paused.
+      if (!s.ok()) {
+        ram.server().SetFailureRate(0.0);
+        auto got = ram.Read(id);
+        ASSERT_TRUE(got.ok());
+        if (IsMarkerBlock(*got, marker)) reference[id] = marker;
+        ram.server().SetFailureRate(0.2, /*seed=*/static_cast<uint64_t>(op));
+      }
+    } else {
+      auto got = ram.Read(id);
+      if (got.ok()) {
+        EXPECT_TRUE(IsMarkerBlock(*got, reference[id])) << "op " << op;
+        ++successes;
+      } else {
+        // A failed read can still have mutated stash membership; reads are
+        // idempotent on contents, so the model needs no repair.
+      }
+    }
+  }
+  EXPECT_GT(successes, 500);
+}
+
+TEST(DpRamTest, DefaultStashProbabilityIsOmegaLogOverN) {
+  for (uint64_t n : {uint64_t{1} << 10, uint64_t{1} << 16}) {
+    double p = DefaultStashProbability(n);
+    double log_n = std::log2(static_cast<double>(n));
+    EXPECT_GT(p * static_cast<double>(n), log_n);  // Phi(n) = omega(log n)
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(DpRamTest, EpsilonUpperBoundAccessor) {
+  DpRam ram(MakeDatabase(1 << 10), DpRamOptions{});
+  EXPECT_DOUBLE_EQ(ram.epsilon_upper_bound(),
+                   DpRamEpsilonUpperBound(1 << 10, ram.stash_probability()));
+}
+
+// --- Property sweep over (n, p, write fraction) --------------------------------
+
+class DpRamSweep : public ::testing::TestWithParam<
+                       std::tuple<uint64_t, double, double>> {};
+
+TEST_P(DpRamSweep, CorrectnessAndShapeInvariants) {
+  auto [n, p, write_fraction] = GetParam();
+  DpRamOptions options;
+  options.stash_probability = p;
+  options.seed = 1000 + n;
+  DpRam ram(MakeDatabase(n), options);
+  std::map<BlockId, uint64_t> reference;
+  for (uint64_t i = 0; i < n; ++i) reference[i] = i;
+  Rng rng(n * 31 + 7);
+  RamSequence ops = UniformRamSequence(&rng, n, 800, write_fraction);
+  for (size_t t = 0; t < ops.size(); ++t) {
+    ram.server().ResetTranscript();
+    if (ops[t].is_write) {
+      uint64_t marker = 300000 + static_cast<uint64_t>(t);
+      ASSERT_TRUE(ram.Write(ops[t].index, MarkerBlock(marker, kRecordSize))
+                      .ok());
+      reference[ops[t].index] = marker;
+    } else {
+      auto got = ram.Read(ops[t].index);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, reference[ops[t].index]));
+    }
+    EXPECT_EQ(ram.server().transcript().download_count(), 2u);
+    EXPECT_EQ(ram.server().transcript().upload_count(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpRamSweep,
+    ::testing::Combine(::testing::Values(uint64_t{4}, uint64_t{64},
+                                         uint64_t{512}),
+                       ::testing::Values(0.01, 0.2, 0.9),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace dpstore

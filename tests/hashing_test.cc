@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hashing/bucket_tree.h"
+#include "hashing/two_choice.h"
+
+namespace dpstore {
+namespace {
+
+// --- Classic two-choice hashing ----------------------------------------------
+
+TEST(TwoChoiceTest, InsertAndContains) {
+  TwoChoiceTable table(64, /*seed=*/1);
+  for (uint64_t k = 0; k < 64; ++k) table.Insert(k * 1000 + 7);
+  EXPECT_EQ(table.size(), 64u);
+  for (uint64_t k = 0; k < 64; ++k) EXPECT_TRUE(table.Contains(k * 1000 + 7));
+  EXPECT_FALSE(table.Contains(999999));
+}
+
+TEST(TwoChoiceTest, InsertGoesToLessLoadedBin) {
+  TwoChoiceTable table(16, /*seed=*/2);
+  uint64_t key = 12345;
+  auto [b1, b2] = table.Choices(key);
+  // Pre-load b1 heavily via direct inserts of keys that map there... instead
+  // verify the invariant over a batch: after each insert the chosen bin had
+  // load <= the alternative at insert time.
+  for (uint64_t k = 0; k < 200; ++k) {
+    auto [c1, c2] = table.Choices(k);
+    uint64_t l1 = table.Load(c1);
+    uint64_t l2 = table.Load(c2);
+    uint64_t target = table.Insert(k);
+    if (target == c1) {
+      EXPECT_LE(l1, l2);
+    } else {
+      EXPECT_EQ(target, c2);
+      EXPECT_LE(l2, l1);
+    }
+  }
+  (void)b1;
+  (void)b2;
+  (void)key;
+}
+
+TEST(TwoChoiceTest, ChoicesAreDeterministic) {
+  TwoChoiceTable a(32, 7);
+  TwoChoiceTable b(32, 7);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(a.Choices(k), b.Choices(k));
+  TwoChoiceTable c(32, 8);
+  bool any_differ = false;
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (a.Choices(k) != c.Choices(k)) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(TwoChoiceTest, MaxLoadIsLogLogScale) {
+  // Theorem A.1 shape: with n keys in n bins, two-choice max load stays
+  // around log2 log2 n + O(1); for n=2^14 that's ~ 4-6, far below the
+  // one-choice log n / log log n (~ 7-10).
+  constexpr uint64_t kN = 1 << 14;
+  TwoChoiceTable table(kN, /*seed=*/5);
+  for (uint64_t k = 0; k < kN; ++k) table.Insert(k);
+  EXPECT_LE(table.MaxLoad(), 8u);
+  EXPECT_GE(table.MaxLoad(), 2u);
+}
+
+TEST(TwoChoiceTest, BeatsOneChoice) {
+  constexpr uint64_t kN = 1 << 14;
+  TwoChoiceTable table(kN, /*seed=*/6);
+  for (uint64_t k = 0; k < kN; ++k) table.Insert(k);
+  auto one = OneChoiceLoads(kN, kN, /*seed=*/6);
+  uint64_t one_max = *std::max_element(one.begin(), one.end());
+  EXPECT_LT(table.MaxLoad(), one_max);
+}
+
+TEST(TwoChoiceTest, LoadVectorSumsToSize) {
+  TwoChoiceTable table(128, 9);
+  for (uint64_t k = 0; k < 500; ++k) table.Insert(k);
+  auto loads = table.LoadVector();
+  uint64_t sum = 0;
+  for (uint64_t l : loads) sum += l;
+  EXPECT_EQ(sum, 500u);
+}
+
+// --- BucketTreeGeometry --------------------------------------------------------
+
+TEST(BucketTreeTest, SmallGeometry) {
+  // 2 trees of 4 leaves each: 7 nodes per tree, depth 2.
+  BucketTreeGeometry g(8, 4);
+  EXPECT_EQ(g.num_leaves(), 8u);
+  EXPECT_EQ(g.num_trees(), 2u);
+  EXPECT_EQ(g.nodes_per_tree(), 7u);
+  EXPECT_EQ(g.total_nodes(), 14u);
+  EXPECT_EQ(g.path_length(), 3u);
+}
+
+TEST(BucketTreeTest, PathStartsAtLeafEndsAtRoot) {
+  BucketTreeGeometry g(8, 4);
+  for (uint64_t leaf = 0; leaf < 8; ++leaf) {
+    auto path = g.Path(leaf);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], g.LeafNode(leaf));
+    EXPECT_EQ(g.NodeHeight(path[0]), 0u);
+    EXPECT_EQ(g.NodeHeight(path[1]), 1u);
+    EXPECT_EQ(g.NodeHeight(path[2]), 2u);
+    // Root of tree tau is the first node of that tree's range.
+    EXPECT_EQ(path[2] % g.nodes_per_tree(), 0u);
+  }
+}
+
+TEST(BucketTreeTest, SiblingLeavesShareParent) {
+  BucketTreeGeometry g(8, 4);
+  auto p0 = g.Path(0);
+  auto p1 = g.Path(1);
+  auto p2 = g.Path(2);
+  EXPECT_EQ(p0[1], p1[1]);  // leaves 0,1 share a parent
+  EXPECT_NE(p0[1], p2[1]);
+  EXPECT_EQ(p0[2], p2[2]);  // same tree root
+  auto p4 = g.Path(4);      // second tree
+  EXPECT_NE(p0[2], p4[2]);
+}
+
+TEST(BucketTreeTest, AllNodesReachableAndHeightsConsistent) {
+  BucketTreeGeometry g(32, 8);
+  std::set<NodeId> seen;
+  for (uint64_t leaf = 0; leaf < g.num_leaves(); ++leaf) {
+    auto path = g.Path(leaf);
+    for (size_t i = 0; i < path.size(); ++i) {
+      EXPECT_LT(path[i], g.total_nodes());
+      EXPECT_EQ(g.NodeHeight(path[i]), i);
+      seen.insert(path[i]);
+    }
+  }
+  EXPECT_EQ(seen.size(), g.total_nodes());
+}
+
+TEST(BucketTreeTest, SubtreeLeavesIsPowerOfHeight) {
+  BucketTreeGeometry g(16, 8);
+  auto path = g.Path(3);
+  EXPECT_EQ(g.SubtreeLeaves(path[0]), 1u);
+  EXPECT_EQ(g.SubtreeLeaves(path[1]), 2u);
+  EXPECT_EQ(g.SubtreeLeaves(path[2]), 4u);
+  EXPECT_EQ(g.SubtreeLeaves(path[3]), 8u);
+}
+
+TEST(BucketTreeTest, ForCapacityCoversRequest) {
+  for (uint64_t n : {1u, 5u, 64u, 1000u, 4097u, 100000u}) {
+    auto g = BucketTreeGeometry::ForCapacity(n);
+    EXPECT_GE(g.num_leaves(), n);
+    EXPECT_EQ(g.num_leaves() % g.leaves_per_tree(), 0u);
+    // Total node storage stays linear: < 2x leaves.
+    EXPECT_LE(g.total_nodes(), 2 * g.num_leaves());
+  }
+}
+
+TEST(BucketTreeTest, ForCapacityPathLengthIsLogLog) {
+  // path_length = log2(leaves_per_tree) + 1 = Theta(log log n).
+  auto small = BucketTreeGeometry::ForCapacity(1 << 10);
+  auto large = BucketTreeGeometry::ForCapacity(1 << 20);
+  EXPECT_LE(small.path_length(), 5u);
+  EXPECT_LE(large.path_length(), 6u);
+  EXPECT_GE(large.path_length(), small.path_length());
+}
+
+class BucketTreeParamTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(BucketTreeParamTest, PathsAreWithinOneTree) {
+  auto [num_leaves, leaves_per_tree] = GetParam();
+  BucketTreeGeometry g(num_leaves, leaves_per_tree);
+  for (uint64_t leaf = 0; leaf < g.num_leaves(); ++leaf) {
+    auto path = g.Path(leaf);
+    uint64_t tree = path[0] / g.nodes_per_tree();
+    for (NodeId node : path) {
+      EXPECT_EQ(node / g.nodes_per_tree(), tree);
+    }
+  }
+}
+
+TEST_P(BucketTreeParamTest, DistinctLeavesDistinctLeafNodes) {
+  auto [num_leaves, leaves_per_tree] = GetParam();
+  BucketTreeGeometry g(num_leaves, leaves_per_tree);
+  std::set<NodeId> leaf_nodes;
+  for (uint64_t leaf = 0; leaf < g.num_leaves(); ++leaf) {
+    leaf_nodes.insert(g.LeafNode(leaf));
+  }
+  EXPECT_EQ(leaf_nodes.size(), g.num_leaves());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BucketTreeParamTest,
+    ::testing::Values(std::make_pair(2u, 2u), std::make_pair(8u, 2u),
+                      std::make_pair(8u, 8u), std::make_pair(64u, 16u),
+                      std::make_pair(96u, 32u), std::make_pair(1024u, 16u)));
+
+}  // namespace
+}  // namespace dpstore

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "crypto/prg.h"
+#include "oram/oblivious_sort.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kBlockSize = 24;
+
+uint64_t IdOf(const Block& plaintext) {
+  uint64_t id;
+  std::memcpy(&id, plaintext.data(), 8);
+  return id;
+}
+
+Block BlockWithId(uint64_t id) {
+  Block b = ZeroBlock(kBlockSize);
+  std::memcpy(b.data(), &id, 8);
+  return b;
+}
+
+/// Server of n encrypted blocks whose plaintext ids are `ids`.
+StorageServer MakeEncryptedServer(const std::vector<uint64_t>& ids,
+                                  const crypto::Cipher& cipher) {
+  StorageServer server(ids.size(),
+                       crypto::Cipher::CiphertextSize(kBlockSize));
+  std::vector<Block> array;
+  for (uint64_t id : ids) array.push_back(cipher.Encrypt(BlockWithId(id)));
+  DPSTORE_CHECK_OK(server.SetArray(std::move(array)));
+  return server;
+}
+
+std::vector<uint64_t> DecryptIds(StorageServer* server,
+                                 const crypto::Cipher& cipher) {
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < server->n(); ++i) {
+    auto plain = cipher.Decrypt(server->PeekBlock(i));
+    DPSTORE_CHECK_OK(plain.status());
+    out.push_back(IdOf(*plain));
+  }
+  return out;
+}
+
+TEST(ObliviousSortTest, SortsRandomPermutations) {
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  Rng rng(3);
+  for (uint64_t n : {1u, 2u, 8u, 64u, 256u}) {
+    std::vector<uint64_t> ids(n);
+    for (uint64_t i = 0; i < n; ++i) ids[i] = i * 31 + 5;
+    rng.Shuffle(&ids);
+    StorageServer server = MakeEncryptedServer(ids, cipher);
+    ASSERT_TRUE(ObliviousSort(&server, cipher, IdOf).ok()) << "n=" << n;
+    std::vector<uint64_t> result = DecryptIds(&server, cipher);
+    std::vector<uint64_t> expected = ids;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(result, expected) << "n=" << n;
+  }
+}
+
+TEST(ObliviousSortTest, SortsWithDuplicateKeys) {
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  std::vector<uint64_t> ids = {5, 1, 5, 1, 3, 3, 5, 1};
+  StorageServer server = MakeEncryptedServer(ids, cipher);
+  ASSERT_TRUE(ObliviousSort(&server, cipher, IdOf).ok());
+  EXPECT_EQ(DecryptIds(&server, cipher),
+            (std::vector<uint64_t>{1, 1, 1, 3, 3, 5, 5, 5}));
+}
+
+TEST(ObliviousSortTest, RejectsNonPowerOfTwo) {
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  StorageServer server = MakeEncryptedServer({1, 2, 3}, cipher);
+  EXPECT_EQ(ObliviousSort(&server, cipher, IdOf).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObliviousSortTest, TranscriptIsDataIndependent) {
+  // The defining property: two different inputs of the same size produce
+  // the *identical* access-event sequence.
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  StorageServer sorted = MakeEncryptedServer({1, 2, 3, 4, 5, 6, 7, 8},
+                                             cipher);
+  StorageServer reversed = MakeEncryptedServer({8, 7, 6, 5, 4, 3, 2, 1},
+                                               cipher);
+  ASSERT_TRUE(ObliviousSort(&sorted, cipher, IdOf).ok());
+  ASSERT_TRUE(ObliviousSort(&reversed, cipher, IdOf).ok());
+  EXPECT_EQ(sorted.transcript().ToString(),
+            reversed.transcript().ToString());
+  // And the cost matches the network-size formula.
+  EXPECT_EQ(sorted.transcript().TotalBlocksMoved(),
+            4 * BitonicCompareExchanges(8));
+}
+
+TEST(ObliviousSortTest, CompareExchangeCountFormula) {
+  EXPECT_EQ(BitonicCompareExchanges(2), 1u);
+  EXPECT_EQ(BitonicCompareExchanges(4), 6u);
+  EXPECT_EQ(BitonicCompareExchanges(8), 24u);
+  // n/2 * k(k+1)/2 growth: O(n log^2 n).
+  EXPECT_EQ(BitonicCompareExchanges(1024), 512u * 55u);
+}
+
+TEST(ObliviousShuffleTest, PermutesAndPreservesMultiset) {
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  std::vector<uint64_t> ids(64);
+  for (uint64_t i = 0; i < 64; ++i) ids[i] = i;
+  StorageServer server = MakeEncryptedServer(ids, cipher);
+  crypto::PrfKey prf_key{};
+  prf_key[0] = 0x42;
+  ASSERT_TRUE(ObliviousShuffle(&server, cipher, prf_key).ok());
+  std::vector<uint64_t> result = DecryptIds(&server, cipher);
+  EXPECT_NE(result, ids) << "shuffle left the array in order";
+  std::set<uint64_t> unique(result.begin(), result.end());
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(ObliviousShuffleTest, DeterministicUnderKeyAndKeyed) {
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  std::vector<uint64_t> ids(32);
+  for (uint64_t i = 0; i < 32; ++i) ids[i] = i;
+  crypto::PrfKey k1{};
+  k1[0] = 1;
+  crypto::PrfKey k2{};
+  k2[0] = 2;
+  StorageServer a = MakeEncryptedServer(ids, cipher);
+  StorageServer b = MakeEncryptedServer(ids, cipher);
+  StorageServer c = MakeEncryptedServer(ids, cipher);
+  ASSERT_TRUE(ObliviousShuffle(&a, cipher, k1).ok());
+  ASSERT_TRUE(ObliviousShuffle(&b, cipher, k1).ok());
+  ASSERT_TRUE(ObliviousShuffle(&c, cipher, k2).ok());
+  EXPECT_EQ(DecryptIds(&a, cipher), DecryptIds(&b, cipher));
+  EXPECT_NE(DecryptIds(&a, cipher), DecryptIds(&c, cipher));
+}
+
+TEST(ObliviousShuffleTest, FreshCiphertextsEverywhere) {
+  // Even untouched-looking positions are re-encrypted: no stored
+  // ciphertext survives the shuffle byte-identically.
+  crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
+  std::vector<uint64_t> ids(16);
+  for (uint64_t i = 0; i < 16; ++i) ids[i] = i;
+  StorageServer server = MakeEncryptedServer(ids, cipher);
+  std::vector<Block> before;
+  for (uint64_t i = 0; i < 16; ++i) before.push_back(server.PeekBlock(i));
+  crypto::PrfKey key{};
+  key[3] = 9;
+  ASSERT_TRUE(ObliviousShuffle(&server, cipher, key).ok());
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_NE(server.PeekBlock(i), before[i]) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dpstore

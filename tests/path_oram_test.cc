@@ -1,0 +1,268 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "analysis/workload.h"
+#include "oram/linear_oram.h"
+#include "oram/oram_kvs.h"
+#include "oram/path_oram.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kBlockSize = 32;
+
+std::vector<Block> MakeDatabase(uint64_t n, size_t size = kBlockSize) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, size);
+  return db;
+}
+
+// --- PathOram ------------------------------------------------------------------
+
+TEST(PathOramTest, ReadsReturnSetupContents) {
+  PathOram oram(MakeDatabase(64), PathOramOptions{.block_size = kBlockSize});
+  for (BlockId i = 0; i < 64; ++i) {
+    auto got = oram.Read(i);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(IsMarkerBlock(*got, i)) << "block " << i;
+  }
+}
+
+TEST(PathOramTest, WritesAreVisible) {
+  PathOram oram(MakeDatabase(32), PathOramOptions{.block_size = kBlockSize});
+  ASSERT_TRUE(oram.Write(3, MarkerBlock(777, kBlockSize)).ok());
+  EXPECT_TRUE(IsMarkerBlock(*oram.Read(3), 777));
+  EXPECT_TRUE(IsMarkerBlock(*oram.Read(4), 4));
+}
+
+TEST(PathOramTest, RandomOpsMatchReference) {
+  constexpr uint64_t kN = 128;
+  PathOram oram(MakeDatabase(kN),
+                PathOramOptions{.block_size = kBlockSize, .seed = 5});
+  std::map<BlockId, uint64_t> reference;
+  for (uint64_t i = 0; i < kN; ++i) reference[i] = i;
+  Rng rng(7);
+  for (int op = 0; op < 3000; ++op) {
+    BlockId id = rng.Uniform(kN);
+    if (rng.Bernoulli(0.5)) {
+      uint64_t marker = 10000 + static_cast<uint64_t>(op);
+      ASSERT_TRUE(oram.Write(id, MarkerBlock(marker, kBlockSize)).ok());
+      reference[id] = marker;
+    } else {
+      auto got = oram.Read(id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, reference[id])) << "op " << op;
+    }
+  }
+}
+
+TEST(PathOramTest, StashStaysSmall) {
+  // The classic Path ORAM result: stash size is O(log n) w.h.p. for Z=4.
+  constexpr uint64_t kN = 1 << 10;
+  PathOram oram(MakeDatabase(kN),
+                PathOramOptions{.block_size = kBlockSize, .seed = 11});
+  Rng rng(13);
+  for (int op = 0; op < 5000; ++op) {
+    ASSERT_TRUE(oram.Read(rng.Uniform(kN)).ok());
+  }
+  EXPECT_LE(oram.stash_peak_size(), 80u);
+}
+
+TEST(PathOramTest, BlocksPerAccessIsLogarithmic) {
+  PathOram oram(MakeDatabase(1 << 10),
+                PathOramOptions{.block_size = kBlockSize});
+  // levels = 11 for n = 1024 (height 10), Z = 4 -> 2*4*11 = 88.
+  EXPECT_EQ(oram.levels(), 11u);
+  EXPECT_EQ(oram.BlocksPerAccess(), 88u);
+  EXPECT_EQ(oram.RoundtripsPerAccess(), 1u);
+  // Measured movement matches the formula.
+  oram.server().ResetTranscript();
+  ASSERT_TRUE(oram.Read(0).ok());
+  EXPECT_EQ(oram.server().transcript().TotalBlocksMoved(),
+            oram.BlocksPerAccess());
+}
+
+TEST(PathOramTest, TranscriptIsPathShaped) {
+  // Every access downloads Z*(L+1) slots and uploads the same count.
+  PathOram oram(MakeDatabase(256),
+                PathOramOptions{.block_size = kBlockSize, .seed = 17});
+  for (int t = 0; t < 50; ++t) {
+    oram.server().ResetTranscript();
+    ASSERT_TRUE(oram.Read(static_cast<BlockId>(t) % 256).ok());
+    const Transcript& tr = oram.server().transcript();
+    EXPECT_EQ(tr.download_count(), 4u * oram.levels());
+    EXPECT_EQ(tr.upload_count(), 4u * oram.levels());
+  }
+}
+
+TEST(PathOramTest, RecursivePositionMapCorrectness) {
+  constexpr uint64_t kN = 512;
+  PathOramOptions options;
+  options.block_size = kBlockSize;
+  options.recursive_position_map = true;
+  options.recursion_cutoff = 16;
+  options.seed = 19;
+  PathOram oram(MakeDatabase(kN), options);
+  EXPECT_GE(oram.recursion_depth(), 1u);
+  EXPECT_EQ(oram.RoundtripsPerAccess(), 1 + oram.recursion_depth());
+  std::map<BlockId, uint64_t> reference;
+  for (uint64_t i = 0; i < kN; ++i) reference[i] = i;
+  Rng rng(23);
+  for (int op = 0; op < 1500; ++op) {
+    BlockId id = rng.Uniform(kN);
+    if (rng.Bernoulli(0.4)) {
+      uint64_t marker = 50000 + static_cast<uint64_t>(op);
+      ASSERT_TRUE(oram.Write(id, MarkerBlock(marker, kBlockSize)).ok());
+      reference[id] = marker;
+    } else {
+      auto got = oram.Read(id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, reference[id])) << "op " << op;
+    }
+  }
+}
+
+TEST(PathOramTest, RecursionCostsRoundtripsAndBandwidth) {
+  // The paper's critique of [50]: recursive position maps multiply
+  // roundtrips and bandwidth.
+  PathOramOptions flat;
+  flat.block_size = kBlockSize;
+  PathOram oram_flat(MakeDatabase(1 << 12), flat);
+
+  PathOramOptions recursive = flat;
+  recursive.recursive_position_map = true;
+  recursive.recursion_cutoff = 16;
+  PathOram oram_rec(MakeDatabase(1 << 12), recursive);
+
+  EXPECT_EQ(oram_flat.RoundtripsPerAccess(), 1u);
+  EXPECT_GT(oram_rec.RoundtripsPerAccess(), 2u);
+  EXPECT_GT(oram_rec.BlocksPerAccess(), oram_flat.BlocksPerAccess());
+}
+
+TEST(PathOramTest, SmallDatabases) {
+  for (uint64_t n : {1u, 2u, 3u, 5u}) {
+    PathOram oram(MakeDatabase(n), PathOramOptions{.block_size = kBlockSize});
+    for (BlockId i = 0; i < n; ++i) {
+      auto got = oram.Read(i);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, i)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PathOramTest, OutOfRangeRejected) {
+  PathOram oram(MakeDatabase(8), PathOramOptions{.block_size = kBlockSize});
+  EXPECT_EQ(oram.Read(8).status().code(), StatusCode::kOutOfRange);
+}
+
+// --- LinearOram ------------------------------------------------------------------
+
+TEST(LinearOramTest, CorrectAndFullScanPerAccess) {
+  LinearOram oram(MakeDatabase(32));
+  EXPECT_TRUE(IsMarkerBlock(*oram.Read(9), 9));
+  ASSERT_TRUE(oram.Write(9, MarkerBlock(500, kBlockSize)).ok());
+  EXPECT_TRUE(IsMarkerBlock(*oram.Read(9), 500));
+  oram.server().ResetTranscript();
+  ASSERT_TRUE(oram.Read(0).ok());
+  EXPECT_EQ(oram.server().transcript().download_count(), 32u);
+  EXPECT_EQ(oram.server().transcript().upload_count(), 32u);
+  EXPECT_EQ(oram.BlocksPerAccess(), 64u);
+}
+
+TEST(LinearOramTest, TranscriptIndependentOfQueryAndOp) {
+  LinearOram oram(MakeDatabase(16));
+  ASSERT_TRUE(oram.Read(2).ok());
+  auto t1 = oram.server().transcript().ToString();
+  oram.server().ResetTranscript();
+  ASSERT_TRUE(oram.Write(13, MarkerBlock(1, kBlockSize)).ok());
+  auto t2 = oram.server().transcript().ToString();
+  EXPECT_EQ(t1, t2);
+}
+
+// --- OramKvs ---------------------------------------------------------------------
+
+TEST(OramKvsTest, PutGetRoundTrip) {
+  OramKvsOptions options;
+  options.capacity = 64;
+  options.value_size = 16;
+  OramKvs kvs(options);
+  ASSERT_TRUE(kvs.Put(42, MarkerBlock(1, 16)).ok());
+  auto got = kvs.Get(42);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_TRUE(IsMarkerBlock(**got, 1));
+  EXPECT_EQ(kvs.size(), 1u);
+}
+
+TEST(OramKvsTest, AbsentKeyReturnsNullopt) {
+  OramKvsOptions options;
+  options.capacity = 32;
+  options.value_size = 16;
+  OramKvs kvs(options);
+  auto got = kvs.Get(999);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+}
+
+TEST(OramKvsTest, UpdateInPlace) {
+  OramKvsOptions options;
+  options.capacity = 32;
+  options.value_size = 16;
+  OramKvs kvs(options);
+  ASSERT_TRUE(kvs.Put(5, MarkerBlock(1, 16)).ok());
+  ASSERT_TRUE(kvs.Put(5, MarkerBlock(2, 16)).ok());
+  EXPECT_EQ(kvs.size(), 1u);
+  EXPECT_TRUE(IsMarkerBlock(**kvs.Get(5), 2));
+}
+
+TEST(OramKvsTest, ManyKeysMatchReference) {
+  OramKvsOptions options;
+  options.capacity = 64;
+  options.value_size = 16;
+  options.seed = 29;
+  OramKvs kvs(options);
+  std::map<uint64_t, uint64_t> reference;
+  for (uint64_t i = 0; i < 48; ++i) {
+    uint64_t key = i * 7919 + 13;
+    ASSERT_TRUE(kvs.Put(key, MarkerBlock(i, 16)).ok());
+    reference[key] = i;
+  }
+  for (const auto& [key, marker] : reference) {
+    auto got = kvs.Get(key);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value()) << "key " << key;
+    EXPECT_TRUE(IsMarkerBlock(**got, marker));
+  }
+}
+
+TEST(OramKvsTest, OverheadIsLogTimesLogLog) {
+  OramKvsOptions options;
+  options.capacity = 1 << 10;
+  options.value_size = 16;
+  OramKvs kvs(options);
+  // bin_capacity ~ log log n + 3; each slot access costs 2*Z*(L+1).
+  EXPECT_GE(kvs.bin_capacity(), 4u);
+  EXPECT_LE(kvs.bin_capacity(), 8u);
+  EXPECT_EQ(kvs.BlocksPerGet(),
+            kvs.SlotAccessesPerGet() * kvs.oram().BlocksPerAccess());
+  // The headline comparison: vastly more than DP-KVS's ~30 blocks.
+  EXPECT_GT(kvs.BlocksPerGet(), 500u);
+}
+
+TEST(OramKvsTest, BinOverflowSurfaces) {
+  OramKvsOptions options;
+  options.capacity = 4;
+  options.value_size = 8;
+  options.bin_capacity = 1;
+  OramKvs kvs(options);
+  Status last = OkStatus();
+  for (uint64_t i = 0; i < 64 && last.ok(); ++i) {
+    last = kvs.Put(ScatterKey(i), MarkerBlock(i, 8));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dpstore

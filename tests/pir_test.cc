@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/multi_server_dp_ir.h"
+#include "pir/xor_pir.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kBlockSize = 24;
+
+std::vector<Block> MakeDatabase(uint64_t n) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kBlockSize);
+  return db;
+}
+
+// --- Two-server XOR PIR ----------------------------------------------------------
+
+TEST(XorPirTest, AnswerXorsSelectedBlocks) {
+  XorPirServer server(MakeDatabase(4));
+  std::vector<uint8_t> selector = {1, 0, 1, 0};
+  auto answer = server.Answer(selector);
+  ASSERT_TRUE(answer.ok());
+  Block expected = MarkerBlock(0, kBlockSize);
+  Block b2 = MarkerBlock(2, kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) expected[i] ^= b2[i];
+  EXPECT_EQ(*answer, expected);
+  EXPECT_EQ(server.ops_count(), 2u);
+  EXPECT_EQ(server.query_bits_received(), 4u);
+}
+
+TEST(XorPirTest, SelectorLengthValidated) {
+  XorPirServer server(MakeDatabase(4));
+  EXPECT_EQ(server.Answer({1, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(XorPirTest, QueryRecoversEveryBlock) {
+  XorPirServer s0(MakeDatabase(64));
+  XorPirServer s1(MakeDatabase(64));
+  TwoServerXorPir pir(&s0, &s1, /*seed=*/3);
+  for (BlockId i = 0; i < 64; ++i) {
+    auto got = pir.Query(i);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(IsMarkerBlock(*got, i)) << "block " << i;
+  }
+}
+
+TEST(XorPirTest, ServerWorkIsLinear) {
+  constexpr uint64_t kN = 256;
+  XorPirServer s0(MakeDatabase(kN));
+  XorPirServer s1(MakeDatabase(kN));
+  TwoServerXorPir pir(&s0, &s1, /*seed=*/5);
+  constexpr int kQueries = 100;
+  for (int q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(pir.Query(static_cast<BlockId>(q) % kN).ok());
+  }
+  double per_query = static_cast<double>(s0.ops_count() + s1.ops_count()) /
+                     kQueries;
+  // Each server touches ~ n/2 blocks per query.
+  EXPECT_NEAR(per_query, static_cast<double>(kN), kN * 0.15);
+}
+
+TEST(XorPirTest, OutOfRange) {
+  XorPirServer s0(MakeDatabase(8));
+  XorPirServer s1(MakeDatabase(8));
+  TwoServerXorPir pir(&s0, &s1);
+  EXPECT_EQ(pir.Query(8).status().code(), StatusCode::kOutOfRange);
+}
+
+// --- Multi-server DP-IR ------------------------------------------------------------
+
+std::vector<std::unique_ptr<StorageServer>> MakeReplicas(uint64_t d,
+                                                         uint64_t n) {
+  std::vector<std::unique_ptr<StorageServer>> servers;
+  for (uint64_t s = 0; s < d; ++s) {
+    auto server = std::make_unique<StorageServer>(n, kBlockSize);
+    DPSTORE_CHECK_OK(server->SetArray(MakeDatabase(n)));
+    servers.push_back(std::move(server));
+  }
+  return servers;
+}
+
+std::vector<StorageServer*> Pointers(
+    const std::vector<std::unique_ptr<StorageServer>>& servers) {
+  std::vector<StorageServer*> out;
+  for (const auto& s : servers) out.push_back(s.get());
+  return out;
+}
+
+TEST(MultiServerDpIrTest, NonErrorQueriesCorrect) {
+  auto replicas = MakeReplicas(3, 128);
+  MultiServerDpIrOptions options;
+  options.num_servers = 3;
+  options.epsilon = 3.0;
+  options.alpha = 0.15;
+  MultiServerDpIr ir(Pointers(replicas), options);
+  int answered = 0;
+  for (int t = 0; t < 400; ++t) {
+    BlockId q = static_cast<BlockId>(t) % 128;
+    auto got = ir.Query(q);
+    ASSERT_TRUE(got.ok());
+    if (got->has_value()) {
+      EXPECT_TRUE(IsMarkerBlock(**got, q));
+      ++answered;
+    }
+  }
+  EXPECT_GT(answered, 280);
+}
+
+TEST(MultiServerDpIrTest, EveryServerDownloadsKBlocks) {
+  auto replicas = MakeReplicas(4, 256);
+  MultiServerDpIrOptions options;
+  options.num_servers = 4;
+  options.epsilon = 4.0;
+  options.alpha = 0.1;
+  MultiServerDpIr ir(Pointers(replicas), options);
+  for (auto& r : replicas) r->ResetTranscript();
+  ASSERT_TRUE(ir.Query(17).ok());
+  for (auto& r : replicas) {
+    EXPECT_EQ(r->transcript().download_count(), ir.k());
+    EXPECT_EQ(r->transcript().upload_count(), 0u);
+  }
+}
+
+TEST(MultiServerDpIrTest, ErrorRateMatchesAlpha) {
+  auto replicas = MakeReplicas(2, 64);
+  MultiServerDpIrOptions options;
+  options.num_servers = 2;
+  options.epsilon = 3.0;
+  options.alpha = 0.3;
+  options.seed = 7;
+  MultiServerDpIr ir(Pointers(replicas), options);
+  int errors = 0;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto got = ir.Query(5);
+    ASSERT_TRUE(got.ok());
+    if (!got->has_value()) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / kTrials, 0.3, 0.035);
+}
+
+TEST(MultiServerDpIrTest, MoreServersCheaperPerServer) {
+  // At fixed epsilon, K ~ 1/D: the multi-server advantage.
+  auto r2 = MakeReplicas(2, 1 << 12);
+  auto r8 = MakeReplicas(8, 1 << 12);
+  MultiServerDpIrOptions o2{.num_servers = 2, .epsilon = 3.0, .alpha = 0.1};
+  MultiServerDpIrOptions o8{.num_servers = 8, .epsilon = 3.0, .alpha = 0.1};
+  MultiServerDpIr ir2(Pointers(r2), o2);
+  MultiServerDpIr ir8(Pointers(r8), o8);
+  EXPECT_GT(ir2.k(), 3 * ir8.k());
+  EXPECT_LE(ir8.achieved_epsilon(), 3.0 + 1e-9);
+}
+
+TEST(MultiServerDpIrTest, OutOfRange) {
+  auto replicas = MakeReplicas(2, 8);
+  MultiServerDpIrOptions options;
+  options.num_servers = 2;
+  options.epsilon = 2.0;
+  options.alpha = 0.1;
+  MultiServerDpIr ir(Pointers(replicas), options);
+  EXPECT_EQ(ir.Query(8).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dpstore

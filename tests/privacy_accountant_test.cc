@@ -1,0 +1,75 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/privacy_accountant.h"
+
+namespace dpstore {
+namespace {
+
+TEST(PrivacyAccountantTest, UnlimitedAccumulates) {
+  PrivacyAccountant acc;
+  EXPECT_TRUE(acc.Spend(1.5));
+  EXPECT_TRUE(acc.Spend(2.5, 1e-9));
+  EXPECT_DOUBLE_EQ(acc.total_epsilon(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.total_delta(), 1e-9);
+  EXPECT_EQ(acc.operations(), 2u);
+  EXPECT_FALSE(acc.limited());
+  EXPECT_TRUE(std::isinf(acc.epsilon_remaining()));
+}
+
+TEST(PrivacyAccountantTest, EpsilonLimitEnforced) {
+  PrivacyAccountant acc(/*epsilon_limit=*/5.0);
+  EXPECT_TRUE(acc.Spend(3.0));
+  EXPECT_DOUBLE_EQ(acc.epsilon_remaining(), 2.0);
+  EXPECT_FALSE(acc.Spend(2.5));  // would exceed
+  EXPECT_DOUBLE_EQ(acc.total_epsilon(), 3.0);
+  EXPECT_EQ(acc.operations(), 1u);
+  EXPECT_TRUE(acc.Spend(2.0));  // exactly fills
+  EXPECT_DOUBLE_EQ(acc.epsilon_remaining(), 0.0);
+  EXPECT_FALSE(acc.Spend(1e-6));
+}
+
+TEST(PrivacyAccountantTest, DeltaLimitEnforced) {
+  PrivacyAccountant acc(/*epsilon_limit=*/0.0, /*delta_limit=*/1e-6);
+  EXPECT_TRUE(acc.Spend(1.0, 5e-7));
+  EXPECT_FALSE(acc.Spend(1.0, 6e-7));
+  EXPECT_EQ(acc.operations(), 1u);
+}
+
+TEST(PrivacyAccountantTest, ResetClearsLedger) {
+  PrivacyAccountant acc(2.0);
+  EXPECT_TRUE(acc.Spend(2.0));
+  EXPECT_FALSE(acc.Spend(0.1));
+  acc.Reset();
+  EXPECT_EQ(acc.operations(), 0u);
+  EXPECT_TRUE(acc.Spend(1.0));
+}
+
+TEST(PrivacyAccountantTest, GroupEpsilonIsLinear) {
+  EXPECT_DOUBLE_EQ(PrivacyAccountant::GroupEpsilon(2.0, 3), 6.0);
+  EXPECT_DOUBLE_EQ(PrivacyAccountant::GroupEpsilon(2.0, 0), 0.0);
+}
+
+TEST(PrivacyAccountantTest, GroupDeltaGeometricSum) {
+  // k=1 is the base delta; k=2 is delta*(1+e^eps).
+  double eps = 1.0;
+  double delta = 1e-6;
+  EXPECT_NEAR(PrivacyAccountant::GroupDelta(eps, delta, 1), delta, 1e-15);
+  EXPECT_NEAR(PrivacyAccountant::GroupDelta(eps, delta, 2),
+              delta * (1.0 + std::exp(1.0)), 1e-12);
+  // eps=0 degenerates to k*delta.
+  EXPECT_NEAR(PrivacyAccountant::GroupDelta(0.0, delta, 5), 5 * delta,
+              1e-15);
+  EXPECT_DOUBLE_EQ(PrivacyAccountant::GroupDelta(eps, delta, 0), 0.0);
+}
+
+TEST(PrivacyAccountantTest, PureDpSpendHasNoDelta) {
+  PrivacyAccountant acc;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(acc.Spend(0.5));
+  EXPECT_DOUBLE_EQ(acc.total_epsilon(), 50.0);
+  EXPECT_DOUBLE_EQ(acc.total_delta(), 0.0);
+}
+
+}  // namespace
+}  // namespace dpstore

@@ -1,0 +1,104 @@
+#include <algorithm>
+#include <initializer_list>
+
+#include <gtest/gtest.h>
+
+#include "analysis/sequence_audit.h"
+
+namespace dpstore {
+namespace {
+
+RamSequence Reads(std::initializer_list<BlockId> indices) {
+  RamSequence seq;
+  for (BlockId i : indices) seq.push_back(RamQuery{i, false});
+  return seq;
+}
+
+TEST(Lemma67Test, DivergenceSetContainsKAndNextQueries) {
+  // Q  = 5 1 3 1 5 3 ; Q' = 5 2 3 1 5 3, k=1.
+  RamSequence q = Reads({5, 1, 3, 1, 5, 3});
+  RamSequence q2 = WithReplacedQuery(q, 1, RamQuery{2, false});
+  auto set = Lemma67DivergenceSet(q, q2, 1);
+  // nx(Q,1) = 3 (record 1 queried again at position 3); record 2 never
+  // appears again in Q' -> no third element.
+  EXPECT_EQ(set, (std::vector<size_t>{1, 3}));
+}
+
+TEST(Lemma67Test, BothNextQueriesIncluded) {
+  // Q  = 1 2 1 2 ; Q' = 2 2 1 2, k=0: nx(Q,0)=2 (record 1), nx(Q',0)=1
+  // (record 2).
+  RamSequence q = Reads({1, 2, 1, 2});
+  RamSequence q2 = WithReplacedQuery(q, 0, RamQuery{2, false});
+  auto set = Lemma67DivergenceSet(q, q2, 0);
+  EXPECT_EQ(set, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(Lemma67Test, LastPositionHasNoNext) {
+  RamSequence q = Reads({1, 2, 3});
+  RamSequence q2 = WithReplacedQuery(q, 2, RamQuery{0, false});
+  auto set = Lemma67DivergenceSet(q, q2, 2);
+  EXPECT_EQ(set, (std::vector<size_t>{2}));
+}
+
+TEST(Lemma67Test, AtMostThreePositions) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    RamSequence q = UniformRamSequence(&rng, 6, 12, 0.3);
+    size_t k = rng.Uniform(12);
+    RamQuery replacement{(q[k].index + 1 + rng.Uniform(5)) % 6,
+                         rng.Bernoulli(0.5)};
+    RamSequence q2 = WithReplacedQuery(q, k, replacement);
+    auto set = Lemma67DivergenceSet(q, q2, k);
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_LE(set.size(), 3u);
+    EXPECT_TRUE(std::find(set.begin(), set.end(), k) != set.end());
+  }
+}
+
+TEST(AuditPositionsTest, DetectsPlantedDivergence) {
+  // Synthetic events: position 0 identical, position 1 heavily skewed.
+  std::vector<std::vector<std::vector<uint64_t>>> events(2);
+  Rng rng(7);
+  for (int t = 0; t < 5000; ++t) {
+    uint64_t same = rng.Uniform(4);
+    events[0].push_back({same, rng.Bernoulli(0.9) ? 0u : 1u});
+    events[1].push_back({same, rng.Bernoulli(0.1) ? 0u : 1u});
+  }
+  SequenceAuditResult result = AuditPositions(events, /*allowed=*/{1});
+  ASSERT_EQ(result.positions.size(), 2u);
+  EXPECT_LT(result.positions[0].epsilon_hat, 0.15);
+  EXPECT_GT(result.positions[1].epsilon_hat, 1.0);
+  EXPECT_EQ(result.divergent_count, 1u);
+  EXPECT_EQ(result.unexplained_count, 0u);
+  EXPECT_GT(result.total_epsilon, 1.0);
+}
+
+TEST(AuditPositionsTest, FlagsUnexplainedDivergence) {
+  std::vector<std::vector<std::vector<uint64_t>>> events(2);
+  Rng rng(9);
+  for (int t = 0; t < 5000; ++t) {
+    events[0].push_back({rng.Bernoulli(0.9) ? 0u : 1u});
+    events[1].push_back({rng.Bernoulli(0.1) ? 0u : 1u});
+  }
+  // Divergence at position 0, but the allowed set is empty.
+  SequenceAuditResult result = AuditPositions(events, /*allowed=*/{});
+  EXPECT_EQ(result.divergent_count, 1u);
+  EXPECT_EQ(result.unexplained_count, 1u);
+}
+
+TEST(AuditPositionsTest, IdenticalStreamsShowNothing) {
+  std::vector<std::vector<std::vector<uint64_t>>> events(2);
+  Rng rng(11);
+  for (int t = 0; t < 3000; ++t) {
+    uint64_t a = rng.Uniform(3);
+    uint64_t b = rng.Uniform(3);
+    events[0].push_back({a, b});
+    events[1].push_back({a, b});
+  }
+  SequenceAuditResult result = AuditPositions(events, /*allowed=*/{0, 1});
+  EXPECT_EQ(result.divergent_count, 0u);
+  EXPECT_DOUBLE_EQ(result.total_epsilon, 0.0);
+}
+
+}  // namespace
+}  // namespace dpstore

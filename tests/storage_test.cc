@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "storage/block.h"
+#include "storage/server.h"
+#include "storage/stash.h"
+#include "storage/transcript.h"
+
+namespace dpstore {
+namespace {
+
+// --- Block helpers -----------------------------------------------------------
+
+TEST(BlockTest, ZeroBlock) {
+  Block b = ZeroBlock(16);
+  EXPECT_EQ(b.size(), 16u);
+  for (uint8_t byte : b) EXPECT_EQ(byte, 0);
+}
+
+TEST(BlockTest, StringRoundTrip) {
+  Block b = BlockFromString("hello", 16);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_EQ(BlockToString(b), "hello");
+}
+
+TEST(BlockTest, StringTruncation) {
+  Block b = BlockFromString("a very long string indeed", 8);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(BlockToString(b), "a very l");
+}
+
+TEST(BlockTest, MarkerBlocksDistinct) {
+  Block a = MarkerBlock(1, 32);
+  Block b = MarkerBlock(2, 32);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(IsMarkerBlock(a, 1));
+  EXPECT_FALSE(IsMarkerBlock(a, 2));
+  EXPECT_TRUE(IsMarkerBlock(b, 2));
+}
+
+TEST(BlockTest, RandomBlockHasRequestedSize) {
+  Rng rng(1);
+  for (size_t size : {1u, 7u, 8u, 64u, 100u}) {
+    EXPECT_EQ(RandomBlock(&rng, size).size(), size);
+  }
+}
+
+// --- Transcript ---------------------------------------------------------------
+
+TEST(TranscriptTest, RecordsEventsAndCounts) {
+  Transcript t;
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 3);
+  t.Record(AccessEvent::Type::kUpload, 7);
+  EXPECT_EQ(t.query_count(), 1u);
+  EXPECT_EQ(t.download_count(), 1u);
+  EXPECT_EQ(t.upload_count(), 1u);
+  EXPECT_EQ(t.TotalBlocksMoved(), 2u);
+}
+
+TEST(TranscriptTest, PerQuerySlices) {
+  Transcript t;
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 1);
+  t.Record(AccessEvent::Type::kDownload, 2);
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 5);
+  t.Record(AccessEvent::Type::kUpload, 5);
+  EXPECT_EQ(t.query_count(), 2u);
+  EXPECT_EQ(t.QueryDownloads(0), (std::vector<BlockId>{1, 2}));
+  EXPECT_TRUE(t.QueryUploads(0).empty());
+  EXPECT_EQ(t.QueryDownloads(1), (std::vector<BlockId>{5}));
+  EXPECT_EQ(t.QueryUploads(1), (std::vector<BlockId>{5}));
+}
+
+TEST(TranscriptTest, BlocksPerQuery) {
+  Transcript t;
+  EXPECT_DOUBLE_EQ(t.BlocksPerQuery(), 0.0);
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 0);
+  t.Record(AccessEvent::Type::kDownload, 1);
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 2);
+  t.Record(AccessEvent::Type::kUpload, 2);
+  EXPECT_DOUBLE_EQ(t.BlocksPerQuery(), 2.0);
+}
+
+TEST(TranscriptTest, ClearResets) {
+  Transcript t;
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 0);
+  t.Clear();
+  EXPECT_EQ(t.query_count(), 0u);
+  EXPECT_EQ(t.TotalBlocksMoved(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(TranscriptTest, ToStringRendersEvents) {
+  Transcript t;
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kDownload, 3);
+  t.BeginQuery();
+  t.Record(AccessEvent::Type::kUpload, 4);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("D3"), std::string::npos);
+  EXPECT_NE(s.find("U4"), std::string::npos);
+  EXPECT_NE(s.find("|"), std::string::npos);
+}
+
+// --- StorageServer --------------------------------------------------------------
+
+TEST(StorageServerTest, DownloadUploadRoundTrip) {
+  StorageServer server(8, 16);
+  Block b = MarkerBlock(5, 16);
+  ASSERT_TRUE(server.Upload(5, b).ok());
+  auto got = server.Download(5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, b);
+}
+
+TEST(StorageServerTest, OutOfRangeRejected) {
+  StorageServer server(4, 8);
+  EXPECT_EQ(server.Download(4).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(server.Upload(9, ZeroBlock(8)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StorageServerTest, BlockSizeEnforced) {
+  StorageServer server(4, 8);
+  EXPECT_EQ(server.Upload(0, ZeroBlock(7)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SetArray({ZeroBlock(8), ZeroBlock(9)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StorageServerTest, SetArrayReplacesContents) {
+  StorageServer server(2, 4);
+  ASSERT_TRUE(server.SetArray({MarkerBlock(0, 4), MarkerBlock(1, 4)}).ok());
+  EXPECT_TRUE(IsMarkerBlock(*server.Download(0), 0));
+  EXPECT_TRUE(IsMarkerBlock(*server.Download(1), 1));
+}
+
+TEST(StorageServerTest, TranscriptRecordsAllOperations) {
+  StorageServer server(8, 4);
+  server.BeginQuery();
+  ASSERT_TRUE(server.Download(1).ok());
+  ASSERT_TRUE(server.Upload(2, ZeroBlock(4)).ok());
+  server.BeginQuery();
+  ASSERT_TRUE(server.Download(3).ok());
+  const Transcript& t = server.transcript();
+  EXPECT_EQ(t.query_count(), 2u);
+  EXPECT_EQ(t.download_count(), 2u);
+  EXPECT_EQ(t.upload_count(), 1u);
+  EXPECT_EQ(server.bytes_moved(), 3u * 4u);
+}
+
+TEST(StorageServerTest, SetArrayNotRecorded) {
+  StorageServer server(2, 4);
+  ASSERT_TRUE(server.SetArray({ZeroBlock(4), ZeroBlock(4)}).ok());
+  EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
+}
+
+TEST(StorageServerTest, ResetTranscript) {
+  StorageServer server(2, 4);
+  server.BeginQuery();
+  ASSERT_TRUE(server.Download(0).ok());
+  server.ResetTranscript();
+  EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
+  EXPECT_EQ(server.transcript().query_count(), 0u);
+}
+
+TEST(StorageServerTest, FaultInjectionFailsSomeOperations) {
+  StorageServer server(4, 4);
+  server.SetFailureRate(0.5, /*seed=*/3);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!server.Download(0).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+  // Failed operations are not recorded.
+  EXPECT_EQ(server.transcript().download_count(),
+            static_cast<uint64_t>(200 - failures));
+}
+
+TEST(StorageServerTest, FaultInjectionReturnsUnavailable) {
+  StorageServer server(4, 4);
+  server.SetFailureRate(1.0);
+  EXPECT_EQ(server.Download(0).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.Upload(0, ZeroBlock(4)).code(), StatusCode::kUnavailable);
+  server.SetFailureRate(0.0);
+  EXPECT_TRUE(server.Download(0).ok());
+}
+
+TEST(StorageServerTest, CorruptBlockFlipsContent) {
+  StorageServer server(2, 4);
+  ASSERT_TRUE(server.Upload(0, MarkerBlock(0, 4)).ok());
+  server.CorruptBlock(0);
+  EXPECT_FALSE(IsMarkerBlock(*server.Download(0), 0));
+}
+
+// --- Stash ----------------------------------------------------------------------
+
+TEST(StashTest, PutGetTake) {
+  Stash stash;
+  EXPECT_TRUE(stash.empty());
+  stash.Put(3, MarkerBlock(3, 8));
+  EXPECT_TRUE(stash.Contains(3));
+  EXPECT_FALSE(stash.Contains(4));
+  auto got = stash.Get(3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(IsMarkerBlock(*got, 3));
+  EXPECT_EQ(stash.size(), 1u);  // Get does not remove
+  auto taken = stash.Take(3);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_TRUE(stash.empty());
+  EXPECT_FALSE(stash.Take(3).has_value());
+}
+
+TEST(StashTest, PutOverwrites) {
+  Stash stash;
+  stash.Put(1, MarkerBlock(1, 8));
+  stash.Put(1, MarkerBlock(2, 8));
+  EXPECT_EQ(stash.size(), 1u);
+  EXPECT_TRUE(IsMarkerBlock(*stash.Get(1), 2));
+}
+
+TEST(StashTest, PeakTracksMaximum) {
+  Stash stash;
+  stash.Put(1, ZeroBlock(4));
+  stash.Put(2, ZeroBlock(4));
+  stash.Put(3, ZeroBlock(4));
+  stash.Take(1);
+  stash.Take(2);
+  EXPECT_EQ(stash.size(), 1u);
+  EXPECT_EQ(stash.peak_size(), 3u);
+}
+
+TEST(StashTest, IdsListsContents) {
+  Stash stash;
+  stash.Put(5, ZeroBlock(4));
+  stash.Put(9, ZeroBlock(4));
+  auto ids = stash.Ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<BlockId>{5, 9}));
+}
+
+}  // namespace
+}  // namespace dpstore

@@ -1,0 +1,140 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "oram/tunable_dp_oram.h"
+
+namespace dpstore {
+namespace {
+
+constexpr size_t kBlockSize = 32;
+
+std::vector<Block> MakeDatabase(uint64_t n) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kBlockSize);
+  return db;
+}
+
+TEST(TunableDpOramTest, CorrectAtEveryLocality) {
+  for (uint64_t h : {uint64_t{0}, uint64_t{2}, uint64_t{4}, uint64_t{16}}) {
+    TunableDpOramOptions options;
+    options.block_size = kBlockSize;
+    options.remap_subtree_height = h;
+    options.seed = h + 1;
+    TunableDpOram oram(MakeDatabase(64), options);
+    std::map<BlockId, uint64_t> reference;
+    for (uint64_t i = 0; i < 64; ++i) reference[i] = i;
+    Rng rng(h * 13 + 7);
+    for (int op = 0; op < 1500; ++op) {
+      BlockId id = rng.Uniform(64);
+      if (rng.Bernoulli(0.4)) {
+        uint64_t marker = 7000 + static_cast<uint64_t>(op);
+        ASSERT_TRUE(oram.Write(id, MarkerBlock(marker, kBlockSize)).ok());
+        reference[id] = marker;
+      } else {
+        auto got = oram.Read(id);
+        ASSERT_TRUE(got.ok());
+        EXPECT_TRUE(IsMarkerBlock(*got, reference[id]))
+            << "h=" << h << " op=" << op;
+      }
+    }
+  }
+}
+
+TEST(TunableDpOramTest, BandwidthIndependentOfLocality) {
+  // The paper's critique in one assert: the knob never reduces cost.
+  uint64_t blocks_full = 0;
+  for (uint64_t h : {uint64_t{0}, uint64_t{3}, uint64_t{32}}) {
+    TunableDpOramOptions options;
+    options.block_size = kBlockSize;
+    options.remap_subtree_height = h;
+    TunableDpOram oram(MakeDatabase(256), options);
+    if (blocks_full == 0) blocks_full = oram.BlocksPerAccess();
+    EXPECT_EQ(oram.BlocksPerAccess(), blocks_full);
+    oram.server().ResetTranscript();
+    ASSERT_TRUE(oram.Read(0).ok());
+    EXPECT_EQ(oram.server().transcript().TotalBlocksMoved(), blocks_full);
+  }
+}
+
+TEST(TunableDpOramTest, ZeroLocalityPinsLeavesMostly) {
+  // h=0 with escape probability 0: the same block's accesses always read
+  // the same path - the degenerate no-privacy end of the knob.
+  TunableDpOramOptions options;
+  options.block_size = kBlockSize;
+  options.remap_subtree_height = 0;
+  options.remap_escape_probability = 0.0;
+  TunableDpOram oram(MakeDatabase(64), options);
+  ASSERT_TRUE(oram.Read(5).ok());
+  auto first = oram.server().transcript().QueryDownloads(0);
+  oram.server().ResetTranscript();
+  ASSERT_TRUE(oram.Read(5).ok());
+  auto second = oram.server().transcript().QueryDownloads(0);
+  EXPECT_EQ(first, second) << "h=0, escape=0 must repeat the path";
+}
+
+TEST(TunableDpOramTest, FullLocalityIsUnconstrainedPathOram) {
+  // h >= log n: repeated accesses read independent uniform paths; over many
+  // repetitions the leaf path must change.
+  TunableDpOramOptions options;
+  options.block_size = kBlockSize;
+  options.remap_subtree_height = 64;
+  TunableDpOram oram(MakeDatabase(64), options);
+  std::vector<BlockId> last;
+  int changes = 0;
+  for (int t = 0; t < 30; ++t) {
+    oram.server().ResetTranscript();
+    ASSERT_TRUE(oram.Read(5).ok());
+    auto downloads = oram.server().transcript().QueryDownloads(0);
+    if (!last.empty() && downloads != last) ++changes;
+    last = downloads;
+  }
+  EXPECT_GT(changes, 15);
+}
+
+TEST(TunableDpOramTest, EscapeProbabilityBreaksPinning) {
+  // With escape > 0 even h=0 eventually moves the block.
+  TunableDpOramOptions options;
+  options.block_size = kBlockSize;
+  options.remap_subtree_height = 0;
+  options.remap_escape_probability = 0.5;
+  options.seed = 9;
+  TunableDpOram oram(MakeDatabase(64), options);
+  std::vector<BlockId> last;
+  int changes = 0;
+  for (int t = 0; t < 40; ++t) {
+    oram.server().ResetTranscript();
+    ASSERT_TRUE(oram.Read(5).ok());
+    auto downloads = oram.server().transcript().QueryDownloads(0);
+    if (!last.empty() && downloads != last) ++changes;
+    last = downloads;
+  }
+  EXPECT_GT(changes, 5);
+}
+
+TEST(TunableDpOramTest, RecursivePositionMapComposes) {
+  TunableDpOramOptions options;
+  options.block_size = kBlockSize;
+  options.remap_subtree_height = 2;
+  options.recursive_position_map = true;
+  TunableDpOram oram(MakeDatabase(512), options);
+  EXPECT_GT(oram.RoundtripsPerAccess(), 1u);
+  std::map<BlockId, uint64_t> reference;
+  for (uint64_t i = 0; i < 512; ++i) reference[i] = i;
+  Rng rng(17);
+  for (int op = 0; op < 600; ++op) {
+    BlockId id = rng.Uniform(512);
+    if (rng.Bernoulli(0.5)) {
+      uint64_t marker = 9000 + static_cast<uint64_t>(op);
+      ASSERT_TRUE(oram.Write(id, MarkerBlock(marker, kBlockSize)).ok());
+      reference[id] = marker;
+    } else {
+      auto got = oram.Read(id);
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(IsMarkerBlock(*got, reference[id]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpstore
