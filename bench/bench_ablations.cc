@@ -7,6 +7,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/empirical_dp.h"
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
@@ -44,8 +46,9 @@ void KConstantAblation() {
         .AddDouble(a_proof, 2)
         .AddUint(k_pseudo)
         .AddDouble(a_pseudo, 2)
-        .AddCell(a_pseudo > eps ? "+" + FormatDouble(a_pseudo - eps, 2)
-                                : "none");
+        .AddCell(a_pseudo > eps
+                     ? std::string("+").append(FormatDouble(a_pseudo - eps, 2))
+                     : std::string("none"));
   }
   table.Print(std::cout);
   std::cout << "The pseudocode constant under-provisions K by the 1/alpha\n"
@@ -184,6 +187,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("ablations");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
 #include "util/table.h"
@@ -61,6 +63,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpir_bandwidth");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

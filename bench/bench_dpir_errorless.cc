@@ -6,6 +6,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
 #include "pir/trivial_pir.h"
@@ -57,6 +59,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpir_errorless");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

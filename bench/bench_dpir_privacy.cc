@@ -5,6 +5,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/empirical_dp.h"
 #include "core/dp_ir.h"
 #include "util/table.h"
@@ -70,6 +72,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpir_privacy");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

@@ -5,6 +5,8 @@
 // and print measured blocks/operation across n, plus client storage.
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/workload.h"
 #include "core/dp_kvs.h"
 #include "oram/cuckoo_oram_kvs.h"
@@ -137,6 +139,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpkvs");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

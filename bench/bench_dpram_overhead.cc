@@ -5,6 +5,8 @@
 // the paper's related work ([50]) is built on.
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/cost_model.h"
 #include "analysis/workload.h"
 #include "core/dp_ram.h"
@@ -151,6 +153,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpram_overhead");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

@@ -7,6 +7,8 @@
 // pairs and check divergence is confined to the Lemma 6.7 set.
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/empirical_dp.h"
 #include "analysis/sequence_audit.h"
 #include "core/dp_ram.h"
@@ -125,6 +127,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpram_positions");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

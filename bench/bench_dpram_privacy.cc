@@ -7,6 +7,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/empirical_dp.h"
 #include "core/dp_params.h"
 #include "core/dp_ram.h"
@@ -88,6 +90,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpram_privacy");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

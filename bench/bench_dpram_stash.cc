@@ -5,6 +5,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/dp_ram.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -75,6 +77,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("dpram_stash");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

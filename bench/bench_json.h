@@ -1,0 +1,123 @@
+#ifndef DPSTORE_BENCH_BENCH_JSON_H_
+#define DPSTORE_BENCH_BENCH_JSON_H_
+
+// Shared machine-readable result emitter for the bench/ binaries.
+//
+// Each bench constructs one `BenchJson emitter("name");` at the top of
+// main, optionally records scalar metrics while it runs, and calls
+// `emitter.Emit()` before returning. Emit() prints one self-delimiting
+// stdout line of the form
+//
+//   BENCH_<name>.json: {"bench":"<name>","wall_ms":...,...}
+//
+// so a log scraper can recover every result with a single grep, and — when
+// the DPSTORE_BENCH_JSON_DIR environment variable names a directory — also
+// writes the same object to <dir>/BENCH_<name>.json so perf trajectories
+// can be collected as files across runs.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dpstore {
+namespace bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Records a scalar metric. Keys repeat in insertion order; callers are
+  /// expected to use distinct keys. The integral template keeps plain-int
+  /// literals from being ambiguous between double and a fixed-width type.
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, FormatDouble(value));
+  }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  void Metric(const std::string& key, T value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+  void Metric(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, Quote(value));
+  }
+
+  /// Prints the BENCH_<name>.json line and (if DPSTORE_BENCH_JSON_DIR is
+  /// set) writes the sidecar file. Safe to call exactly once.
+  void Emit(std::ostream& os = std::cout) const {
+    const std::string object = Render();
+    os << "BENCH_" << name_ << ".json: " << object << "\n";
+    if (const char* dir = std::getenv("DPSTORE_BENCH_JSON_DIR")) {
+      const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+      std::ofstream file(path);
+      if (file) {
+        file << object << "\n";
+      } else {
+        std::cerr << "bench_json: cannot write " << path
+                  << " (DPSTORE_BENCH_JSON_DIR missing or unwritable)\n";
+      }
+    }
+  }
+
+ private:
+  std::string Render() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    std::ostringstream out;
+    out << "{\"bench\":" << Quote(name_) << ",\"wall_ms\":"
+        << FormatDouble(wall_ms);
+    for (const auto& [key, rendered] : metrics_) {
+      out << "," << Quote(key) << ":" << rendered;
+    }
+    out << "}";
+    return out.str();
+  }
+
+  // JSON has no inf/nan literals; map non-finite values to null.
+  static std::string FormatDouble(double value) {
+    if (!std::isfinite(value)) return "null";
+    std::ostringstream out;
+    out.precision(6);
+    out << std::fixed << value;
+    return out.str();
+  }
+
+  static std::string Quote(const std::string& raw) {
+    std::string out = "\"";
+    for (char c : raw) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+}  // namespace bench
+}  // namespace dpstore
+
+#endif  // DPSTORE_BENCH_BENCH_JSON_H_

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "core/dp_params.h"
 #include "core/dp_ram.h"
 #include "util/table.h"
@@ -100,6 +102,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("lower_bounds");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_json.h"
+
 #include "core/dp_params.h"
 #include "analysis/empirical_dp.h"
 #include "core/multi_server_dp_ir.h"
@@ -164,6 +166,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("multiserver");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

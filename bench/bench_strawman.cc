@@ -6,6 +6,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/empirical_dp.h"
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
@@ -90,6 +92,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("strawman");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

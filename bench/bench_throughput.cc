@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "analysis/workload.h"
 #include "core/dp_ir.h"
 #include "core/dp_kvs.h"
@@ -156,4 +158,12 @@ BENCHMARK(BM_OramKvsGet)->Arg(1 << 10);
 }  // namespace
 }  // namespace dpstore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dpstore::bench::BenchJson json("throughput");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  json.Emit();
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
+
 #include "analysis/empirical_dp.h"
 #include "core/dp_ram.h"
 #include "oram/tunable_dp_oram.h"
@@ -111,6 +113,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("tunable_oram");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

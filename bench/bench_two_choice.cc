@@ -9,6 +9,8 @@
 #include <iostream>
 #include <map>
 
+#include "bench_json.h"
+
 #include "core/dp_kvs.h"
 #include "hashing/bucket_tree.h"
 #include "hashing/two_choice.h"
@@ -158,6 +160,8 @@ void Run() {
 }  // namespace dpstore
 
 int main() {
+  dpstore::bench::BenchJson json("two_choice");
   dpstore::Run();
+  json.Emit();
   return 0;
 }

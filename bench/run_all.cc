@@ -1,0 +1,146 @@
+// Unified bench runner: executes every bench binary that was built next to
+// this driver, forwards DPSTORE_BENCH_JSON_DIR so each one drops its
+// BENCH_<name>.json line/file, and prints a pass/fail summary.
+//
+// Usage:
+//   run_all              # run every built bench binary
+//   run_all dpkvs two_choice   # run a subset (names with or without bench_)
+//   run_all --list       # print the known bench names and exit
+//
+// Exit status is 0 iff at least one bench ran and every one that ran
+// exited 0. Benches that were not built (e.g. bench_throughput without
+// google-benchmark) are reported as skipped, not failed, so a minimal
+// container can still run the sweep; unknown names and an all-skipped
+// sweep are errors, so a misconfigured CI job cannot silently pass.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
+// The bench list is injected by bench/CMakeLists.txt (colon-separated) so
+// CMake stays the single source of truth; a bench added there is
+// automatically part of the sweep.
+#ifndef DPSTORE_BENCH_LIST
+#error "DPSTORE_BENCH_LIST must be defined; build run_all via bench/CMakeLists.txt"
+#endif
+
+namespace {
+
+std::vector<std::string> KnownBenches() {
+  std::vector<std::string> benches;
+  std::istringstream in(DPSTORE_BENCH_LIST);
+  for (std::string name; std::getline(in, name, ':');) {
+    if (!name.empty()) benches.push_back(name);
+  }
+  return benches;
+}
+
+std::string Normalize(std::string name) {
+  if (name.rfind("bench_", 0) != 0) name = "bench_" + name;
+  return name;
+}
+
+bool Selected(const std::string& bench, const std::vector<std::string>& want) {
+  if (want.empty()) return true;
+  for (const std::string& w : want) {
+    if (bench == w) return true;
+  }
+  return false;
+}
+
+// Directory holding this binary (and its sibling benches). argv[0] is
+// unreliable under PATH lookup, so prefer /proc/self/exe where it exists.
+std::filesystem::path SelfDir(const char* argv0) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) self = fs::absolute(argv0);
+  return self.parent_path();
+}
+
+std::string DescribeStatus(int raw) {
+#ifdef __unix__
+  if (WIFEXITED(raw)) return "exit code " + std::to_string(WEXITSTATUS(raw));
+  if (WIFSIGNALED(raw)) return "signal " + std::to_string(WTERMSIG(raw));
+#endif
+  return "status " + std::to_string(raw);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> benches = KnownBenches();
+  std::vector<std::string> want;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const std::string& bench : benches) std::cout << bench << "\n";
+      return 0;
+    }
+    want.push_back(Normalize(arg));
+  }
+
+  // A typo'd bench name must not silently "pass" by selecting nothing.
+  for (const std::string& w : want) {
+    bool known = false;
+    for (const std::string& bench : benches) {
+      if (w == bench) known = true;
+    }
+    if (!known) {
+      std::cerr << "run_all: unknown bench '" << w
+                << "' (see run_all --list)\n";
+      return 2;
+    }
+  }
+
+  const fs::path dir = SelfDir(argv[0]);
+
+  int ran = 0, failed = 0, skipped = 0;
+  std::vector<std::string> failures;
+  for (const std::string& bench : benches) {
+    if (!Selected(bench, want)) continue;
+    const fs::path binary = dir / bench;
+    if (!fs::exists(binary)) {
+      std::cout << "=== " << bench << ": SKIPPED (not built) ===\n";
+      ++skipped;
+      continue;
+    }
+    std::cout << "=== " << bench << " ===\n" << std::flush;
+    std::string command = "\"";
+    command += binary.string();
+    command += "\"";
+    const int status = std::system(command.c_str());
+    ++ran;
+    if (status != 0) {
+      ++failed;
+      failures.push_back(bench);
+      std::cout << "=== " << bench << ": FAILED (" << DescribeStatus(status)
+                << ") ===\n";
+    }
+  }
+
+  std::cout << "\nrun_all: " << ran << " ran, " << failed << " failed, "
+            << skipped << " skipped\n";
+  for (const std::string& bench : failures) {
+    std::cout << "  FAILED: " << bench << "\n";
+  }
+  if (ran == 0) {
+    if (skipped > 0) {
+      std::cerr << "run_all: every selected bench was skipped (not built in "
+                << dir.string() << ")\n";
+    } else {
+      std::cerr << "run_all: no bench binaries found next to " << dir.string()
+                << "/run_all — run from the build tree\n";
+    }
+    return 2;
+  }
+  return failed == 0 ? 0 : 1;
+}
