@@ -10,6 +10,7 @@
 
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
+#include "storage/server.h"
 #include "util/table.h"
 
 namespace dpstore {

@@ -11,6 +11,7 @@
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
 #include "pir/trivial_pir.h"
+#include "storage/server.h"
 #include "util/table.h"
 
 namespace dpstore {

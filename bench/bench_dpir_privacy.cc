@@ -9,6 +9,7 @@
 
 #include "analysis/empirical_dp.h"
 #include "core/dp_ir.h"
+#include "storage/server.h"
 #include "util/table.h"
 
 namespace dpstore {

@@ -12,6 +12,7 @@
 #include "analysis/empirical_dp.h"
 #include "core/multi_server_dp_ir.h"
 #include "pir/xor_pir.h"
+#include "storage/server.h"
 #include "util/table.h"
 
 namespace dpstore {
@@ -34,7 +35,7 @@ void ConstructionSweep() {
                       "lb(t=1/D)", "per_server_eps"});
   for (uint64_t d : {uint64_t{2}, uint64_t{3}, uint64_t{4}, uint64_t{8}}) {
     std::vector<std::unique_ptr<StorageServer>> replicas;
-    std::vector<StorageServer*> pointers;
+    std::vector<StorageBackend*> pointers;
     for (uint64_t s = 0; s < d; ++s) {
       replicas.push_back(std::make_unique<StorageServer>(kN, kBlockSize));
       DPSTORE_CHECK_OK(replicas.back()->SetArray(MakeDatabase(kN)));
@@ -51,7 +52,7 @@ void ConstructionSweep() {
       DPSTORE_CHECK_OK(ir.Query(static_cast<BlockId>(q)).status());
     }
     uint64_t total = 0;
-    for (StorageServer* s : pointers) total += s->download_count();
+    for (StorageBackend* s : pointers) total += s->download_count();
     table.AddRow()
         .AddUint(d)
         .AddUint(ir.k())
@@ -79,7 +80,7 @@ void EpsilonSweep() {
   double log_n = std::log(static_cast<double>(kN));
   for (double eps : {1.0, 2.0, 4.0, 6.0, 8.0, log_n}) {
     std::vector<std::unique_ptr<StorageServer>> replicas;
-    std::vector<StorageServer*> pointers;
+    std::vector<StorageBackend*> pointers;
     for (uint64_t s = 0; s < 2; ++s) {
       replicas.push_back(std::make_unique<StorageServer>(kN, kBlockSize));
       DPSTORE_CHECK_OK(replicas.back()->SetArray(MakeDatabase(kN)));
@@ -108,7 +109,7 @@ void CorruptedViewPrivacy() {
                       "one_sided_mass"});
   for (double eps : {2.0, 3.0, 4.0}) {
     std::vector<std::unique_ptr<StorageServer>> replicas;
-    std::vector<StorageServer*> pointers;
+    std::vector<StorageBackend*> pointers;
     for (uint64_t s = 0; s < 4; ++s) {
       replicas.push_back(std::make_unique<StorageServer>(kSmallN,
                                                          kBlockSize));

@@ -12,6 +12,7 @@
 #include "core/dp_ir.h"
 #include "core/dp_params.h"
 #include "core/strawman_ir.h"
+#include "storage/server.h"
 #include "util/table.h"
 
 namespace dpstore {

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "storage/backend.h"
+#include "storage/transcript.h"
+
 namespace dpstore {
 
 /// Simple client-server latency model turning the paper's two cost axes -
@@ -19,6 +22,19 @@ struct CostModel {
 
   double QueryLatencyMs(double blocks, double roundtrips) const {
     return roundtrips * roundtrip_ms + blocks * per_block_ms;
+  }
+
+  /// Wall-clock estimate for everything a transcript metered. Works in
+  /// counting-only mode too: only the tallies are read.
+  double TranscriptLatencyMs(const Transcript& t) const {
+    return QueryLatencyMs(static_cast<double>(t.TotalBlocksMoved()),
+                          static_cast<double>(t.roundtrip_count()));
+  }
+
+  /// Wall-clock estimate for aggregated scheme-level transport stats.
+  double StatsLatencyMs(const TransportStats& s) const {
+    return QueryLatencyMs(static_cast<double>(s.blocks_moved),
+                          static_cast<double>(s.roundtrips));
   }
 };
 

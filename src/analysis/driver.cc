@@ -1,0 +1,75 @@
+#include "analysis/driver.h"
+
+#include <chrono>
+
+namespace dpstore {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+StatusOr<WorkloadReport> RunRamWorkload(RamScheme* scheme,
+                                        const RamSequence& sequence) {
+  DPSTORE_CHECK(scheme != nullptr);
+  WorkloadReport report;
+  const TransportStats before = scheme->TransportTotals();
+  const auto start = std::chrono::steady_clock::now();
+  for (const RamQuery& query : sequence) {
+    if (query.index >= scheme->n()) {
+      return OutOfRangeError("workload index exceeds scheme size");
+    }
+    if (query.is_write && scheme->SupportsWrite()) {
+      DPSTORE_RETURN_IF_ERROR(scheme->QueryWrite(
+          query.index, MarkerBlock(query.index, scheme->record_size())));
+    } else {
+      DPSTORE_ASSIGN_OR_RETURN(std::optional<Block> got,
+                               scheme->QueryRead(query.index));
+      if (!got.has_value()) ++report.perp_results;
+    }
+    ++report.operations;
+  }
+  report.wall_ms = ElapsedMs(start);
+  report.transport = scheme->TransportTotals() - before;
+  return report;
+}
+
+StatusOr<WorkloadReport> RunKvsWorkload(KvsScheme* scheme,
+                                        const KvsSequence& sequence) {
+  DPSTORE_CHECK(scheme != nullptr);
+  WorkloadReport report;
+  const TransportStats before = scheme->TransportTotals();
+  const auto start = std::chrono::steady_clock::now();
+  for (const KvsOp& op : sequence) {
+    switch (op.type) {
+      case KvsOp::Type::kGet: {
+        DPSTORE_ASSIGN_OR_RETURN(std::optional<KvsScheme::Value> got,
+                                 scheme->Get(op.key));
+        if (!got.has_value()) ++report.perp_results;
+        ++report.operations;
+        break;
+      }
+      case KvsOp::Type::kPut:
+        DPSTORE_RETURN_IF_ERROR(scheme->Put(
+            op.key, MarkerBlock(op.key, scheme->value_size())));
+        ++report.operations;
+        break;
+      case KvsOp::Type::kErase:
+        if (scheme->SupportsErase()) {
+          DPSTORE_RETURN_IF_ERROR(scheme->Erase(op.key));
+          ++report.operations;
+        }
+        break;
+    }
+  }
+  report.wall_ms = ElapsedMs(start);
+  report.transport = scheme->TransportTotals() - before;
+  return report;
+}
+
+}  // namespace dpstore

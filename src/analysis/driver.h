@@ -1,0 +1,64 @@
+#ifndef DPSTORE_ANALYSIS_DRIVER_H_
+#define DPSTORE_ANALYSIS_DRIVER_H_
+
+#include <cstdint>
+
+#include "analysis/cost_model.h"
+#include "analysis/workload.h"
+#include "core/scheme.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// What one workload run measured: operations executed, perp results (the
+/// allowed error branch of DP-IR-style schemes), and the transport delta the
+/// scheme incurred (blocks/bytes/roundtrips across every backend it talks
+/// to) plus host wall time. The per-op accessors and the cost-model hook
+/// turn the delta into the paper's comparison axes.
+struct WorkloadReport {
+  uint64_t operations = 0;
+  uint64_t perp_results = 0;
+  TransportStats transport;
+  double wall_ms = 0.0;
+
+  double BlocksPerOp() const {
+    return operations == 0
+               ? 0.0
+               : static_cast<double>(transport.blocks_moved) /
+                     static_cast<double>(operations);
+  }
+  double BytesPerOp() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(transport.bytes_moved) /
+                                 static_cast<double>(operations);
+  }
+  double RoundtripsPerOp() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(transport.roundtrips) /
+                                 static_cast<double>(operations);
+  }
+  /// Modeled network latency per operation under `model` (LAN/WAN/...).
+  double LatencyPerOpMs(const CostModel& model) const {
+    return operations == 0
+               ? 0.0
+               : model.StatsLatencyMs(transport) /
+                     static_cast<double>(operations);
+  }
+};
+
+/// Runs `sequence` against any RAM-repertoire scheme through the unified
+/// interface. Writes store MarkerBlock(index) payloads; on read-only schemes
+/// writes degrade to reads so one sequence drives every scheme. Errors abort
+/// the run; perp reads are counted, not errors.
+StatusOr<WorkloadReport> RunRamWorkload(RamScheme* scheme,
+                                        const RamSequence& sequence);
+
+/// Runs `sequence` against any KVS scheme. Puts store
+/// MarkerBlock(key, value_size) payloads; erases are skipped on schemes
+/// without an erase repertoire; Gets of absent keys count as perp.
+StatusOr<WorkloadReport> RunKvsWorkload(KvsScheme* scheme,
+                                        const KvsSequence& sequence);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_ANALYSIS_DRIVER_H_

@@ -1,5 +1,9 @@
 #include "analysis/workload.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
 #include "util/check.h"
 
 namespace dpstore {
@@ -42,6 +46,39 @@ RamSequence ZipfRamSequence(Rng* rng, uint64_t n, size_t len,
     op.is_write = rng->Bernoulli(write_fraction);
   }
   return q;
+}
+
+StatusOr<RamSequence> MakeRamWorkload(const std::string& spec, Rng* rng,
+                                      uint64_t n, size_t len,
+                                      double write_fraction) {
+  if (spec == "uniform") {
+    return UniformRamSequence(rng, n, len, write_fraction);
+  }
+  if (spec == "sequential") {
+    RamSequence q = RamSequence(len);
+    for (size_t i = 0; i < len; ++i) {
+      q[i].index = i % n;
+      q[i].is_write = rng->Bernoulli(write_fraction);
+    }
+    return q;
+  }
+  constexpr std::string_view kZipfPrefix = "zipf:";
+  if (spec.rfind(kZipfPrefix, 0) == 0) {
+    const std::string theta_text = spec.substr(kZipfPrefix.size());
+    char* end = nullptr;
+    const double theta = std::strtod(theta_text.c_str(), &end);
+    // !(theta >= 0) rather than theta < 0: NaN must be rejected here as a
+    // recoverable error, not crash ZipfDistribution's CHECK downstream.
+    if (theta_text.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(theta) || !(theta >= 0.0)) {
+      return InvalidArgumentError("bad zipf theta in workload spec '" + spec +
+                                  "'");
+    }
+    return ZipfRamSequence(rng, n, len, write_fraction, theta);
+  }
+  return InvalidArgumentError(
+      "unknown workload spec '" + spec +
+      "' (known: uniform, sequential, zipf:<theta>)");
 }
 
 uint64_t ScatterKey(uint64_t rank) {

@@ -2,10 +2,12 @@
 #define DPSTORE_ANALYSIS_WORKLOAD_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "storage/block.h"
 #include "util/random.h"
+#include "util/statusor.h"
 
 namespace dpstore {
 
@@ -41,6 +43,14 @@ RamSequence UniformRamSequence(Rng* rng, uint64_t n, size_t len,
                                double write_fraction);
 RamSequence ZipfRamSequence(Rng* rng, uint64_t n, size_t len,
                             double write_fraction, double s);
+
+/// Builds a RAM sequence from a workload spec string, so registry-driven
+/// sweeps can select scenarios by name: "uniform", "sequential", or
+/// "zipf:<theta>" (e.g. "zipf:0.99" for the YCSB default skew).
+/// InvalidArgument on unknown specs or a malformed theta.
+StatusOr<RamSequence> MakeRamWorkload(const std::string& spec, Rng* rng,
+                                      uint64_t n, size_t len,
+                                      double write_fraction);
 
 /// YCSB-style KVS workload over `num_keys` keys drawn from a sparse 64-bit
 /// universe (keys are PRF-scattered so the universe is genuinely large).

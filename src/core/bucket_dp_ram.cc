@@ -29,8 +29,8 @@ BucketDpRam::BucketDpRam(std::vector<std::vector<NodeId>> buckets,
     options_.stash_probability = DefaultStashProbability(buckets_.size());
   }
   DPSTORE_CHECK_LE(options_.stash_probability, 1.0);
-  server_ = std::make_unique<StorageServer>(
-      num_nodes_, crypto::Cipher::CiphertextSize(node_size_));
+  server_ = MakeBackend(options_.backend_factory, num_nodes_,
+                        crypto::Cipher::CiphertextSize(node_size_));
 }
 
 Status BucketDpRam::Setup(const std::vector<Block>& node_plaintexts) {
@@ -106,22 +106,39 @@ StatusOr<std::vector<Block>> BucketDpRam::Query(uint64_t bucket,
   }
   server_->BeginQuery();
   const auto& nodes = buckets_[bucket];
+  const size_t arity = nodes.size();
 
   // Client-state mutations (stash/overlay) are deferred until all server
   // operations succeed so that a mid-query fault rolls back cleanly (same
   // discipline as DpRam::Query).
 
-  // --- Download phase ---
+  // Both phases' bucket choices depend only on client coins, so the 2s
+  // downloads ride one batched exchange (a single roundtrip) and the s
+  // uploads one batched write-back.
+
+  // Download phase: the bucket itself, or a uniformly random dummy bucket
+  // when the queried bucket is stashed (it is then served from the overlay).
   const bool was_stashed = stashed_buckets_.contains(bucket);
-  std::vector<Block> content(nodes.size());
+  const uint64_t download_bucket =
+      was_stashed ? rng_.Uniform(buckets_.size()) : bucket;
+  // Overwrite phase: re-randomize a uniformly random bucket (stash branch)
+  // or download-and-discard the bucket's own nodes before the write-back
+  // (keeping the transcript shape identical across branches).
+  const bool stash_coin = rng_.Bernoulli(options_.stash_probability);
+  const uint64_t overwrite_bucket =
+      stash_coin ? rng_.Uniform(buckets_.size()) : bucket;
+
+  std::vector<BlockId> download_addrs;
+  download_addrs.reserve(2 * arity);
+  for (NodeId node : buckets_[download_bucket]) download_addrs.push_back(node);
+  for (NodeId node : buckets_[overwrite_bucket])
+    download_addrs.push_back(node);
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw,
+                           server_->DownloadMany(download_addrs));
+
+  std::vector<Block> content(arity);
   if (was_stashed) {
-    // Dummy-download a uniformly random bucket, then serve from the overlay.
-    uint64_t d = rng_.Uniform(buckets_.size());
-    for (NodeId node : buckets_[d]) {
-      DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(node));
-      (void)discarded;
-    }
-    for (size_t k = 0; k < nodes.size(); ++k) {
+    for (size_t k = 0; k < arity; ++k) {
       auto it = overlay_.find(nodes[k]);
       DPSTORE_CHECK(it != overlay_.end())
           << "stashed bucket " << bucket << " missing overlay node "
@@ -129,60 +146,55 @@ StatusOr<std::vector<Block>> BucketDpRam::Query(uint64_t bucket,
       content[k] = it->second;
     }
   } else {
-    for (size_t k = 0; k < nodes.size(); ++k) {
-      DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(nodes[k]));
+    for (size_t k = 0; k < arity; ++k) {
       // Appendix E: a node shared with a stashed bucket is served from the
       // client copy, not the (stale) server copy.
       auto it = overlay_.find(nodes[k]);
       if (it != overlay_.end()) {
         content[k] = it->second;
       } else {
-        DPSTORE_ASSIGN_OR_RETURN(content[k], cipher_.Decrypt(std::move(raw)));
+        DPSTORE_ASSIGN_OR_RETURN(content[k],
+                                 cipher_.Decrypt(std::move(raw[k])));
       }
     }
   }
 
   if (mutate != nullptr) {
     (*mutate)(&content);
-    DPSTORE_CHECK_EQ(content.size(), nodes.size())
-        << "mutate changed bucket arity";
+    DPSTORE_CHECK_EQ(content.size(), arity) << "mutate changed bucket arity";
     for (const Block& b : content) DPSTORE_CHECK_EQ(b.size(), node_size_);
   }
 
-  // --- Overwrite phase ---
-  if (rng_.Bernoulli(options_.stash_probability)) {
-    // Re-randomize a uniformly random bucket on the server (possibly stale
-    // copies; staleness is tracked by the overlay, so re-encrypting the
-    // server value verbatim is correct).
-    uint64_t o = rng_.Uniform(buckets_.size());
-    for (NodeId node : buckets_[o]) {
-      DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(node));
-      DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(std::move(raw)));
-      DPSTORE_RETURN_IF_ERROR(server_->Upload(node, cipher_.Encrypt(plain)));
+  // --- Overwrite phase write-back ---
+  const auto& overwrite_nodes = buckets_[overwrite_bucket];
+  std::vector<Block> fresh(arity);
+  if (stash_coin) {
+    // Re-encrypt the overwrite bucket's server copies verbatim (possibly
+    // stale; staleness is tracked by the overlay, so that is correct).
+    for (size_t k = 0; k < arity; ++k) {
+      DPSTORE_ASSIGN_OR_RETURN(Block plain,
+                               cipher_.Decrypt(std::move(raw[arity + k])));
+      fresh[k] = cipher_.Encrypt(plain);
     }
-    // Commit: (re-)stash the bucket with its current content.
+  } else {
+    for (size_t k = 0; k < arity; ++k) fresh[k] = cipher_.Encrypt(content[k]);
+  }
+  DPSTORE_RETURN_IF_ERROR(
+      server_->UploadMany(overwrite_nodes, std::move(fresh)));
+
+  // --- Commit client state ---
+  if (stash_coin) {
+    // (Re-)stash the bucket with its current content.
     if (was_stashed) {
-      for (size_t k = 0; k < nodes.size(); ++k) {
-        overlay_[nodes[k]] = content[k];
-      }
+      for (size_t k = 0; k < arity; ++k) overlay_[nodes[k]] = content[k];
     } else {
       StashBucket(bucket, content);
     }
   } else {
-    // Write the bucket back to its own nodes; keep the transcript shape by
-    // downloading-and-discarding first, as in Algorithm 3.
-    for (NodeId node : nodes) {
-      DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(node));
-      (void)discarded;
-    }
-    for (size_t k = 0; k < nodes.size(); ++k) {
-      DPSTORE_RETURN_IF_ERROR(
-          server_->Upload(nodes[k], cipher_.Encrypt(content[k])));
-    }
-    // Commit: update client copies of shared nodes (Appendix E requires the
-    // write to reach stashed overlapping buckets), then drop this bucket
-    // from the stash.
-    for (size_t k = 0; k < nodes.size(); ++k) {
+    // The write-back reached the server; update client copies of shared
+    // nodes (Appendix E requires the write to reach stashed overlapping
+    // buckets), then drop this bucket from the stash.
+    for (size_t k = 0; k < arity; ++k) {
       auto it = overlay_.find(nodes[k]);
       if (it != overlay_.end()) it->second = content[k];
     }

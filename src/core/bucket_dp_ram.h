@@ -10,7 +10,7 @@
 
 #include "crypto/cipher.h"
 #include "hashing/bucket_tree.h"
-#include "storage/server.h"
+#include "storage/backend.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -21,6 +21,8 @@ struct BucketDpRamOptions {
   /// Stash probability p for bucket stashing, as in DpRamOptions.
   double stash_probability = 0.0;
   uint64_t seed = 4321;
+  /// Storage behind the node array; null means an in-memory StorageServer.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// Appendix E generalization of the Section 6 DP-RAM: the query repertoire
@@ -28,7 +30,9 @@ struct BucketDpRamOptions {
 /// addresses in server storage, and *buckets may overlap*. The server stores
 /// only the underlying nodes once (O(n) storage); a query on bucket sigma
 /// fetches/uploads sigma's s nodes, so each query moves exactly 3s blocks
-/// (the DP-RAM's 2 downloads + 1 upload at bucket granularity).
+/// (the DP-RAM's 2 downloads + 1 upload at bucket granularity). Both
+/// download phases ride one batched exchange and the write-back one batched
+/// upload, so a bucket query is a single roundtrip.
 ///
 /// Overlap handling follows the appendix's prescription: the client keeps an
 /// authoritative overlay copy of every node belonging to a currently stashed
@@ -73,8 +77,8 @@ class BucketDpRam {
   size_t overlay_node_count() const { return overlay_.size(); }
   size_t peak_stashed_bucket_count() const { return peak_stashed_; }
 
-  StorageServer& server() { return *server_; }
-  const StorageServer& server() const { return *server_; }
+  StorageBackend& server() { return *server_; }
+  const StorageBackend& server() const { return *server_; }
 
   /// Authoritative current plaintext of a node (overlay copy if live, else
   /// decrypted server copy). Unrecorded; for tests and invariant checks.
@@ -90,7 +94,7 @@ class BucketDpRam {
   uint64_t num_nodes_;
   size_t node_size_;
   BucketDpRamOptions options_;
-  std::unique_ptr<StorageServer> server_;
+  std::unique_ptr<StorageBackend> server_;
   crypto::Cipher cipher_;
   Rng rng_;
 

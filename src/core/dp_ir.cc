@@ -4,7 +4,7 @@
 
 namespace dpstore {
 
-DpIr::DpIr(StorageServer* server, DpIrOptions options)
+DpIr::DpIr(StorageBackend* server, DpIrOptions options)
     : server_(server), options_(options), rng_(options.seed) {
   DPSTORE_CHECK(server != nullptr);
   DPSTORE_CHECK_GE(options_.epsilon, 0.0);
@@ -51,12 +51,14 @@ StatusOr<std::optional<Block>> DpIr::Query(BlockId index) {
   // download order cannot leak which element was the real query.
   rng_.Shuffle(&download_set);
 
-  std::optional<Block> result;
-  for (uint64_t j : download_set) {
-    DPSTORE_ASSIGN_OR_RETURN(Block b, server_->Download(j));
-    if (!error_branch && j == index) result = std::move(b);
-  }
+  // One batched exchange: K blocks, a single roundtrip.
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> blocks,
+                           server_->DownloadMany(download_set));
   if (error_branch) return std::optional<Block>();
+  std::optional<Block> result;
+  for (size_t i = 0; i < download_set.size(); ++i) {
+    if (download_set[i] == index) result = std::move(blocks[i]);
+  }
   DPSTORE_CHECK(result.has_value());
   return result;
 }

@@ -5,7 +5,8 @@
 #include <optional>
 
 #include "core/dp_params.h"
-#include "storage/server.h"
+#include "core/scheme.h"
+#include "storage/backend.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -42,14 +43,25 @@ struct DpIrOptions {
 /// (Theorem 5.1); the transcript is the *set* of downloaded indices, so the
 /// implementation shuffles the download order to avoid leaking which element
 /// was real through position.
-class DpIr {
+///
+/// The K-subset is fetched as one batched download, so every query is a
+/// single roundtrip.
+class DpIr : public RamScheme {
  public:
   /// `server` must outlive this object and hold the public database.
-  DpIr(StorageServer* server, DpIrOptions options);
+  DpIr(StorageBackend* server, DpIrOptions options);
 
   /// Retrieves block `index`, or nullopt when the scheme's alpha-coin chose
   /// the error branch. Errors (OutOfRange etc.) are propagated.
   StatusOr<std::optional<Block>> Query(BlockId index);
+
+  // RamScheme interface (read-only repertoire).
+  uint64_t n() const override { return server_->n(); }
+  size_t record_size() const override { return server_->block_size(); }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    return Query(id);
+  }
+  TransportStats TransportTotals() const override { return server_->Stats(); }
 
   /// Download-set size per query.
   uint64_t k() const { return k_; }
@@ -58,7 +70,7 @@ class DpIr {
   const DpIrOptions& options() const { return options_; }
 
  private:
-  StorageServer* server_;
+  StorageBackend* server_;
   DpIrOptions options_;
   uint64_t k_;
   bool errorless_;

@@ -130,6 +130,7 @@ DpKvs::DpKvs(DpKvsOptions options)
   BucketDpRamOptions ram_options;
   ram_options.stash_probability = options_.stash_probability;
   ram_options.seed = rng_.NextUint64();
+  ram_options.backend_factory = options_.backend_factory;
   bucket_ram_ = std::make_unique<BucketDpRam>(
       std::move(buckets), geometry_.total_nodes(), codec_.node_size(),
       ram_options);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/bucket_dp_ram.h"
+#include "core/scheme.h"
 #include "crypto/prf.h"
 #include "hashing/bucket_tree.h"
 #include "util/statusor.h"
@@ -64,6 +65,8 @@ struct DpKvsOptions {
   /// DefaultStashProbability of the bucket count.
   double stash_probability = 0.0;
   uint64_t seed = 777;
+  /// Storage behind the bucketized DP-RAM; null means in-memory.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// Differentially private key-value storage (Section 7): keys from the
@@ -84,11 +87,8 @@ struct DpKvsOptions {
 /// super root (capacity Phi(n) = omega(log n)); by Theorem 7.2 the super
 /// root overflows only with negligible probability, which surfaces here as
 /// ResourceExhausted.
-class DpKvs {
+class DpKvs : public KvsScheme {
  public:
-  using Key = uint64_t;
-  using Value = std::vector<uint8_t>;
-
   explicit DpKvs(DpKvsOptions options);
 
   /// Populates an empty store with `items` in one setup pass: the storing
@@ -102,17 +102,22 @@ class DpKvs {
   /// Retrieves the value for `key`, or nullopt if `key` was never stored
   /// (both bucket paths and the super root are always searched; absent keys
   /// cost exactly as much as present ones).
-  StatusOr<std::optional<Value>> Get(Key key);
+  StatusOr<std::optional<Value>> Get(Key key) override;
 
   /// Inserts or updates `key`. Values must be exactly value_size bytes.
-  Status Put(Key key, const Value& value);
+  Status Put(Key key, const Value& value) override;
 
   /// Removes `key` if present (extension beyond the paper's read/overwrite
   /// repertoire; uses the same 2-read + 2-update access shape as Put).
-  Status Erase(Key key);
+  Status Erase(Key key) override;
+  bool SupportsErase() const override { return true; }
 
   /// Number of distinct keys currently stored.
-  uint64_t size() const { return size_; }
+  uint64_t size() const override { return size_; }
+  size_t value_size() const override { return options_.value_size; }
+  TransportStats TransportTotals() const override {
+    return bucket_ram_->server().Stats();
+  }
   uint64_t capacity() const { return options_.capacity; }
 
   uint64_t super_root_size() const { return super_root_.size(); }
@@ -122,7 +127,7 @@ class DpKvs {
   const BucketTreeGeometry& geometry() const { return geometry_; }
   const NodeCodec& codec() const { return codec_; }
   BucketDpRam& bucket_ram() { return *bucket_ram_; }
-  StorageServer& server() { return bucket_ram_->server(); }
+  StorageBackend& server() { return bucket_ram_->server(); }
 
   /// Node blocks moved per Get (2 bucket queries x 3 s(n)).
   uint64_t BlocksPerGet() const { return 2 * 3 * geometry_.path_length(); }

@@ -30,7 +30,7 @@ DpRam::DpRam(std::vector<Block> database, DpRamOptions options)
   size_t server_block_size =
       options_.encrypted ? crypto::Cipher::CiphertextSize(record_size_)
                          : record_size_;
-  server_ = std::make_unique<StorageServer>(n_, server_block_size);
+  server_ = MakeBackend(options_.backend_factory, n_, server_block_size);
   if (options_.encrypted) {
     cipher_ = std::make_unique<crypto::Cipher>(crypto::RandomChaChaKey());
   }
@@ -70,6 +70,11 @@ StatusOr<Block> DpRam::Read(BlockId index) {
   return Query(index, Op::kRead, nullptr);
 }
 
+StatusOr<std::optional<Block>> DpRam::QueryRead(BlockId index) {
+  DPSTORE_ASSIGN_OR_RETURN(Block value, Read(index));
+  return std::optional<Block>(std::move(value));
+}
+
 Status DpRam::Write(BlockId index, Block value) {
   if (!options_.encrypted) {
     return FailedPreconditionError(
@@ -91,48 +96,56 @@ StatusOr<Block> DpRam::Query(BlockId index, Op op, const Block* new_value) {
   // server operation has succeeded, so a mid-query server fault rolls back
   // cleanly instead of dropping the only up-to-date copy of a record.
 
-  // --- Download phase (Algorithm 3) ---
+  // Both phases' download addresses depend only on client coins, so the
+  // query is one batched download exchange (a single roundtrip) followed by
+  // one fire-and-forget upload.
+
+  // --- Download phase address (Algorithm 3) ---
+  // If the record is stashed, download a uniformly random slot as a dummy so
+  // the access pattern is index-independent in this branch.
   const bool was_stashed = stash_.Contains(index);
-  Block current;
-  if (was_stashed) {
-    // Record served from the stash; download a uniformly random slot as a
-    // dummy so the access pattern is index-independent in this branch.
-    BlockId d = rng_.Uniform(n_);
-    DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(d));
-    (void)discarded;
-    current = *stash_.Get(index);
-  } else {
-    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(index));
-    DPSTORE_ASSIGN_OR_RETURN(current, DecodeRecord(std::move(raw)));
-  }
-  if (op == Op::kWrite) current = *new_value;
+  const BlockId download_addr = was_stashed ? rng_.Uniform(n_) : index;
 
   // Retrieval-only mode skips the overwrite phase entirely (Section 6
   // discussion): no upload, no stash re-insertion, no encryption needed.
   // The stash entry (if any) is consumed, matching Algorithm 3's download
   // phase with the overwrite phase deleted.
   if (!options_.encrypted) {
+    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(download_addr));
+    Block current = was_stashed ? *stash_.Get(index) : std::move(raw);
+    if (op == Op::kWrite) current = *new_value;
     if (was_stashed) stash_.Take(index);
     return current;
   }
 
-  // --- Overwrite phase (Algorithm 3) ---
-  if (rng_.Bernoulli(options_.stash_probability)) {
-    // Re-randomize a uniformly random slot: download, decrypt, re-encrypt
-    // with fresh randomness, upload. Note o may equal `index`; the stale
-    // server copy stays stale, which is fine because the stash copy is
-    // authoritative while `index` is stashed.
-    BlockId o = rng_.Uniform(n_);
-    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(o));
-    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_->Decrypt(std::move(raw)));
-    DPSTORE_RETURN_IF_ERROR(UploadRecord(o, plain));
+  // --- Overwrite phase address (Algorithm 3) ---
+  // Stash branch: re-randomize a uniformly random slot o (which may equal
+  // `index`; the stale server copy stays stale, which is fine because the
+  // stash copy is authoritative while `index` is stashed). Write-back
+  // branch: download-and-discard the record's own slot so the transcript
+  // shape is identical across branches.
+  const bool stash_coin = rng_.Bernoulli(options_.stash_probability);
+  const BlockId overwrite_addr = stash_coin ? rng_.Uniform(n_) : index;
+
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw,
+                           server_->DownloadMany({download_addr,
+                                                  overwrite_addr}));
+  Block current;
+  if (was_stashed) {
+    current = *stash_.Get(index);
+  } else {
+    DPSTORE_ASSIGN_OR_RETURN(current, DecodeRecord(std::move(raw[0])));
+  }
+  if (op == Op::kWrite) current = *new_value;
+
+  if (stash_coin) {
+    // Re-encrypt slot o's server copy with fresh randomness.
+    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_->Decrypt(std::move(raw[1])));
+    DPSTORE_RETURN_IF_ERROR(UploadRecord(overwrite_addr, plain));
     stash_.Put(index, current);  // commit
   } else {
-    // Write the current version back to its own slot. The download-and-
-    // discard keeps the transcript shape identical across branches.
-    DPSTORE_ASSIGN_OR_RETURN(Block discarded, server_->Download(index));
-    (void)discarded;
-    DPSTORE_RETURN_IF_ERROR(UploadRecord(index, current));
+    // Write the current version back to its own slot (raw[1] discarded).
+    DPSTORE_RETURN_IF_ERROR(UploadRecord(overwrite_addr, current));
     if (was_stashed) stash_.Take(index);  // commit removal
   }
   return current;

@@ -5,8 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/scheme.h"
 #include "crypto/cipher.h"
-#include "storage/server.h"
+#include "storage/backend.h"
 #include "storage/stash.h"
 #include "util/random.h"
 #include "util/statusor.h"
@@ -28,6 +29,8 @@ struct DpRamOptions {
   /// overwrite phase is skipped entirely. This variant needs no
   /// computational assumptions (Section 6, "Discussion about encryption").
   bool encrypted = true;
+  /// Storage behind the scheme; null means an in-memory StorageServer.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// Returns the paper's default p = Phi(n)/n with Phi(n) = ceil(log2(n)^1.5)
@@ -52,7 +55,10 @@ double DefaultStashProbability(uint64_t n);
 ///    into the stash and re-randomize a uniformly random slot (download,
 ///    re-encrypt, upload); otherwise write the record back to its own slot
 ///    (download-and-discard, then upload a fresh ciphertext).
-class DpRam {
+///
+/// Both downloads of a query are issued as one batched exchange, so the
+/// whole query is a single roundtrip plus a fire-and-forget write-back.
+class DpRam : public RamScheme {
  public:
   /// Builds the client and an internally owned server for `database`
   /// (record sizes must all match). This is the paper's Setup: uploads
@@ -66,8 +72,17 @@ class DpRam {
   /// Rejected (FailedPrecondition) in retrieval-only mode.
   Status Write(BlockId index, Block value);
 
-  uint64_t n() const { return n_; }
-  size_t record_size() const { return record_size_; }
+  uint64_t n() const override { return n_; }
+  size_t record_size() const override { return record_size_; }
+
+  // RamScheme interface.
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override;
+  Status QueryWrite(BlockId id, Block value) override {
+    return Write(id, std::move(value));
+  }
+  bool SupportsWrite() const override { return options_.encrypted; }
+  TransportStats TransportTotals() const override { return server_->Stats(); }
+
   double stash_probability() const { return options_.stash_probability; }
   size_t stash_size() const { return stash_.size(); }
   size_t stash_peak_size() const { return stash_.peak_size(); }
@@ -76,10 +91,10 @@ class DpRam {
   /// Exactly 3 in read-write mode; 1 or 2 in retrieval-only mode.
   double BlocksPerQueryExpected() const;
 
-  /// The simulated untrusted server, exposing the adversarial transcript
+  /// The untrusted storage backend, exposing the adversarial transcript
   /// and supporting fault injection in tests.
-  StorageServer& server() { return *server_; }
-  const StorageServer& server() const { return *server_; }
+  StorageBackend& server() { return *server_; }
+  const StorageBackend& server() const { return *server_; }
 
  private:
   enum class Op { kRead, kWrite };
@@ -92,7 +107,7 @@ class DpRam {
   uint64_t n_;
   size_t record_size_;
   DpRamOptions options_;
-  std::unique_ptr<StorageServer> server_;
+  std::unique_ptr<StorageBackend> server_;
   std::unique_ptr<crypto::Cipher> cipher_;  // null in retrieval-only mode
   Stash stash_;
   Rng rng_;

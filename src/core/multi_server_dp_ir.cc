@@ -4,13 +4,13 @@
 
 namespace dpstore {
 
-MultiServerDpIr::MultiServerDpIr(std::vector<StorageServer*> servers,
+MultiServerDpIr::MultiServerDpIr(std::vector<StorageBackend*> servers,
                                  MultiServerDpIrOptions options)
     : servers_(std::move(servers)), options_(options), rng_(options.seed) {
   DPSTORE_CHECK_GE(servers_.size(), 2u);
   DPSTORE_CHECK_EQ(servers_.size(), options_.num_servers);
   n_ = servers_[0]->n();
-  for (StorageServer* s : servers_) {
+  for (StorageBackend* s : servers_) {
     DPSTORE_CHECK(s != nullptr);
     DPSTORE_CHECK_EQ(s->n(), n_) << "replicas must have equal size";
   }
@@ -59,14 +59,24 @@ StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
       download_set = rng_.SampleDistinct(k_, n_);
     }
     rng_.Shuffle(&download_set);
-    for (uint64_t j : download_set) {
-      DPSTORE_ASSIGN_OR_RETURN(Block b, servers_[s]->Download(j));
-      if (s == real_server && j == index) result = std::move(b);
+    // Each replica's subset travels as one batched exchange.
+    DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> blocks,
+                             servers_[s]->DownloadMany(download_set));
+    if (s == real_server) {
+      for (size_t i = 0; i < download_set.size(); ++i) {
+        if (download_set[i] == index) result = std::move(blocks[i]);
+      }
     }
   }
   if (error_branch) return std::optional<Block>();
   DPSTORE_CHECK(result.has_value());
   return result;
+}
+
+TransportStats MultiServerDpIr::TransportTotals() const {
+  TransportStats totals;
+  for (const StorageBackend* s : servers_) totals += s->Stats();
+  return totals;
 }
 
 }  // namespace dpstore

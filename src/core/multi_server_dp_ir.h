@@ -6,7 +6,8 @@
 #include <optional>
 #include <vector>
 
-#include "storage/server.h"
+#include "core/scheme.h"
+#include "storage/backend.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -40,15 +41,25 @@ struct MultiServerDpIrOptions {
 /// per-server budget is the log of that, and the total expected work D*K
 /// matches the Theorem C.1 lower bound shape
 /// Omega(((1-alpha) t - delta) n / e^eps) up to constants for constant t.
-class MultiServerDpIr {
+class MultiServerDpIr : public RamScheme {
  public:
   /// `servers` are replicas holding identical public databases; they must
   /// outlive this object and all have equal n.
-  MultiServerDpIr(std::vector<StorageServer*> servers,
+  MultiServerDpIr(std::vector<StorageBackend*> servers,
                   MultiServerDpIrOptions options);
 
   /// Retrieves block `index`, or nullopt on the alpha error branch.
   StatusOr<std::optional<Block>> Query(BlockId index);
+
+  // RamScheme interface (read-only repertoire). Transport totals sum over
+  // every replica; each replica's K-subset is one batched download, so a
+  // query costs D roundtrips in total (1 per replica, issued in parallel).
+  uint64_t n() const override { return n_; }
+  size_t record_size() const override { return servers_[0]->block_size(); }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    return Query(id);
+  }
+  TransportStats TransportTotals() const override;
 
   /// Per-server download-set size
   /// K = ceil((1-alpha) n / ((e^eps - 1)(D - (1-alpha)))), clamped to
@@ -59,7 +70,7 @@ class MultiServerDpIr {
   double achieved_epsilon() const;
 
  private:
-  std::vector<StorageServer*> servers_;
+  std::vector<StorageBackend*> servers_;
   MultiServerDpIrOptions options_;
   uint64_t n_;
   uint64_t k_;

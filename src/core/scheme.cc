@@ -1,0 +1,16 @@
+#include "core/scheme.h"
+
+namespace dpstore {
+
+Status RamScheme::QueryWrite(BlockId id, Block value) {
+  (void)id;
+  (void)value;
+  return UnimplementedError("scheme is read-only (no write repertoire)");
+}
+
+Status KvsScheme::Erase(Key key) {
+  (void)key;
+  return UnimplementedError("scheme has no erase repertoire");
+}
+
+}  // namespace dpstore

@@ -1,0 +1,91 @@
+#ifndef DPSTORE_CORE_SCHEME_H_
+#define DPSTORE_CORE_SCHEME_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/block.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Unified client-side interface for every RAM-repertoire scheme in the
+/// library (Section 2.1: queries are (index, op) pairs over n fixed-size
+/// records). Strawman IR, DP-IR, multi-server DP-IR, DP-RAM, the bucketized
+/// DP-RAM, linear ORAM, Path ORAM and the tunable DP-ORAM all implement
+/// this, so the workload driver, registry and benches can run any of them
+/// side by side - the repertoire the paper's E4/E5/E12 comparisons need.
+///
+/// Semantics:
+///  * QueryRead returns nullopt for the paper's perp - the allowed error
+///    branch of DP-IR-style schemes (probability alpha). Schemes without an
+///    error branch always return a value.
+///  * QueryWrite is Unimplemented for read-only constructions (IR schemes,
+///    retrieval-only DP-RAM); SupportsWrite() advertises which.
+///  * TransportTotals aggregates blocks/bytes/roundtrips over every backend
+///    the scheme talks to (replicas, recursive position-map ORAMs included),
+///    cumulatively since construction; callers diff snapshots to meter a
+///    window.
+class RamScheme {
+ public:
+  virtual ~RamScheme() = default;
+  RamScheme() = default;
+  RamScheme(const RamScheme&) = default;
+  RamScheme& operator=(const RamScheme&) = default;
+
+  /// Number of logical records.
+  virtual uint64_t n() const = 0;
+  /// Payload bytes per logical record.
+  virtual size_t record_size() const = 0;
+
+  /// Retrieves record `id`; nullopt is the scheme's allowed error (perp).
+  virtual StatusOr<std::optional<Block>> QueryRead(BlockId id) = 0;
+
+  /// Overwrites record `id`. Unimplemented on read-only schemes.
+  virtual Status QueryWrite(BlockId id, Block value);
+
+  virtual bool SupportsWrite() const { return false; }
+
+  /// Cumulative transport counters across all backends since construction.
+  virtual TransportStats TransportTotals() const = 0;
+};
+
+/// Unified client-side interface for the key-value schemes (Section 7
+/// repertoire: keys from the 64-bit universe, fixed-size values, Get of an
+/// absent key returns nullopt). DP-KVS and both ORAM-backed directories
+/// implement this.
+class KvsScheme {
+ public:
+  using Key = uint64_t;
+  using Value = std::vector<uint8_t>;
+
+  virtual ~KvsScheme() = default;
+  KvsScheme() = default;
+  KvsScheme(const KvsScheme&) = default;
+  KvsScheme& operator=(const KvsScheme&) = default;
+
+  /// Retrieves the value for `key`, or nullopt if never stored.
+  virtual StatusOr<std::optional<Value>> Get(Key key) = 0;
+
+  /// Inserts or updates `key`; values must be value_size() bytes.
+  virtual Status Put(Key key, const Value& value) = 0;
+
+  /// Removes `key`. Unimplemented on schemes without a delete repertoire.
+  virtual Status Erase(Key key);
+
+  virtual bool SupportsErase() const { return false; }
+
+  /// Number of distinct keys currently stored.
+  virtual uint64_t size() const = 0;
+  /// Bytes per value.
+  virtual size_t value_size() const = 0;
+
+  /// Cumulative transport counters across all backends since construction.
+  virtual TransportStats TransportTotals() const = 0;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_SCHEME_H_

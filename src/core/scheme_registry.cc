@@ -1,0 +1,328 @@
+#include "core/scheme_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/bucket_dp_ram.h"
+#include "core/dp_ir.h"
+#include "core/dp_kvs.h"
+#include "core/dp_ram.h"
+#include "core/multi_server_dp_ir.h"
+#include "core/strawman_ir.h"
+#include "oram/cuckoo_oram_kvs.h"
+#include "oram/linear_oram.h"
+#include "oram/oram_kvs.h"
+#include "oram/path_oram.h"
+#include "oram/tunable_dp_oram.h"
+#include "storage/sharded_backend.h"
+
+namespace dpstore {
+
+namespace {
+
+std::vector<Block> MarkerDatabase(uint64_t n, size_t record_size) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, record_size);
+  return db;
+}
+
+double EffectiveEpsilon(const SchemeConfig& config) {
+  // The Theorem 5.1 sweet spot: eps = Theta(log n) buys constant overhead.
+  return config.epsilon > 0.0 ? config.epsilon
+                              : std::log(static_cast<double>(config.n));
+}
+
+/// A RamScheme that owns the external backends an IR-style scheme queries
+/// through, so registry products are self-contained values.
+template <typename S>
+class OwnedBackendRam : public RamScheme {
+ public:
+  OwnedBackendRam(std::vector<std::unique_ptr<StorageBackend>> backends,
+                  std::unique_ptr<S> scheme)
+      : backends_(std::move(backends)), scheme_(std::move(scheme)) {}
+
+  uint64_t n() const override { return scheme_->n(); }
+  size_t record_size() const override { return scheme_->record_size(); }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    return scheme_->QueryRead(id);
+  }
+  Status QueryWrite(BlockId id, Block value) override {
+    return scheme_->QueryWrite(id, std::move(value));
+  }
+  bool SupportsWrite() const override { return scheme_->SupportsWrite(); }
+  TransportStats TransportTotals() const override {
+    return scheme_->TransportTotals();
+  }
+
+ private:
+  std::vector<std::unique_ptr<StorageBackend>> backends_;
+  std::unique_ptr<S> scheme_;
+};
+
+/// One marker-loaded plaintext backend (the public database of the IR
+/// schemes).
+StatusOr<std::unique_ptr<StorageBackend>> MakePublicDatabase(
+    const SchemeConfig& config, const BackendFactory& factory) {
+  std::unique_ptr<StorageBackend> backend =
+      MakeBackend(factory, config.n, config.value_size);
+  DPSTORE_RETURN_IF_ERROR(
+      backend->SetArray(MarkerDatabase(config.n, config.value_size)));
+  return backend;
+}
+
+/// The Appendix E bucketized DP-RAM exposed through the flat RAM repertoire:
+/// n singleton buckets {i}, so bucket i *is* record i (s = 1). Degenerate
+/// but exactly the Sigma = {{0}, ..., {n-1}} instantiation the appendix
+/// uses to recover Section 6's DP-RAM.
+class BucketDpRamScheme : public RamScheme {
+ public:
+  BucketDpRamScheme(std::unique_ptr<BucketDpRam> ram, size_t record_size)
+      : ram_(std::move(ram)), record_size_(record_size) {}
+
+  uint64_t n() const override { return ram_->bucket_count(); }
+  size_t record_size() const override { return record_size_; }
+
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    if (id >= ram_->bucket_count()) {
+      return OutOfRangeError("BucketDpRamScheme: id out of range");
+    }
+    DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> content,
+                             ram_->ReadBucket(id));
+    return std::optional<Block>(std::move(content[0]));
+  }
+
+  Status QueryWrite(BlockId id, Block value) override {
+    if (id >= ram_->bucket_count()) {
+      return OutOfRangeError("BucketDpRamScheme: id out of range");
+    }
+    if (value.size() != record_size_) {
+      return InvalidArgumentError("BucketDpRamScheme: value size mismatch");
+    }
+    return ram_->WriteBucket(id, [&value](std::vector<Block>* content) {
+      (*content)[0] = value;
+    });
+  }
+
+  bool SupportsWrite() const override { return true; }
+  TransportStats TransportTotals() const override {
+    return ram_->server().Stats();
+  }
+
+  BucketDpRam& ram() { return *ram_; }
+
+ private:
+  std::unique_ptr<BucketDpRam> ram_;
+  size_t record_size_;
+};
+
+}  // namespace
+
+StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
+  if (config.backend == "memory") {
+    return MemoryBackendFactory(config.counting_only_transcript);
+  }
+  if (config.backend == "sharded") {
+    if (config.shards == 0) {
+      return InvalidArgumentError("sharded backend needs shards >= 1");
+    }
+    return ShardedBackendFactory(config.shards,
+                                 config.counting_only_transcript);
+  }
+  return NotFoundError("unknown backend '" + config.backend +
+                       "' (known: memory, sharded)");
+}
+
+SchemeRegistry& SchemeRegistry::Instance() {
+  static SchemeRegistry* registry = new SchemeRegistry();
+  return *registry;
+}
+
+void SchemeRegistry::RegisterRam(const std::string& name, RamFactory factory) {
+  ram_.emplace_back(name, std::move(factory));
+}
+
+void SchemeRegistry::RegisterKvs(const std::string& name, KvsFactory factory) {
+  kvs_.emplace_back(name, std::move(factory));
+}
+
+StatusOr<std::unique_ptr<RamScheme>> SchemeRegistry::MakeRam(
+    const std::string& name, const SchemeConfig& config) const {
+  // Later registrations shadow earlier ones.
+  for (auto it = ram_.rbegin(); it != ram_.rend(); ++it) {
+    if (it->first == name) return it->second(config);
+  }
+  return NotFoundError("no RAM scheme registered as '" + name + "'");
+}
+
+StatusOr<std::unique_ptr<KvsScheme>> SchemeRegistry::MakeKvs(
+    const std::string& name, const SchemeConfig& config) const {
+  for (auto it = kvs_.rbegin(); it != kvs_.rend(); ++it) {
+    if (it->first == name) return it->second(config);
+  }
+  return NotFoundError("no KVS scheme registered as '" + name + "'");
+}
+
+std::vector<std::string> SchemeRegistry::RamSchemeNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : ram_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<std::string> SchemeRegistry::KvsSchemeNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : kvs_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+SchemeRegistry::SchemeRegistry() {
+  // --- RAM repertoire ------------------------------------------------------
+
+  RegisterRam("strawman_ir", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
+                             MakePublicDatabase(config, factory));
+    auto scheme = std::make_unique<StrawmanIr>(backend.get(), config.seed);
+    std::vector<std::unique_ptr<StorageBackend>> backends;
+    backends.push_back(std::move(backend));
+    return std::unique_ptr<RamScheme>(std::make_unique<
+        OwnedBackendRam<StrawmanIr>>(std::move(backends), std::move(scheme)));
+  });
+
+  RegisterRam("dp_ir", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
+                             MakePublicDatabase(config, factory));
+    DpIrOptions options;
+    options.epsilon = EffectiveEpsilon(config);
+    options.alpha = config.alpha;
+    options.seed = config.seed;
+    auto scheme = std::make_unique<DpIr>(backend.get(), options);
+    std::vector<std::unique_ptr<StorageBackend>> backends;
+    backends.push_back(std::move(backend));
+    return std::unique_ptr<RamScheme>(std::make_unique<OwnedBackendRam<DpIr>>(
+        std::move(backends), std::move(scheme)));
+  });
+
+  RegisterRam("multi_server_dp_ir", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    std::vector<std::unique_ptr<StorageBackend>> backends;
+    std::vector<StorageBackend*> pointers;
+    for (int replica = 0; replica < 2; ++replica) {
+      DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
+                               MakePublicDatabase(config, factory));
+      pointers.push_back(backend.get());
+      backends.push_back(std::move(backend));
+    }
+    MultiServerDpIrOptions options;
+    options.num_servers = pointers.size();
+    options.epsilon = EffectiveEpsilon(config);
+    options.alpha = config.alpha;
+    options.seed = config.seed;
+    auto scheme =
+        std::make_unique<MultiServerDpIr>(std::move(pointers), options);
+    return std::unique_ptr<RamScheme>(
+        std::make_unique<OwnedBackendRam<MultiServerDpIr>>(std::move(backends),
+                                                           std::move(scheme)));
+  });
+
+  RegisterRam("dp_ram", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    DpRamOptions options;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<RamScheme>(std::make_unique<DpRam>(
+        MarkerDatabase(config.n, config.value_size), options));
+  });
+
+  RegisterRam("bucket_dp_ram", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    std::vector<std::vector<NodeId>> buckets(config.n);
+    for (uint64_t i = 0; i < config.n; ++i) buckets[i] = {i};
+    BucketDpRamOptions options;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    auto ram = std::make_unique<BucketDpRam>(std::move(buckets), config.n,
+                                             config.value_size, options);
+    DPSTORE_RETURN_IF_ERROR(
+        ram->Setup(MarkerDatabase(config.n, config.value_size)));
+    return std::unique_ptr<RamScheme>(std::make_unique<BucketDpRamScheme>(
+        std::move(ram), config.value_size));
+  });
+
+  RegisterRam("linear_oram", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    return std::unique_ptr<RamScheme>(std::make_unique<LinearOram>(
+        MarkerDatabase(config.n, config.value_size), config.seed, factory));
+  });
+
+  RegisterRam("path_oram", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    PathOramOptions options;
+    options.block_size = config.value_size;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<RamScheme>(std::make_unique<PathOram>(
+        MarkerDatabase(config.n, config.value_size), options));
+  });
+
+  RegisterRam("tunable_dp_oram", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    TunableDpOramOptions options;
+    options.block_size = config.value_size;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<RamScheme>(std::make_unique<TunableDpOram>(
+        MarkerDatabase(config.n, config.value_size), options));
+  });
+
+  // --- KVS repertoire ------------------------------------------------------
+
+  RegisterKvs("dp_kvs", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<KvsScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    DpKvsOptions options;
+    options.capacity = config.n;
+    options.value_size = config.value_size;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<KvsScheme>(std::make_unique<DpKvs>(options));
+  });
+
+  RegisterKvs("oram_kvs", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<KvsScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    OramKvsOptions options;
+    options.capacity = config.n;
+    options.value_size = config.value_size;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<KvsScheme>(std::make_unique<OramKvs>(options));
+  });
+
+  RegisterKvs("cuckoo_oram_kvs", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<KvsScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    CuckooOramKvsOptions options;
+    options.capacity = config.n;
+    options.value_size = config.value_size;
+    options.seed = config.seed;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<KvsScheme>(
+        std::make_unique<CuckooOramKvs>(options));
+  });
+}
+
+}  // namespace dpstore

@@ -1,0 +1,84 @@
+#ifndef DPSTORE_CORE_SCHEME_REGISTRY_H_
+#define DPSTORE_CORE_SCHEME_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.h"
+#include "storage/backend.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// One configuration for building any registered scheme by name. The
+/// registry translates the backend fields into a BackendFactory, so a single
+/// config drives every cell of a schemes x backends sweep.
+struct SchemeConfig {
+  /// Records (RAM repertoire) or key capacity (KVS repertoire).
+  uint64_t n = 256;
+  /// Payload bytes per record / value.
+  size_t value_size = 64;
+  uint64_t seed = 1;
+
+  /// Storage topology: "memory" (single in-memory server) or "sharded"
+  /// (ShardedBackend over `shards` in-memory shards).
+  std::string backend = "memory";
+  uint64_t shards = 4;
+  /// Born with counting-only transcripts (bench mode: tallies, no events).
+  bool counting_only_transcript = false;
+
+  /// DP-IR-family budget; 0 picks the scheme default eps = ln(n), the
+  /// Theorem 5.1 constant-overhead regime.
+  double epsilon = 0.0;
+  /// DP-IR-family error probability.
+  double alpha = 0.1;
+};
+
+/// Resolves SchemeConfig's backend fields. NotFound for unknown names.
+StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config);
+
+/// String-keyed factory over every scheme in the library. All RAM-repertoire
+/// schemes come pre-seeded with the marker database MarkerBlock(i,
+/// value_size) for i in [0, n), so a freshly built scheme is immediately
+/// queryable and verifiable; KVS schemes start empty.
+///
+/// The registry is what makes "run every scheme against every workload on
+/// every backend" a loop instead of a hand-written matrix: benches, the
+/// workload driver and tests all construct through here.
+class SchemeRegistry {
+ public:
+  using RamFactory =
+      std::function<StatusOr<std::unique_ptr<RamScheme>>(const SchemeConfig&)>;
+  using KvsFactory =
+      std::function<StatusOr<std::unique_ptr<KvsScheme>>(const SchemeConfig&)>;
+
+  /// The process-wide registry, pre-populated with every built-in scheme.
+  static SchemeRegistry& Instance();
+
+  /// Registers a factory under `name`; later registrations win, so tests
+  /// and experiments can shadow a built-in.
+  void RegisterRam(const std::string& name, RamFactory factory);
+  void RegisterKvs(const std::string& name, KvsFactory factory);
+
+  StatusOr<std::unique_ptr<RamScheme>> MakeRam(
+      const std::string& name, const SchemeConfig& config) const;
+  StatusOr<std::unique_ptr<KvsScheme>> MakeKvs(
+      const std::string& name, const SchemeConfig& config) const;
+
+  /// Registered names, sorted (deterministic sweep order).
+  std::vector<std::string> RamSchemeNames() const;
+  std::vector<std::string> KvsSchemeNames() const;
+
+ private:
+  SchemeRegistry();  // registers the built-ins
+
+  std::vector<std::pair<std::string, RamFactory>> ram_;
+  std::vector<std::pair<std::string, KvsFactory>> kvs_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_CORE_SCHEME_REGISTRY_H_

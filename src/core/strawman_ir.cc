@@ -4,7 +4,7 @@
 
 namespace dpstore {
 
-StrawmanIr::StrawmanIr(StorageServer* server, uint64_t seed)
+StrawmanIr::StrawmanIr(StorageBackend* server, uint64_t seed)
     : server_(server), rng_(seed) {
   DPSTORE_CHECK(server != nullptr);
 }
@@ -20,12 +20,18 @@ StatusOr<Block> StrawmanIr::Query(BlockId index) {
     if (j != index && rng_.Bernoulli(p)) download_set.push_back(j);
   }
   rng_.Shuffle(&download_set);
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> blocks,
+                           server_->DownloadMany(download_set));
   Block result;
-  for (uint64_t j : download_set) {
-    DPSTORE_ASSIGN_OR_RETURN(Block b, server_->Download(j));
-    if (j == index) result = std::move(b);
+  for (size_t i = 0; i < download_set.size(); ++i) {
+    if (download_set[i] == index) result = std::move(blocks[i]);
   }
   return result;
+}
+
+StatusOr<std::optional<Block>> StrawmanIr::QueryRead(BlockId id) {
+  DPSTORE_ASSIGN_OR_RETURN(Block value, Query(id));
+  return std::optional<Block>(std::move(value));
 }
 
 }  // namespace dpstore

@@ -3,7 +3,8 @@
 
 #include <cstdint>
 
-#include "storage/server.h"
+#include "core/scheme.h"
+#include "storage/backend.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -19,16 +20,22 @@ namespace dpstore {
 /// ((n-1)/n)^... ~ constant, which forces delta >= (n-1)/n in
 /// (eps,delta)-DP: the absence of a block from the transcript almost surely
 /// identifies what was not queried. See StrawmanDeltaFloor().
-class StrawmanIr {
+class StrawmanIr : public RamScheme {
  public:
-  StrawmanIr(StorageServer* server, uint64_t seed = 99);
+  StrawmanIr(StorageBackend* server, uint64_t seed = 99);
 
   /// Always returns the requested block (the scheme is perfectly correct;
   /// it is the privacy that is broken).
   StatusOr<Block> Query(BlockId index);
 
+  // RamScheme interface (read-only repertoire).
+  uint64_t n() const override { return server_->n(); }
+  size_t record_size() const override { return server_->block_size(); }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override;
+  TransportStats TransportTotals() const override { return server_->Stats(); }
+
  private:
-  StorageServer* server_;
+  StorageBackend* server_;
   Rng rng_;
 };
 

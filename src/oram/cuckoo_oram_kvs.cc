@@ -37,6 +37,7 @@ CuckooOramKvs::CuckooOramKvs(CuckooOramKvsOptions options)
   oram_options.block_size = slot_bytes_;
   oram_options.seed = rng_.NextUint64();
   oram_options.recursive_position_map = options_.recursive_position_map;
+  oram_options.backend_factory = options_.backend_factory;
   std::vector<Block> slots(slot_count_, Block(slot_bytes_, 0));
   oram_ = std::make_unique<PathOram>(std::move(slots), oram_options);
 }

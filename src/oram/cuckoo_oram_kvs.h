@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/scheme.h"
 #include "crypto/prf.h"
 #include "oram/path_oram.h"
 #include "util/statusor.h"
@@ -23,6 +24,8 @@ struct CuckooOramKvsOptions {
   double headroom = 0.3;
   uint64_t seed = 909;
   bool recursive_position_map = false;
+  /// Storage behind the underlying Path ORAM; null means in-memory.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// Oblivious KVS from cuckoo hashing over Path ORAM - the second classic
@@ -40,24 +43,25 @@ struct CuckooOramKvsOptions {
 /// Still Theta(log n) blocks per operation - the point of experiment E10 is
 /// that DP-KVS beats *every* ORAM-backed directory by an exponential factor
 /// in n, whichever hashing scheme the directory uses.
-class CuckooOramKvs {
+class CuckooOramKvs : public KvsScheme {
  public:
-  using Key = uint64_t;
-  using Value = std::vector<uint8_t>;
-
   static constexpr int kChainLength = 4;
   static constexpr size_t kMaxClientStash = 32;
 
   explicit CuckooOramKvs(CuckooOramKvsOptions options);
 
   /// nullopt when absent; always exactly 2 ORAM accesses.
-  StatusOr<std::optional<Value>> Get(Key key);
+  StatusOr<std::optional<Value>> Get(Key key) override;
 
   /// Insert or update; always exactly 2 + 2*kChainLength ORAM accesses.
   /// ResourceExhausted if the eviction chain overflows a full client stash.
-  Status Put(Key key, const Value& value);
+  Status Put(Key key, const Value& value) override;
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const override { return size_; }
+  size_t value_size() const override { return options_.value_size; }
+  TransportStats TransportTotals() const override {
+    return oram_->TransportTotals();
+  }
   size_t client_stash_size() const { return stash_.size(); }
   uint64_t slot_count() const { return slot_count_; }
 

@@ -1,10 +1,13 @@
 #include "oram/linear_oram.h"
 
+#include <numeric>
+
 #include "crypto/prg.h"
 
 namespace dpstore {
 
-LinearOram::LinearOram(std::vector<Block> database, uint64_t seed)
+LinearOram::LinearOram(std::vector<Block> database, uint64_t seed,
+                       const BackendFactory& backend_factory)
     : n_(database.size()), cipher_(crypto::RandomChaChaKey()) {
   (void)seed;  // scheme is deterministic given the database
   DPSTORE_CHECK_GT(n_, 0u);
@@ -14,24 +17,29 @@ LinearOram::LinearOram(std::vector<Block> database, uint64_t seed)
     DPSTORE_CHECK_EQ(database[i].size(), record_size_);
     array[i] = cipher_.Encrypt(database[i]);
   }
-  server_ = std::make_unique<StorageServer>(
-      n_, crypto::Cipher::CiphertextSize(record_size_));
+  server_ = MakeBackend(backend_factory, n_,
+                        crypto::Cipher::CiphertextSize(record_size_));
   DPSTORE_CHECK_OK(server_->SetArray(std::move(array)));
 }
 
 StatusOr<Block> LinearOram::Access(BlockId id, const Block* new_value) {
   if (id >= n_) return OutOfRangeError("LinearOram::Access out of range");
   server_->BeginQuery();
+  std::vector<BlockId> all(n_);
+  std::iota(all.begin(), all.end(), 0);
+  // Full scan as one batched exchange: a single roundtrip for 2n blocks.
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw, server_->DownloadMany(all));
   Block result;
+  std::vector<Block> fresh(n_);
   for (uint64_t i = 0; i < n_; ++i) {
-    DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(i));
-    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(std::move(raw)));
+    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(std::move(raw[i])));
     if (i == id) {
       result = plain;
       if (new_value != nullptr) plain = *new_value;
     }
-    DPSTORE_RETURN_IF_ERROR(server_->Upload(i, cipher_.Encrypt(plain)));
+    fresh[i] = cipher_.Encrypt(plain);
   }
+  DPSTORE_RETURN_IF_ERROR(server_->UploadMany(all, std::move(fresh)));
   return result;
 }
 
@@ -44,6 +52,11 @@ Status LinearOram::Write(BlockId id, Block value) {
   DPSTORE_ASSIGN_OR_RETURN(Block unused, Access(id, &value));
   (void)unused;
   return OkStatus();
+}
+
+StatusOr<std::optional<Block>> LinearOram::QueryRead(BlockId id) {
+  DPSTORE_ASSIGN_OR_RETURN(Block value, Read(id));
+  return std::optional<Block>(std::move(value));
 }
 
 }  // namespace dpstore

@@ -5,8 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/scheme.h"
 #include "crypto/cipher.h"
-#include "storage/server.h"
+#include "storage/backend.h"
 #include "util/statusor.h"
 
 namespace dpstore {
@@ -14,25 +15,36 @@ namespace dpstore {
 /// Trivial scan ORAM: every access downloads all n blocks and re-uploads all
 /// n with fresh encryption, so the transcript is completely independent of
 /// the query - perfect obliviousness at Theta(n) overhead. The floor series
-/// in the E5 overhead experiment.
-class LinearOram {
+/// in the E5 overhead experiment. The scan is one batched download plus one
+/// batched write-back: 2n blocks, a single roundtrip.
+class LinearOram : public RamScheme {
  public:
-  LinearOram(std::vector<Block> database, uint64_t seed = 5150);
+  LinearOram(std::vector<Block> database, uint64_t seed = 5150,
+             const BackendFactory& backend_factory = nullptr);
 
   StatusOr<Block> Read(BlockId id);
   Status Write(BlockId id, Block value);
 
-  uint64_t n() const { return n_; }
+  // RamScheme interface.
+  uint64_t n() const override { return n_; }
+  size_t record_size() const override { return record_size_; }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override;
+  Status QueryWrite(BlockId id, Block value) override {
+    return Write(id, std::move(value));
+  }
+  bool SupportsWrite() const override { return true; }
+  TransportStats TransportTotals() const override { return server_->Stats(); }
+
   uint64_t BlocksPerAccess() const { return 2 * n_; }
 
-  StorageServer& server() { return *server_; }
+  StorageBackend& server() { return *server_; }
 
  private:
   StatusOr<Block> Access(BlockId id, const Block* new_value);
 
   uint64_t n_;
   size_t record_size_;
-  std::unique_ptr<StorageServer> server_;
+  std::unique_ptr<StorageBackend> server_;
   crypto::Cipher cipher_;
 };
 

@@ -48,6 +48,7 @@ OramKvs::OramKvs(OramKvsOptions options)
   oram_options.block_size = slot_size_;
   oram_options.seed = rng_.NextUint64();
   oram_options.recursive_position_map = options_.recursive_position_map;
+  oram_options.backend_factory = options_.backend_factory;
   std::vector<Block> slots(bins_ * bin_capacity_, Block(slot_size_, 0));
   oram_ = std::make_unique<PathOram>(std::move(slots), oram_options);
 }

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/scheme.h"
 #include "crypto/prf.h"
 #include "oram/path_oram.h"
 #include "util/statusor.h"
@@ -23,6 +24,8 @@ struct OramKvsOptions {
   uint64_t seed = 606;
   /// Forwarded to the underlying Path ORAM.
   bool recursive_position_map = false;
+  /// Storage behind the underlying Path ORAM; null means in-memory.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// Returns a conservative two-choice max-load bound ~ log2 log2 n + slack,
@@ -39,22 +42,23 @@ uint64_t TwoChoiceMaxLoadBound(uint64_t n);
 /// the overhead is Theta(log log n) ORAM accesses x Theta(log n) blocks each
 /// = Theta(log n log log n) blocks per operation, versus DP-KVS's
 /// O(log log n) blocks.
-class OramKvs {
+class OramKvs : public KvsScheme {
  public:
-  using Key = uint64_t;
-  using Value = std::vector<uint8_t>;
-
   explicit OramKvs(OramKvsOptions options);
 
   /// nullopt when the key was never stored. Always touches the same number
   /// of ORAM slots regardless of presence.
-  StatusOr<std::optional<Value>> Get(Key key);
+  StatusOr<std::optional<Value>> Get(Key key) override;
 
   /// Inserts or updates. ResourceExhausted if both candidate bins are full
   /// (negligible when bin_capacity matches the max-load bound).
-  Status Put(Key key, const Value& value);
+  Status Put(Key key, const Value& value) override;
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const override { return size_; }
+  size_t value_size() const override { return options_.value_size; }
+  TransportStats TransportTotals() const override {
+    return oram_->TransportTotals();
+  }
   uint64_t bin_capacity() const { return bin_capacity_; }
   /// ORAM slot accesses per Get: 2 * bin_capacity.
   uint64_t SlotAccessesPerGet() const { return 2 * bin_capacity_; }

@@ -36,9 +36,9 @@ PathOram::PathOram(std::vector<Block> database, PathOramOptions options)
   num_buckets_ = (uint64_t{2} << height) - 1;
 
   size_t slot_plain = kSlotHeader + options_.block_size;
-  server_ = std::make_unique<StorageServer>(
-      num_buckets_ * options_.bucket_capacity,
-      crypto::Cipher::CiphertextSize(slot_plain));
+  server_ = MakeBackend(options_.backend_factory,
+                        num_buckets_ * options_.bucket_capacity,
+                        crypto::Cipher::CiphertextSize(slot_plain));
 
   // Initial uniformly random position for every block.
   position_.resize(n_);
@@ -159,20 +159,27 @@ StatusOr<uint64_t> PathOram::PosMapGetAndSetDerived(
 
 StatusOr<std::optional<PathOram::StashEntry>> PathOram::ReadPath(
     uint64_t leaf, BlockId id) {
-  std::optional<StashEntry> target;
+  // The whole path travels in one batched exchange: Z(L+1) blocks, a single
+  // roundtrip - the hot loop the storage seam exists to batch.
+  std::vector<BlockId> slots;
+  slots.reserve(levels_ * options_.bucket_capacity);
   for (uint64_t level = 0; level < levels_; ++level) {
     uint64_t bucket = BucketIndex(leaf, level);
     for (uint64_t z = 0; z < options_.bucket_capacity; ++z) {
-      uint64_t slot = bucket * options_.bucket_capacity + z;
-      DPSTORE_ASSIGN_OR_RETURN(Block raw, server_->Download(slot));
-      DPSTORE_ASSIGN_OR_RETURN(auto decoded, DecodeSlot(raw));
-      auto& [occupied, slot_id, slot_leaf, value] = decoded;
-      if (!occupied) continue;
-      if (slot_id == id) {
-        target = StashEntry{slot_leaf, std::move(value)};
-      } else {
-        stash_[slot_id] = StashEntry{slot_leaf, std::move(value)};
-      }
+      slots.push_back(bucket * options_.bucket_capacity + z);
+    }
+  }
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw,
+                           server_->DownloadMany(slots));
+  std::optional<StashEntry> target;
+  for (Block& server_block : raw) {
+    DPSTORE_ASSIGN_OR_RETURN(auto decoded, DecodeSlot(server_block));
+    auto& [occupied, slot_id, slot_leaf, value] = decoded;
+    if (!occupied) continue;
+    if (slot_id == id) {
+      target = StashEntry{slot_leaf, std::move(value)};
+    } else {
+      stash_[slot_id] = StashEntry{slot_leaf, std::move(value)};
     }
   }
   stash_peak_ = std::max(stash_peak_, stash_.size());
@@ -181,7 +188,13 @@ StatusOr<std::optional<PathOram::StashEntry>> PathOram::ReadPath(
 
 Status PathOram::WritePath(uint64_t leaf) {
   // Greedy eviction: deepest level first, take any stash blocks whose
-  // assigned path shares this bucket.
+  // assigned path shares this bucket. The re-encrypted path then travels as
+  // one batched fire-and-forget write-back.
+  std::vector<BlockId> slots;
+  std::vector<Block> encoded;
+  slots.reserve(levels_ * options_.bucket_capacity);
+  encoded.reserve(levels_ * options_.bucket_capacity);
+  Block dummy_payload(options_.block_size, 0);
   for (uint64_t level = levels_; level-- > 0;) {
     uint64_t bucket = BucketIndex(leaf, level);
     std::vector<std::pair<BlockId, StashEntry>> chosen;
@@ -194,18 +207,16 @@ Status PathOram::WritePath(uint64_t leaf) {
         ++it;
       }
     }
-    Block dummy_payload(options_.block_size, 0);
     for (uint64_t z = 0; z < options_.bucket_capacity; ++z) {
-      uint64_t slot = bucket * options_.bucket_capacity + z;
-      Block encoded =
+      slots.push_back(bucket * options_.bucket_capacity + z);
+      encoded.push_back(
           z < chosen.size()
               ? EncodeSlot(true, chosen[z].first, chosen[z].second.leaf,
                            chosen[z].second.value)
-              : EncodeSlot(false, 0, 0, dummy_payload);
-      DPSTORE_RETURN_IF_ERROR(server_->Upload(slot, std::move(encoded)));
+              : EncodeSlot(false, 0, 0, dummy_payload));
     }
   }
-  return OkStatus();
+  return server_->UploadMany(slots, std::move(encoded));
 }
 
 StatusOr<Block> PathOram::Access(
@@ -257,6 +268,11 @@ StatusOr<Block> PathOram::Access(
 
 StatusOr<Block> PathOram::Read(BlockId id) { return Access(id, nullptr); }
 
+StatusOr<std::optional<Block>> PathOram::QueryRead(BlockId id) {
+  DPSTORE_ASSIGN_OR_RETURN(Block value, Read(id));
+  return std::optional<Block>(std::move(value));
+}
+
 Status PathOram::Write(BlockId id, Block value) {
   if (value.size() != options_.block_size) {
     return InvalidArgumentError("PathOram::Write size mismatch");
@@ -292,6 +308,12 @@ uint64_t PathOram::TotalBlocksMoved() const {
   uint64_t total = server_->transcript().TotalBlocksMoved();
   if (posmap_oram_ != nullptr) total += posmap_oram_->TotalBlocksMoved();
   return total;
+}
+
+TransportStats PathOram::TransportTotals() const {
+  TransportStats totals = server_->Stats();
+  if (posmap_oram_ != nullptr) totals += posmap_oram_->TransportTotals();
+  return totals;
 }
 
 }  // namespace dpstore

@@ -8,8 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/scheme.h"
 #include "crypto/cipher.h"
-#include "storage/server.h"
+#include "storage/backend.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -44,6 +45,9 @@ struct PathOramOptions {
   /// mirroring [50]'s non-uniform path distributions. Ignored when the
   /// remap is unconstrained.
   double remap_escape_probability = 0.125;
+  /// Storage behind this ORAM (and its recursive position-map children);
+  /// null means an in-memory StorageServer.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// Path ORAM (Stefanov et al., CCS 2013) - the fully oblivious baseline the
@@ -51,7 +55,11 @@ struct PathOramOptions {
 /// layout with Z-block buckets, a client stash, and greedy path eviction.
 /// Every access moves 2 Z (L+1) blocks (read path + write path) where
 /// L = ceil(log2 n), i.e. Theta(log n) overhead vs DP-RAM's 3 blocks.
-class PathOram {
+///
+/// The path fetch is one batched download and the eviction one batched
+/// write-back, so an access is exactly 1 roundtrip (plus one per recursive
+/// position-map level) - the property the roundtrip accounting asserts.
+class PathOram : public RamScheme {
  public:
   /// Builds the ORAM over `database` (equal-sized records).
   PathOram(std::vector<Block> database, PathOramOptions options);
@@ -59,7 +67,17 @@ class PathOram {
   StatusOr<Block> Read(BlockId id);
   Status Write(BlockId id, Block value);
 
-  uint64_t n() const { return n_; }
+  // RamScheme interface.
+  uint64_t n() const override { return n_; }
+  size_t record_size() const override { return options_.block_size; }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override;
+  Status QueryWrite(BlockId id, Block value) override {
+    return Write(id, std::move(value));
+  }
+  bool SupportsWrite() const override { return true; }
+  /// Sums this ORAM's backend with all recursive position-map children.
+  TransportStats TransportTotals() const override;
+
   /// Tree levels = L + 1.
   uint64_t levels() const { return levels_; }
   uint64_t bucket_capacity() const { return options_.bucket_capacity; }
@@ -74,8 +92,8 @@ class PathOram {
   /// Total stash blocks including recursive position-map ORAMs.
   size_t TotalStashSize() const;
 
-  StorageServer& server() { return *server_; }
-  const StorageServer& server() const { return *server_; }
+  StorageBackend& server() { return *server_; }
+  const StorageBackend& server() const { return *server_; }
 
   /// Total blocks moved across this ORAM and all recursive children.
   uint64_t TotalBlocksMoved() const;
@@ -118,7 +136,7 @@ class PathOram {
   uint64_t num_leaves_;
   uint64_t levels_;        // L + 1
   uint64_t num_buckets_;
-  std::unique_ptr<StorageServer> server_;
+  std::unique_ptr<StorageBackend> server_;
   crypto::Cipher cipher_;
   Rng rng_;
 

@@ -11,6 +11,7 @@ TunableDpOram::TunableDpOram(std::vector<Block> database,
   oram_options.recursive_position_map = options.recursive_position_map;
   oram_options.remap_subtree_height = options.remap_subtree_height;
   oram_options.remap_escape_probability = options.remap_escape_probability;
+  oram_options.backend_factory = options.backend_factory;
   oram_ = std::make_unique<PathOram>(std::move(database), oram_options);
 }
 

@@ -23,6 +23,8 @@ struct TunableDpOramOptions {
   double remap_escape_probability = 0.125;
   uint64_t seed = 5050;
   bool recursive_position_map = false;
+  /// Storage behind the underlying Path ORAM; null means in-memory.
+  BackendFactory backend_factory = nullptr;
 };
 
 /// The Wagh-Cuff-Mittal "Root ORAM"-style tunable DP-ORAM [50] that the
@@ -36,14 +38,27 @@ struct TunableDpOramOptions {
 /// remap) rather than [50]'s exact bucket algebra; it preserves the
 /// property the comparison needs: a privacy knob whose bandwidth does not
 /// improve as privacy degrades. Contrast bench_tunable_oram.
-class TunableDpOram {
+class TunableDpOram : public RamScheme {
  public:
   TunableDpOram(std::vector<Block> database, TunableDpOramOptions options);
 
   StatusOr<Block> Read(BlockId id);
   Status Write(BlockId id, Block value);
 
-  uint64_t n() const { return oram_->n(); }
+  // RamScheme interface (delegates to the underlying Path ORAM).
+  uint64_t n() const override { return oram_->n(); }
+  size_t record_size() const override { return options_.block_size; }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    return oram_->QueryRead(id);
+  }
+  Status QueryWrite(BlockId id, Block value) override {
+    return Write(id, std::move(value));
+  }
+  bool SupportsWrite() const override { return true; }
+  TransportStats TransportTotals() const override {
+    return oram_->TransportTotals();
+  }
+
   uint64_t remap_subtree_height() const {
     return options_.remap_subtree_height;
   }
@@ -54,7 +69,7 @@ class TunableDpOram {
   }
 
   PathOram& oram() { return *oram_; }
-  StorageServer& server() { return oram_->server(); }
+  StorageBackend& server() { return oram_->server(); }
 
  private:
   TunableDpOramOptions options_;

@@ -1,0 +1,30 @@
+#include "storage/backend.h"
+
+#include "storage/server.h"
+
+namespace dpstore {
+
+TransportStats StatsFromTranscript(const Transcript& transcript,
+                                   size_t block_size) {
+  TransportStats stats;
+  stats.blocks_moved = transcript.TotalBlocksMoved();
+  stats.bytes_moved = transcript.TotalBlocksMoved() * block_size;
+  stats.roundtrips = transcript.roundtrip_count();
+  return stats;
+}
+
+BackendFactory MemoryBackendFactory(bool counting_only) {
+  return [counting_only](uint64_t n, size_t block_size) {
+    auto backend = std::make_unique<StorageServer>(n, block_size);
+    if (counting_only) backend->SetTranscriptCountingOnly(true);
+    return backend;
+  };
+}
+
+std::unique_ptr<StorageBackend> MakeBackend(const BackendFactory& factory,
+                                            uint64_t n, size_t block_size) {
+  if (factory) return factory(n, block_size);
+  return std::make_unique<StorageServer>(n, block_size);
+}
+
+}  // namespace dpstore

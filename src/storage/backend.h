@@ -1,0 +1,178 @@
+#ifndef DPSTORE_STORAGE_BACKEND_H_
+#define DPSTORE_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/transcript.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Aggregate transport counters derived from one or more transcripts: the
+/// paper's bandwidth axis (blocks/bytes) plus the roundtrip axis the cost
+/// model prices separately. Schemes report these across *every* backend they
+/// talk to (replicas, recursive position-map ORAMs, ...), so the workload
+/// driver can compare constructions whose storage topology differs.
+struct TransportStats {
+  uint64_t blocks_moved = 0;
+  uint64_t bytes_moved = 0;
+  uint64_t roundtrips = 0;
+
+  TransportStats& operator+=(const TransportStats& other) {
+    blocks_moved += other.blocks_moved;
+    bytes_moved += other.bytes_moved;
+    roundtrips += other.roundtrips;
+    return *this;
+  }
+  friend TransportStats operator-(TransportStats a, const TransportStats& b) {
+    a.blocks_moved -= b.blocks_moved;
+    a.bytes_moved -= b.bytes_moved;
+    a.roundtrips -= b.roundtrips;
+    return a;
+  }
+  friend bool operator==(const TransportStats& a, const TransportStats& b) {
+    return a.blocks_moved == b.blocks_moved &&
+           a.bytes_moved == b.bytes_moved && a.roundtrips == b.roundtrips;
+  }
+};
+
+/// Reads a backend transcript into TransportStats.
+TransportStats StatsFromTranscript(const Transcript& transcript,
+                                   size_t block_size);
+
+/// Shared dropped-RPC model for backend implementations: one Bernoulli roll
+/// per exchange (single op or whole batch), so batched calls fail as a
+/// unit. Kept in one place so every backend prices failures identically.
+class FaultInjector {
+ public:
+  void Set(double rate, uint64_t seed) {
+    failure_rate_ = rate;
+    rng_ = Rng(seed);
+  }
+
+  /// Unavailable with probability failure_rate, else OK. Call exactly once
+  /// per exchange, after validation and before any state changes.
+  Status MaybeInject() {
+    if (failure_rate_ > 0.0 && rng_.Bernoulli(failure_rate_)) {
+      return UnavailableError("injected storage fault");
+    }
+    return OkStatus();
+  }
+
+ private:
+  double failure_rate_ = 0.0;
+  Rng rng_{7};
+};
+
+/// Abstract untrusted storage transport in the paper's balls-and-bins model
+/// (Definition 3.1): a passive array of n equal-sized blocks supporting
+/// download/upload by address, single or batched. Every scheme talks to
+/// storage exclusively through this seam, so the array can live in memory
+/// (StorageServer), be partitioned across shards (ShardedBackend), or - in
+/// later growth steps - sit behind an async or RPC transport, without the
+/// scheme noticing.
+///
+/// Cost accounting contract (see Transcript): each Download/DownloadMany
+/// call is one roundtrip regardless of batch size; Upload/UploadMany are
+/// fire-and-forget write-backs costing zero roundtrips. Batching the blocks
+/// of one logical access into a single call is therefore what turns a
+/// Theta(Z log n)-message Path ORAM access into the single roundtrip the
+/// schemes' RoundtripsPerAccess() contracts advertise.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  // Implementations (e.g. StorageServer) are value types in tests; keep
+  // their implicit copy/move valid despite the user-declared destructor.
+  StorageBackend() = default;
+  StorageBackend(const StorageBackend&) = default;
+  StorageBackend& operator=(const StorageBackend&) = default;
+
+  virtual uint64_t n() const = 0;
+  virtual size_t block_size() const = 0;
+
+  /// Replaces the whole array (setup phase upload). All blocks must have
+  /// size block_size(). Not recorded in the transcript: the paper treats the
+  /// initial database as public input to the adversary's view.
+  virtual Status SetArray(std::vector<Block> blocks) = 0;
+
+  /// Download the block at address `index` (one transcript event, one
+  /// roundtrip).
+  virtual StatusOr<Block> Download(BlockId index) = 0;
+
+  /// Upload `block` to address `index` (one transcript event, fire-and-
+  /// forget: no roundtrip).
+  virtual Status Upload(BlockId index, Block block) = 0;
+
+  /// Downloads all `indices` in one batched exchange: the transcript gets
+  /// one event per block, in request order, but only ONE roundtrip. Results
+  /// are in request order; duplicate indices are allowed. Atomic: on any
+  /// error nothing is recorded. An empty batch is free (no RPC at all).
+  virtual StatusOr<std::vector<Block>> DownloadMany(
+      const std::vector<BlockId>& indices) = 0;
+
+  /// Uploads blocks[i] to indices[i] in one batched fire-and-forget
+  /// write-back (one event per block, zero roundtrips). Atomic like
+  /// DownloadMany.
+  virtual Status UploadMany(const std::vector<BlockId>& indices,
+                            std::vector<Block> blocks) = 0;
+
+  /// Starts a new logical query in the transcript. Schemes call this once
+  /// per client operation.
+  virtual void BeginQuery() = 0;
+
+  virtual const Transcript& transcript() const = 0;
+  virtual void ResetTranscript() = 0;
+
+  /// Forwards Transcript::SetCountingOnly to this backend (and any inner
+  /// backends), bounding transcript memory under heavy traffic.
+  virtual void SetTranscriptCountingOnly(bool counting_only) = 0;
+
+  /// Direct unrecorded read, for test assertions and adversary "knowledge of
+  /// the public database" - never used by schemes during queries.
+  virtual const Block& PeekBlock(BlockId index) const = 0;
+
+  /// Flips one byte of the stored block; used to exercise tamper detection.
+  virtual void CorruptBlock(BlockId index) = 0;
+
+  /// Every download/upload exchange fails with this probability (default 0),
+  /// modeling a dropped RPC. A batched call is one exchange: it fails as a
+  /// unit.
+  virtual void SetFailureRate(double rate, uint64_t seed = 7) = 0;
+
+  // Convenience counters over transcript().
+  uint64_t download_count() const { return transcript().download_count(); }
+  uint64_t upload_count() const { return transcript().upload_count(); }
+  uint64_t roundtrip_count() const { return transcript().roundtrip_count(); }
+  uint64_t bytes_moved() const {
+    return transcript().TotalBlocksMoved() * block_size();
+  }
+  TransportStats Stats() const {
+    return StatsFromTranscript(transcript(), block_size());
+  }
+};
+
+/// Constructs the storage behind a scheme: given the array geometry the
+/// scheme computed, returns the backend it will query through. Schemes
+/// default to an in-memory StorageServer when no factory is supplied; the
+/// registry plugs in sharded (and, later, async/RPC) topologies here.
+using BackendFactory =
+    std::function<std::unique_ptr<StorageBackend>(uint64_t n,
+                                                  size_t block_size)>;
+
+/// Factory for the in-memory StorageServer backend. With `counting_only`
+/// the backend is born with a counting-only transcript (bench mode).
+BackendFactory MemoryBackendFactory(bool counting_only = false);
+
+/// Applies `factory` (or the in-memory default when null).
+std::unique_ptr<StorageBackend> MakeBackend(const BackendFactory& factory,
+                                            uint64_t n, size_t block_size);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_BACKEND_H_

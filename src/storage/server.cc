@@ -5,11 +5,12 @@
 namespace dpstore {
 
 StorageServer::StorageServer(uint64_t n, size_t block_size)
-    : array_(n, ZeroBlock(block_size)),
-      block_size_(block_size),
-      fault_rng_(7) {}
+    : array_(n, ZeroBlock(block_size)), block_size_(block_size) {}
 
 Status StorageServer::SetArray(std::vector<Block> blocks) {
+  if (blocks.size() != array_.size()) {
+    return InvalidArgumentError("SetArray: wrong block count");
+  }
   for (const Block& b : blocks) {
     if (b.size() != block_size_) {
       return InvalidArgumentError("SetArray: block size mismatch");
@@ -19,34 +20,65 @@ Status StorageServer::SetArray(std::vector<Block> blocks) {
   return OkStatus();
 }
 
-Status StorageServer::MaybeInjectFault() {
-  if (failure_rate_ > 0.0 && fault_rng_.Bernoulli(failure_rate_)) {
-    return UnavailableError("injected storage fault");
+Status StorageServer::CheckIndex(BlockId index) const {
+  if (index >= array_.size()) {
+    return OutOfRangeError("index " + std::to_string(index) +
+                           " >= n=" + std::to_string(array_.size()));
   }
   return OkStatus();
 }
 
 StatusOr<Block> StorageServer::Download(BlockId index) {
-  if (index >= array_.size()) {
-    return OutOfRangeError("Download index " + std::to_string(index) +
-                           " >= n=" + std::to_string(array_.size()));
-  }
-  DPSTORE_RETURN_IF_ERROR(MaybeInjectFault());
+  DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
+  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
+  transcript_.RecordRoundtrip();
   transcript_.Record(AccessEvent::Type::kDownload, index);
   return array_[index];
 }
 
 Status StorageServer::Upload(BlockId index, Block block) {
-  if (index >= array_.size()) {
-    return OutOfRangeError("Upload index " + std::to_string(index) +
-                           " >= n=" + std::to_string(array_.size()));
-  }
+  DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
   if (block.size() != block_size_) {
     return InvalidArgumentError("Upload: block size mismatch");
   }
-  DPSTORE_RETURN_IF_ERROR(MaybeInjectFault());
+  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
   transcript_.Record(AccessEvent::Type::kUpload, index);
   array_[index] = std::move(block);
+  return OkStatus();
+}
+
+StatusOr<std::vector<Block>> StorageServer::DownloadMany(
+    const std::vector<BlockId>& indices) {
+  if (indices.empty()) return std::vector<Block>();
+  for (BlockId index : indices) DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
+  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
+  transcript_.RecordRoundtrip();
+  std::vector<Block> result;
+  result.reserve(indices.size());
+  for (BlockId index : indices) {
+    transcript_.Record(AccessEvent::Type::kDownload, index);
+    result.push_back(array_[index]);
+  }
+  return result;
+}
+
+Status StorageServer::UploadMany(const std::vector<BlockId>& indices,
+                                 std::vector<Block> blocks) {
+  if (indices.size() != blocks.size()) {
+    return InvalidArgumentError("UploadMany: index/block count mismatch");
+  }
+  if (indices.empty()) return OkStatus();
+  for (BlockId index : indices) DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
+  for (const Block& block : blocks) {
+    if (block.size() != block_size_) {
+      return InvalidArgumentError("UploadMany: block size mismatch");
+    }
+  }
+  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    transcript_.Record(AccessEvent::Type::kUpload, indices[i]);
+    array_[indices[i]] = std::move(blocks[i]);
+  }
   return OkStatus();
 }
 
@@ -62,8 +94,7 @@ void StorageServer::CorruptBlock(BlockId index) {
 }
 
 void StorageServer::SetFailureRate(double rate, uint64_t seed) {
-  failure_rate_ = rate;
-  fault_rng_ = Rng(seed);
+  faults_.Set(rate, seed);
 }
 
 }  // namespace dpstore

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/backend.h"
 #include "storage/block.h"
 #include "storage/transcript.h"
 #include "util/random.h"
@@ -11,68 +12,59 @@
 
 namespace dpstore {
 
-/// Simulated untrusted storage server (the paper's server_m): a passive array
-/// of equal-sized blocks supporting only the balls-and-bins operations of
-/// Definition 3.1 (download block at address i / upload block to address i).
+/// Simulated untrusted storage server (the paper's server_m): the in-memory
+/// StorageBackend implementation. A passive array of equal-sized blocks
+/// supporting only the balls-and-bins operations of Definition 3.1
+/// (download block at address i / upload block to address i), single or
+/// batched.
 ///
 /// Every operation is recorded in the adversarial Transcript, which is what
 /// the differential-privacy definitions and the empirical-privacy harness
-/// quantify over. The server also meters bandwidth so overhead experiments
-/// read directly off it.
+/// quantify over. The server also meters bandwidth and roundtrips so
+/// overhead experiments read directly off it.
 ///
 /// Fault injection (for failure-path tests): with probability
-/// `failure_rate`, Download/Upload return Unavailable without touching
-/// storage or the transcript, modeling a dropped RPC.
-class StorageServer {
+/// `failure_rate`, each download/upload exchange returns Unavailable
+/// without touching storage or the transcript, modeling a dropped RPC. A
+/// batched call is one exchange and fails as a unit.
+class StorageServer : public StorageBackend {
  public:
   /// Creates a server holding `n` zeroed blocks of `block_size` bytes.
   StorageServer(uint64_t n, size_t block_size);
 
-  /// Replaces the whole array (setup phase upload). All blocks must have
-  /// size block_size(). Not recorded in the transcript: the paper treats the
-  /// initial database as public input to the adversary's view.
-  Status SetArray(std::vector<Block> blocks);
+  uint64_t n() const override { return array_.size(); }
+  size_t block_size() const override { return block_size_; }
 
-  uint64_t n() const { return array_.size(); }
-  size_t block_size() const { return block_size_; }
+  Status SetArray(std::vector<Block> blocks) override;
 
-  /// Download the block at address `index` (recorded in the transcript).
-  StatusOr<Block> Download(BlockId index);
+  StatusOr<Block> Download(BlockId index) override;
+  Status Upload(BlockId index, Block block) override;
 
-  /// Upload `block` to address `index` (recorded in the transcript).
-  Status Upload(BlockId index, Block block);
+  StatusOr<std::vector<Block>> DownloadMany(
+      const std::vector<BlockId>& indices) override;
+  Status UploadMany(const std::vector<BlockId>& indices,
+                    std::vector<Block> blocks) override;
 
-  /// Direct unrecorded read, for test assertions and adversary "knowledge of
-  /// the public database" - never used by schemes during queries.
-  const Block& PeekBlock(BlockId index) const;
+  const Block& PeekBlock(BlockId index) const override;
+  void CorruptBlock(BlockId index) override;
 
-  /// Flips one byte of the stored block; used to exercise tamper detection.
-  void CorruptBlock(BlockId index);
+  void BeginQuery() override { transcript_.BeginQuery(); }
 
-  /// Starts a new logical query in the transcript. Schemes call this once
-  /// per client operation.
-  void BeginQuery() { transcript_.BeginQuery(); }
-
-  const Transcript& transcript() const { return transcript_; }
-  void ResetTranscript() { transcript_.Clear(); }
-
-  /// Every Download/Upload fails with this probability (default 0).
-  void SetFailureRate(double rate, uint64_t seed = 7);
-
-  uint64_t download_count() const { return transcript_.download_count(); }
-  uint64_t upload_count() const { return transcript_.upload_count(); }
-  uint64_t bytes_moved() const {
-    return transcript_.TotalBlocksMoved() * block_size_;
+  const Transcript& transcript() const override { return transcript_; }
+  void ResetTranscript() override { transcript_.Clear(); }
+  void SetTranscriptCountingOnly(bool counting_only) override {
+    transcript_.SetCountingOnly(counting_only);
   }
 
+  void SetFailureRate(double rate, uint64_t seed = 7) override;
+
  private:
-  Status MaybeInjectFault();
+  Status CheckIndex(BlockId index) const;
 
   std::vector<Block> array_;
   size_t block_size_;
   Transcript transcript_;
-  double failure_rate_ = 0.0;
-  Rng fault_rng_;
+  FaultInjector faults_;
 };
 
 }  // namespace dpstore

@@ -1,0 +1,92 @@
+#ifndef DPSTORE_STORAGE_SHARDED_BACKEND_H_
+#define DPSTORE_STORAGE_SHARDED_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/backend.h"
+#include "util/random.h"
+
+namespace dpstore {
+
+/// Storage backend that partitions the block array [0, n) across K inner
+/// backends in contiguous ranges of ceil(n/K) blocks (the last shard may be
+/// short when K does not divide n; trailing shards may even be empty when
+/// K > n). This is the DINOMO-style separation of scheme logic from a
+/// swappable, horizontally scaled storage tier: schemes keep addressing a
+/// flat array while capacity and bandwidth scale across shards.
+///
+/// Accounting: the sharded backend keeps its own Transcript in the *global*
+/// address space - that is the adversary's view the schemes' privacy
+/// arguments quantify over, and what scheme-level stats read. Each inner
+/// backend additionally records its local view (local addresses), useful
+/// for per-shard load inspection. A batched call that spans shards fans out
+/// concurrently, so it costs one roundtrip at this level regardless of how
+/// many shards it touches; the per-shard transcripts meter their own legs.
+class ShardedBackend : public StorageBackend {
+ public:
+  /// Creates K shards via `inner_factory` (in-memory StorageServer when
+  /// null). Requires num_shards >= 1.
+  ShardedBackend(uint64_t n, size_t block_size, uint64_t num_shards,
+                 const BackendFactory& inner_factory = nullptr);
+
+  uint64_t num_shards() const { return shards_.size(); }
+  /// The shard holding global address `index`.
+  uint64_t ShardOf(BlockId index) const { return index / rows_per_shard_; }
+  StorageBackend& shard(uint64_t s) { return *shards_[s]; }
+  const StorageBackend& shard(uint64_t s) const { return *shards_[s]; }
+
+  uint64_t n() const override { return n_; }
+  size_t block_size() const override { return block_size_; }
+
+  Status SetArray(std::vector<Block> blocks) override;
+
+  StatusOr<Block> Download(BlockId index) override;
+  Status Upload(BlockId index, Block block) override;
+  StatusOr<std::vector<Block>> DownloadMany(
+      const std::vector<BlockId>& indices) override;
+  Status UploadMany(const std::vector<BlockId>& indices,
+                    std::vector<Block> blocks) override;
+
+  void BeginQuery() override;
+
+  const Transcript& transcript() const override { return transcript_; }
+  void ResetTranscript() override;
+  void SetTranscriptCountingOnly(bool counting_only) override;
+
+  const Block& PeekBlock(BlockId index) const override;
+  void CorruptBlock(BlockId index) override;
+
+  /// Fault injection lives at THIS level, not in the shards: one Bernoulli
+  /// roll per exchange, so a batched call spanning shards still fails as a
+  /// unit before any leg runs (the StorageBackend atomicity contract).
+  /// Do NOT inject faults into individual shards via shard(s) when schemes
+  /// are driving this backend - a mid-fan-out inner failure would leave a
+  /// spanning batch half-applied, which the schemes' rollback discipline
+  /// (assuming nothing reached the server on error) cannot repair.
+  void SetFailureRate(double rate, uint64_t seed = 7) override;
+
+ private:
+  /// (shard, local address) of a validated global address.
+  std::pair<uint64_t, BlockId> Locate(BlockId index) const;
+  Status CheckIndex(BlockId index) const;
+
+  uint64_t n_;
+  size_t block_size_;
+  uint64_t rows_per_shard_;  // ceil(n / K)
+  std::vector<std::unique_ptr<StorageBackend>> shards_;
+  Transcript transcript_;
+  FaultInjector faults_;
+};
+
+/// BackendFactory producing a ShardedBackend with `num_shards` in-memory
+/// shards (counting-only transcripts when requested, as in
+/// MemoryBackendFactory).
+BackendFactory ShardedBackendFactory(uint64_t num_shards,
+                                     bool counting_only = false);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_SHARDED_BACKEND_H_

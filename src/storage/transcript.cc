@@ -6,10 +6,13 @@
 
 namespace dpstore {
 
-void Transcript::BeginQuery() { query_starts_.push_back(events_.size()); }
+void Transcript::BeginQuery() {
+  ++query_count_;
+  if (!counting_only_) query_starts_.push_back(events_.size());
+}
 
 void Transcript::Record(AccessEvent::Type type, BlockId index) {
-  events_.push_back(AccessEvent{type, index});
+  if (!counting_only_) events_.push_back(AccessEvent{type, index});
   if (type == AccessEvent::Type::kDownload) {
     ++download_count_;
   } else {
@@ -17,7 +20,25 @@ void Transcript::Record(AccessEvent::Type type, BlockId index) {
   }
 }
 
+void Transcript::SetCountingOnly(bool counting_only) {
+  const bool was_counting_only = counting_only_;
+  counting_only_ = counting_only;
+  if (counting_only_) {
+    events_.clear();
+    events_.shrink_to_fit();
+    query_starts_.clear();
+    query_starts_.shrink_to_fit();
+  } else if (was_counting_only) {
+    // Re-enabling events mid-stream would leave query_count_ ahead of
+    // query_starts_, so the per-query accessors would slice the wrong
+    // queries; start clean instead (see header).
+    Clear();
+  }
+}
+
 std::pair<size_t, size_t> Transcript::QueryRange(size_t q) const {
+  DPSTORE_CHECK(!counting_only_)
+      << "per-query transcript slices are unavailable in counting-only mode";
   DPSTORE_CHECK_LT(q, query_starts_.size());
   size_t begin = query_starts_[q];
   size_t end =
@@ -54,16 +75,24 @@ std::vector<BlockId> Transcript::QueryUploads(size_t q) const {
 }
 
 double Transcript::BlocksPerQuery() const {
-  if (query_starts_.empty()) return 0.0;
+  if (query_count_ == 0) return 0.0;
   return static_cast<double>(TotalBlocksMoved()) /
-         static_cast<double>(query_starts_.size());
+         static_cast<double>(query_count_);
+}
+
+double Transcript::RoundtripsPerQuery() const {
+  if (query_count_ == 0) return 0.0;
+  return static_cast<double>(roundtrip_count_) /
+         static_cast<double>(query_count_);
 }
 
 void Transcript::Clear() {
   events_.clear();
   query_starts_.clear();
+  query_count_ = 0;
   download_count_ = 0;
   upload_count_ = 0;
+  roundtrip_count_ = 0;
 }
 
 std::string Transcript::ToString() const {

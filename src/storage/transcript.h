@@ -28,6 +28,22 @@ struct AccessEvent {
 /// The adversary's view of an execution: the ordered list of access events,
 /// partitioned into queries. The privacy definitions quantify over exactly
 /// this object, and the empirical-privacy harness consumes it.
+///
+/// Beyond the per-block events the transcript also meters *roundtrips*: the
+/// number of blocking client-server exchanges. Every download call - single
+/// or batched - costs one roundtrip (the reply carries data the client must
+/// wait for); uploads are modeled as fire-and-forget write-backs that
+/// piggyback on the link without blocking, as in pipelined Path ORAM
+/// eviction. Roundtrips, not block counts, dominate latency on WAN links -
+/// the paper's critique of recursive position maps - so the cost model
+/// (analysis/cost_model.h) prices the two separately.
+///
+/// Counting-only mode: under heavy traffic the event list grows without
+/// bound (one entry per block moved), so benches and long-running drivers
+/// can switch the transcript to tallies-only via SetCountingOnly(true):
+/// query/download/upload/roundtrip counters keep advancing but no events are
+/// stored. Per-query accessors (QueryEvents etc.) are unavailable in that
+/// mode.
 class Transcript {
  public:
   /// Marks the start of a logical query; subsequent events belong to it.
@@ -35,10 +51,23 @@ class Transcript {
 
   void Record(AccessEvent::Type type, BlockId index);
 
-  const std::vector<AccessEvent>& events() const { return events_; }
-  size_t query_count() const { return query_starts_.size(); }
+  /// Meters one blocking client-server exchange (see class comment).
+  void RecordRoundtrip() { ++roundtrip_count_; }
 
-  /// Events of query `q` (0-based). Requires q < query_count().
+  /// Switches between full event recording and counting-only tallies.
+  /// Enabling drops any events stored so far (the counters survive).
+  /// Disabling clears the transcript entirely: per-query boundaries cannot
+  /// be reconstructed for queries that ran while events were off, so a
+  /// fresh transcript is the only state in which the per-query accessors
+  /// are trustworthy again.
+  void SetCountingOnly(bool counting_only);
+  bool counting_only() const { return counting_only_; }
+
+  const std::vector<AccessEvent>& events() const { return events_; }
+  size_t query_count() const { return query_count_; }
+
+  /// Events of query `q` (0-based). Requires q < query_count() and full
+  /// event recording (not counting-only).
   std::vector<AccessEvent> QueryEvents(size_t q) const;
 
   /// Indices downloaded during query `q`, in order.
@@ -48,6 +77,7 @@ class Transcript {
 
   uint64_t download_count() const { return download_count_; }
   uint64_t upload_count() const { return upload_count_; }
+  uint64_t roundtrip_count() const { return roundtrip_count_; }
   /// Total blocks moved (the paper's "operations" / bandwidth in blocks).
   uint64_t TotalBlocksMoved() const {
     return download_count_ + upload_count_;
@@ -55,6 +85,8 @@ class Transcript {
 
   /// Blocks moved per query, or 0 with no queries.
   double BlocksPerQuery() const;
+  /// Roundtrips per query, or 0 with no queries.
+  double RoundtripsPerQuery() const;
 
   void Clear();
 
@@ -67,8 +99,11 @@ class Transcript {
 
   std::vector<AccessEvent> events_;
   std::vector<size_t> query_starts_;
+  uint64_t query_count_ = 0;
   uint64_t download_count_ = 0;
   uint64_t upload_count_ = 0;
+  uint64_t roundtrip_count_ = 0;
+  bool counting_only_ = false;
 };
 
 }  // namespace dpstore

@@ -136,6 +136,9 @@ TEST(BucketDpRamTest, TranscriptShapeIsThreeBucketsWorth) {
     ASSERT_TRUE(ram.ReadBucket(static_cast<uint64_t>(t) % 16).ok());
     EXPECT_EQ(ram.server().transcript().download_count(), 2 * s);
     EXPECT_EQ(ram.server().transcript().upload_count(), s);
+    // 2s downloads in one batched exchange + a batched write-back: a
+    // bucket query is a single roundtrip regardless of s.
+    EXPECT_EQ(ram.server().transcript().roundtrip_count(), 1u);
   }
 }
 
@@ -166,8 +169,9 @@ TEST(BucketDpRamTest, FaultInjectionRollsBackCleanly) {
   ASSERT_TRUE(ram.WriteBucket(0, [](std::vector<Block>* content) {
                    (*content)[0] = MarkerBlock(8, kNodeSize);
                  }).ok());
-  // Each bucket query performs 9 server ops (3 nodes x 3 phases), so the
-  // per-query success probability is 0.9^9 ~ 0.39.
+  // Each bucket query is 2 batched exchanges (download batch + write-back),
+  // each failing as a unit, so the per-query success probability is
+  // 0.9^2 = 0.81.
   ram.server().SetFailureRate(0.1, /*seed=*/47);
   int ok_reads = 0;
   for (int t = 0; t < 500; ++t) {

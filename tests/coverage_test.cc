@@ -12,6 +12,7 @@
 #include "core/dp_ram.h"
 #include "crypto/chacha20.h"
 #include "crypto/prf.h"
+#include "storage/server.h"
 #include "util/histogram.h"
 
 namespace dpstore {

@@ -8,6 +8,7 @@
 #include "core/dp_params.h"
 #include "core/strawman_ir.h"
 #include "pir/trivial_pir.h"
+#include "storage/server.h"
 
 namespace dpstore {
 namespace {

@@ -77,6 +77,9 @@ TEST(DpRamTest, TranscriptShapeIsTwoDownloadsOneUpload) {
     const Transcript& tr = ram.server().transcript();
     EXPECT_EQ(tr.download_count(), 2u);
     EXPECT_EQ(tr.upload_count(), 1u);
+    // Both downloads ride one batched exchange; the upload is fire-and-
+    // forget, so the whole query is a single roundtrip.
+    EXPECT_EQ(tr.roundtrip_count(), 1u);
   }
   EXPECT_DOUBLE_EQ(ram.BlocksPerQueryExpected(), 3.0);
 }

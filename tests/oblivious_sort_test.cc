@@ -6,6 +6,7 @@
 
 #include "crypto/prg.h"
 #include "oram/oblivious_sort.h"
+#include "storage/server.h"
 
 namespace dpstore {
 namespace {

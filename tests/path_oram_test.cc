@@ -84,6 +84,43 @@ TEST(PathOramTest, BlocksPerAccessIsLogarithmic) {
             oram.BlocksPerAccess());
 }
 
+TEST(PathOramTest, ExactlyOneBatchedRoundtripPerAccess) {
+  // The batched transport contract: the whole path fetch is ONE download
+  // exchange and the eviction a fire-and-forget write-back, so every
+  // read/write costs exactly 1 roundtrip on the measured transcript (not
+  // just in the RoundtripsPerAccess() formula).
+  PathOram oram(MakeDatabase(256),
+                PathOramOptions{.block_size = kBlockSize, .seed = 29});
+  for (int t = 0; t < 20; ++t) {
+    oram.server().ResetTranscript();
+    ASSERT_TRUE(oram.Read(static_cast<BlockId>(t) % 256).ok());
+    EXPECT_EQ(oram.server().transcript().roundtrip_count(), 1u);
+    oram.server().ResetTranscript();
+    ASSERT_TRUE(oram.Write(static_cast<BlockId>(t) % 256,
+                           MarkerBlock(1000 + t, kBlockSize)).ok());
+    EXPECT_EQ(oram.server().transcript().roundtrip_count(), 1u);
+  }
+}
+
+TEST(PathOramTest, RecursiveAccessCostsOneRoundtripPerLevel) {
+  constexpr uint64_t kN = 512;
+  PathOramOptions options;
+  options.block_size = kBlockSize;
+  options.recursive_position_map = true;
+  options.recursion_cutoff = 16;
+  options.seed = 31;
+  PathOram oram(MakeDatabase(kN), options);
+  ASSERT_GE(oram.recursion_depth(), 1u);
+  // TransportTotals sums the recursive children, so the measured roundtrip
+  // delta per access must equal 1 + recursion_depth.
+  TransportStats before = oram.TransportTotals();
+  ASSERT_TRUE(oram.Read(7).ok());
+  TransportStats delta = oram.TransportTotals() - before;
+  EXPECT_EQ(delta.roundtrips, oram.RoundtripsPerAccess());
+  EXPECT_EQ(delta.roundtrips, 1 + oram.recursion_depth());
+  EXPECT_EQ(delta.blocks_moved, oram.BlocksPerAccess());
+}
+
 TEST(PathOramTest, TranscriptIsPathShaped) {
   // Every access downloads Z*(L+1) slots and uploads the same count.
   PathOram oram(MakeDatabase(256),

@@ -2,6 +2,7 @@
 
 #include "core/multi_server_dp_ir.h"
 #include "pir/xor_pir.h"
+#include "storage/server.h"
 
 namespace dpstore {
 namespace {
@@ -81,9 +82,9 @@ std::vector<std::unique_ptr<StorageServer>> MakeReplicas(uint64_t d,
   return servers;
 }
 
-std::vector<StorageServer*> Pointers(
+std::vector<StorageBackend*> Pointers(
     const std::vector<std::unique_ptr<StorageServer>>& servers) {
-  std::vector<StorageServer*> out;
+  std::vector<StorageBackend*> out;
   for (const auto& s : servers) out.push_back(s.get());
   return out;
 }

@@ -1,0 +1,239 @@
+// Tests for the unified scheme interfaces, the string-keyed registry, and
+// the shared workload driver: every scheme must be constructible by name on
+// every backend and drivable by the same harness, with sane transport
+// accounting.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/driver.h"
+#include "analysis/workload.h"
+#include "core/dp_ram.h"
+#include "core/scheme_registry.h"
+
+namespace dpstore {
+namespace {
+
+constexpr uint64_t kN = 64;
+constexpr size_t kValueSize = 32;
+
+SchemeConfig SmallConfig(const std::string& backend) {
+  SchemeConfig config;
+  config.n = kN;
+  config.value_size = kValueSize;
+  config.seed = 42;
+  config.backend = backend;
+  config.shards = 3;  // does not divide the storage arrays evenly
+  return config;
+}
+
+TEST(SchemeRegistryTest, RegisteredNamesAreComplete) {
+  EXPECT_EQ(SchemeRegistry::Instance().RamSchemeNames(),
+            (std::vector<std::string>{"bucket_dp_ram", "dp_ir", "dp_ram",
+                                      "linear_oram", "multi_server_dp_ir",
+                                      "path_oram", "strawman_ir",
+                                      "tunable_dp_oram"}));
+  EXPECT_EQ(SchemeRegistry::Instance().KvsSchemeNames(),
+            (std::vector<std::string>{"cuckoo_oram_kvs", "dp_kvs",
+                                      "oram_kvs"}));
+}
+
+TEST(SchemeRegistryTest, UnknownNamesRejected) {
+  EXPECT_EQ(SchemeRegistry::Instance()
+                .MakeRam("no_such_scheme", SmallConfig("memory"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(SchemeRegistry::Instance()
+                .MakeKvs("no_such_scheme", SmallConfig("memory"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  SchemeConfig bad_backend = SmallConfig("quantum");
+  EXPECT_EQ(SchemeRegistry::Instance()
+                .MakeRam("dp_ram", bad_backend)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemeRegistryTest, EveryRamSchemeConstructibleAndCorrectOnEveryBackend) {
+  for (const std::string& backend : {std::string("memory"),
+                                     std::string("sharded")}) {
+    for (const std::string& name :
+         SchemeRegistry::Instance().RamSchemeNames()) {
+      SCOPED_TRACE(name + " on " + backend);
+      auto scheme = SchemeRegistry::Instance().MakeRam(name,
+                                                       SmallConfig(backend));
+      ASSERT_TRUE(scheme.ok()) << scheme.status();
+      EXPECT_EQ((*scheme)->n(), kN);
+      EXPECT_EQ((*scheme)->record_size(), kValueSize);
+      // Registry products come pre-seeded with the marker database; reads
+      // must return the right record (or the scheme's allowed perp).
+      int verified = 0;
+      for (BlockId id : {BlockId{0}, BlockId{kN / 2}, BlockId{kN - 1}}) {
+        auto got = (*scheme)->QueryRead(id);
+        ASSERT_TRUE(got.ok()) << got.status();
+        if (got->has_value()) {
+          EXPECT_TRUE(IsMarkerBlock(**got, id));
+          ++verified;
+        }
+      }
+      EXPECT_GT(verified, 0) << "every read returned perp";
+      EXPECT_EQ((*scheme)->QueryRead(kN).status().code(),
+                StatusCode::kOutOfRange);
+    }
+  }
+}
+
+TEST(SchemeRegistryTest, WritableSchemesRoundTripThroughInterface) {
+  for (const std::string& name : SchemeRegistry::Instance().RamSchemeNames()) {
+    auto scheme = SchemeRegistry::Instance().MakeRam(name,
+                                                     SmallConfig("memory"));
+    ASSERT_TRUE(scheme.ok());
+    if (!(*scheme)->SupportsWrite()) {
+      EXPECT_EQ((*scheme)->QueryWrite(0, MarkerBlock(9, kValueSize)).code(),
+                StatusCode::kUnimplemented)
+          << name;
+      continue;
+    }
+    SCOPED_TRACE(name);
+    ASSERT_TRUE((*scheme)->QueryWrite(5, MarkerBlock(999, kValueSize)).ok());
+    // Reads may hit the scheme's perp branch; retry is pointless (these
+    // schemes are all perp-free when writable), so assert directly.
+    auto got = (*scheme)->QueryRead(5);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_TRUE(IsMarkerBlock(**got, 999));
+  }
+}
+
+TEST(SchemeRegistryTest, DriverRunsEveryRamSchemeWithTransportAccounting) {
+  Rng rng(7);
+  for (const std::string& backend : {std::string("memory"),
+                                     std::string("sharded")}) {
+    for (const std::string& name :
+         SchemeRegistry::Instance().RamSchemeNames()) {
+      SCOPED_TRACE(name + " on " + backend);
+      auto scheme = SchemeRegistry::Instance().MakeRam(name,
+                                                       SmallConfig(backend));
+      ASSERT_TRUE(scheme.ok());
+      auto workload = MakeRamWorkload("zipf:0.99", &rng, kN, 24,
+                                      /*write_fraction=*/0.25);
+      ASSERT_TRUE(workload.ok());
+      auto report = RunRamWorkload(scheme->get(), *workload);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_EQ(report->operations, 24u);
+      EXPECT_GT(report->transport.blocks_moved, 0u);
+      EXPECT_GT(report->transport.roundtrips, 0u);
+      EXPECT_EQ(report->transport.bytes_moved % report->transport.blocks_moved,
+                0u)
+          << "bytes must be an integer multiple of blocks";
+      EXPECT_GT(report->LatencyPerOpMs(kLanModel), 0.0);
+    }
+  }
+}
+
+TEST(SchemeRegistryTest, DriverRunsEveryKvsSchemeOnEveryBackend) {
+  for (const std::string& backend : {std::string("memory"),
+                                     std::string("sharded")}) {
+    for (const std::string& name :
+         SchemeRegistry::Instance().KvsSchemeNames()) {
+      SCOPED_TRACE(name + " on " + backend);
+      auto scheme = SchemeRegistry::Instance().MakeKvs(name,
+                                                       SmallConfig(backend));
+      ASSERT_TRUE(scheme.ok()) << scheme.status();
+      Rng rng(13);
+      KvsSequence ops = YcsbKvsSequence(&rng, kN / 2, 24,
+                                        /*read_fraction=*/0.5,
+                                        /*zipf_s=*/0.99);
+      auto report = RunKvsWorkload(scheme->get(), ops);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_EQ(report->operations, 24u);
+      EXPECT_GT(report->transport.blocks_moved, 0u);
+      EXPECT_GT(report->transport.roundtrips, 0u);
+      EXPECT_GT((*scheme)->size(), 0u);
+    }
+  }
+}
+
+TEST(SchemeRegistryTest, KvsInterfaceRoundTripsValues) {
+  for (const std::string& name : SchemeRegistry::Instance().KvsSchemeNames()) {
+    SCOPED_TRACE(name);
+    auto scheme = SchemeRegistry::Instance().MakeKvs(name,
+                                                     SmallConfig("memory"));
+    ASSERT_TRUE(scheme.ok());
+    const KvsScheme::Key key = ScatterKey(3);
+    const KvsScheme::Value value = MarkerBlock(77, kValueSize);
+    ASSERT_TRUE((*scheme)->Put(key, value).ok());
+    auto got = (*scheme)->Get(key);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(**got, value);
+    // Absent key -> perp, not an error.
+    auto absent = (*scheme)->Get(ScatterKey(999999));
+    ASSERT_TRUE(absent.ok());
+    EXPECT_FALSE(absent->has_value());
+    if ((*scheme)->SupportsErase()) {
+      ASSERT_TRUE((*scheme)->Erase(key).ok());
+      auto erased = (*scheme)->Get(key);
+      ASSERT_TRUE(erased.ok());
+      EXPECT_FALSE(erased->has_value());
+    } else {
+      EXPECT_EQ((*scheme)->Erase(key).code(), StatusCode::kUnimplemented);
+    }
+  }
+}
+
+TEST(SchemeRegistryTest, CountingOnlyConfigBoundsTranscriptMemory) {
+  SchemeConfig config = SmallConfig("memory");
+  config.counting_only_transcript = true;
+  auto scheme = SchemeRegistry::Instance().MakeRam("dp_ram", config);
+  ASSERT_TRUE(scheme.ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*scheme)->QueryRead(static_cast<BlockId>(i % kN)).ok());
+  }
+  auto* dp_ram = dynamic_cast<DpRam*>(scheme->get());
+  ASSERT_NE(dp_ram, nullptr);
+  EXPECT_TRUE(dp_ram->server().transcript().events().empty());
+  EXPECT_EQ(dp_ram->server().transcript().query_count(), 32u);
+  EXPECT_EQ((*scheme)->TransportTotals().blocks_moved, 32u * 3u);
+}
+
+TEST(WorkloadSpecTest, ParsesKnownSpecsAndRejectsMalformedOnes) {
+  Rng rng(5);
+  for (const char* good : {"uniform", "sequential", "zipf:0.99", "zipf:0"}) {
+    auto seq = MakeRamWorkload(good, &rng, 16, 8, 0.5);
+    ASSERT_TRUE(seq.ok()) << good;
+    EXPECT_EQ(seq->size(), 8u);
+    for (const RamQuery& q : *seq) EXPECT_LT(q.index, 16u);
+  }
+  for (const char* bad :
+       {"", "zipfian", "zipf:", "zipf:abc", "zipf:-1", "zipf:nan",
+        "zipf:inf", "zipf:0.5x"}) {
+    EXPECT_EQ(MakeRamWorkload(bad, &rng, 16, 8, 0.5).status().code(),
+              StatusCode::kInvalidArgument)
+        << bad;
+  }
+}
+
+TEST(SchemeRegistryTest, RegistrationApiIsOpenToExperiments) {
+  // A test-local scheme under a fresh name (registered factories may also
+  // shadow built-ins: later registrations win on lookup).
+  SchemeRegistry::Instance().RegisterRam(
+      "dp_ram_test_shadow",
+      [](const SchemeConfig& config) {
+        SchemeConfig inner = config;
+        inner.backend = "memory";
+        return SchemeRegistry::Instance().MakeRam("dp_ram", inner);
+      });
+  auto scheme = SchemeRegistry::Instance().MakeRam("dp_ram_test_shadow",
+                                                   SmallConfig("sharded"));
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ((*scheme)->n(), kN);
+}
+
+}  // namespace
+}  // namespace dpstore

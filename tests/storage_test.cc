@@ -127,7 +127,14 @@ TEST(StorageServerTest, BlockSizeEnforced) {
   StorageServer server(4, 8);
   EXPECT_EQ(server.Upload(0, ZeroBlock(7)).code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(server.SetArray({ZeroBlock(8), ZeroBlock(9)}).code(),
+  // Right count, one wrong-sized block: the size check itself must fire.
+  EXPECT_EQ(server
+                .SetArray({ZeroBlock(8), ZeroBlock(9), ZeroBlock(8),
+                           ZeroBlock(8)})
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong count is rejected too.
+  EXPECT_EQ(server.SetArray({ZeroBlock(8), ZeroBlock(8)}).code(),
             StatusCode::kInvalidArgument);
 }
 
