@@ -1,6 +1,8 @@
 #include "analysis/driver.h"
 
 #include <chrono>
+#include <deque>
+#include <utility>
 
 namespace dpstore {
 
@@ -69,6 +71,85 @@ StatusOr<WorkloadReport> RunKvsWorkload(KvsScheme* scheme,
   }
   report.wall_ms = ElapsedMs(start);
   report.transport = scheme->TransportTotals() - before;
+  return report;
+}
+
+std::vector<StorageRequest> ExchangePlanFromTranscript(const Transcript& t,
+                                                       size_t block_size) {
+  DPSTORE_CHECK(!t.counting_only())
+      << "exchange plans need recorded events";
+  std::vector<StorageRequest> plan;
+  for (size_t q = 0; q < t.query_count(); ++q) {
+    std::vector<BlockId> downloads = t.QueryDownloads(q);
+    if (!downloads.empty()) {
+      plan.push_back(StorageRequest::DownloadOf(std::move(downloads)));
+    }
+    std::vector<BlockId> uploads = t.QueryUploads(q);
+    if (!uploads.empty()) {
+      std::vector<Block> payloads;
+      payloads.reserve(uploads.size());
+      for (BlockId index : uploads) {
+        payloads.push_back(MarkerBlock(index, block_size));
+      }
+      plan.push_back(
+          StorageRequest::UploadOf(std::move(uploads), std::move(payloads)));
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+uint64_t Fnv1a(uint64_t hash, const Block& block) {
+  for (uint8_t byte : block) {
+    hash ^= byte;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+StatusOr<PipelineReport> RunExchangePipeline(StorageBackend* backend,
+                                             std::vector<StorageRequest> plan,
+                                             uint64_t depth) {
+  DPSTORE_CHECK(backend != nullptr);
+  if (depth == 0) {
+    return InvalidArgumentError("pipeline depth must be >= 1");
+  }
+  PipelineReport report;
+  report.reply_hash = 0xCBF29CE484222325ULL;  // FNV offset basis
+  const TransportStats before = backend->Stats();
+  const auto start = std::chrono::steady_clock::now();
+
+  // On error, every in-flight ticket is still waited on before returning:
+  // an abandoned ticket would leak its parked reply in the backend forever
+  // (tickets are single-use and evicted only by Wait).
+  std::deque<Ticket> in_flight;
+  Status first_error = OkStatus();
+  auto drain_one = [&] {
+    StatusOr<StorageReply> reply = backend->Wait(in_flight.front());
+    in_flight.pop_front();
+    if (!reply.ok()) {
+      if (first_error.ok()) first_error = reply.status();
+      return;
+    }
+    for (const Block& block : reply->blocks) {
+      report.reply_hash = Fnv1a(report.reply_hash, block);
+    }
+  };
+
+  for (StorageRequest& request : plan) {
+    if (in_flight.size() >= depth) drain_one();
+    if (!first_error.ok()) break;  // stop submitting; drain the rest below
+    in_flight.push_back(backend->Submit(std::move(request)));
+    ++report.exchanges;
+  }
+  while (!in_flight.empty()) drain_one();
+  DPSTORE_RETURN_IF_ERROR(first_error);
+
+  report.wall_ms = ElapsedMs(start);
+  report.transport = backend->Stats() - before;
   return report;
 }
 

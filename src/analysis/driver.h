@@ -59,6 +59,50 @@ StatusOr<WorkloadReport> RunRamWorkload(RamScheme* scheme,
 StatusOr<WorkloadReport> RunKvsWorkload(KvsScheme* scheme,
                                         const KvsSequence& sequence);
 
+// --- Pipelined exchange replay ----------------------------------------------
+//
+// Schemes are synchronous clients: each narrow backend call is Submit
+// immediately followed by Wait. Independent queries, however, need not
+// serialize their *transport*: the adversary's view of a query is exactly
+// its exchanges, so replaying a recorded transcript through Submit/Wait with
+// several exchanges in flight measures what the access pattern costs on a
+// backend that can overlap work (AsyncShardedBackend) — without perturbing
+// the scheme's own results, which were produced when the transcript was
+// recorded. This is the paper's separation of axes made operational:
+// blocks/roundtrips stay identical at every depth; only wall-clock moves.
+
+/// What one pipelined replay measured. `reply_hash` is a FNV-1a digest of
+/// every downloaded byte in submission order — bit-identical replays (any
+/// depth, any sharding) produce equal hashes.
+struct PipelineReport {
+  uint64_t exchanges = 0;
+  TransportStats transport;
+  double wall_ms = 0.0;
+  uint64_t reply_hash = 0;
+
+  double MsPerExchange() const {
+    return exchanges == 0 ? 0.0 : wall_ms / static_cast<double>(exchanges);
+  }
+};
+
+/// Rebuilds a recorded transcript as explicit exchange messages: per query,
+/// one batched download of everything the query downloaded (one roundtrip,
+/// the schemes' canonical shape) and one fire-and-forget write-back of
+/// everything it uploaded (payloads are deterministic MarkerBlock(index)
+/// bytes — replay measures transport, not contents). Requires a transcript
+/// with events (not counting-only).
+std::vector<StorageRequest> ExchangePlanFromTranscript(const Transcript& t,
+                                                       size_t block_size);
+
+/// Streams `plan` through backend->Submit/Wait keeping up to `depth` >= 1
+/// exchanges in flight (depth 1 degenerates to the synchronous call
+/// pattern). Waits in submission order, so transcripts and replayed data
+/// are depth-invariant. Reports the transport delta and measured
+/// wall-clock.
+StatusOr<PipelineReport> RunExchangePipeline(StorageBackend* backend,
+                                             std::vector<StorageRequest> plan,
+                                             uint64_t depth);
+
 }  // namespace dpstore
 
 #endif  // DPSTORE_ANALYSIS_DRIVER_H_

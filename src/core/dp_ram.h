@@ -75,9 +75,16 @@ class DpRam : public RamScheme {
   uint64_t n() const override { return n_; }
   size_t record_size() const override { return record_size_; }
 
-  // RamScheme interface.
+  // RamScheme interface. Through the unified surface, retrieval-only mode
+  // reports the standard "no write repertoire" (Unimplemented) like every
+  // other read-only scheme; the direct Write() keeps its sharper
+  // FailedPrecondition diagnosis.
   StatusOr<std::optional<Block>> QueryRead(BlockId id) override;
   Status QueryWrite(BlockId id, Block value) override {
+    if (!options_.encrypted) {
+      return UnimplementedError(
+          "retrieval-only DP-RAM has no write repertoire");
+    }
     return Write(id, std::move(value));
   }
   bool SupportsWrite() const override { return options_.encrypted; }

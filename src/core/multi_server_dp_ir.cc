@@ -43,10 +43,15 @@ StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
   const uint64_t real_server =
       error_branch ? servers_.size() : rng_.Uniform(servers_.size());
 
-  std::optional<Block> result;
+  // Phase 1 - submit every replica's subset as one exchange message before
+  // waiting on any: the D per-replica roundtrips genuinely overlap on a
+  // backend that can (AsyncShardedBackend), matching the "1 roundtrip per
+  // replica, issued in parallel" accounting this scheme always advertised.
+  std::vector<std::vector<uint64_t>> download_sets(servers_.size());
+  std::vector<Ticket> tickets(servers_.size());
   for (uint64_t s = 0; s < servers_.size(); ++s) {
     servers_[s]->BeginQuery();
-    std::vector<uint64_t> download_set;
+    std::vector<uint64_t>& download_set = download_sets[s];
     if (s == real_server) {
       if (k_ >= n_) {
         download_set.resize(n_);
@@ -59,15 +64,28 @@ StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
       download_set = rng_.SampleDistinct(k_, n_);
     }
     rng_.Shuffle(&download_set);
-    // Each replica's subset travels as one batched exchange.
-    DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> blocks,
-                             servers_[s]->DownloadMany(download_set));
+    tickets[s] = servers_[s]->Submit(StorageRequest::DownloadOf(download_set));
+  }
+  // Phase 2 - collect the replies. Every ticket is waited on even after a
+  // failure: an abandoned ticket would leak its parked reply in the
+  // backend forever (tickets are single-use and evicted only by Wait).
+  std::optional<Block> result;
+  Status first_error = OkStatus();
+  for (uint64_t s = 0; s < servers_.size(); ++s) {
+    StatusOr<StorageReply> reply = servers_[s]->Wait(tickets[s]);
+    if (!reply.ok()) {
+      if (first_error.ok()) first_error = reply.status();
+      continue;
+    }
     if (s == real_server) {
-      for (size_t i = 0; i < download_set.size(); ++i) {
-        if (download_set[i] == index) result = std::move(blocks[i]);
+      for (size_t i = 0; i < download_sets[s].size(); ++i) {
+        if (download_sets[s][i] == index) {
+          result = std::move(reply->blocks[i]);
+        }
       }
     }
   }
+  DPSTORE_RETURN_IF_ERROR(first_error);
   if (error_branch) return std::optional<Block>();
   DPSTORE_CHECK(result.has_value());
   return result;

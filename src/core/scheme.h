@@ -31,9 +31,11 @@ namespace dpstore {
 class RamScheme {
  public:
   virtual ~RamScheme() = default;
+  // Polymorphic interface: copying through a base would slice. Schemes are
+  // identities (they own client state and backends), held by unique_ptr.
   RamScheme() = default;
-  RamScheme(const RamScheme&) = default;
-  RamScheme& operator=(const RamScheme&) = default;
+  RamScheme(const RamScheme&) = delete;
+  RamScheme& operator=(const RamScheme&) = delete;
 
   /// Number of logical records.
   virtual uint64_t n() const = 0;
@@ -62,9 +64,10 @@ class KvsScheme {
   using Value = std::vector<uint8_t>;
 
   virtual ~KvsScheme() = default;
+  // Non-copyable for the same slicing reason as RamScheme.
   KvsScheme() = default;
-  KvsScheme(const KvsScheme&) = default;
-  KvsScheme& operator=(const KvsScheme&) = default;
+  KvsScheme(const KvsScheme&) = delete;
+  KvsScheme& operator=(const KvsScheme&) = delete;
 
   /// Retrieves the value for `key`, or nullopt if never stored.
   virtual StatusOr<std::optional<Value>> Get(Key key) = 0;

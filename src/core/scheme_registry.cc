@@ -15,7 +15,11 @@
 #include "oram/oram_kvs.h"
 #include "oram/path_oram.h"
 #include "oram/tunable_dp_oram.h"
+#include "pir/trivial_pir.h"
+#include "pir/xor_pir.h"
+#include "storage/async_sharded_backend.h"
 #include "storage/sharded_backend.h"
+#include "storage/write_back_cache.h"
 
 namespace dpstore {
 
@@ -116,21 +120,100 @@ class BucketDpRamScheme : public RamScheme {
   size_t record_size_;
 };
 
+/// Download-everything PIR behind the unified RAM interface: owns its
+/// marker-loaded backend, so the one-exchange-per-query transcript rides on
+/// whatever topology the config names.
+class TrivialPirScheme : public RamScheme {
+ public:
+  explicit TrivialPirScheme(std::unique_ptr<StorageBackend> backend)
+      : backend_(std::move(backend)), pir_(backend_.get()) {}
+
+  uint64_t n() const override { return backend_->n(); }
+  size_t record_size() const override { return backend_->block_size(); }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    DPSTORE_ASSIGN_OR_RETURN(Block block, pir_.Query(id));
+    return std::optional<Block>(std::move(block));
+  }
+  TransportStats TransportTotals() const override { return backend_->Stats(); }
+
+ private:
+  std::unique_ptr<StorageBackend> backend_;
+  TrivialPir pir_;
+};
+
+/// Two-server XOR PIR behind the unified RAM interface. Its servers
+/// *compute* (subset XOR) rather than move addressed blocks, so they are
+/// not StorageBackends and the config's storage topology does not apply;
+/// transport totals are synthesized from the protocol: per query, one
+/// n-bit selector up and one block down per server, one roundtrip per
+/// server (matching MultiServerDpIr's convention of pricing each
+/// parallel-replica exchange individually, so the sweep compares the two
+/// multi-server schemes on equal terms).
+class XorPirScheme : public RamScheme {
+ public:
+  XorPirScheme(std::vector<Block> database, size_t record_size, uint64_t seed)
+      : record_size_(record_size),
+        server0_(database),
+        server1_(std::move(database)),
+        pir_(&server0_, &server1_, seed) {}
+
+  uint64_t n() const override { return server0_.n(); }
+  size_t record_size() const override { return record_size_; }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    if (id >= server0_.n()) {
+      return OutOfRangeError("XorPirScheme: id out of range");
+    }
+    DPSTORE_ASSIGN_OR_RETURN(Block block, pir_.Query(id));
+    ++queries_;
+    return std::optional<Block>(std::move(block));
+  }
+  TransportStats TransportTotals() const override {
+    TransportStats stats;
+    stats.blocks_moved = 2 * queries_;  // one answer block per server
+    stats.bytes_moved =
+        2 * queries_ * record_size_ +
+        (server0_.query_bits_received() + server1_.query_bits_received()) / 8;
+    stats.roundtrips = 2 * queries_;  // one per server, as in MultiServerDpIr
+    return stats;
+  }
+
+ private:
+  size_t record_size_;
+  XorPirServer server0_;
+  XorPirServer server1_;
+  TwoServerXorPir pir_;
+  uint64_t queries_ = 0;
+};
+
 }  // namespace
 
 StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
+  if (config.backend_factory) return config.backend_factory;
   if (config.backend == "memory") {
     return MemoryBackendFactory(config.counting_only_transcript);
   }
-  if (config.backend == "sharded") {
+  if (config.backend == "sharded" || config.backend == "async_sharded") {
     if (config.shards == 0) {
       return InvalidArgumentError("sharded backend needs shards >= 1");
     }
-    return ShardedBackendFactory(config.shards,
-                                 config.counting_only_transcript);
+    return config.backend == "sharded"
+               ? ShardedBackendFactory(config.shards,
+                                       config.counting_only_transcript)
+               : AsyncShardedBackendFactory(config.shards,
+                                            config.counting_only_transcript);
   }
-  return NotFoundError("unknown backend '" + config.backend +
-                       "' (known: memory, sharded)");
+  if (config.backend == "cached") {
+    if (config.cache_blocks == 0) {
+      return InvalidArgumentError("cached backend needs cache_blocks >= 1");
+    }
+    return WriteBackCacheBackendFactory(
+        config.cache_blocks,
+        MemoryBackendFactory(config.counting_only_transcript),
+        config.cache_stats);
+  }
+  return NotFoundError(
+      "unknown backend '" + config.backend +
+      "' (known: memory, sharded, async_sharded, cached)");
 }
 
 SchemeRegistry& SchemeRegistry::Instance() {
@@ -275,6 +358,39 @@ SchemeRegistry::SchemeRegistry() {
     options.backend_factory = std::move(factory);
     return std::unique_ptr<RamScheme>(std::make_unique<PathOram>(
         MarkerDatabase(config.n, config.value_size), options));
+  });
+
+  // The Section 6 discussion's computational-assumption-free variant: the
+  // database stays plaintext, the overwrite phase is skipped, and the
+  // repertoire is retrieval-only (1-2 blocks, 1 roundtrip per query).
+  RegisterRam("dp_ram_retrieval", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    DpRamOptions options;
+    options.seed = config.seed;
+    options.encrypted = false;
+    options.backend_factory = std::move(factory);
+    return std::unique_ptr<RamScheme>(std::make_unique<DpRam>(
+        MarkerDatabase(config.n, config.value_size), options));
+  });
+
+  // PIR baselines (read-only repertoire): the Theorem 3.3 errorless floor
+  // and the classic two-server information-theoretic construction the
+  // paper's introduction contrasts DP-IR against.
+  RegisterRam("trivial_pir", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
+                             MakePublicDatabase(config, factory));
+    return std::unique_ptr<RamScheme>(
+        std::make_unique<TrivialPirScheme>(std::move(backend)));
+  });
+
+  RegisterRam("xor_pir", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    return std::unique_ptr<RamScheme>(std::make_unique<XorPirScheme>(
+        MarkerDatabase(config.n, config.value_size), config.value_size,
+        config.seed));
   });
 
   RegisterRam("tunable_dp_oram", [](const SchemeConfig& config)

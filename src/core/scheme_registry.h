@@ -13,6 +13,8 @@
 
 namespace dpstore {
 
+struct CacheStats;  // storage/write_back_cache.h
+
 /// One configuration for building any registered scheme by name. The
 /// registry translates the backend fields into a BackendFactory, so a single
 /// config drives every cell of a schemes x backends sweep.
@@ -23,10 +25,22 @@ struct SchemeConfig {
   size_t value_size = 64;
   uint64_t seed = 1;
 
-  /// Storage topology: "memory" (single in-memory server) or "sharded"
-  /// (ShardedBackend over `shards` in-memory shards).
+  /// Storage topology: "memory" (single in-memory server), "sharded"
+  /// (ShardedBackend over `shards` in-memory shards), "async_sharded"
+  /// (AsyncShardedBackend: the same partition with one worker thread per
+  /// shard, legs genuinely overlapped), or "cached" (WriteBackCacheBackend
+  /// of `cache_blocks` blocks over an in-memory server).
   std::string backend = "memory";
   uint64_t shards = 4;
+  /// Write-back cache capacity in blocks (backend "cached").
+  uint64_t cache_blocks = 64;
+  /// Optional sink accumulating hit/miss counters across every cache the
+  /// factory builds for this scheme (backend "cached").
+  std::shared_ptr<CacheStats> cache_stats;
+  /// Explicit factory override: when set it wins over `backend`, letting
+  /// tests and benches interpose custom topologies (or observe the backends
+  /// a scheme builds) without registering a new backend name.
+  BackendFactory backend_factory;
   /// Born with counting-only transcripts (bench mode: tallies, no events).
   bool counting_only_transcript = false;
 

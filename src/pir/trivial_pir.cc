@@ -1,8 +1,12 @@
 #include "pir/trivial_pir.h"
 
+#include <numeric>
+#include <utility>
+#include <vector>
+
 namespace dpstore {
 
-TrivialPir::TrivialPir(StorageServer* server) : server_(server) {
+TrivialPir::TrivialPir(StorageBackend* server) : server_(server) {
   DPSTORE_CHECK(server != nullptr);
 }
 
@@ -11,12 +15,13 @@ StatusOr<Block> TrivialPir::Query(BlockId index) {
     return OutOfRangeError("TrivialPir::Query index out of range");
   }
   server_->BeginQuery();
-  Block result;
-  for (uint64_t i = 0; i < server_->n(); ++i) {
-    DPSTORE_ASSIGN_OR_RETURN(Block b, server_->Download(i));
-    if (i == index) result = std::move(b);
-  }
-  return result;
+  // The whole database travels as ONE exchange: n blocks, one roundtrip.
+  std::vector<BlockId> all(server_->n());
+  std::iota(all.begin(), all.end(), BlockId{0});
+  DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
+                           server_->Exchange(StorageRequest::DownloadOf(
+                               std::move(all))));
+  return std::move(reply.blocks[index]);
 }
 
 }  // namespace dpstore

@@ -3,26 +3,28 @@
 
 #include <cstdint>
 
-#include "storage/server.h"
+#include "storage/backend.h"
 #include "util/statusor.h"
 
 namespace dpstore {
 
-/// Download-everything PIR: the client fetches all n blocks and selects the
-/// one it wants locally. Perfectly private (the transcript is constant) and
-/// perfectly correct, at n blocks per query - exactly the cost Theorem 3.3
-/// proves unavoidable for *any* errorless DP-IR, whatever the budget. The
-/// baseline for experiment E1.
+/// Download-everything PIR: the client fetches all n blocks in one batched
+/// exchange and selects the one it wants locally. Perfectly private (the
+/// transcript is constant) and perfectly correct, at n blocks per query -
+/// exactly the cost Theorem 3.3 proves unavoidable for *any* errorless
+/// DP-IR, whatever the budget. The baseline for experiment E1, and - being
+/// one giant exchange - the scheme where a sharded transport's fan-out pays
+/// the most.
 class TrivialPir {
  public:
-  explicit TrivialPir(StorageServer* server);
+  explicit TrivialPir(StorageBackend* server);
 
   StatusOr<Block> Query(BlockId index);
 
   uint64_t BlocksPerQuery() const { return server_->n(); }
 
  private:
-  StorageServer* server_;
+  StorageBackend* server_;
 };
 
 }  // namespace dpstore

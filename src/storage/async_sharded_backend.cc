@@ -1,0 +1,248 @@
+#include "storage/async_sharded_backend.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+AsyncShardedBackend::AsyncShardedBackend(uint64_t n, size_t block_size,
+                                         uint64_t num_shards,
+                                         const BackendFactory& inner_factory)
+    : router_(n, num_shards), block_size_(block_size) {
+  shards_.reserve(num_shards);
+  workers_.reserve(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        MakeBackend(inner_factory, router_.ShardSize(s), block_size));
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after every shard and queue exists.
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    workers_[s]->thread = std::thread(&AsyncShardedBackend::WorkerLoop, this, s);
+  }
+}
+
+AsyncShardedBackend::~AsyncShardedBackend() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+void AsyncShardedBackend::WorkerLoop(uint64_t s) {
+  Worker& worker = *workers_[s];
+  StorageBackend* shard = shards_[s].get();
+  for (;;) {
+    Worker::Job job;
+    {
+      std::unique_lock<std::mutex> lock(worker.mu);
+      worker.cv.wait(lock,
+                     [&] { return worker.stop || !worker.jobs.empty(); });
+      if (worker.jobs.empty()) return;  // stop requested and queue drained
+      job = std::move(worker.jobs.front());
+      worker.jobs.pop_front();
+    }
+    RunLeg(std::move(job), shard);
+  }
+}
+
+void AsyncShardedBackend::RunLeg(Worker::Job job, StorageBackend* shard) {
+  Flight* flight = job.flight;
+  Status leg_status = OkStatus();
+  if (job.op == StorageRequest::Op::kDownload) {
+    StatusOr<std::vector<Block>> chunk =
+        shard->DownloadMany(job.leg.local_indices);
+    if (chunk.ok()) {
+      // Distinct request positions per leg: these writes race with nothing.
+      for (size_t k = 0; k < chunk->size(); ++k) {
+        flight->gathered[job.leg.positions[k]] = std::move((*chunk)[k]);
+      }
+    } else {
+      leg_status = chunk.status();
+    }
+  } else {
+    leg_status = shard->UploadMany(job.leg.local_indices,
+                                   std::move(job.upload_blocks));
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    if (!leg_status.ok() && flight->status.ok()) flight->status = leg_status;
+    --flight->legs_outstanding;
+    // Notify under the lock: the waiter owns the Flight and may destroy it
+    // the moment it observes zero outstanding legs.
+    flight->cv.notify_all();
+  }
+}
+
+Ticket AsyncShardedBackend::Park(StatusOr<StorageReply> reply) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  const Ticket ticket = next_ticket_++;
+  Pending pending;
+  pending.ready =
+      std::make_unique<StatusOr<StorageReply>>(std::move(reply));
+  pending_.emplace(ticket, std::move(pending));
+  return ticket;
+}
+
+Ticket AsyncShardedBackend::Submit(StorageRequest request) {
+  if (request.IsNoOp()) return Park(StorageReply{});
+  Status valid = ValidateRequest(request, router_.n(), block_size_);
+  if (!valid.ok()) return Park(std::move(valid));
+  // One fault roll per exchange, before any leg is enqueued: the exchange
+  // fails as a unit or not at all.
+  Status fault = faults_.MaybeInject();
+  if (!fault.ok()) return Park(std::move(fault));
+
+  auto flight = std::make_unique<Flight>();
+  flight->request = std::move(request);
+  if (flight->request.op == StorageRequest::Op::kDownload) {
+    flight->gathered.resize(flight->request.indices.size());
+  }
+  std::vector<ShardRouter::Leg> legs =
+      router_.Partition(flight->request.indices);
+  std::vector<uint64_t> touched;
+  for (uint64_t s = 0; s < legs.size(); ++s) {
+    if (!legs[s].local_indices.empty()) touched.push_back(s);
+  }
+  flight->legs_outstanding = touched.size();
+
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ticket = next_ticket_++;
+  }
+  Flight* raw = flight.get();
+  {
+    Pending pending;
+    pending.flight = std::move(flight);
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(ticket, std::move(pending));
+  }
+  for (uint64_t s : touched) {
+    Worker::Job job;
+    job.flight = raw;
+    job.op = raw->request.op;
+    if (job.op == StorageRequest::Op::kUpload) {
+      job.upload_blocks.reserve(legs[s].positions.size());
+      for (size_t position : legs[s].positions) {
+        job.upload_blocks.push_back(std::move(raw->request.blocks[position]));
+      }
+    }
+    job.leg = std::move(legs[s]);
+    {
+      std::lock_guard<std::mutex> lock(workers_[s]->mu);
+      workers_[s]->jobs.push_back(std::move(job));
+    }
+    workers_[s]->cv.notify_one();
+  }
+  return ticket;
+}
+
+StatusOr<StorageReply> AsyncShardedBackend::Wait(Ticket ticket) {
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(ticket);
+    if (it == pending_.end()) {
+      return NotFoundError("Wait: unknown or already-consumed ticket " +
+                           std::to_string(ticket));
+    }
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (pending.ready != nullptr) return std::move(*pending.ready);
+
+  Flight& flight = *pending.flight;
+  {
+    std::unique_lock<std::mutex> lock(flight.mu);
+    flight.cv.wait(lock, [&] { return flight.legs_outstanding == 0; });
+  }
+  // Legs cannot fail after global validation (shards carry no fault state);
+  // propagate defensively all the same.
+  DPSTORE_RETURN_IF_ERROR(flight.status);
+
+  // The adversary's view: all of this exchange's events recorded together,
+  // in request order, exactly as the synchronous backend would.
+  {
+    std::lock_guard<std::mutex> lock(transcript_mu_);
+    if (flight.request.op == StorageRequest::Op::kDownload) {
+      transcript_.RecordRoundtrip();
+      for (BlockId index : flight.request.indices) {
+        transcript_.Record(AccessEvent::Type::kDownload, index);
+      }
+    } else {
+      for (BlockId index : flight.request.indices) {
+        transcript_.Record(AccessEvent::Type::kUpload, index);
+      }
+    }
+  }
+  StorageReply reply;
+  reply.blocks = std::move(flight.gathered);
+  return reply;
+}
+
+StatusOr<StorageReply> AsyncShardedBackend::Execute(StorageRequest request) {
+  return Wait(Submit(std::move(request)));
+}
+
+Status AsyncShardedBackend::SetArray(std::vector<Block> blocks) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    DPSTORE_CHECK(pending_.empty())
+        << "SetArray with exchanges in flight";
+  }
+  return DistributeArray(std::move(blocks), router_.n(), block_size_,
+                         shards_);
+}
+
+void AsyncShardedBackend::BeginQuery() {
+  std::lock_guard<std::mutex> lock(transcript_mu_);
+  transcript_.BeginQuery();
+  for (auto& shard : shards_) shard->BeginQuery();
+}
+
+void AsyncShardedBackend::ResetTranscript() {
+  std::lock_guard<std::mutex> lock(transcript_mu_);
+  transcript_.Clear();
+  for (auto& shard : shards_) shard->ResetTranscript();
+}
+
+void AsyncShardedBackend::SetTranscriptCountingOnly(bool counting_only) {
+  std::lock_guard<std::mutex> lock(transcript_mu_);
+  transcript_.SetCountingOnly(counting_only);
+  for (auto& shard : shards_) shard->SetTranscriptCountingOnly(counting_only);
+}
+
+const Block& AsyncShardedBackend::PeekBlock(BlockId index) const {
+  DPSTORE_CHECK_LT(index, router_.n());
+  auto [s, local] = router_.Locate(index);
+  return shards_[s]->PeekBlock(local);
+}
+
+void AsyncShardedBackend::CorruptBlock(BlockId index) {
+  DPSTORE_CHECK_LT(index, router_.n());
+  auto [s, local] = router_.Locate(index);
+  shards_[s]->CorruptBlock(local);
+}
+
+void AsyncShardedBackend::SetFailureRate(double rate, uint64_t seed) {
+  faults_.Set(rate, seed);
+}
+
+BackendFactory AsyncShardedBackendFactory(uint64_t num_shards,
+                                          bool counting_only) {
+  return [num_shards, counting_only](uint64_t n, size_t block_size) {
+    auto backend = std::make_unique<AsyncShardedBackend>(
+        n, block_size, num_shards, MemoryBackendFactory(counting_only));
+    if (counting_only) backend->SetTranscriptCountingOnly(true);
+    return backend;
+  };
+}
+
+}  // namespace dpstore

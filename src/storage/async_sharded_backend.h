@@ -1,0 +1,142 @@
+#ifndef DPSTORE_STORAGE_ASYNC_SHARDED_BACKEND_H_
+#define DPSTORE_STORAGE_ASYNC_SHARDED_BACKEND_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/sharded_backend.h"
+#include "util/random.h"
+
+namespace dpstore {
+
+/// Threaded sharded backend: the same ShardRouter geometry and accounting as
+/// ShardedBackend, but each shard is owned by a dedicated worker thread and
+/// a batched exchange's per-shard legs genuinely overlap. Submit validates
+/// the exchange, rolls the fault injector once (atomicity: a spanning
+/// exchange fails as a unit before any leg runs), enqueues one leg per
+/// touched shard and returns immediately; Wait joins the legs, reassembles
+/// the reply in request order and records the global transcript — all of one
+/// exchange's events together, so the adversary's view is identical to the
+/// synchronous backend's when exchanges are awaited in submission order
+/// (which every scheme's narrow calls do, being Submit immediately followed
+/// by Wait).
+///
+/// Wall-clock: an exchange costs ~max over shards of the leg work instead
+/// of the sum — the modeled "one roundtrip regardless of shards touched"
+/// finally matches measured time. Pipelining (several Submits before the
+/// first Wait, see RunExchangePipeline in analysis/driver.h) additionally
+/// overlaps exchanges: each shard's worker drains its queue in FIFO
+/// submission order, so replayed data stays bit-identical at any depth.
+///
+/// Thread safety: Submit/Wait may be called from any one client thread (or
+/// several, each waiting on its own tickets). SetArray, BeginQuery,
+/// ResetTranscript, PeekBlock and CorruptBlock require no exchanges in
+/// flight — they touch shard state that workers otherwise own.
+class AsyncShardedBackend : public StorageBackend {
+ public:
+  /// Creates K shards via `inner_factory` (in-memory StorageServer when
+  /// null), each behind its own worker thread. Requires num_shards >= 1.
+  AsyncShardedBackend(uint64_t n, size_t block_size, uint64_t num_shards,
+                      const BackendFactory& inner_factory = nullptr);
+  ~AsyncShardedBackend() override;
+
+  uint64_t num_shards() const { return shards_.size(); }
+  uint64_t ShardOf(BlockId index) const { return router_.ShardOf(index); }
+  StorageBackend& shard(uint64_t s) { return *shards_[s]; }
+  const StorageBackend& shard(uint64_t s) const { return *shards_[s]; }
+
+  uint64_t n() const override { return router_.n(); }
+  size_t block_size() const override { return block_size_; }
+
+  Status SetArray(std::vector<Block> blocks) override;
+
+  Ticket Submit(StorageRequest request) override;
+  StatusOr<StorageReply> Wait(Ticket ticket) override;
+
+  void BeginQuery() override;
+
+  const Transcript& transcript() const override { return transcript_; }
+  void ResetTranscript() override;
+  void SetTranscriptCountingOnly(bool counting_only) override;
+
+  const Block& PeekBlock(BlockId index) const override;
+  void CorruptBlock(BlockId index) override;
+
+  /// One Bernoulli roll per exchange at Submit, before any leg is enqueued
+  /// (see ShardedBackend::SetFailureRate for why the shards stay fault-free).
+  void SetFailureRate(double rate, uint64_t seed = 7) override;
+
+ protected:
+  /// Never reached through the overridden Submit; provided so the class is
+  /// concrete. Equivalent to a one-shot Submit+Wait.
+  StatusOr<StorageReply> Execute(StorageRequest request) override;
+
+ private:
+  /// One exchange in flight: its request, the reply slots workers fill
+  /// (distinct positions per leg, so no lock is needed for the writes
+  /// themselves), and the completion latch.
+  struct Flight {
+    StorageRequest request;
+    std::vector<Block> gathered;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t legs_outstanding = 0;
+    Status status = OkStatus();
+  };
+
+  /// A parked exchange outcome: either a Flight still in progress or an
+  /// immediately-known reply (validation error, injected fault, no-op).
+  struct Pending {
+    std::unique_ptr<Flight> flight;                    // null if `ready` set
+    std::unique_ptr<StatusOr<StorageReply>> ready;
+  };
+
+  /// One shard's worker: a FIFO queue of legs drained by a dedicated
+  /// thread, preserving submission order per shard.
+  struct Worker {
+    struct Job {
+      Flight* flight = nullptr;
+      ShardRouter::Leg leg;
+      std::vector<Block> upload_blocks;  // aligned with leg, uploads only
+      StorageRequest::Op op = StorageRequest::Op::kDownload;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> jobs;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void WorkerLoop(uint64_t s);
+  static void RunLeg(Worker::Job job, StorageBackend* shard);
+  Ticket Park(StatusOr<StorageReply> reply);
+
+  ShardRouter router_;
+  size_t block_size_;
+  std::vector<std::unique_ptr<StorageBackend>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex pending_mu_;
+  Ticket next_ticket_ = 1;
+  std::unordered_map<Ticket, Pending> pending_;
+
+  std::mutex transcript_mu_;
+  Transcript transcript_;
+  FaultInjector faults_;
+};
+
+/// BackendFactory producing an AsyncShardedBackend with `num_shards`
+/// in-memory shards (counting-only transcripts when requested).
+BackendFactory AsyncShardedBackendFactory(uint64_t num_shards,
+                                          bool counting_only = false);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_ASYNC_SHARDED_BACKEND_H_

@@ -1,5 +1,7 @@
 #include "storage/backend.h"
 
+#include <string>
+
 #include "storage/server.h"
 
 namespace dpstore {
@@ -11,6 +13,83 @@ TransportStats StatsFromTranscript(const Transcript& transcript,
   stats.bytes_moved = transcript.TotalBlocksMoved() * block_size;
   stats.roundtrips = transcript.roundtrip_count();
   return stats;
+}
+
+Status ValidateRequest(const StorageRequest& request, uint64_t n,
+                       size_t block_size) {
+  if (request.op == StorageRequest::Op::kUpload) {
+    if (request.indices.size() != request.blocks.size()) {
+      return InvalidArgumentError("upload exchange: index/block count mismatch");
+    }
+  } else if (!request.blocks.empty()) {
+    return InvalidArgumentError("download exchange carries upload payloads");
+  }
+  for (BlockId index : request.indices) {
+    if (index >= n) {
+      return OutOfRangeError("index " + std::to_string(index) +
+                             " >= n=" + std::to_string(n));
+    }
+  }
+  for (const Block& block : request.blocks) {
+    if (block.size() != block_size) {
+      return InvalidArgumentError("upload exchange: block size mismatch");
+    }
+  }
+  return OkStatus();
+}
+
+Ticket StorageBackend::Submit(StorageRequest request) {
+  const Ticket ticket = next_ticket_++;
+  // Free-by-contract exchanges never reach the implementation (no RPC, no
+  // fault roll, no transcript event).
+  if (request.IsNoOp()) {
+    ready_.emplace_back(ticket, StorageReply{});
+  } else {
+    ready_.emplace_back(ticket, Execute(std::move(request)));
+  }
+  return ticket;
+}
+
+StatusOr<StorageReply> StorageBackend::Wait(Ticket ticket) {
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->first == ticket) {
+      StatusOr<StorageReply> reply = std::move(it->second);
+      ready_.erase(it);
+      return reply;
+    }
+  }
+  return NotFoundError("Wait: unknown or already-consumed ticket " +
+                       std::to_string(ticket));
+}
+
+StatusOr<StorageReply> StorageBackend::Exchange(StorageRequest request) {
+  return Wait(Submit(std::move(request)));
+}
+
+StatusOr<Block> StorageBackend::Download(BlockId index) {
+  DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
+                           Exchange(StorageRequest::DownloadOf({index})));
+  return std::move(reply.blocks[0]);
+}
+
+Status StorageBackend::Upload(BlockId index, Block block) {
+  std::vector<Block> blocks;
+  blocks.push_back(std::move(block));
+  return Exchange(StorageRequest::UploadOf({index}, std::move(blocks)))
+      .status();
+}
+
+StatusOr<std::vector<Block>> StorageBackend::DownloadMany(
+    const std::vector<BlockId>& indices) {
+  DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
+                           Exchange(StorageRequest::DownloadOf(indices)));
+  return std::move(reply.blocks);
+}
+
+Status StorageBackend::UploadMany(const std::vector<BlockId>& indices,
+                                  std::vector<Block> blocks) {
+  return Exchange(StorageRequest::UploadOf(indices, std::move(blocks)))
+      .status();
 }
 
 BackendFactory MemoryBackendFactory(bool counting_only) {

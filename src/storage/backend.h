@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "storage/block.h"
@@ -45,6 +46,58 @@ struct TransportStats {
 TransportStats StatsFromTranscript(const Transcript& transcript,
                                    size_t block_size);
 
+/// One storage exchange in message form: a batched download of `indices`, or
+/// a batched fire-and-forget upload of `blocks[i]` to `indices[i]`. This is
+/// the unit the whole transport prices: a download exchange is ONE roundtrip
+/// no matter how many blocks it names; an upload exchange is a write-back
+/// costing zero roundtrips. Making the exchange an explicit value (instead
+/// of a blocking method call) is what lets backends defer, overlap, shard
+/// and cache it — and is the wire format a future RPC transport serializes.
+struct StorageRequest {
+  enum class Op : uint8_t { kDownload = 0, kUpload = 1 };
+
+  Op op = Op::kDownload;
+  /// Addresses touched, in request order. Duplicates are allowed.
+  std::vector<BlockId> indices;
+  /// Upload payloads, aligned with `indices`. Empty for downloads.
+  std::vector<Block> blocks;
+
+  static StorageRequest DownloadOf(std::vector<BlockId> indices) {
+    StorageRequest request;
+    request.op = Op::kDownload;
+    request.indices = std::move(indices);
+    return request;
+  }
+  static StorageRequest UploadOf(std::vector<BlockId> indices,
+                                 std::vector<Block> blocks) {
+    StorageRequest request;
+    request.op = Op::kUpload;
+    request.indices = std::move(indices);
+    request.blocks = std::move(blocks);
+    return request;
+  }
+
+  /// True for the requests that are free by contract (no RPC at all): an
+  /// empty download and an empty upload.
+  bool IsNoOp() const { return indices.empty() && blocks.empty(); }
+};
+
+/// The server's answer to one exchange: downloaded blocks in request order
+/// (empty for uploads, which carry no reply payload).
+struct StorageReply {
+  std::vector<Block> blocks;
+};
+
+/// Handle for an exchange in flight between Submit and Wait.
+using Ticket = uint64_t;
+
+/// Validates an exchange against an array of `n` blocks of `block_size`
+/// bytes: every index in range, upload payload count and sizes matching.
+/// Shared by every backend so the whole transport rejects malformed
+/// exchanges identically, before any fault roll or state change.
+Status ValidateRequest(const StorageRequest& request, uint64_t n,
+                       size_t block_size);
+
 /// Shared dropped-RPC model for backend implementations: one Bernoulli roll
 /// per exchange (single op or whole batch), so batched calls fail as a
 /// unit. Kept in one place so every backend prices failures identically.
@@ -70,60 +123,82 @@ class FaultInjector {
 };
 
 /// Abstract untrusted storage transport in the paper's balls-and-bins model
-/// (Definition 3.1): a passive array of n equal-sized blocks supporting
-/// download/upload by address, single or batched. Every scheme talks to
-/// storage exclusively through this seam, so the array can live in memory
-/// (StorageServer), be partitioned across shards (ShardedBackend), or - in
-/// later growth steps - sit behind an async or RPC transport, without the
-/// scheme noticing.
+/// (Definition 3.1): a passive array of n equal-sized blocks exchanged with
+/// the client in messages. Every scheme talks to storage exclusively through
+/// this seam, so the array can live in memory (StorageServer), be
+/// partitioned across shards (ShardedBackend / AsyncShardedBackend), sit
+/// behind a write-back cache (WriteBackCacheBackend), or — in later growth
+/// steps — behind a real RPC transport, without the scheme noticing.
 ///
-/// Cost accounting contract (see Transcript): each Download/DownloadMany
-/// call is one roundtrip regardless of batch size; Upload/UploadMany are
-/// fire-and-forget write-backs costing zero roundtrips. Batching the blocks
-/// of one logical access into a single call is therefore what turns a
+/// The transport surface is two-phase and message-shaped:
+///
+///   Ticket t = backend->Submit(StorageRequest::DownloadOf({3, 7, 7}));
+///   ... submit more exchanges, overlap client work ...
+///   StatusOr<StorageReply> reply = backend->Wait(t);
+///
+/// Submit never blocks on storage (an async backend starts the exchange on
+/// worker threads; a synchronous backend executes it eagerly and parks the
+/// reply); Wait blocks until the reply is ready and surfaces any error. A
+/// ticket is single-use: Wait consumes it. The classic narrow calls
+/// (Download/Upload/DownloadMany/UploadMany) are thin wrappers implemented
+/// once here as Submit immediately followed by Wait, so scheme hot loops can
+/// migrate to explicit exchanges one at a time.
+///
+/// Cost accounting contract (see Transcript): each download exchange is one
+/// roundtrip regardless of batch size; upload exchanges are fire-and-forget
+/// write-backs costing zero roundtrips. Batching the blocks of one logical
+/// access into a single exchange is therefore what turns a
 /// Theta(Z log n)-message Path ORAM access into the single roundtrip the
-/// schemes' RoundtripsPerAccess() contracts advertise.
+/// schemes' RoundtripsPerAccess() contracts advertise. Exchanges are atomic:
+/// on any error nothing is recorded and no storage changes. An exchange
+/// naming zero blocks is free (no RPC at all).
 class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
 
-  // Implementations (e.g. StorageServer) are value types in tests; keep
-  // their implicit copy/move valid despite the user-declared destructor.
+  // Polymorphic interface: copying through a base pointer would slice off
+  // the implementation, so copy (and with it implicit move) is deleted.
+  // Backends are identities, held by pointer or unique_ptr.
   StorageBackend() = default;
-  StorageBackend(const StorageBackend&) = default;
-  StorageBackend& operator=(const StorageBackend&) = default;
+  StorageBackend(const StorageBackend&) = delete;
+  StorageBackend& operator=(const StorageBackend&) = delete;
 
   virtual uint64_t n() const = 0;
   virtual size_t block_size() const = 0;
 
   /// Replaces the whole array (setup phase upload). All blocks must have
   /// size block_size(). Not recorded in the transcript: the paper treats the
-  /// initial database as public input to the adversary's view.
+  /// initial database as public input to the adversary's view. Must not be
+  /// called with exchanges in flight.
   virtual Status SetArray(std::vector<Block> blocks) = 0;
 
-  /// Download the block at address `index` (one transcript event, one
-  /// roundtrip).
-  virtual StatusOr<Block> Download(BlockId index) = 0;
+  /// Starts one exchange and returns its ticket. Validation errors and
+  /// injected faults are reported at Wait, so a pipelined submitter needs no
+  /// error path of its own. The default implementation executes the
+  /// exchange eagerly (synchronous transport) and parks the reply.
+  virtual Ticket Submit(StorageRequest request);
 
-  /// Upload `block` to address `index` (one transcript event, fire-and-
-  /// forget: no roundtrip).
-  virtual Status Upload(BlockId index, Block block) = 0;
+  /// Blocks until the exchange behind `ticket` completes and returns its
+  /// reply (downloaded blocks in request order; empty for uploads).
+  /// Consumes the ticket: a second Wait on it is NotFound.
+  virtual StatusOr<StorageReply> Wait(Ticket ticket);
 
-  /// Downloads all `indices` in one batched exchange: the transcript gets
-  /// one event per block, in request order, but only ONE roundtrip. Results
-  /// are in request order; duplicate indices are allowed. Atomic: on any
-  /// error nothing is recorded. An empty batch is free (no RPC at all).
-  virtual StatusOr<std::vector<Block>> DownloadMany(
-      const std::vector<BlockId>& indices) = 0;
+  /// One-shot exchange: Submit immediately followed by Wait.
+  StatusOr<StorageReply> Exchange(StorageRequest request);
 
-  /// Uploads blocks[i] to indices[i] in one batched fire-and-forget
-  /// write-back (one event per block, zero roundtrips). Atomic like
-  /// DownloadMany.
-  virtual Status UploadMany(const std::vector<BlockId>& indices,
-                            std::vector<Block> blocks) = 0;
+  // Classic narrow calls, implemented once over Exchange. Download /
+  // DownloadMany are one-roundtrip exchanges; Upload / UploadMany are
+  // fire-and-forget write-backs (zero roundtrips). Semantics (atomicity,
+  // request-order replies, free empty batches) are the exchange contract
+  // above.
+  StatusOr<Block> Download(BlockId index);
+  Status Upload(BlockId index, Block block);
+  StatusOr<std::vector<Block>> DownloadMany(const std::vector<BlockId>& indices);
+  Status UploadMany(const std::vector<BlockId>& indices,
+                    std::vector<Block> blocks);
 
   /// Starts a new logical query in the transcript. Schemes call this once
-  /// per client operation.
+  /// per client operation. Must not be called with exchanges in flight.
   virtual void BeginQuery() = 0;
 
   virtual const Transcript& transcript() const = 0;
@@ -140,9 +215,8 @@ class StorageBackend {
   /// Flips one byte of the stored block; used to exercise tamper detection.
   virtual void CorruptBlock(BlockId index) = 0;
 
-  /// Every download/upload exchange fails with this probability (default 0),
-  /// modeling a dropped RPC. A batched call is one exchange: it fails as a
-  /// unit.
+  /// Every exchange fails with this probability (default 0), modeling a
+  /// dropped RPC. A batched exchange fails as a unit.
   virtual void SetFailureRate(double rate, uint64_t seed = 7) = 0;
 
   // Convenience counters over transcript().
@@ -155,12 +229,27 @@ class StorageBackend {
   TransportStats Stats() const {
     return StatsFromTranscript(transcript(), block_size());
   }
+
+ protected:
+  /// The one operation a synchronous implementation provides: run one
+  /// non-empty exchange to completion (validate, roll the fault injector
+  /// once, move the blocks, record the transcript). Backends that overlap
+  /// exchanges (AsyncShardedBackend) override Submit/Wait directly and
+  /// implement this as Submit+Wait.
+  virtual StatusOr<StorageReply> Execute(StorageRequest request) = 0;
+
+ private:
+  Ticket next_ticket_ = 1;
+  // Replies parked between Submit and Wait. Synchronous backends have at
+  // most a handful in flight, so a flat vector beats a hash map.
+  std::vector<std::pair<Ticket, StatusOr<StorageReply>>> ready_;
 };
 
 /// Constructs the storage behind a scheme: given the array geometry the
 /// scheme computed, returns the backend it will query through. Schemes
 /// default to an in-memory StorageServer when no factory is supplied; the
-/// registry plugs in sharded (and, later, async/RPC) topologies here.
+/// registry plugs in sharded / async / cached (and, later, RPC) topologies
+/// here.
 using BackendFactory =
     std::function<std::unique_ptr<StorageBackend>(uint64_t n,
                                                   size_t block_size)>;

@@ -1,6 +1,6 @@
 #include "storage/server.h"
 
-#include <string>
+#include <utility>
 
 namespace dpstore {
 
@@ -20,66 +20,26 @@ Status StorageServer::SetArray(std::vector<Block> blocks) {
   return OkStatus();
 }
 
-Status StorageServer::CheckIndex(BlockId index) const {
-  if (index >= array_.size()) {
-    return OutOfRangeError("index " + std::to_string(index) +
-                           " >= n=" + std::to_string(array_.size()));
-  }
-  return OkStatus();
-}
-
-StatusOr<Block> StorageServer::Download(BlockId index) {
-  DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
+StatusOr<StorageReply> StorageServer::Execute(StorageRequest request) {
+  DPSTORE_RETURN_IF_ERROR(
+      ValidateRequest(request, array_.size(), block_size_));
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  transcript_.RecordRoundtrip();
-  transcript_.Record(AccessEvent::Type::kDownload, index);
-  return array_[index];
-}
-
-Status StorageServer::Upload(BlockId index, Block block) {
-  DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
-  if (block.size() != block_size_) {
-    return InvalidArgumentError("Upload: block size mismatch");
-  }
-  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  transcript_.Record(AccessEvent::Type::kUpload, index);
-  array_[index] = std::move(block);
-  return OkStatus();
-}
-
-StatusOr<std::vector<Block>> StorageServer::DownloadMany(
-    const std::vector<BlockId>& indices) {
-  if (indices.empty()) return std::vector<Block>();
-  for (BlockId index : indices) DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
-  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  transcript_.RecordRoundtrip();
-  std::vector<Block> result;
-  result.reserve(indices.size());
-  for (BlockId index : indices) {
-    transcript_.Record(AccessEvent::Type::kDownload, index);
-    result.push_back(array_[index]);
-  }
-  return result;
-}
-
-Status StorageServer::UploadMany(const std::vector<BlockId>& indices,
-                                 std::vector<Block> blocks) {
-  if (indices.size() != blocks.size()) {
-    return InvalidArgumentError("UploadMany: index/block count mismatch");
-  }
-  if (indices.empty()) return OkStatus();
-  for (BlockId index : indices) DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
-  for (const Block& block : blocks) {
-    if (block.size() != block_size_) {
-      return InvalidArgumentError("UploadMany: block size mismatch");
+  StorageReply reply;
+  if (request.op == StorageRequest::Op::kDownload) {
+    // The reply blocks, however many, travel in one message: one roundtrip.
+    transcript_.RecordRoundtrip();
+    reply.blocks.reserve(request.indices.size());
+    for (BlockId index : request.indices) {
+      transcript_.Record(AccessEvent::Type::kDownload, index);
+      reply.blocks.push_back(array_[index]);
+    }
+  } else {
+    for (size_t i = 0; i < request.indices.size(); ++i) {
+      transcript_.Record(AccessEvent::Type::kUpload, request.indices[i]);
+      array_[request.indices[i]] = std::move(request.blocks[i]);
     }
   }
-  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    transcript_.Record(AccessEvent::Type::kUpload, indices[i]);
-    array_[indices[i]] = std::move(blocks[i]);
-  }
-  return OkStatus();
+  return reply;
 }
 
 const Block& StorageServer::PeekBlock(BlockId index) const {

@@ -15,18 +15,18 @@ namespace dpstore {
 /// Simulated untrusted storage server (the paper's server_m): the in-memory
 /// StorageBackend implementation. A passive array of equal-sized blocks
 /// supporting only the balls-and-bins operations of Definition 3.1
-/// (download block at address i / upload block to address i), single or
-/// batched.
+/// (download block at address i / upload block to address i), exchanged in
+/// single or batched messages.
 ///
-/// Every operation is recorded in the adversarial Transcript, which is what
+/// Every exchange is recorded in the adversarial Transcript, which is what
 /// the differential-privacy definitions and the empirical-privacy harness
 /// quantify over. The server also meters bandwidth and roundtrips so
 /// overhead experiments read directly off it.
 ///
 /// Fault injection (for failure-path tests): with probability
-/// `failure_rate`, each download/upload exchange returns Unavailable
-/// without touching storage or the transcript, modeling a dropped RPC. A
-/// batched call is one exchange and fails as a unit.
+/// `failure_rate`, each exchange returns Unavailable without touching
+/// storage or the transcript, modeling a dropped RPC. A batched exchange
+/// fails as a unit.
 class StorageServer : public StorageBackend {
  public:
   /// Creates a server holding `n` zeroed blocks of `block_size` bytes.
@@ -36,14 +36,6 @@ class StorageServer : public StorageBackend {
   size_t block_size() const override { return block_size_; }
 
   Status SetArray(std::vector<Block> blocks) override;
-
-  StatusOr<Block> Download(BlockId index) override;
-  Status Upload(BlockId index, Block block) override;
-
-  StatusOr<std::vector<Block>> DownloadMany(
-      const std::vector<BlockId>& indices) override;
-  Status UploadMany(const std::vector<BlockId>& indices,
-                    std::vector<Block> blocks) override;
 
   const Block& PeekBlock(BlockId index) const override;
   void CorruptBlock(BlockId index) override;
@@ -58,9 +50,11 @@ class StorageServer : public StorageBackend {
 
   void SetFailureRate(double rate, uint64_t seed = 7) override;
 
- private:
-  Status CheckIndex(BlockId index) const;
+ protected:
+  /// Runs one exchange against the in-memory array, synchronously.
+  StatusOr<StorageReply> Execute(StorageRequest request) override;
 
+ private:
   std::vector<Block> array_;
   size_t block_size_;
   Transcript transcript_;

@@ -1,52 +1,50 @@
 #include "storage/sharded_backend.h"
 
 #include <algorithm>
-#include <string>
+#include <utility>
 
 #include "util/check.h"
 
 namespace dpstore {
 
-ShardedBackend::ShardedBackend(uint64_t n, size_t block_size,
-                               uint64_t num_shards,
-                               const BackendFactory& inner_factory)
-    : n_(n), block_size_(block_size) {
+ShardRouter::ShardRouter(uint64_t n, uint64_t num_shards)
+    : n_(n), num_shards_(num_shards) {
   DPSTORE_CHECK_GT(num_shards, 0u);
   // ceil(n/K), floored at 1 so Locate stays well-defined when K > n (the
   // trailing shards are then simply empty).
   rows_per_shard_ = std::max<uint64_t>((n + num_shards - 1) / num_shards, 1);
-  shards_.reserve(num_shards);
-  for (uint64_t s = 0; s < num_shards; ++s) {
-    uint64_t begin = std::min(s * rows_per_shard_, n);
-    uint64_t end = std::min(begin + rows_per_shard_, n);
-    shards_.push_back(MakeBackend(inner_factory, end - begin, block_size));
+}
+
+uint64_t ShardRouter::ShardSize(uint64_t s) const {
+  uint64_t begin = std::min(s * rows_per_shard_, n_);
+  uint64_t end = std::min(begin + rows_per_shard_, n_);
+  return end - begin;
+}
+
+std::vector<ShardRouter::Leg> ShardRouter::Partition(
+    const std::vector<BlockId>& indices) const {
+  std::vector<Leg> legs(num_shards_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    auto [s, local] = Locate(indices[i]);
+    legs[s].local_indices.push_back(local);
+    legs[s].positions.push_back(i);
   }
+  return legs;
 }
 
-Status ShardedBackend::CheckIndex(BlockId index) const {
-  if (index >= n_) {
-    return OutOfRangeError("index " + std::to_string(index) +
-                           " >= n=" + std::to_string(n_));
-  }
-  return OkStatus();
-}
-
-
-std::pair<uint64_t, BlockId> ShardedBackend::Locate(BlockId index) const {
-  return {index / rows_per_shard_, index % rows_per_shard_};
-}
-
-Status ShardedBackend::SetArray(std::vector<Block> blocks) {
-  if (blocks.size() != n_) {
+Status DistributeArray(
+    std::vector<Block> blocks, uint64_t n, size_t block_size,
+    const std::vector<std::unique_ptr<StorageBackend>>& shards) {
+  if (blocks.size() != n) {
     return InvalidArgumentError("SetArray: wrong block count");
   }
   for (const Block& b : blocks) {
-    if (b.size() != block_size_) {
+    if (b.size() != block_size) {
       return InvalidArgumentError("SetArray: block size mismatch");
     }
   }
   auto it = blocks.begin();
-  for (auto& shard : shards_) {
+  for (const auto& shard : shards) {
     std::vector<Block> chunk(std::make_move_iterator(it),
                              std::make_move_iterator(it + shard->n()));
     it += shard->n();
@@ -55,93 +53,67 @@ Status ShardedBackend::SetArray(std::vector<Block> blocks) {
   return OkStatus();
 }
 
-StatusOr<Block> ShardedBackend::Download(BlockId index) {
-  DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
-  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  auto [s, local] = Locate(index);
-  DPSTORE_ASSIGN_OR_RETURN(Block block, shards_[s]->Download(local));
-  transcript_.RecordRoundtrip();
-  transcript_.Record(AccessEvent::Type::kDownload, index);
-  return block;
-}
-
-Status ShardedBackend::Upload(BlockId index, Block block) {
-  DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
-  if (block.size() != block_size_) {
-    return InvalidArgumentError("Upload: block size mismatch");
+ShardedBackend::ShardedBackend(uint64_t n, size_t block_size,
+                               uint64_t num_shards,
+                               const BackendFactory& inner_factory)
+    : router_(n, num_shards), block_size_(block_size) {
+  shards_.reserve(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        MakeBackend(inner_factory, router_.ShardSize(s), block_size));
   }
-  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  auto [s, local] = Locate(index);
-  DPSTORE_RETURN_IF_ERROR(shards_[s]->Upload(local, std::move(block)));
-  transcript_.Record(AccessEvent::Type::kUpload, index);
-  return OkStatus();
 }
 
-StatusOr<std::vector<Block>> ShardedBackend::DownloadMany(
-    const std::vector<BlockId>& indices) {
-  if (indices.empty()) return std::vector<Block>();
-  for (BlockId index : indices) DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
+Status ShardedBackend::SetArray(std::vector<Block> blocks) {
+  return DistributeArray(std::move(blocks), router_.n(), block_size_,
+                         shards_);
+}
+
+StatusOr<StorageReply> ShardedBackend::Execute(StorageRequest request) {
+  DPSTORE_RETURN_IF_ERROR(ValidateRequest(request, router_.n(), block_size_));
   // One fault roll for the whole exchange, BEFORE any leg runs: a batched
-  // call fails as a unit (the inner legs themselves cannot fail once the
-  // indices are validated, because shards carry no fault state of their
+  // exchange fails as a unit (the inner legs themselves cannot fail once
+  // the indices are validated, because shards carry no fault state of their
   // own - see SetFailureRate).
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
 
-  // Fan the batch out shard by shard (in reality these legs run in
-  // parallel), then reassemble the replies in request order.
-  std::vector<std::vector<BlockId>> local_indices(shards_.size());
-  std::vector<std::vector<size_t>> positions(shards_.size());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    auto [s, local] = Locate(indices[i]);
-    local_indices[s].push_back(local);
-    positions[s].push_back(i);
-  }
-  std::vector<Block> result(indices.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (local_indices[s].empty()) continue;
-    DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> chunk,
-                             shards_[s]->DownloadMany(local_indices[s]));
-    for (size_t k = 0; k < chunk.size(); ++k) {
-      result[positions[s][k]] = std::move(chunk[k]);
+  // Fan the exchange out shard by shard (this synchronous variant walks the
+  // legs on the caller's thread; AsyncShardedBackend overlaps them), then
+  // reassemble the replies in request order.
+  std::vector<ShardRouter::Leg> legs = router_.Partition(request.indices);
+  StorageReply reply;
+  if (request.op == StorageRequest::Op::kDownload) {
+    reply.blocks.resize(request.indices.size());
+    for (uint64_t s = 0; s < shards_.size(); ++s) {
+      if (legs[s].local_indices.empty()) continue;
+      DPSTORE_ASSIGN_OR_RETURN(
+          std::vector<Block> chunk,
+          shards_[s]->DownloadMany(legs[s].local_indices));
+      for (size_t k = 0; k < chunk.size(); ++k) {
+        reply.blocks[legs[s].positions[k]] = std::move(chunk[k]);
+      }
+    }
+    // One roundtrip: the per-shard legs are (modeled as) concurrent.
+    transcript_.RecordRoundtrip();
+    for (BlockId index : request.indices) {
+      transcript_.Record(AccessEvent::Type::kDownload, index);
+    }
+  } else {
+    for (uint64_t s = 0; s < shards_.size(); ++s) {
+      if (legs[s].local_indices.empty()) continue;
+      std::vector<Block> chunk;
+      chunk.reserve(legs[s].positions.size());
+      for (size_t position : legs[s].positions) {
+        chunk.push_back(std::move(request.blocks[position]));
+      }
+      DPSTORE_RETURN_IF_ERROR(
+          shards_[s]->UploadMany(legs[s].local_indices, std::move(chunk)));
+    }
+    for (BlockId index : request.indices) {
+      transcript_.Record(AccessEvent::Type::kUpload, index);
     }
   }
-  // One roundtrip: the per-shard legs are concurrent.
-  transcript_.RecordRoundtrip();
-  for (BlockId index : indices) {
-    transcript_.Record(AccessEvent::Type::kDownload, index);
-  }
-  return result;
-}
-
-Status ShardedBackend::UploadMany(const std::vector<BlockId>& indices,
-                                  std::vector<Block> blocks) {
-  if (indices.size() != blocks.size()) {
-    return InvalidArgumentError("UploadMany: index/block count mismatch");
-  }
-  if (indices.empty()) return OkStatus();
-  for (BlockId index : indices) DPSTORE_RETURN_IF_ERROR(CheckIndex(index));
-  for (const Block& block : blocks) {
-    if (block.size() != block_size_) {
-      return InvalidArgumentError("UploadMany: block size mismatch");
-    }
-  }
-  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
-  std::vector<std::vector<BlockId>> local_indices(shards_.size());
-  std::vector<std::vector<Block>> local_blocks(shards_.size());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    auto [s, local] = Locate(indices[i]);
-    local_indices[s].push_back(local);
-    local_blocks[s].push_back(std::move(blocks[i]));
-  }
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (local_indices[s].empty()) continue;
-    DPSTORE_RETURN_IF_ERROR(
-        shards_[s]->UploadMany(local_indices[s], std::move(local_blocks[s])));
-  }
-  for (BlockId index : indices) {
-    transcript_.Record(AccessEvent::Type::kUpload, index);
-  }
-  return OkStatus();
+  return reply;
 }
 
 void ShardedBackend::BeginQuery() {
@@ -160,24 +132,24 @@ void ShardedBackend::SetTranscriptCountingOnly(bool counting_only) {
 }
 
 const Block& ShardedBackend::PeekBlock(BlockId index) const {
-  DPSTORE_CHECK_LT(index, n_);
-  auto [s, local] = Locate(index);
+  DPSTORE_CHECK_LT(index, router_.n());
+  auto [s, local] = router_.Locate(index);
   return shards_[s]->PeekBlock(local);
 }
 
 void ShardedBackend::CorruptBlock(BlockId index) {
-  DPSTORE_CHECK_LT(index, n_);
-  auto [s, local] = Locate(index);
+  DPSTORE_CHECK_LT(index, router_.n());
+  auto [s, local] = router_.Locate(index);
   shards_[s]->CorruptBlock(local);
 }
 
 void ShardedBackend::SetFailureRate(double rate, uint64_t seed) {
   // Deliberately NOT forwarded to the shards: a single roll at this level
-  // per exchange keeps batched calls all-or-nothing. Were each inner leg to
-  // roll its own fault, a spanning UploadMany could apply shard 0's blocks
-  // and then fail shard 1's, leaving a half-written bucket that the
-  // schemes' rollback discipline (which assumes nothing reached the server
-  // on error) would silently serve back corrupted.
+  // per exchange keeps batched exchanges all-or-nothing. Were each inner
+  // leg to roll its own fault, a spanning upload exchange could apply shard
+  // 0's blocks and then fail shard 1's, leaving a half-written bucket that
+  // the schemes' rollback discipline (which assumes nothing reached the
+  // server on error) would silently serve back corrupted.
   faults_.Set(rate, seed);
 }
 

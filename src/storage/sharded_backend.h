@@ -11,20 +11,71 @@
 
 namespace dpstore {
 
+/// Geometry of a K-way contiguous partition of the block array [0, n):
+/// shard s holds global addresses [s*ceil(n/K), (s+1)*ceil(n/K)) clipped to
+/// n (the last shard may be short when K does not divide n; trailing shards
+/// may even be empty when K > n). Shared by the synchronous and the
+/// threaded sharded backends so both route identically — a prerequisite for
+/// their transcripts being comparable event for event.
+class ShardRouter {
+ public:
+  /// Requires num_shards >= 1.
+  ShardRouter(uint64_t n, uint64_t num_shards);
+
+  uint64_t n() const { return n_; }
+  uint64_t num_shards() const { return num_shards_; }
+  uint64_t rows_per_shard() const { return rows_per_shard_; }
+  /// Blocks held by shard `s`.
+  uint64_t ShardSize(uint64_t s) const;
+  /// The shard holding global address `index`.
+  uint64_t ShardOf(BlockId index) const { return index / rows_per_shard_; }
+  /// (shard, local address) of a validated global address.
+  std::pair<uint64_t, BlockId> Locate(BlockId index) const {
+    return {index / rows_per_shard_, index % rows_per_shard_};
+  }
+
+  /// One shard's leg of a batched exchange: the local addresses it serves
+  /// and, for each, the position in the original request (so replies can be
+  /// reassembled in request order).
+  struct Leg {
+    std::vector<BlockId> local_indices;
+    std::vector<size_t> positions;
+  };
+
+  /// Splits a batched request's indices into per-shard legs (entry s may be
+  /// empty when the batch misses shard s).
+  std::vector<Leg> Partition(const std::vector<BlockId>& indices) const;
+
+ private:
+  uint64_t n_;
+  uint64_t num_shards_;
+  uint64_t rows_per_shard_;  // ceil(n / K), floored at 1
+};
+
+/// Validates `blocks` as a full (n x block_size) array and distributes it
+/// contiguously across `shards`. Shared by the synchronous and threaded
+/// sharded backends so setup routes identically. Must not be called with
+/// exchanges in flight.
+Status DistributeArray(std::vector<Block> blocks, uint64_t n,
+                       size_t block_size,
+                       const std::vector<std::unique_ptr<StorageBackend>>& shards);
+
 /// Storage backend that partitions the block array [0, n) across K inner
-/// backends in contiguous ranges of ceil(n/K) blocks (the last shard may be
-/// short when K does not divide n; trailing shards may even be empty when
-/// K > n). This is the DINOMO-style separation of scheme logic from a
-/// swappable, horizontally scaled storage tier: schemes keep addressing a
-/// flat array while capacity and bandwidth scale across shards.
+/// backends in contiguous ranges (ShardRouter geometry). This is the
+/// DINOMO-style separation of scheme logic from a swappable, horizontally
+/// scaled storage tier: schemes keep addressing a flat array while capacity
+/// and bandwidth scale across shards.
 ///
 /// Accounting: the sharded backend keeps its own Transcript in the *global*
 /// address space - that is the adversary's view the schemes' privacy
 /// arguments quantify over, and what scheme-level stats read. Each inner
 /// backend additionally records its local view (local addresses), useful
-/// for per-shard load inspection. A batched call that spans shards fans out
-/// concurrently, so it costs one roundtrip at this level regardless of how
-/// many shards it touches; the per-shard transcripts meter their own legs.
+/// for per-shard load inspection. A batched exchange that spans shards is
+/// priced as one roundtrip at this level regardless of how many shards it
+/// touches; the per-shard transcripts meter their own legs. This variant
+/// walks the legs sequentially on the caller's thread — the modeled
+/// concurrency without the wall-clock payoff; AsyncShardedBackend
+/// (async_sharded_backend.h) actually overlaps them on worker threads.
 class ShardedBackend : public StorageBackend {
  public:
   /// Creates K shards via `inner_factory` (in-memory StorageServer when
@@ -34,21 +85,14 @@ class ShardedBackend : public StorageBackend {
 
   uint64_t num_shards() const { return shards_.size(); }
   /// The shard holding global address `index`.
-  uint64_t ShardOf(BlockId index) const { return index / rows_per_shard_; }
+  uint64_t ShardOf(BlockId index) const { return router_.ShardOf(index); }
   StorageBackend& shard(uint64_t s) { return *shards_[s]; }
   const StorageBackend& shard(uint64_t s) const { return *shards_[s]; }
 
-  uint64_t n() const override { return n_; }
+  uint64_t n() const override { return router_.n(); }
   size_t block_size() const override { return block_size_; }
 
   Status SetArray(std::vector<Block> blocks) override;
-
-  StatusOr<Block> Download(BlockId index) override;
-  Status Upload(BlockId index, Block block) override;
-  StatusOr<std::vector<Block>> DownloadMany(
-      const std::vector<BlockId>& indices) override;
-  Status UploadMany(const std::vector<BlockId>& indices,
-                    std::vector<Block> blocks) override;
 
   void BeginQuery() override;
 
@@ -60,22 +104,22 @@ class ShardedBackend : public StorageBackend {
   void CorruptBlock(BlockId index) override;
 
   /// Fault injection lives at THIS level, not in the shards: one Bernoulli
-  /// roll per exchange, so a batched call spanning shards still fails as a
-  /// unit before any leg runs (the StorageBackend atomicity contract).
+  /// roll per exchange, so a batched exchange spanning shards still fails
+  /// as a unit before any leg runs (the StorageBackend atomicity contract).
   /// Do NOT inject faults into individual shards via shard(s) when schemes
   /// are driving this backend - a mid-fan-out inner failure would leave a
   /// spanning batch half-applied, which the schemes' rollback discipline
   /// (assuming nothing reached the server on error) cannot repair.
   void SetFailureRate(double rate, uint64_t seed = 7) override;
 
- private:
-  /// (shard, local address) of a validated global address.
-  std::pair<uint64_t, BlockId> Locate(BlockId index) const;
-  Status CheckIndex(BlockId index) const;
+ protected:
+  /// Runs one exchange: validates globally, rolls the fault injector once,
+  /// then walks the per-shard legs sequentially.
+  StatusOr<StorageReply> Execute(StorageRequest request) override;
 
-  uint64_t n_;
+ private:
+  ShardRouter router_;
   size_t block_size_;
-  uint64_t rows_per_shard_;  // ceil(n / K)
   std::vector<std::unique_ptr<StorageBackend>> shards_;
   Transcript transcript_;
   FaultInjector faults_;

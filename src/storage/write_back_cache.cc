@@ -1,0 +1,255 @@
+#include "storage/write_back_cache.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+WriteBackCacheBackend::WriteBackCacheBackend(
+    std::unique_ptr<StorageBackend> inner, size_t capacity,
+    std::shared_ptr<CacheStats> sink)
+    : inner_(std::move(inner)), capacity_(capacity), sink_(std::move(sink)) {
+  DPSTORE_CHECK(inner_ != nullptr);
+  DPSTORE_CHECK_GT(capacity_, 0u);
+}
+
+WriteBackCacheBackend::~WriteBackCacheBackend() {
+  // Best-effort: dirty blocks must not die with the cache. Call Flush()
+  // explicitly to observe write-back errors.
+  Flush().ok();
+}
+
+size_t WriteBackCacheBackend::dirty_blocks() const {
+  size_t dirty = 0;
+  for (const auto& [index, entry] : entries_) {
+    if (entry.dirty) ++dirty;
+  }
+  return dirty;
+}
+
+void WriteBackCacheBackend::Count(uint64_t CacheStats::*counter,
+                                  uint64_t amount) {
+  stats_.*counter += amount;
+  if (sink_ != nullptr) (*sink_).*counter += amount;
+}
+
+void WriteBackCacheBackend::Touch(Entry& entry, BlockId index) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(index);
+  entry.lru_it = lru_.begin();
+}
+
+void WriteBackCacheBackend::Insert(BlockId index, Block data, bool dirty) {
+  DPSTORE_CHECK_LT(entries_.size(), capacity_);
+  lru_.push_front(index);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.dirty = dirty;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(index, std::move(entry));
+}
+
+Status WriteBackCacheBackend::MakeRoom(
+    size_t incoming, const std::unordered_map<BlockId, bool>* pinned) {
+  if (entries_.size() + incoming <= capacity_) return OkStatus();
+  const size_t victims_needed = entries_.size() + incoming - capacity_;
+  DPSTORE_CHECK_LE(victims_needed, entries_.size());
+
+  std::vector<BlockId> victims;
+  std::vector<BlockId> dirty_ids;
+  std::vector<Block> dirty_blocks;
+  for (auto it = lru_.rbegin();
+       it != lru_.rend() && victims.size() < victims_needed; ++it) {
+    const BlockId index = *it;
+    if (pinned != nullptr && pinned->find(index) != pinned->end()) continue;
+    const Entry& entry = entries_.at(index);
+    victims.push_back(index);
+    if (entry.dirty) {
+      dirty_ids.push_back(index);
+      dirty_blocks.push_back(entry.data);  // copy: on error nothing changes
+    }
+  }
+  DPSTORE_CHECK_EQ(victims.size(), victims_needed)
+      << "caller pinned too much of the cache";
+  if (!dirty_ids.empty()) {
+    DPSTORE_RETURN_IF_ERROR(
+        inner_->UploadMany(dirty_ids, std::move(dirty_blocks)));
+    Count(&CacheStats::writeback_blocks, dirty_ids.size());
+  }
+  for (BlockId index : victims) {
+    auto entry_it = entries_.find(index);
+    lru_.erase(entry_it->second.lru_it);
+    entries_.erase(entry_it);
+  }
+  return OkStatus();
+}
+
+Status WriteBackCacheBackend::Flush() {
+  std::vector<BlockId> dirty_ids;
+  for (const auto& [index, entry] : entries_) {
+    if (entry.dirty) dirty_ids.push_back(index);
+  }
+  if (dirty_ids.empty()) return OkStatus();
+  std::sort(dirty_ids.begin(), dirty_ids.end());  // deterministic write-back
+  std::vector<Block> blocks;
+  blocks.reserve(dirty_ids.size());
+  for (BlockId index : dirty_ids) blocks.push_back(entries_.at(index).data);
+  DPSTORE_RETURN_IF_ERROR(inner_->UploadMany(dirty_ids, std::move(blocks)));
+  Count(&CacheStats::writeback_blocks, dirty_ids.size());
+  for (BlockId index : dirty_ids) entries_.at(index).dirty = false;
+  return OkStatus();
+}
+
+Status WriteBackCacheBackend::SetArray(std::vector<Block> blocks) {
+  // Setup replaces the whole array: any cached (even dirty) state is stale
+  // by definition and must not be written back over the new contents.
+  entries_.clear();
+  lru_.clear();
+  return inner_->SetArray(std::move(blocks));
+}
+
+const Block& WriteBackCacheBackend::PeekBlock(BlockId index) const {
+  auto it = entries_.find(index);
+  if (it != entries_.end()) return it->second.data;
+  return inner_->PeekBlock(index);
+}
+
+void WriteBackCacheBackend::CorruptBlock(BlockId index) {
+  auto it = entries_.find(index);
+  if (it != entries_.end()) {
+    DPSTORE_CHECK(!it->second.data.empty());
+    it->second.data[0] ^= 0xFF;
+    return;
+  }
+  inner_->CorruptBlock(index);
+}
+
+StatusOr<StorageReply> WriteBackCacheBackend::Execute(StorageRequest request) {
+  DPSTORE_RETURN_IF_ERROR(
+      ValidateRequest(request, inner_->n(), inner_->block_size()));
+  // No fault roll here: dropped RPCs are the inner backend's to model, and
+  // an exchange the cache absorbs entirely involves no RPC at all.
+  if (request.op == StorageRequest::Op::kDownload) {
+    return ExecuteDownload(std::move(request));
+  }
+  return ExecuteUpload(std::move(request));
+}
+
+StatusOr<StorageReply> WriteBackCacheBackend::ExecuteDownload(
+    StorageRequest request) {
+  // Partition occurrences into hits (served - and captured - right away, so
+  // a later eviction cannot reach them) and distinct,
+  // first-appearance-order misses. Duplicate missing indices are fetched
+  // once: in-batch coalescing.
+  StorageReply reply;
+  reply.blocks.resize(request.indices.size());
+  std::vector<BlockId> miss_ids;
+  std::unordered_map<BlockId, size_t> miss_slot;
+  std::vector<size_t> miss_positions;
+  for (size_t i = 0; i < request.indices.size(); ++i) {
+    const BlockId index = request.indices[i];
+    auto it = entries_.find(index);
+    if (it != entries_.end()) {
+      Touch(it->second, index);
+      reply.blocks[i] = it->second.data;
+    } else {
+      if (miss_slot.emplace(index, miss_ids.size()).second) {
+        miss_ids.push_back(index);
+      }
+      miss_positions.push_back(i);
+    }
+  }
+  Count(&CacheStats::download_hits,
+        request.indices.size() - miss_positions.size());
+  Count(&CacheStats::download_misses, miss_positions.size());
+  if (miss_ids.empty()) return reply;  // all-hit: no RPC at all
+
+  // Fill only when the batch fits: a scan naming >= capacity distinct
+  // blocks would flush the whole working set for nothing.
+  const bool fill = miss_ids.size() < capacity_;
+  if (fill) DPSTORE_RETURN_IF_ERROR(MakeRoom(miss_ids.size()));
+  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> fetched,
+                           inner_->DownloadMany(miss_ids));
+  for (size_t position : miss_positions) {
+    reply.blocks[position] = fetched[miss_slot.at(request.indices[position])];
+  }
+  if (fill) {
+    for (size_t k = 0; k < miss_ids.size(); ++k) {
+      Insert(miss_ids[k], std::move(fetched[k]), /*dirty=*/false);
+    }
+  }
+  return reply;
+}
+
+StatusOr<StorageReply> WriteBackCacheBackend::ExecuteUpload(
+    StorageRequest request) {
+  std::unordered_map<BlockId, bool> batch_ids;
+  size_t distinct_new = 0;
+  for (BlockId index : request.indices) {
+    if (batch_ids.emplace(index, true).second &&
+        entries_.find(index) == entries_.end()) {
+      ++distinct_new;
+    }
+  }
+
+  // Absorb only when EVERY distinct block the batch names fits at once:
+  // each one ends up cached (already-cached ones are pinned against
+  // eviction below), so the post-exchange footprint is batch_ids plus the
+  // survivors.
+  if (batch_ids.size() >= capacity_) {
+    // Scan-sized upload: write through in one exchange. Only the (at most
+    // capacity) blocks that are actually cached need their copies
+    // refreshed for coherence, so capture those before moving the whole
+    // batch to the inner backend — no O(batch) duplication.
+    std::unordered_map<BlockId, Block> refresh;
+    std::vector<BlockId> refresh_order;  // first occurrence, deterministic
+    for (size_t i = 0; i < request.indices.size(); ++i) {
+      const BlockId index = request.indices[i];
+      if (entries_.find(index) == entries_.end()) continue;
+      if (refresh.find(index) == refresh.end()) refresh_order.push_back(index);
+      refresh[index] = request.blocks[i];  // last write wins
+    }
+    const size_t batch_blocks = request.indices.size();
+    DPSTORE_RETURN_IF_ERROR(inner_->UploadMany(std::move(request.indices),
+                                               std::move(request.blocks)));
+    for (BlockId index : refresh_order) {
+      Entry& entry = entries_.at(index);
+      entry.data = std::move(refresh.at(index));
+      entry.dirty = false;  // the server holds it now
+      Touch(entry, index);
+    }
+    Count(&CacheStats::write_through_blocks, batch_blocks);
+    return StorageReply{};
+  }
+
+  // Absorb: the whole exchange lands in the cache; the inner backend sees
+  // nothing until eviction or Flush.
+  DPSTORE_RETURN_IF_ERROR(MakeRoom(distinct_new, &batch_ids));
+  for (size_t i = 0; i < request.indices.size(); ++i) {
+    const BlockId index = request.indices[i];
+    auto it = entries_.find(index);
+    if (it != entries_.end()) {
+      it->second.data = std::move(request.blocks[i]);
+      it->second.dirty = true;
+      Touch(it->second, index);
+    } else {
+      Insert(index, std::move(request.blocks[i]), /*dirty=*/true);
+    }
+  }
+  Count(&CacheStats::uploads_absorbed, request.indices.size());
+  return StorageReply{};
+}
+
+BackendFactory WriteBackCacheBackendFactory(
+    size_t capacity, const BackendFactory& inner_factory,
+    std::shared_ptr<CacheStats> sink) {
+  return [capacity, inner_factory, sink](uint64_t n, size_t block_size) {
+    return std::make_unique<WriteBackCacheBackend>(
+        MakeBackend(inner_factory, n, block_size), capacity, sink);
+  };
+}
+
+}  // namespace dpstore

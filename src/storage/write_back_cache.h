@@ -1,0 +1,169 @@
+#ifndef DPSTORE_STORAGE_WRITE_BACK_CACHE_H_
+#define DPSTORE_STORAGE_WRITE_BACK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/backend.h"
+
+namespace dpstore {
+
+/// Client-side cache effectiveness counters. All quantities are blocks.
+/// `download_hits` never touched the wire; `uploads_absorbed` were coalesced
+/// in the cache (the inner backend sees at most one write-back per dirty
+/// block, however often it was overwritten); `write_through` blocks bypassed
+/// the cache because a single exchange outsized it (scan resistance).
+struct CacheStats {
+  uint64_t download_hits = 0;
+  uint64_t download_misses = 0;
+  uint64_t uploads_absorbed = 0;
+  uint64_t writeback_blocks = 0;
+  uint64_t write_through_blocks = 0;
+
+  double HitRate() const {
+    const uint64_t total = download_hits + download_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(download_hits) /
+                            static_cast<double>(total);
+  }
+  CacheStats& operator+=(const CacheStats& other) {
+    download_hits += other.download_hits;
+    download_misses += other.download_misses;
+    uploads_absorbed += other.uploads_absorbed;
+    writeback_blocks += other.writeback_blocks;
+    write_through_blocks += other.write_through_blocks;
+    return *this;
+  }
+  /// Counter delta, for metering a window between two snapshots.
+  friend CacheStats operator-(CacheStats a, const CacheStats& b) {
+    a.download_hits -= b.download_hits;
+    a.download_misses -= b.download_misses;
+    a.uploads_absorbed -= b.uploads_absorbed;
+    a.writeback_blocks -= b.writeback_blocks;
+    a.write_through_blocks -= b.write_through_blocks;
+    return a;
+  }
+};
+
+/// Write-back caching decorator over any StorageBackend: an LRU cache of
+/// `capacity` blocks that absorbs fire-and-forget uploads (dirty blocks are
+/// written back in batched exchanges only on eviction or Flush) and
+/// coalesces repeated hot-block downloads (an all-hit exchange never
+/// touches the wire at all — zero roundtrips).
+///
+/// Accounting: the adversary's view is what actually crossed the wire, so
+/// transcript() forwards to the inner backend. Scheme-level TransportStats
+/// therefore shrink by exactly the cached traffic — which is the measurement
+/// the Zipf benchmarks want: a scheme whose privacy argument mandates dummy
+/// or re-randomized traffic (DP-RAM's random overwrites, Path ORAM's fresh
+/// paths) defeats its own cache hits, and the hit/miss counters quantify by
+/// how much. Note the flip side: cache hits are accesses the adversary does
+/// NOT see, so the recorded transcript is no longer the full logical access
+/// sequence — by design, this decorator is a *client-side* optimization.
+///
+/// Scan resistance: an exchange naming at least `capacity` distinct blocks
+/// would evict the whole working set, so such downloads bypass the fill and
+/// such uploads write through (coherently updating any cached copies).
+///
+/// Fault handling: injected faults live in the inner backend (SetFailureRate
+/// forwards). All-hit downloads and absorbed uploads cannot fail — no RPC
+/// happens. When an inner exchange fails, the error propagates and no cache
+/// entry is lost: dirty blocks stay dirty until a write-back succeeds, so a
+/// later retry or Flush still lands every update.
+class WriteBackCacheBackend : public StorageBackend {
+ public:
+  /// Wraps `inner`, caching up to `capacity` >= 1 blocks. `sink`, if
+  /// non-null, additionally accumulates this cache's counters (shared by
+  /// every cache a BackendFactory builds for one scheme, recursive
+  /// position-map backends included).
+  WriteBackCacheBackend(std::unique_ptr<StorageBackend> inner,
+                        size_t capacity,
+                        std::shared_ptr<CacheStats> sink = nullptr);
+  ~WriteBackCacheBackend() override;
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+
+  const CacheStats& cache_stats() const { return stats_; }
+  size_t capacity() const { return capacity_; }
+  size_t cached_blocks() const { return entries_.size(); }
+  size_t dirty_blocks() const;
+
+  /// Writes every dirty block back to the inner backend in one batched
+  /// exchange (entries stay cached, now clean). Called by the destructor,
+  /// where a failure is swallowed — call explicitly to observe errors.
+  Status Flush();
+
+  uint64_t n() const override { return inner_->n(); }
+  size_t block_size() const override { return inner_->block_size(); }
+
+  /// Drops the cache (setup replaces the array wholesale; dirty state would
+  /// be stale) and forwards.
+  Status SetArray(std::vector<Block> blocks) override;
+
+  void BeginQuery() override { inner_->BeginQuery(); }
+
+  /// The adversary's view: what actually reached the inner backend.
+  const Transcript& transcript() const override {
+    return inner_->transcript();
+  }
+  void ResetTranscript() override { inner_->ResetTranscript(); }
+  void SetTranscriptCountingOnly(bool counting_only) override {
+    inner_->SetTranscriptCountingOnly(counting_only);
+  }
+
+  /// Freshest value: the cached copy when present, else the inner block.
+  const Block& PeekBlock(BlockId index) const override;
+  /// Corrupts the copy a download would serve (cached if present).
+  void CorruptBlock(BlockId index) override;
+
+  void SetFailureRate(double rate, uint64_t seed = 7) override {
+    inner_->SetFailureRate(rate, seed);
+  }
+
+ protected:
+  StatusOr<StorageReply> Execute(StorageRequest request) override;
+
+ private:
+  struct Entry {
+    Block data;
+    bool dirty = false;
+    std::list<BlockId>::iterator lru_it;  // position in lru_
+  };
+
+  StatusOr<StorageReply> ExecuteDownload(StorageRequest request);
+  StatusOr<StorageReply> ExecuteUpload(StorageRequest request);
+
+  void Touch(Entry& entry, BlockId index);
+  void Insert(BlockId index, Block data, bool dirty);
+  /// Evicts LRU entries until `incoming` new blocks fit, writing dirty
+  /// victims back in one batched exchange first. Entries named in `pinned`
+  /// are never chosen (the current exchange is about to touch them, so
+  /// evicting them would be wasted work — or worse, make room the apply
+  /// loop immediately re-consumes). Callers guarantee enough unpinned
+  /// entries exist. On error the cache is unchanged.
+  Status MakeRoom(size_t incoming,
+                  const std::unordered_map<BlockId, bool>* pinned = nullptr);
+  void Count(uint64_t CacheStats::*counter, uint64_t amount);
+
+  std::unique_ptr<StorageBackend> inner_;
+  size_t capacity_;
+  std::unordered_map<BlockId, Entry> entries_;
+  std::list<BlockId> lru_;  // front = most recently used
+  CacheStats stats_;
+  std::shared_ptr<CacheStats> sink_;
+};
+
+/// BackendFactory producing a WriteBackCacheBackend of `capacity` blocks
+/// over `inner_factory` backends (in-memory when null). Every cache built
+/// reports into `sink` when non-null.
+BackendFactory WriteBackCacheBackendFactory(
+    size_t capacity, const BackendFactory& inner_factory = nullptr,
+    std::shared_ptr<CacheStats> sink = nullptr);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_WRITE_BACK_CACHE_H_

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -15,16 +16,19 @@ namespace {
 
 constexpr size_t kBlockSize = 32;
 
-StorageServer MakePublicDatabase(uint64_t n) {
-  StorageServer server(n, kBlockSize);
+// StorageBackend is a non-copyable polymorphic interface (slicing hazard),
+// so servers are built on the heap and handed out by unique_ptr.
+std::unique_ptr<StorageServer> MakePublicDatabase(uint64_t n) {
+  auto server = std::make_unique<StorageServer>(n, kBlockSize);
   std::vector<Block> db(n);
   for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, kBlockSize);
-  DPSTORE_CHECK_OK(server.SetArray(std::move(db)));
+  DPSTORE_CHECK_OK(server->SetArray(std::move(db)));
   return server;
 }
 
 TEST(DpIrTest, NonErrorQueriesReturnCorrectBlock) {
-  StorageServer server = MakePublicDatabase(256);
+  auto server_owner = MakePublicDatabase(256);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 4.0;
   options.alpha = 0.1;
@@ -43,7 +47,8 @@ TEST(DpIrTest, NonErrorQueriesReturnCorrectBlock) {
 }
 
 TEST(DpIrTest, ErrorRateMatchesAlpha) {
-  StorageServer server = MakePublicDatabase(128);
+  auto server_owner = MakePublicDatabase(128);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 5.0;
   options.alpha = 0.25;
@@ -60,7 +65,8 @@ TEST(DpIrTest, ErrorRateMatchesAlpha) {
 }
 
 TEST(DpIrTest, DownloadsExactlyKDistinctBlocks) {
-  StorageServer server = MakePublicDatabase(512);
+  auto server_owner = MakePublicDatabase(512);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 3.0;
   options.alpha = 0.1;
@@ -77,7 +83,8 @@ TEST(DpIrTest, DownloadsExactlyKDistinctBlocks) {
 }
 
 TEST(DpIrTest, RealIndexPresentExactlyWhenNoError) {
-  StorageServer server = MakePublicDatabase(256);
+  auto server_owner = MakePublicDatabase(256);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 6.0;
   options.alpha = 0.2;
@@ -98,7 +105,8 @@ TEST(DpIrTest, RealIndexPresentExactlyWhenNoError) {
 
 TEST(DpIrTest, ErrorlessModeDownloadsWholeDatabase) {
   // Theorem 3.3 in action: alpha = 0 degenerates to the trivial PIR scan.
-  StorageServer server = MakePublicDatabase(64);
+  auto server_owner = MakePublicDatabase(64);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 10.0;  // budget is irrelevant
   options.alpha = 0.0;
@@ -112,7 +120,8 @@ TEST(DpIrTest, ErrorlessModeDownloadsWholeDatabase) {
 }
 
 TEST(DpIrTest, KMatchesFormula) {
-  StorageServer server = MakePublicDatabase(1 << 12);
+  auto server_owner = MakePublicDatabase(1 << 12);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 7.0;
   options.alpha = 0.1;
@@ -122,13 +131,15 @@ TEST(DpIrTest, KMatchesFormula) {
 }
 
 TEST(DpIrTest, OutOfRangeRejected) {
-  StorageServer server = MakePublicDatabase(16);
+  auto server_owner = MakePublicDatabase(16);
+  StorageServer& server = *server_owner;
   DpIr ir(&server, DpIrOptions{.epsilon = 3.0, .alpha = 0.1});
   EXPECT_EQ(ir.Query(16).status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(DpIrTest, ServerFaultPropagates) {
-  StorageServer server = MakePublicDatabase(32);
+  auto server_owner = MakePublicDatabase(32);
+  StorageServer& server = *server_owner;
   server.SetFailureRate(1.0);
   DpIr ir(&server, DpIrOptions{.epsilon = 3.0, .alpha = 0.1});
   EXPECT_EQ(ir.Query(0).status().code(), StatusCode::kUnavailable);
@@ -139,7 +150,8 @@ TEST(DpIrTest, EmpiricalEpsilonWithinBudget) {
   // adjacent pair (query i vs query j) and compare against the achieved
   // budget. 60k trials resolve a ln-ratio of ~4 comfortably at n=64.
   constexpr uint64_t kN = 64;
-  StorageServer server = MakePublicDatabase(kN);
+  auto server_owner = MakePublicDatabase(kN);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = 4.0;
   options.alpha = 0.2;
@@ -169,7 +181,8 @@ TEST(DpIrTest, EmpiricalEpsilonWithinBudget) {
 // --- Strawman (Section 4) -------------------------------------------------------
 
 TEST(StrawmanTest, AlwaysCorrect) {
-  StorageServer server = MakePublicDatabase(128);
+  auto server_owner = MakePublicDatabase(128);
+  StorageServer& server = *server_owner;
   StrawmanIr ir(&server);
   for (int t = 0; t < 200; ++t) {
     BlockId q = static_cast<BlockId>(t) % 128;
@@ -180,7 +193,8 @@ TEST(StrawmanTest, AlwaysCorrect) {
 }
 
 TEST(StrawmanTest, ConstantExpectedOverhead) {
-  StorageServer server = MakePublicDatabase(256);
+  auto server_owner = MakePublicDatabase(256);
+  StorageServer& server = *server_owner;
   StrawmanIr ir(&server);
   constexpr int kTrials = 2000;
   for (int t = 0; t < kTrials; ++t) ASSERT_TRUE(ir.Query(5).ok());
@@ -195,7 +209,8 @@ TEST(StrawmanTest, LeaksThroughAbsenceEvents) {
   // a lower bound on delta - is enormous. This is what makes the scheme
   // insecure despite its eps = Theta(log n) appearance.
   constexpr uint64_t kN = 64;
-  StorageServer server = MakePublicDatabase(kN);
+  auto server_owner = MakePublicDatabase(kN);
+  StorageServer& server = *server_owner;
   StrawmanIr ir(&server);
   const BlockId qi = 3;
   const BlockId qj = 11;
@@ -219,7 +234,8 @@ TEST(StrawmanTest, LeaksThroughAbsenceEvents) {
 // --- Trivial PIR ------------------------------------------------------------------
 
 TEST(TrivialPirTest, CorrectAndFullScan) {
-  StorageServer server = MakePublicDatabase(64);
+  auto server_owner = MakePublicDatabase(64);
+  StorageServer& server = *server_owner;
   TrivialPir pir(&server);
   auto result = pir.Query(17);
   ASSERT_TRUE(result.ok());
@@ -229,7 +245,8 @@ TEST(TrivialPirTest, CorrectAndFullScan) {
 }
 
 TEST(TrivialPirTest, TranscriptIndependentOfQuery) {
-  StorageServer server = MakePublicDatabase(32);
+  auto server_owner = MakePublicDatabase(32);
+  StorageServer& server = *server_owner;
   TrivialPir pir(&server);
   ASSERT_TRUE(pir.Query(1).ok());
   auto t1 = server.transcript().QueryDownloads(0);
@@ -246,7 +263,8 @@ class DpIrSweep
 
 TEST_P(DpIrSweep, QueryShapeInvariants) {
   auto [n, eps, alpha] = GetParam();
-  StorageServer server = MakePublicDatabase(n);
+  auto server_owner = MakePublicDatabase(n);
+  StorageServer& server = *server_owner;
   DpIrOptions options;
   options.epsilon = eps;
   options.alpha = alpha;

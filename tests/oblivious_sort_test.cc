@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -25,14 +26,15 @@ Block BlockWithId(uint64_t id) {
   return b;
 }
 
-/// Server of n encrypted blocks whose plaintext ids are `ids`.
-StorageServer MakeEncryptedServer(const std::vector<uint64_t>& ids,
-                                  const crypto::Cipher& cipher) {
-  StorageServer server(ids.size(),
-                       crypto::Cipher::CiphertextSize(kBlockSize));
+/// Server of n encrypted blocks whose plaintext ids are `ids`. Heap-built:
+/// StorageBackend is a non-copyable polymorphic interface (slicing hazard).
+std::unique_ptr<StorageServer> MakeEncryptedServer(
+    const std::vector<uint64_t>& ids, const crypto::Cipher& cipher) {
+  auto server = std::make_unique<StorageServer>(
+      ids.size(), crypto::Cipher::CiphertextSize(kBlockSize));
   std::vector<Block> array;
   for (uint64_t id : ids) array.push_back(cipher.Encrypt(BlockWithId(id)));
-  DPSTORE_CHECK_OK(server.SetArray(std::move(array)));
+  DPSTORE_CHECK_OK(server->SetArray(std::move(array)));
   return server;
 }
 
@@ -54,7 +56,8 @@ TEST(ObliviousSortTest, SortsRandomPermutations) {
     std::vector<uint64_t> ids(n);
     for (uint64_t i = 0; i < n; ++i) ids[i] = i * 31 + 5;
     rng.Shuffle(&ids);
-    StorageServer server = MakeEncryptedServer(ids, cipher);
+    auto server_owner = MakeEncryptedServer(ids, cipher);
+    StorageServer& server = *server_owner;
     ASSERT_TRUE(ObliviousSort(&server, cipher, IdOf).ok()) << "n=" << n;
     std::vector<uint64_t> result = DecryptIds(&server, cipher);
     std::vector<uint64_t> expected = ids;
@@ -66,7 +69,8 @@ TEST(ObliviousSortTest, SortsRandomPermutations) {
 TEST(ObliviousSortTest, SortsWithDuplicateKeys) {
   crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
   std::vector<uint64_t> ids = {5, 1, 5, 1, 3, 3, 5, 1};
-  StorageServer server = MakeEncryptedServer(ids, cipher);
+  auto server_owner = MakeEncryptedServer(ids, cipher);
+  StorageServer& server = *server_owner;
   ASSERT_TRUE(ObliviousSort(&server, cipher, IdOf).ok());
   EXPECT_EQ(DecryptIds(&server, cipher),
             (std::vector<uint64_t>{1, 1, 1, 3, 3, 5, 5, 5}));
@@ -74,7 +78,8 @@ TEST(ObliviousSortTest, SortsWithDuplicateKeys) {
 
 TEST(ObliviousSortTest, RejectsNonPowerOfTwo) {
   crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
-  StorageServer server = MakeEncryptedServer({1, 2, 3}, cipher);
+  auto server_owner = MakeEncryptedServer({1, 2, 3}, cipher);
+  StorageServer& server = *server_owner;
   EXPECT_EQ(ObliviousSort(&server, cipher, IdOf).code(),
             StatusCode::kInvalidArgument);
 }
@@ -83,10 +88,12 @@ TEST(ObliviousSortTest, TranscriptIsDataIndependent) {
   // The defining property: two different inputs of the same size produce
   // the *identical* access-event sequence.
   crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
-  StorageServer sorted = MakeEncryptedServer({1, 2, 3, 4, 5, 6, 7, 8},
+  auto sorted_owner = MakeEncryptedServer({1, 2, 3, 4, 5, 6, 7, 8},
                                              cipher);
-  StorageServer reversed = MakeEncryptedServer({8, 7, 6, 5, 4, 3, 2, 1},
+  StorageServer& sorted = *sorted_owner;
+  auto reversed_owner = MakeEncryptedServer({8, 7, 6, 5, 4, 3, 2, 1},
                                                cipher);
+  StorageServer& reversed = *reversed_owner;
   ASSERT_TRUE(ObliviousSort(&sorted, cipher, IdOf).ok());
   ASSERT_TRUE(ObliviousSort(&reversed, cipher, IdOf).ok());
   EXPECT_EQ(sorted.transcript().ToString(),
@@ -108,7 +115,8 @@ TEST(ObliviousShuffleTest, PermutesAndPreservesMultiset) {
   crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
   std::vector<uint64_t> ids(64);
   for (uint64_t i = 0; i < 64; ++i) ids[i] = i;
-  StorageServer server = MakeEncryptedServer(ids, cipher);
+  auto server_owner = MakeEncryptedServer(ids, cipher);
+  StorageServer& server = *server_owner;
   crypto::PrfKey prf_key{};
   prf_key[0] = 0x42;
   ASSERT_TRUE(ObliviousShuffle(&server, cipher, prf_key).ok());
@@ -126,9 +134,12 @@ TEST(ObliviousShuffleTest, DeterministicUnderKeyAndKeyed) {
   k1[0] = 1;
   crypto::PrfKey k2{};
   k2[0] = 2;
-  StorageServer a = MakeEncryptedServer(ids, cipher);
-  StorageServer b = MakeEncryptedServer(ids, cipher);
-  StorageServer c = MakeEncryptedServer(ids, cipher);
+  auto a_owner = MakeEncryptedServer(ids, cipher);
+  StorageServer& a = *a_owner;
+  auto b_owner = MakeEncryptedServer(ids, cipher);
+  StorageServer& b = *b_owner;
+  auto c_owner = MakeEncryptedServer(ids, cipher);
+  StorageServer& c = *c_owner;
   ASSERT_TRUE(ObliviousShuffle(&a, cipher, k1).ok());
   ASSERT_TRUE(ObliviousShuffle(&b, cipher, k1).ok());
   ASSERT_TRUE(ObliviousShuffle(&c, cipher, k2).ok());
@@ -142,7 +153,8 @@ TEST(ObliviousShuffleTest, FreshCiphertextsEverywhere) {
   crypto::Cipher cipher = crypto::Cipher::WithRandomKey();
   std::vector<uint64_t> ids(16);
   for (uint64_t i = 0; i < 16; ++i) ids[i] = i;
-  StorageServer server = MakeEncryptedServer(ids, cipher);
+  auto server_owner = MakeEncryptedServer(ids, cipher);
+  StorageServer& server = *server_owner;
   std::vector<Block> before;
   for (uint64_t i = 0; i < 16; ++i) before.push_back(server.PeekBlock(i));
   crypto::PrfKey key{};

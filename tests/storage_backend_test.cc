@@ -112,6 +112,82 @@ TEST(BatchedOpsTest, InjectedFaultFailsBatchAsAUnit) {
   EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
 }
 
+// --- The two-phase exchange surface -----------------------------------------
+
+TEST(ExchangeApiTest, SubmitWaitRoundTripsDownloads) {
+  StorageServer server(8, 8);
+  ASSERT_TRUE(server.SetArray(MakeDatabase(8, 8)).ok());
+  Ticket t = server.Submit(StorageRequest::DownloadOf({5, 1, 5}));
+  auto reply = server.Wait(t);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->blocks.size(), 3u);
+  EXPECT_TRUE(IsMarkerBlock(reply->blocks[0], 5));
+  EXPECT_TRUE(IsMarkerBlock(reply->blocks[1], 1));
+  EXPECT_TRUE(IsMarkerBlock(reply->blocks[2], 5));
+  EXPECT_EQ(server.roundtrip_count(), 1u);
+}
+
+TEST(ExchangeApiTest, UploadExchangeRepliesEmptyAndApplies) {
+  StorageServer server(8, 8);
+  Ticket t = server.Submit(
+      StorageRequest::UploadOf({2, 6}, {MarkerBlock(42, 8), MarkerBlock(46, 8)}));
+  auto reply = server.Wait(t);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->blocks.empty());
+  EXPECT_TRUE(IsMarkerBlock(server.PeekBlock(2), 42));
+  EXPECT_TRUE(IsMarkerBlock(server.PeekBlock(6), 46));
+  EXPECT_EQ(server.roundtrip_count(), 0u);  // write-backs are free
+}
+
+TEST(ExchangeApiTest, TicketsAreSingleUseAndUnknownTicketsRejected) {
+  StorageServer server(4, 8);
+  Ticket t = server.Submit(StorageRequest::DownloadOf({0}));
+  ASSERT_TRUE(server.Wait(t).ok());
+  EXPECT_EQ(server.Wait(t).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.Wait(424242).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExchangeApiTest, SeveralTicketsMayBeInFlightAndWaitInAnyOrder) {
+  StorageServer server(8, 8);
+  ASSERT_TRUE(server.SetArray(MakeDatabase(8, 8)).ok());
+  Ticket a = server.Submit(StorageRequest::DownloadOf({1}));
+  Ticket b = server.Submit(StorageRequest::DownloadOf({2}));
+  Ticket c = server.Submit(StorageRequest::DownloadOf({3}));
+  auto rb = server.Wait(b);
+  auto ra = server.Wait(a);
+  auto rc = server.Wait(c);
+  ASSERT_TRUE(ra.ok() && rb.ok() && rc.ok());
+  EXPECT_TRUE(IsMarkerBlock(ra->blocks[0], 1));
+  EXPECT_TRUE(IsMarkerBlock(rb->blocks[0], 2));
+  EXPECT_TRUE(IsMarkerBlock(rc->blocks[0], 3));
+}
+
+TEST(ExchangeApiTest, ErrorsSurfaceAtWaitNotSubmit) {
+  StorageServer server(4, 8);
+  Ticket bad = server.Submit(StorageRequest::DownloadOf({0, 99}));
+  EXPECT_EQ(server.Wait(bad).status().code(), StatusCode::kOutOfRange);
+  Ticket mixed = server.Submit(
+      StorageRequest::UploadOf({0, 1}, {ZeroBlock(8)}));
+  EXPECT_EQ(server.Wait(mixed).status().code(), StatusCode::kInvalidArgument);
+  // A download exchange must not smuggle payloads.
+  StorageRequest confused = StorageRequest::DownloadOf({0});
+  confused.blocks.push_back(ZeroBlock(8));
+  EXPECT_EQ(server.Exchange(std::move(confused)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
+}
+
+TEST(ExchangeApiTest, NoOpExchangesAreFree) {
+  StorageServer server(4, 8);
+  server.SetFailureRate(1.0);  // even a dead wire cannot fail a no-op
+  auto download = server.Exchange(StorageRequest::DownloadOf({}));
+  ASSERT_TRUE(download.ok());
+  EXPECT_TRUE(download->blocks.empty());
+  ASSERT_TRUE(server.Exchange(StorageRequest::UploadOf({}, {})).ok());
+  EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
+  EXPECT_EQ(server.roundtrip_count(), 0u);
+}
+
 // --- Roundtrip accounting ---------------------------------------------------
 
 TEST(TranscriptRoundtripTest, DownloadsCostRoundtripsUploadsDoNot) {

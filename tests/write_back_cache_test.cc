@@ -1,0 +1,280 @@
+// Tests for the write-back caching decorator: hit/miss accounting, upload
+// absorption and coalescing, eviction write-back, scan bypass, coherence
+// against an uncached oracle under mixed read/write workloads, fault
+// injection (no lost updates), and scheme correctness through the registry.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/driver.h"
+#include "analysis/workload.h"
+#include "core/scheme_registry.h"
+#include "storage/server.h"
+#include "storage/write_back_cache.h"
+#include "util/random.h"
+
+namespace dpstore {
+namespace {
+
+std::vector<Block> MakeDatabase(uint64_t n, size_t block_size) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, block_size);
+  return db;
+}
+
+std::unique_ptr<WriteBackCacheBackend> MakeCache(uint64_t n, size_t capacity,
+                                                 size_t block_size = 8) {
+  auto inner = std::make_unique<StorageServer>(n, block_size);
+  DPSTORE_CHECK_OK(inner->SetArray(MakeDatabase(n, block_size)));
+  return std::make_unique<WriteBackCacheBackend>(std::move(inner), capacity);
+}
+
+TEST(WriteBackCacheTest, CoalescesRepeatedHotDownloads) {
+  auto cache = MakeCache(32, 8);
+  for (int round = 0; round < 10; ++round) {
+    auto got = cache->Download(5);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(IsMarkerBlock(*got, 5));
+  }
+  // One wire fetch, nine hits; the adversary saw a single event.
+  EXPECT_EQ(cache->cache_stats().download_hits, 9u);
+  EXPECT_EQ(cache->cache_stats().download_misses, 1u);
+  EXPECT_EQ(cache->inner().download_count(), 1u);
+  EXPECT_EQ(cache->roundtrip_count(), 1u);  // forwarded inner transcript
+  EXPECT_DOUBLE_EQ(cache->cache_stats().HitRate(), 0.9);
+}
+
+TEST(WriteBackCacheTest, AbsorbsAndCoalescesUploads) {
+  auto cache = MakeCache(32, 8);
+  // Ten overwrites of the same block: the inner backend sees nothing...
+  for (uint64_t v = 0; v < 10; ++v) {
+    ASSERT_TRUE(cache->Upload(3, MarkerBlock(100 + v, 8)).ok());
+  }
+  EXPECT_EQ(cache->cache_stats().uploads_absorbed, 10u);
+  EXPECT_EQ(cache->inner().upload_count(), 0u);
+  EXPECT_EQ(cache->dirty_blocks(), 1u);
+  // ...the freshest value is served (and peeked) from the cache...
+  auto got = cache->Download(3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(IsMarkerBlock(*got, 109));
+  EXPECT_TRUE(IsMarkerBlock(cache->PeekBlock(3), 109));
+  // ...and Flush writes back exactly ONE block (the coalescing payoff).
+  ASSERT_TRUE(cache->Flush().ok());
+  EXPECT_EQ(cache->inner().upload_count(), 1u);
+  EXPECT_EQ(cache->cache_stats().writeback_blocks, 1u);
+  EXPECT_TRUE(IsMarkerBlock(cache->inner().PeekBlock(3), 109));
+  EXPECT_EQ(cache->dirty_blocks(), 0u);
+}
+
+TEST(WriteBackCacheTest, EvictionWritesDirtyVictimsBack) {
+  auto cache = MakeCache(32, 4);
+  // Fill the cache with dirty blocks, then push them out with reads.
+  for (BlockId id : {0u, 1u, 2u, 3u}) {
+    ASSERT_TRUE(cache->Upload(id, MarkerBlock(200 + id, 8)).ok());
+  }
+  EXPECT_EQ(cache->inner().upload_count(), 0u);
+  for (BlockId id : {10u, 11u, 12u, 13u}) {
+    ASSERT_TRUE(cache->Download(id).ok());
+  }
+  // All four dirty blocks were evicted and written back; nothing was lost.
+  EXPECT_EQ(cache->cache_stats().writeback_blocks, 4u);
+  for (BlockId id : {0u, 1u, 2u, 3u}) {
+    EXPECT_TRUE(IsMarkerBlock(cache->inner().PeekBlock(id), 200 + id)) << id;
+  }
+}
+
+TEST(WriteBackCacheTest, UploadBatchNamingCachedLruBlockWhileFull) {
+  // Regression: a full cache {0 (LRU), 1, 2} absorbing UploadMany({0, 3})
+  // must not evict block 0 to make room for block 3 and then re-insert 0
+  // over the exactly-sized room (which aborted on the capacity invariant).
+  // Blocks named by the batch are pinned against eviction, so the victim
+  // is the oldest UNpinned entry (block 1).
+  auto cache = MakeCache(16, 3);
+  ASSERT_TRUE(cache->Upload(0, MarkerBlock(400, 8)).ok());
+  ASSERT_TRUE(cache->Upload(1, MarkerBlock(401, 8)).ok());
+  ASSERT_TRUE(cache->Upload(2, MarkerBlock(402, 8)).ok());  // 0 is now LRU
+  ASSERT_TRUE(
+      cache->UploadMany({0, 3}, {MarkerBlock(410, 8), MarkerBlock(413, 8)})
+          .ok());
+  // Block 1 (the oldest unpinned entry) was evicted and written back;
+  // 0 and 3 hold the new values; nothing was lost.
+  EXPECT_EQ(cache->cached_blocks(), 3u);
+  EXPECT_TRUE(IsMarkerBlock(cache->inner().PeekBlock(1), 401));
+  auto got = cache->DownloadMany({0, 1, 2, 3});
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(IsMarkerBlock((*got)[0], 410));
+  EXPECT_TRUE(IsMarkerBlock((*got)[1], 401));
+  EXPECT_TRUE(IsMarkerBlock((*got)[2], 402));
+  EXPECT_TRUE(IsMarkerBlock((*got)[3], 413));
+}
+
+TEST(WriteBackCacheTest, ScanSizedBatchesBypassTheCache) {
+  constexpr uint64_t kN = 32;
+  auto cache = MakeCache(kN, 4);
+  // Warm two hot blocks.
+  ASSERT_TRUE(cache->Download(0).ok());
+  ASSERT_TRUE(cache->Download(1).ok());
+  // A full scan must not evict them (scan resistance)...
+  std::vector<BlockId> all(kN);
+  for (uint64_t i = 0; i < kN; ++i) all[i] = i;
+  auto scan = cache->DownloadMany(all);
+  ASSERT_TRUE(scan.ok());
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(IsMarkerBlock((*scan)[i], i)) << i;
+  }
+  EXPECT_EQ(cache->cached_blocks(), 2u);
+  // ...and the warm blocks still hit within the scan.
+  EXPECT_EQ(cache->cache_stats().download_hits, 2u);
+
+  // A scan-sized upload writes through (coherently refreshing cached copies).
+  std::vector<Block> fresh;
+  for (uint64_t i = 0; i < kN; ++i) fresh.push_back(MarkerBlock(500 + i, 8));
+  ASSERT_TRUE(cache->UploadMany(all, std::move(fresh)).ok());
+  EXPECT_EQ(cache->cache_stats().write_through_blocks, kN);
+  EXPECT_EQ(cache->dirty_blocks(), 0u);
+  EXPECT_TRUE(IsMarkerBlock(cache->inner().PeekBlock(7), 507));
+  EXPECT_TRUE(IsMarkerBlock(cache->PeekBlock(0), 500));  // refreshed copy
+}
+
+TEST(WriteBackCacheTest, MatchesUncachedOracleUnderMixedWorkload) {
+  constexpr uint64_t kN = 48;
+  auto cache = MakeCache(kN, 6);
+  StorageServer oracle(kN, 8);
+  ASSERT_TRUE(oracle.SetArray(MakeDatabase(kN, 8)).ok());
+
+  Rng rng(17);
+  ZipfDistribution zipf(kN, 0.99);
+  for (int step = 0; step < 400; ++step) {
+    const BlockId id = zipf.Sample(&rng);
+    if (rng.Bernoulli(0.4)) {
+      Block value = MarkerBlock(1000 + static_cast<BlockId>(step), 8);
+      ASSERT_TRUE(cache->Upload(id, value).ok());
+      ASSERT_TRUE(oracle.Upload(id, std::move(value)).ok());
+    } else if (rng.Bernoulli(0.2)) {
+      // Batched read spanning hot and cold blocks, dupes included.
+      std::vector<BlockId> batch = {id, (id + kN / 2) % kN, id};
+      auto a = cache->DownloadMany(batch);
+      auto b = oracle.DownloadMany(batch);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b);
+    } else {
+      auto a = cache->Download(id);
+      auto b = oracle.Download(id);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b);
+    }
+  }
+  // The cache must have actually cut traffic on this skewed workload...
+  EXPECT_GT(cache->cache_stats().download_hits, 0u);
+  EXPECT_LT(cache->inner().download_count(), oracle.download_count());
+  EXPECT_LT(cache->inner().upload_count(), oracle.upload_count());
+  // ...while ending bit-identical to the oracle once flushed.
+  ASSERT_TRUE(cache->Flush().ok());
+  for (BlockId i = 0; i < kN; ++i) {
+    EXPECT_EQ(cache->inner().PeekBlock(i), oracle.PeekBlock(i)) << i;
+  }
+}
+
+TEST(WriteBackCacheTest, FaultInjectionNeverLosesUpdates) {
+  auto cache = MakeCache(16, 2);
+  // Two dirty blocks fill the cache while the wire is up.
+  ASSERT_TRUE(cache->Upload(0, MarkerBlock(300, 8)).ok());
+  ASSERT_TRUE(cache->Upload(1, MarkerBlock(301, 8)).ok());
+
+  cache->SetFailureRate(1.0);
+  // Cache-absorbed work needs no RPC, so it cannot fail...
+  auto hit = cache->Download(0);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(IsMarkerBlock(*hit, 300));
+  ASSERT_TRUE(cache->Upload(0, MarkerBlock(310, 8)).ok());
+  // ...a miss needs the wire and fails...
+  EXPECT_EQ(cache->Download(9).status().code(), StatusCode::kUnavailable);
+  // ...an upload forcing a dirty eviction fails too, losing nothing:
+  EXPECT_EQ(cache->Upload(2, MarkerBlock(302, 8)).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(cache->Flush().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cache->dirty_blocks(), 2u);
+
+  // Wire back up: everything still lands.
+  cache->SetFailureRate(0.0);
+  ASSERT_TRUE(cache->Flush().ok());
+  EXPECT_TRUE(IsMarkerBlock(cache->inner().PeekBlock(0), 310));
+  EXPECT_TRUE(IsMarkerBlock(cache->inner().PeekBlock(1), 301));
+}
+
+TEST(WriteBackCacheTest, DestructorFlushesDirtyBlocks) {
+  // The sink outlives the cache (and the inner backend the cache owns), so
+  // it can witness the destructor's write-back.
+  auto sink = std::make_shared<CacheStats>();
+  {
+    WriteBackCacheBackend cache(std::make_unique<StorageServer>(8, 8), 4,
+                                sink);
+    ASSERT_TRUE(cache.Upload(2, MarkerBlock(99, 8)).ok());
+    EXPECT_EQ(cache.inner().upload_count(), 0u);
+    EXPECT_EQ(sink->writeback_blocks, 0u);
+  }
+  EXPECT_EQ(sink->writeback_blocks, 1u);
+}
+
+TEST(WriteBackCacheTest, SetArrayDropsStaleCacheState) {
+  auto cache = MakeCache(8, 4);
+  ASSERT_TRUE(cache->Upload(1, MarkerBlock(70, 8)).ok());
+  ASSERT_TRUE(cache->SetArray(MakeDatabase(8, 8)).ok());
+  // The dirty pre-setup value must NOT shadow (or be written over) the new
+  // array.
+  auto got = cache->Download(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(IsMarkerBlock(*got, 1));
+  EXPECT_EQ(cache->dirty_blocks(), 0u);
+}
+
+TEST(WriteBackCacheTest, AllHitExchangeCostsZeroRoundtrips) {
+  auto cache = MakeCache(16, 8);
+  ASSERT_TRUE(cache->DownloadMany({4, 5, 6}).ok());
+  const uint64_t wire_roundtrips = cache->roundtrip_count();
+  EXPECT_EQ(wire_roundtrips, 1u);
+  // Served entirely from cache: zero additional roundtrips, zero events —
+  // the adversary's view does not grow.
+  ASSERT_TRUE(cache->DownloadMany({6, 4, 5, 4}).ok());
+  EXPECT_EQ(cache->roundtrip_count(), wire_roundtrips);
+  EXPECT_EQ(cache->download_count(), 3u);
+}
+
+// --- Through the registry ----------------------------------------------------
+
+TEST(WriteBackCacheSchemeTest, SchemesStayCorrectAndCountersFlow) {
+  for (const std::string& name : {std::string("dp_ram"),
+                                  std::string("path_oram"),
+                                  std::string("strawman_ir")}) {
+    SCOPED_TRACE(name);
+    SchemeConfig config;
+    config.n = 64;
+    config.value_size = 32;
+    config.seed = 4;
+    config.backend = "cached";
+    config.cache_blocks = 16;
+    config.cache_stats = std::make_shared<CacheStats>();
+    auto scheme = SchemeRegistry::Instance().MakeRam(name, config);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    Rng rng(8);
+    auto workload = MakeRamWorkload("zipf:0.99", &rng, 64, 48,
+                                    /*write_fraction=*/0.25);
+    ASSERT_TRUE(workload.ok());
+    auto report = RunRamWorkload(scheme->get(), *workload);
+    ASSERT_TRUE(report.ok()) << report.status();
+    // Reads still succeed through the cache (workload writes may have
+    // legitimately replaced the original markers).
+    for (BlockId id : {BlockId{0}, BlockId{33}}) {
+      auto got = (*scheme)->QueryRead(id);
+      ASSERT_TRUE(got.ok()) << got.status();
+    }
+    // The sink observed this scheme's cache traffic.
+    const CacheStats& sink = *config.cache_stats;
+    EXPECT_GT(sink.download_hits + sink.download_misses, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dpstore
