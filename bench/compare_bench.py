@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two combined bench artifacts (BENCH_all.json) cell by cell.
+
+Usage:
+    bench/compare_bench.py BASELINE.json CURRENT.json [--metric wall_ms_per_op]
+        [--threshold 0.05] [--filter substring]
+
+Each BENCH_all.json is the {"benches":[...]} object run_all writes after a
+sweep (bench/baseline/BENCH_all.json holds the committed pre-optimization
+reference). Cells are matched by their "bench" name; for every shared cell
+the tool reports the delta of the chosen metric (default: each cell's most
+informative wall-clock metric) plus any transport-axis drift, which must be
+zero: the perf work moves wall-clock, never blocks/bytes/roundtrips.
+
+Exit status: 0 on success, 1 on malformed input. The tool never fails on a
+regression by itself (containers are noisy); CI greps its output instead.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-cell wall-clock metric preference: first present key wins.
+WALL_KEYS = ("wall_ms_per_op", "ms_per_exchange", "host_wall_ms", "wall_ms")
+# Transport axes that must not drift across a pure perf refactor.
+INVARIANT_KEYS = (
+    "blocks_per_op",
+    "bytes_per_op",
+    "roundtrips_per_op",
+    "blocks",
+    "roundtrips",
+    "reply_hash",
+)
+
+
+def load_cells(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"compare_bench: cannot read {path}: {err}")
+    benches = data.get("benches")
+    if not isinstance(benches, list):
+        sys.exit(f"compare_bench: {path} is not a BENCH_all.json artifact")
+    cells = {}
+    for cell in benches:
+        name = cell.get("bench")
+        if isinstance(name, str):
+            cells[name] = cell
+    return cells
+
+
+def wall_metric(cell, forced=None):
+    keys = (forced,) if forced else WALL_KEYS
+    for key in keys:
+        value = cell.get(key)
+        if isinstance(value, (int, float)):
+            return key, float(value)
+    return None, None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--metric", default=None,
+                        help="compare only this metric key")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative change below this is reported as '~'")
+    parser.add_argument("--filter", default="",
+                        help="only cells whose name contains this substring")
+    args = parser.parse_args()
+
+    base = load_cells(args.baseline)
+    curr = load_cells(args.current)
+    shared = sorted(set(base) & set(curr))
+    shared = [name for name in shared if args.filter in name]
+    if not shared:
+        sys.exit("compare_bench: no shared cells to compare")
+
+    improved = regressed = flat = 0
+    drifted = []
+    print(f"{'cell':<58} {'metric':<18} {'base':>12} {'curr':>12} {'delta':>9}")
+    for name in shared:
+        key, base_value = wall_metric(base[name], args.metric)
+        _, curr_value = wall_metric(curr[name], args.metric)
+        if key is None or curr_value is None:
+            continue
+        if base_value > 0:
+            ratio = (curr_value - base_value) / base_value
+        else:
+            ratio = 0.0 if curr_value == 0 else float("inf")
+        if ratio <= -args.threshold:
+            marker, improved = "-", improved + 1
+        elif ratio >= args.threshold:
+            marker, regressed = "+", regressed + 1
+        else:
+            marker, flat = "~", flat + 1
+        print(f"{name:<58} {key:<18} {base_value:>12.4f} {curr_value:>12.4f} "
+              f"{marker}{abs(ratio) * 100:>7.1f}%")
+        for inv in INVARIANT_KEYS:
+            if inv in base[name] and base[name].get(inv) != curr[name].get(inv):
+                drifted.append((name, inv, base[name][inv], curr[name][inv]))
+
+    print(f"\ncompare_bench: {improved} improved, {regressed} regressed, "
+          f"{flat} within {args.threshold * 100:.0f}% "
+          f"(missing cells: base-only {len(set(base) - set(curr))}, "
+          f"curr-only {len(set(curr) - set(base))})")
+    if drifted:
+        print("TRANSPORT DRIFT (must stay invariant across perf work):")
+        for name, key, old, new in drifted:
+            print(f"  {name}: {key} {old} -> {new}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,19 @@
 // google-benchmark) are reported as skipped, not failed, so a minimal
 // container can still run the sweep; unknown names and an all-skipped
 // sweep are errors, so a misconfigured CI job cannot silently pass.
+//
+// After the sweep, every BENCH_<cell>.json sidecar in the JSON directory is
+// merged into one combined BENCH_all.json ({"benches":[...]}, cells sorted
+// by name), so a whole run is a single comparable artifact. When
+// DPSTORE_BENCH_JSON_DIR is unset, run_all exports it as the current
+// working directory so the sidecars (and the combined file) always land
+// somewhere. bench/compare_bench.py diffs two BENCH_all.json files cell by
+// cell, which is how the repo tracks its perf trajectory
+// (bench/baseline/BENCH_all.json holds the committed reference numbers).
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -73,6 +84,46 @@ std::string DescribeStatus(int raw) {
   return "status " + std::to_string(raw);
 }
 
+// Merges every BENCH_<cell>.json sidecar under `dir` (one JSON object per
+// file, as written by bench_json.h) into <dir>/BENCH_all.json. Cells are
+// sorted by file name so two runs of the same tree produce byte-comparable
+// structure. Returns the number of cells merged.
+int MergeBenchJson(const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> cells;  // name -> object
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json" ||
+        file == "BENCH_all.json") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string object;
+    if (!in || !std::getline(in, object) || object.empty()) continue;
+    cells.emplace_back(file, object);
+  }
+  if (ec) {
+    std::cerr << "run_all: cannot scan " << dir.string() << ": "
+              << ec.message() << "\n";
+    return 0;
+  }
+  std::sort(cells.begin(), cells.end());
+  const fs::path combined = dir / "BENCH_all.json";
+  std::ofstream out(combined);
+  if (!out) {
+    std::cerr << "run_all: cannot write " << combined.string() << "\n";
+    return 0;
+  }
+  out << "{\"benches\":[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n" << cells[i].second;
+  }
+  out << "\n]}\n";
+  return static_cast<int>(cells.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +154,16 @@ int main(int argc, char** argv) {
 
   const fs::path dir = SelfDir(argv[0]);
 
+  // Guarantee the sidecar files (and the combined artifact below) land
+  // somewhere: default the JSON directory to the caller's cwd.
+  const char* json_dir_env = std::getenv("DPSTORE_BENCH_JSON_DIR");
+  const fs::path json_dir =
+      json_dir_env != nullptr ? fs::path(json_dir_env) : fs::current_path();
+  if (json_dir_env == nullptr) {
+    setenv("DPSTORE_BENCH_JSON_DIR", json_dir.string().c_str(),
+           /*overwrite=*/0);
+  }
+
   int ran = 0, failed = 0, skipped = 0;
   std::vector<std::string> failures;
   for (const std::string& bench : benches) {
@@ -125,6 +186,12 @@ int main(int argc, char** argv) {
       std::cout << "=== " << bench << ": FAILED (" << DescribeStatus(status)
                 << ") ===\n";
     }
+  }
+
+  if (ran > 0) {
+    const int cells = MergeBenchJson(json_dir);
+    std::cout << "run_all: merged " << cells << " cells into "
+              << (json_dir / "BENCH_all.json").string() << "\n";
   }
 
   std::cout << "\nrun_all: " << ran << " ran, " << failed << " failed, "

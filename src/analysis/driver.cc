@@ -86,13 +86,14 @@ std::vector<StorageRequest> ExchangePlanFromTranscript(const Transcript& t,
     }
     std::vector<BlockId> uploads = t.QueryUploads(q);
     if (!uploads.empty()) {
-      std::vector<Block> payloads;
-      payloads.reserve(uploads.size());
-      for (BlockId index : uploads) {
-        payloads.push_back(MarkerBlock(index, block_size));
+      BlockBuffer payload = BlockBuffer::Uninitialized(uploads.size(),
+                                                       block_size);
+      for (size_t k = 0; k < uploads.size(); ++k) {
+        Block marker = MarkerBlock(uploads[k], block_size);
+        CopyBytes(payload.Mutable(k).data(), marker.data(), marker.size());
       }
       plan.push_back(
-          StorageRequest::UploadOf(std::move(uploads), std::move(payloads)));
+          StorageRequest::UploadOf(std::move(uploads), std::move(payload)));
     }
   }
   return plan;
@@ -100,8 +101,8 @@ std::vector<StorageRequest> ExchangePlanFromTranscript(const Transcript& t,
 
 namespace {
 
-uint64_t Fnv1a(uint64_t hash, const Block& block) {
-  for (uint8_t byte : block) {
+uint64_t Fnv1a(uint64_t hash, BlockView bytes) {
+  for (uint8_t byte : bytes) {
     hash ^= byte;
     hash *= 0x100000001B3ULL;
   }
@@ -134,9 +135,9 @@ StatusOr<PipelineReport> RunExchangePipeline(StorageBackend* backend,
       if (first_error.ok()) first_error = reply.status();
       return;
     }
-    for (const Block& block : reply->blocks) {
-      report.reply_hash = Fnv1a(report.reply_hash, block);
-    }
+    // All reply bytes in block order — identical to hashing block by block,
+    // but one pass over the flat buffer.
+    report.reply_hash = Fnv1a(report.reply_hash, reply->blocks.AllBytes());
   };
 
   for (StorageRequest& request : plan) {

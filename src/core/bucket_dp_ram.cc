@@ -42,7 +42,7 @@ Status BucketDpRam::Setup(const std::vector<Block>& node_plaintexts) {
     if (node_plaintexts[i].size() != node_size_) {
       return InvalidArgumentError("Setup: node size mismatch");
     }
-    array[i] = cipher_.Encrypt(node_plaintexts[i]);
+    array[i] = cipher_.EncryptCopy(node_plaintexts[i]);
   }
   return server_->SetArray(std::move(array));
 }
@@ -133,8 +133,12 @@ StatusOr<std::vector<Block>> BucketDpRam::Query(uint64_t bucket,
   for (NodeId node : buckets_[download_bucket]) download_addrs.push_back(node);
   for (NodeId node : buckets_[overwrite_bucket])
     download_addrs.push_back(node);
-  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw,
-                           server_->DownloadMany(download_addrs));
+  // Both phases' 2s ciphertexts arrive in one flat reply buffer and are
+  // decrypted in place there; only the bucket's logical content (and the
+  // overlay copies) are ever materialized as owned blocks.
+  DPSTORE_ASSIGN_OR_RETURN(
+      StorageReply reply,
+      server_->Exchange(StorageRequest::DownloadOf(download_addrs)));
 
   std::vector<Block> content(arity);
   if (was_stashed) {
@@ -153,8 +157,10 @@ StatusOr<std::vector<Block>> BucketDpRam::Query(uint64_t bucket,
       if (it != overlay_.end()) {
         content[k] = it->second;
       } else {
-        DPSTORE_ASSIGN_OR_RETURN(content[k],
-                                 cipher_.Decrypt(std::move(raw[k])));
+        DPSTORE_ASSIGN_OR_RETURN(
+            MutableBlockView plain,
+            cipher_.DecryptInPlace(reply.blocks.Mutable(k)));
+        content[k] = ToBlock(plain);
       }
     }
   }
@@ -166,21 +172,36 @@ StatusOr<std::vector<Block>> BucketDpRam::Query(uint64_t bucket,
   }
 
   // --- Overwrite phase write-back ---
+  // Fresh ciphertexts are staged and encrypted IN PLACE inside the flat
+  // upload payload: the s-node write-back costs one buffer, not s vectors.
   const auto& overwrite_nodes = buckets_[overwrite_bucket];
-  std::vector<Block> fresh(arity);
+  const size_t ct_size = crypto::Cipher::CiphertextSize(node_size_);
+  BlockBuffer fresh = BlockBuffer::Uninitialized(arity, ct_size);
   if (stash_coin) {
     // Re-encrypt the overwrite bucket's server copies verbatim (possibly
     // stale; staleness is tracked by the overlay, so that is correct).
     for (size_t k = 0; k < arity; ++k) {
-      DPSTORE_ASSIGN_OR_RETURN(Block plain,
-                               cipher_.Decrypt(std::move(raw[arity + k])));
-      fresh[k] = cipher_.Encrypt(plain);
+      DPSTORE_ASSIGN_OR_RETURN(
+          MutableBlockView plain,
+          cipher_.DecryptInPlace(reply.blocks.Mutable(arity + k)));
+      MutableBlockView slot = fresh.Mutable(k);
+      CopyBytes(slot.data() + crypto::Cipher::PlaintextOffset(), plain.data(),
+                plain.size());
+      cipher_.EncryptInPlace(slot);
     }
   } else {
-    for (size_t k = 0; k < arity; ++k) fresh[k] = cipher_.Encrypt(content[k]);
+    for (size_t k = 0; k < arity; ++k) {
+      MutableBlockView slot = fresh.Mutable(k);
+      CopyBytes(slot.data() + crypto::Cipher::PlaintextOffset(),
+                content[k].data(), content[k].size());
+      cipher_.EncryptInPlace(slot);
+    }
   }
   DPSTORE_RETURN_IF_ERROR(
-      server_->UploadMany(overwrite_nodes, std::move(fresh)));
+      server_
+          ->Exchange(StorageRequest::UploadOf(overwrite_nodes,
+                                              std::move(fresh)))
+          .status());
 
   // --- Commit client state ---
   if (stash_coin) {

@@ -38,7 +38,7 @@ DpRam::DpRam(std::vector<Block> database, DpRamOptions options)
   // Algorithm 2 (Setup): A[i] <- Enc(K, B_i); stash each record w.p. p.
   std::vector<Block> array(n_);
   for (uint64_t i = 0; i < n_; ++i) {
-    array[i] = options_.encrypted ? cipher_->Encrypt(database[i])
+    array[i] = options_.encrypted ? cipher_->EncryptCopy(database[i])
                                   : database[i];
     if (rng_.Bernoulli(options_.stash_probability)) {
       stash_.Put(i, database[i]);
@@ -56,9 +56,21 @@ double DpRam::BlocksPerQueryExpected() const {
   return 1.0;  // retrieval-only: download phase only
 }
 
-Status DpRam::UploadRecord(BlockId index, const Block& record) {
-  return server_->Upload(
-      index, options_.encrypted ? cipher_->Encrypt(record) : record);
+Status DpRam::UploadRecord(BlockId index, BlockView record) {
+  if (!options_.encrypted) return server_->Upload(index, ToBlock(record));
+  // Stage the plaintext inside the upload payload slot and encrypt in
+  // place: the record is encrypted exactly once, directly in the exchange
+  // buffer, with no intermediate ciphertext vector.
+  BlockBuffer payload =
+      BlockBuffer::Uninitialized(1, crypto::Cipher::CiphertextSize(
+                                        record.size()));
+  MutableBlockView slot = payload.Mutable(0);
+  CopyBytes(slot.data() + crypto::Cipher::PlaintextOffset(), record.data(),
+            record.size());
+  cipher_->EncryptInPlace(slot);
+  return server_
+      ->Exchange(StorageRequest::UploadOf({index}, std::move(payload)))
+      .status();
 }
 
 StatusOr<Block> DpRam::DecodeRecord(Block server_block) const {
@@ -127,24 +139,30 @@ StatusOr<Block> DpRam::Query(BlockId index, Op op, const Block* new_value) {
   const bool stash_coin = rng_.Bernoulli(options_.stash_probability);
   const BlockId overwrite_addr = stash_coin ? rng_.Uniform(n_) : index;
 
-  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw,
-                           server_->DownloadMany({download_addr,
-                                                  overwrite_addr}));
+  // One batched exchange; both ciphertexts live in the flat reply buffer
+  // and are decrypted IN PLACE there — no per-block vectors anywhere.
+  DPSTORE_ASSIGN_OR_RETURN(
+      StorageReply reply,
+      server_->Exchange(
+          StorageRequest::DownloadOf({download_addr, overwrite_addr})));
   Block current;
   if (was_stashed) {
     current = *stash_.Get(index);
   } else {
-    DPSTORE_ASSIGN_OR_RETURN(current, DecodeRecord(std::move(raw[0])));
+    DPSTORE_ASSIGN_OR_RETURN(MutableBlockView plain,
+                             cipher_->DecryptInPlace(reply.blocks.Mutable(0)));
+    current = ToBlock(plain);
   }
   if (op == Op::kWrite) current = *new_value;
 
   if (stash_coin) {
     // Re-encrypt slot o's server copy with fresh randomness.
-    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_->Decrypt(std::move(raw[1])));
+    DPSTORE_ASSIGN_OR_RETURN(MutableBlockView plain,
+                             cipher_->DecryptInPlace(reply.blocks.Mutable(1)));
     DPSTORE_RETURN_IF_ERROR(UploadRecord(overwrite_addr, plain));
     stash_.Put(index, current);  // commit
   } else {
-    // Write the current version back to its own slot (raw[1] discarded).
+    // Write the current version back to its own slot (slot 1 discarded).
     DPSTORE_RETURN_IF_ERROR(UploadRecord(overwrite_addr, current));
     if (was_stashed) stash_.Take(index);  // commit removal
   }

@@ -108,7 +108,7 @@ class DpRam : public RamScheme {
 
   StatusOr<Block> Query(BlockId index, Op op, const Block* new_value);
 
-  Status UploadRecord(BlockId index, const Block& record);
+  Status UploadRecord(BlockId index, BlockView record);
   StatusOr<Block> DecodeRecord(Block server_block) const;
 
   uint64_t n_;

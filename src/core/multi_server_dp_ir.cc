@@ -78,9 +78,10 @@ StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
       continue;
     }
     if (s == real_server) {
+      // The reply is one flat buffer; only the real record is copied out.
       for (size_t i = 0; i < download_sets[s].size(); ++i) {
         if (download_sets[s][i] == index) {
-          result = std::move(reply->blocks[i]);
+          result = ToBlock(reply->blocks[i]);
         }
       }
     }

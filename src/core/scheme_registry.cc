@@ -18,6 +18,7 @@
 #include "pir/trivial_pir.h"
 #include "pir/xor_pir.h"
 #include "storage/async_sharded_backend.h"
+#include "storage/fusing_backend.h"
 #include "storage/sharded_backend.h"
 #include "storage/write_back_cache.h"
 
@@ -211,9 +212,18 @@ StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
         MemoryBackendFactory(config.counting_only_transcript),
         config.cache_stats);
   }
+  if (config.backend == "fused") {
+    if (config.fuse_blocks == 0) {
+      return InvalidArgumentError("fused backend needs fuse_blocks >= 1");
+    }
+    return FusingBackendFactory(
+        config.fuse_blocks,
+        MemoryBackendFactory(config.counting_only_transcript),
+        config.fuse_bytes, config.counting_only_transcript);
+  }
   return NotFoundError(
       "unknown backend '" + config.backend +
-      "' (known: memory, sharded, async_sharded, cached)");
+      "' (known: memory, sharded, async_sharded, cached, fused)");
 }
 
 SchemeRegistry& SchemeRegistry::Instance() {

@@ -28,12 +28,18 @@ struct SchemeConfig {
   /// Storage topology: "memory" (single in-memory server), "sharded"
   /// (ShardedBackend over `shards` in-memory shards), "async_sharded"
   /// (AsyncShardedBackend: the same partition with one worker thread per
-  /// shard, legs genuinely overlapped), or "cached" (WriteBackCacheBackend
-  /// of `cache_blocks` blocks over an in-memory server).
+  /// shard, legs genuinely overlapped), "cached" (WriteBackCacheBackend
+  /// of `cache_blocks` blocks over an in-memory server), or "fused"
+  /// (FusingBackend coalescing adjacent same-direction exchanges up to
+  /// `fuse_blocks` blocks over an in-memory server).
   std::string backend = "memory";
   uint64_t shards = 4;
   /// Write-back cache capacity in blocks (backend "cached").
   uint64_t cache_blocks = 64;
+  /// Fused-exchange block budget (backend "fused"); 1 = no fusion.
+  uint64_t fuse_blocks = 64;
+  /// Optional fused-exchange byte budget (backend "fused"); 0 = unlimited.
+  uint64_t fuse_bytes = 0;
   /// Optional sink accumulating hit/miss counters across every cache the
   /// factory builds for this scheme (backend "cached").
   std::shared_ptr<CacheStats> cache_stats;

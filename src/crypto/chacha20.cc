@@ -31,10 +31,11 @@ inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
 
 }  // namespace
 
-void ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
-                   uint32_t counter, uint8_t out[kChaChaBlockSize]) {
-  // RFC 8439 Section 2.3 state layout: constants, key, counter, nonce.
-  uint32_t state[16];
+/// Builds the RFC 8439 Section 2.3 initial state (constants, key, counter,
+/// nonce). Hoisted out of the per-block loop so a multi-block keystream
+/// loads the key and nonce words exactly once.
+inline void InitState(const ChaChaKey& key, const ChaChaNonce& nonce,
+                      uint32_t counter, uint32_t state[16]) {
   state[0] = 0x61707865;
   state[1] = 0x3320646e;
   state[2] = 0x79622d32;
@@ -42,9 +43,11 @@ void ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
   for (int i = 0; i < 8; ++i) state[4 + i] = Load32Le(key.data() + 4 * i);
   state[12] = counter;
   for (int i = 0; i < 3; ++i) state[13 + i] = Load32Le(nonce.data() + 4 * i);
+}
 
-  uint32_t w[16];
-  std::memcpy(w, state, sizeof(w));
+/// 20 rounds over a copy of `state`, producing the 16 keystream words.
+inline void KeystreamWords(const uint32_t state[16], uint32_t w[16]) {
+  std::memcpy(w, state, 16 * sizeof(uint32_t));
   for (int round = 0; round < 10; ++round) {
     // Column rounds.
     QuarterRound(w[0], w[4], w[8], w[12]);
@@ -57,19 +60,47 @@ void ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
     QuarterRound(w[2], w[7], w[8], w[13]);
     QuarterRound(w[3], w[4], w[9], w[14]);
   }
-  for (int i = 0; i < 16; ++i) Store32Le(out + 4 * i, w[i] + state[i]);
+  for (int i = 0; i < 16; ++i) w[i] += state[i];
+}
+
+void ChaCha20Block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                   uint32_t counter, uint8_t out[kChaChaBlockSize]) {
+  uint32_t state[16];
+  InitState(key, nonce, counter, state);
+  uint32_t w[16];
+  KeystreamWords(state, w);
+  for (int i = 0; i < 16; ++i) Store32Le(out + 4 * i, w[i]);
 }
 
 void ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                  uint32_t counter, uint8_t* data, size_t len) {
+  // Multi-block keystream: the state is initialized once and only the
+  // counter word advances per 64-byte block. Full blocks XOR 8 bytes at a
+  // time through memcpy (aliasing- and alignment-safe; the compiler lowers
+  // it to plain word ops); the final partial block falls back to bytes.
+  uint32_t state[16];
+  InitState(key, nonce, counter, state);
+  uint32_t w[16];
   uint8_t block[kChaChaBlockSize];
   size_t offset = 0;
-  while (offset < len) {
-    ChaCha20Block(key, nonce, counter++, block);
-    size_t chunk = len - offset < kChaChaBlockSize ? len - offset
-                                                   : kChaChaBlockSize;
+  while (len - offset >= kChaChaBlockSize) {
+    KeystreamWords(state, w);
+    ++state[12];
+    for (int i = 0; i < 16; ++i) Store32Le(block + 4 * i, w[i]);
+    for (size_t i = 0; i < kChaChaBlockSize; i += 8) {
+      uint64_t word, ks;
+      std::memcpy(&word, data + offset + i, 8);
+      std::memcpy(&ks, block + i, 8);
+      word ^= ks;
+      std::memcpy(data + offset + i, &word, 8);
+    }
+    offset += kChaChaBlockSize;
+  }
+  if (offset < len) {
+    KeystreamWords(state, w);
+    for (int i = 0; i < 16; ++i) Store32Le(block + 4 * i, w[i]);
+    const size_t chunk = len - offset;
     for (size_t i = 0; i < chunk; ++i) data[offset + i] ^= block[i];
-    offset += chunk;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/prg.h"
+#include "util/check.h"
 
 namespace dpstore {
 namespace crypto {
@@ -17,46 +18,58 @@ Cipher::Cipher(const ChaChaKey& master_key) {
 
 Cipher Cipher::WithRandomKey() { return Cipher(RandomChaChaKey()); }
 
-std::vector<uint8_t> Cipher::Encrypt(
-    const std::vector<uint8_t>& plaintext) const {
-  std::vector<uint8_t> out(CiphertextSize(plaintext.size()));
+void Cipher::EncryptInPlace(MutableBlockView ciphertext) const {
+  DPSTORE_CHECK_GE(ciphertext.size(), kChaChaNonceSize + kTagSize);
+  const size_t body_len = PlaintextSize(ciphertext.size());
   ChaChaNonce nonce;
   SystemRandomBytes(nonce.data(), nonce.size());
-  std::memcpy(out.data(), nonce.data(), nonce.size());
-  if (!plaintext.empty()) {
-    std::memcpy(out.data() + nonce.size(), plaintext.data(), plaintext.size());
-    ChaCha20Xor(enc_key_, nonce, /*counter=*/1, out.data() + nonce.size(),
-                plaintext.size());
+  std::memcpy(ciphertext.data(), nonce.data(), nonce.size());
+  if (body_len > 0) {
+    ChaCha20Xor(enc_key_, nonce, /*counter=*/1,
+                ciphertext.data() + kChaChaNonceSize, body_len);
   }
-  uint64_t tag = Siphash24(mac_key_, out.data(),
-                           nonce.size() + plaintext.size());
-  std::memcpy(out.data() + nonce.size() + plaintext.size(), &tag,
+  uint64_t tag =
+      Siphash24(mac_key_, ciphertext.data(), kChaChaNonceSize + body_len);
+  std::memcpy(ciphertext.data() + kChaChaNonceSize + body_len, &tag,
               kTagSize);
-  return out;
 }
 
-StatusOr<std::vector<uint8_t>> Cipher::Decrypt(
-    const std::vector<uint8_t>& ciphertext) const {
+StatusOr<MutableBlockView> Cipher::DecryptInPlace(
+    MutableBlockView ciphertext) const {
   if (ciphertext.size() < kChaChaNonceSize + kTagSize) {
     return DataLossError("ciphertext shorter than nonce+tag");
   }
-  size_t body_len = ciphertext.size() - kChaChaNonceSize - kTagSize;
-  uint64_t expected = Siphash24(mac_key_, ciphertext.data(),
-                                kChaChaNonceSize + body_len);
+  const size_t body_len = PlaintextSize(ciphertext.size());
+  uint64_t expected =
+      Siphash24(mac_key_, ciphertext.data(), kChaChaNonceSize + body_len);
   uint64_t got;
-  std::memcpy(&got, ciphertext.data() + kChaChaNonceSize + body_len, kTagSize);
+  std::memcpy(&got, ciphertext.data() + kChaChaNonceSize + body_len,
+              kTagSize);
   if (expected != got) {
     return DataLossError("ciphertext authentication tag mismatch");
   }
   ChaChaNonce nonce;
   std::memcpy(nonce.data(), ciphertext.data(), nonce.size());
-  std::vector<uint8_t> plaintext(body_len);
   if (body_len > 0) {
-    std::memcpy(plaintext.data(), ciphertext.data() + kChaChaNonceSize,
-                body_len);
-    ChaCha20Xor(enc_key_, nonce, /*counter=*/1, plaintext.data(), body_len);
+    ChaCha20Xor(enc_key_, nonce, /*counter=*/1,
+                ciphertext.data() + kChaChaNonceSize, body_len);
   }
-  return plaintext;
+  return ciphertext.subspan(kChaChaNonceSize, body_len);
+}
+
+Block Cipher::EncryptCopy(BlockView plaintext) const {
+  Block out(CiphertextSize(plaintext.size()));
+  CopyBytes(out.data() + PlaintextOffset(), plaintext.data(),
+            plaintext.size());
+  EncryptInPlace(out);
+  return out;
+}
+
+StatusOr<Block> Cipher::Decrypt(BlockView ciphertext) const {
+  Block scratch(ciphertext.begin(), ciphertext.end());
+  DPSTORE_ASSIGN_OR_RETURN(MutableBlockView plain,
+                           DecryptInPlace(scratch));
+  return Block(plain.begin(), plain.end());
 }
 
 }  // namespace crypto

@@ -6,6 +6,7 @@
 
 #include "crypto/chacha20.h"
 #include "crypto/prf.h"
+#include "storage/block_buffer.h"
 #include "util/statusor.h"
 
 namespace dpstore {
@@ -22,6 +23,13 @@ namespace crypto {
 /// SipHash-2-4 over nonce||body). The tag is not needed for IND-CPA but lets
 /// the storage layer detect tampering/corruption in failure-injection tests
 /// (DataLoss instead of silently returning garbage).
+///
+/// The primary API is IN-PLACE over views into flat buffers: the scheme hot
+/// loops stage plaintext at PlaintextOffset() inside the ciphertext-sized
+/// slot they are about to upload, call EncryptInPlace, and never touch a
+/// temporary vector (the copying Cipher::Encrypt overload that allocated a
+/// fresh vector per block is gone). EncryptCopy/Decrypt remain as
+/// convenience wrappers for setup code and tests.
 class Cipher {
  public:
   /// Derives the encryption and MAC subkeys from one master key.
@@ -34,14 +42,38 @@ class Cipher {
   static size_t CiphertextSize(size_t plaintext_size) {
     return plaintext_size + kChaChaNonceSize + kTagSize;
   }
+  /// Plaintext size recovered from a ciphertext slot size.
+  static size_t PlaintextSize(size_t ciphertext_size) {
+    return ciphertext_size - kChaChaNonceSize - kTagSize;
+  }
+  /// Byte offset within a ciphertext slot where the plaintext body lives;
+  /// callers of EncryptInPlace stage their plaintext here.
+  static constexpr size_t PlaintextOffset() { return kChaChaNonceSize; }
   static constexpr size_t kTagSize = 8;
 
-  std::vector<uint8_t> Encrypt(const std::vector<uint8_t>& plaintext) const;
+  /// Encrypts in place: `ciphertext` is a CiphertextSize(p)-byte slot whose
+  /// bytes [PlaintextOffset(), PlaintextOffset() + p) already hold the
+  /// plaintext. Writes a fresh random nonce at the front, XORs the body
+  /// with the keystream, and appends the tag — zero allocations, zero
+  /// copies. Requires ciphertext.size() >= nonce + tag.
+  void EncryptInPlace(MutableBlockView ciphertext) const;
 
-  /// Returns DataLoss if the ciphertext was truncated or its tag does not
-  /// verify.
-  StatusOr<std::vector<uint8_t>> Decrypt(
-      const std::vector<uint8_t>& ciphertext) const;
+  /// Verifies the tag and decrypts the body in place, returning the view of
+  /// the recovered plaintext inside `ciphertext` (bytes
+  /// [PlaintextOffset(), size - kTagSize)). DataLoss if the slot was
+  /// truncated or its tag does not verify (the slot is left unmodified in
+  /// that case).
+  StatusOr<MutableBlockView> DecryptInPlace(MutableBlockView ciphertext) const;
+
+  /// Copying convenience for setup paths and tests: allocates the
+  /// ciphertext block, stages `plaintext`, and calls EncryptInPlace. Hot
+  /// loops must stage into their upload buffer and encrypt in place
+  /// instead.
+  Block EncryptCopy(BlockView plaintext) const;
+
+  /// Copying convenience: verifies and returns the plaintext as an owned
+  /// Block. DataLoss as in DecryptInPlace.
+  StatusOr<Block> Decrypt(BlockView ciphertext) const;
 
  private:
   ChaChaKey enc_key_;

@@ -15,7 +15,7 @@ LinearOram::LinearOram(std::vector<Block> database, uint64_t seed,
   std::vector<Block> array(n_);
   for (uint64_t i = 0; i < n_; ++i) {
     DPSTORE_CHECK_EQ(database[i].size(), record_size_);
-    array[i] = cipher_.Encrypt(database[i]);
+    array[i] = cipher_.EncryptCopy(database[i]);
   }
   server_ = MakeBackend(backend_factory, n_,
                         crypto::Cipher::CiphertextSize(record_size_));
@@ -28,18 +28,35 @@ StatusOr<Block> LinearOram::Access(BlockId id, const Block* new_value) {
   std::vector<BlockId> all(n_);
   std::iota(all.begin(), all.end(), 0);
   // Full scan as one batched exchange: a single roundtrip for 2n blocks.
-  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw, server_->DownloadMany(all));
+  // The downloaded ciphertexts are decrypted in place in the flat reply
+  // buffer, and the fresh ciphertexts are staged + encrypted in place in
+  // the flat upload payload — the 2n-block scan allocates two buffers, not
+  // 4n vectors.
+  DPSTORE_ASSIGN_OR_RETURN(
+      StorageReply reply,
+      server_->Exchange(StorageRequest::DownloadOf(all)));
   Block result;
-  std::vector<Block> fresh(n_);
+  const size_t ct_size = crypto::Cipher::CiphertextSize(record_size_);
+  BlockBuffer fresh = BlockBuffer::Uninitialized(n_, ct_size);
   for (uint64_t i = 0; i < n_; ++i) {
-    DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(std::move(raw[i])));
+    DPSTORE_ASSIGN_OR_RETURN(MutableBlockView plain,
+                             cipher_.DecryptInPlace(reply.blocks.Mutable(i)));
     if (i == id) {
-      result = plain;
-      if (new_value != nullptr) plain = *new_value;
+      result = ToBlock(plain);
+      if (new_value != nullptr) {
+        CopyBytes(plain.data(), new_value->data(), new_value->size());
+      }
     }
-    fresh[i] = cipher_.Encrypt(plain);
+    MutableBlockView slot = fresh.Mutable(i);
+    CopyBytes(slot.data() + crypto::Cipher::PlaintextOffset(), plain.data(),
+              plain.size());
+    cipher_.EncryptInPlace(slot);
   }
-  DPSTORE_RETURN_IF_ERROR(server_->UploadMany(all, std::move(fresh)));
+  DPSTORE_RETURN_IF_ERROR(
+      server_
+          ->Exchange(
+              StorageRequest::UploadOf(std::move(all), std::move(fresh)))
+          .status());
   return result;
 }
 

@@ -19,14 +19,14 @@ Status CompareExchange(StorageServer* server, const crypto::Cipher& cipher,
                        bool ascending) {
   DPSTORE_ASSIGN_OR_RETURN(Block raw_lo, server->Download(lo));
   DPSTORE_ASSIGN_OR_RETURN(Block raw_hi, server->Download(hi));
-  DPSTORE_ASSIGN_OR_RETURN(Block plain_lo, cipher.Decrypt(std::move(raw_lo)));
-  DPSTORE_ASSIGN_OR_RETURN(Block plain_hi, cipher.Decrypt(std::move(raw_hi)));
+  DPSTORE_ASSIGN_OR_RETURN(Block plain_lo, cipher.Decrypt(raw_lo));
+  DPSTORE_ASSIGN_OR_RETURN(Block plain_hi, cipher.Decrypt(raw_hi));
   // Swap iff the current order violates the requested direction.
   bool swap = ascending ? key_fn(plain_lo) > key_fn(plain_hi)
                         : key_fn(plain_lo) < key_fn(plain_hi);
   if (swap) std::swap(plain_lo, plain_hi);
-  DPSTORE_RETURN_IF_ERROR(server->Upload(lo, cipher.Encrypt(plain_lo)));
-  DPSTORE_RETURN_IF_ERROR(server->Upload(hi, cipher.Encrypt(plain_hi)));
+  DPSTORE_RETURN_IF_ERROR(server->Upload(lo, cipher.EncryptCopy(plain_lo)));
+  DPSTORE_RETURN_IF_ERROR(server->Upload(hi, cipher.EncryptCopy(plain_hi)));
   return OkStatus();
 }
 

@@ -107,20 +107,30 @@ uint64_t PathOram::BucketIndex(uint64_t leaf, uint64_t level) const {
   return ((uint64_t{1} << level) - 1) + (leaf >> (height - level));
 }
 
-Block PathOram::EncodeSlot(bool occupied, BlockId id, uint64_t leaf,
-                           const Block& value) const {
-  Block plain(kSlotHeader + options_.block_size, 0);
-  plain[0] = occupied ? 1 : 0;
-  std::memcpy(plain.data() + 1, &id, 8);
-  std::memcpy(plain.data() + 9, &leaf, 8);
+void PathOram::EncodeSlotInto(MutableBlockView slot, bool occupied,
+                              BlockId id, uint64_t leaf,
+                              BlockView value) const {
   DPSTORE_CHECK_EQ(value.size(), options_.block_size);
-  std::memcpy(plain.data() + kSlotHeader, value.data(), value.size());
-  return cipher_.Encrypt(plain);
+  uint8_t* plain = slot.data() + crypto::Cipher::PlaintextOffset();
+  plain[0] = occupied ? 1 : 0;
+  std::memcpy(plain + 1, &id, 8);
+  std::memcpy(plain + 9, &leaf, 8);
+  CopyBytes(plain + kSlotHeader, value.data(), value.size());
+  cipher_.EncryptInPlace(slot);
 }
 
-StatusOr<std::tuple<bool, BlockId, uint64_t, Block>> PathOram::DecodeSlot(
-    const Block& server_block) const {
-  DPSTORE_ASSIGN_OR_RETURN(Block plain, cipher_.Decrypt(server_block));
+Block PathOram::EncodeSlot(bool occupied, BlockId id, uint64_t leaf,
+                           const Block& value) const {
+  Block slot(crypto::Cipher::CiphertextSize(kSlotHeader +
+                                            options_.block_size));
+  EncodeSlotInto(slot, occupied, id, leaf, value);
+  return slot;
+}
+
+StatusOr<std::tuple<bool, BlockId, uint64_t, BlockView>>
+PathOram::DecodeSlotInPlace(MutableBlockView server_block) const {
+  DPSTORE_ASSIGN_OR_RETURN(MutableBlockView plain,
+                           cipher_.DecryptInPlace(server_block));
   if (plain.size() != kSlotHeader + options_.block_size) {
     return DataLossError("PathOram slot has wrong size");
   }
@@ -129,8 +139,8 @@ StatusOr<std::tuple<bool, BlockId, uint64_t, Block>> PathOram::DecodeSlot(
   uint64_t leaf;
   std::memcpy(&id, plain.data() + 1, 8);
   std::memcpy(&leaf, plain.data() + 9, 8);
-  Block value(plain.begin() + kSlotHeader, plain.end());
-  return std::make_tuple(occupied, id, leaf, std::move(value));
+  BlockView value = plain.subspan(kSlotHeader);
+  return std::make_tuple(occupied, id, leaf, value);
 }
 
 StatusOr<uint64_t> PathOram::PosMapGetAndSetDerived(
@@ -169,17 +179,22 @@ StatusOr<std::optional<PathOram::StashEntry>> PathOram::ReadPath(
       slots.push_back(bucket * options_.bucket_capacity + z);
     }
   }
-  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> raw,
-                           server_->DownloadMany(slots));
+  // The whole path lands in ONE flat reply buffer; slots are decrypted in
+  // place there, and only the occupied blocks are copied out into the
+  // stash (which owns its entries).
+  DPSTORE_ASSIGN_OR_RETURN(
+      StorageReply reply,
+      server_->Exchange(StorageRequest::DownloadOf(std::move(slots))));
   std::optional<StashEntry> target;
-  for (Block& server_block : raw) {
-    DPSTORE_ASSIGN_OR_RETURN(auto decoded, DecodeSlot(server_block));
+  for (size_t k = 0; k < reply.blocks.size(); ++k) {
+    DPSTORE_ASSIGN_OR_RETURN(auto decoded,
+                             DecodeSlotInPlace(reply.blocks.Mutable(k)));
     auto& [occupied, slot_id, slot_leaf, value] = decoded;
     if (!occupied) continue;
     if (slot_id == id) {
-      target = StashEntry{slot_leaf, std::move(value)};
+      target = StashEntry{slot_leaf, ToBlock(value)};
     } else {
-      stash_[slot_id] = StashEntry{slot_leaf, std::move(value)};
+      stash_[slot_id] = StashEntry{slot_leaf, ToBlock(value)};
     }
   }
   stash_peak_ = std::max(stash_peak_, stash_.size());
@@ -188,13 +203,18 @@ StatusOr<std::optional<PathOram::StashEntry>> PathOram::ReadPath(
 
 Status PathOram::WritePath(uint64_t leaf) {
   // Greedy eviction: deepest level first, take any stash blocks whose
-  // assigned path shares this bucket. The re-encrypted path then travels as
-  // one batched fire-and-forget write-back.
+  // assigned path shares this bucket. Every slot of the re-encrypted path
+  // is staged and encrypted IN PLACE inside one flat upload payload, which
+  // then travels as one batched fire-and-forget write-back — the Z(L+1)
+  // slot ciphertexts never exist as individual vectors.
+  const size_t path_slots = levels_ * options_.bucket_capacity;
   std::vector<BlockId> slots;
-  std::vector<Block> encoded;
-  slots.reserve(levels_ * options_.bucket_capacity);
-  encoded.reserve(levels_ * options_.bucket_capacity);
+  slots.reserve(path_slots);
+  BlockBuffer encoded = BlockBuffer::Uninitialized(
+      path_slots,
+      crypto::Cipher::CiphertextSize(kSlotHeader + options_.block_size));
   Block dummy_payload(options_.block_size, 0);
+  size_t cursor = 0;
   for (uint64_t level = levels_; level-- > 0;) {
     uint64_t bucket = BucketIndex(leaf, level);
     std::vector<std::pair<BlockId, StashEntry>> chosen;
@@ -209,14 +229,19 @@ Status PathOram::WritePath(uint64_t leaf) {
     }
     for (uint64_t z = 0; z < options_.bucket_capacity; ++z) {
       slots.push_back(bucket * options_.bucket_capacity + z);
-      encoded.push_back(
-          z < chosen.size()
-              ? EncodeSlot(true, chosen[z].first, chosen[z].second.leaf,
-                           chosen[z].second.value)
-              : EncodeSlot(false, 0, 0, dummy_payload));
+      MutableBlockView slot = encoded.Mutable(cursor++);
+      if (z < chosen.size()) {
+        EncodeSlotInto(slot, true, chosen[z].first, chosen[z].second.leaf,
+                       chosen[z].second.value);
+      } else {
+        EncodeSlotInto(slot, false, 0, 0, dummy_payload);
+      }
     }
   }
-  return server_->UploadMany(slots, std::move(encoded));
+  return server_
+      ->Exchange(
+          StorageRequest::UploadOf(std::move(slots), std::move(encoded)))
+      .status();
 }
 
 StatusOr<Block> PathOram::Access(

@@ -6,8 +6,13 @@
 
 namespace dpstore {
 
-TrivialPir::TrivialPir(StorageBackend* server) : server_(server) {
+TrivialPir::TrivialPir(StorageBackend* server)
+    : server_(server), all_indices_(server != nullptr ? server->n() : 0) {
   DPSTORE_CHECK(server != nullptr);
+  // The constant download-everything request, built once: each query copies
+  // it into the exchange (the transport consumes its request) instead of
+  // re-deriving n indices per query.
+  std::iota(all_indices_.begin(), all_indices_.end(), BlockId{0});
 }
 
 StatusOr<Block> TrivialPir::Query(BlockId index) {
@@ -15,13 +20,13 @@ StatusOr<Block> TrivialPir::Query(BlockId index) {
     return OutOfRangeError("TrivialPir::Query index out of range");
   }
   server_->BeginQuery();
-  // The whole database travels as ONE exchange: n blocks, one roundtrip.
-  std::vector<BlockId> all(server_->n());
-  std::iota(all.begin(), all.end(), BlockId{0});
-  DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
-                           server_->Exchange(StorageRequest::DownloadOf(
-                               std::move(all))));
-  return std::move(reply.blocks[index]);
+  // The whole database travels as ONE exchange: n blocks, one roundtrip,
+  // one flat reply buffer (recycled by the backend's pool) — the block we
+  // want is a view into it until the copy-out below.
+  DPSTORE_ASSIGN_OR_RETURN(
+      StorageReply reply,
+      server_->Exchange(StorageRequest::DownloadOf(all_indices_)));
+  return ToBlock(reply.blocks[index]);
 }
 
 }  // namespace dpstore

@@ -2,6 +2,7 @@
 #define DPSTORE_PIR_TRIVIAL_PIR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "storage/backend.h"
 #include "util/statusor.h"
@@ -25,6 +26,7 @@ class TrivialPir {
 
  private:
   StorageBackend* server_;
+  std::vector<BlockId> all_indices_;  // 0..n-1, built once
 };
 
 }  // namespace dpstore

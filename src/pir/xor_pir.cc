@@ -1,14 +1,16 @@
 #include "pir/xor_pir.h"
 
+#include <cstring>
+
 #include "util/check.h"
 
 namespace dpstore {
 
-XorPirServer::XorPirServer(std::vector<Block> database)
-    : database_(std::move(database)) {
+XorPirServer::XorPirServer(const std::vector<Block>& database)
+    : database_(BlockBuffer::Pack(database)) {
   DPSTORE_CHECK(!database_.empty());
-  block_size_ = database_[0].size();
-  for (const Block& b : database_) DPSTORE_CHECK_EQ(b.size(), block_size_);
+  DPSTORE_CHECK(!database_.ragged());
+  block_size_ = database_.block_size();
 }
 
 StatusOr<Block> XorPirServer::Answer(const std::vector<uint8_t>& selector) {
@@ -20,7 +22,18 @@ StatusOr<Block> XorPirServer::Answer(const std::vector<uint8_t>& selector) {
   for (uint64_t i = 0; i < database_.size(); ++i) {
     if (selector[i] == 0) continue;
     ++ops_count_;
-    for (size_t b = 0; b < block_size_; ++b) answer[b] ^= database_[i][b];
+    const uint8_t* block = database_[i].data();
+    size_t b = 0;
+    // Word-granular subset XOR over the flat replica; memcpy keeps it
+    // alignment-safe and the compiler lowers it to plain 64-bit ops.
+    for (; b + 8 <= block_size_; b += 8) {
+      uint64_t acc, word;
+      std::memcpy(&acc, answer.data() + b, 8);
+      std::memcpy(&word, block + b, 8);
+      acc ^= word;
+      std::memcpy(answer.data() + b, &acc, 8);
+    }
+    for (; b < block_size_; ++b) answer[b] ^= block[b];
   }
   return answer;
 }

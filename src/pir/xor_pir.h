@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "storage/block.h"
+#include "storage/block_buffer.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -18,12 +19,14 @@ namespace dpstore {
 /// paper's introduction contrasts with.
 class XorPirServer {
  public:
-  explicit XorPirServer(std::vector<Block> database);
+  explicit XorPirServer(const std::vector<Block>& database);
 
   uint64_t n() const { return database_.size(); }
 
   /// XOR of the blocks selected by `selector` (selector[i] != 0 selects
-  /// block i). selector must have length n.
+  /// block i). selector must have length n. The database lives in one flat
+  /// buffer and the subset XOR runs 8 bytes at a time, so the scan is pure
+  /// sequential memory traffic.
   StatusOr<Block> Answer(const std::vector<uint8_t>& selector);
 
   /// Cumulative blocks the server has operated on.
@@ -32,7 +35,7 @@ class XorPirServer {
   uint64_t query_bits_received() const { return query_bits_received_; }
 
  private:
-  std::vector<Block> database_;
+  BlockBuffer database_;  // flat replica: block i at i * block_size
   size_t block_size_;
   uint64_t ops_count_ = 0;
   uint64_t query_bits_received_ = 0;

@@ -10,7 +10,9 @@ namespace dpstore {
 AsyncShardedBackend::AsyncShardedBackend(uint64_t n, size_t block_size,
                                          uint64_t num_shards,
                                          const BackendFactory& inner_factory)
-    : router_(n, num_shards), block_size_(block_size) {
+    : router_(n, num_shards),
+      block_size_(block_size),
+      pool_(std::make_shared<BufferPool>()) {
   shards_.reserve(num_shards);
   workers_.reserve(num_shards);
   for (uint64_t s = 0; s < num_shards; ++s) {
@@ -56,19 +58,40 @@ void AsyncShardedBackend::RunLeg(Worker::Job job, StorageBackend* shard) {
   Flight* flight = job.flight;
   Status leg_status = OkStatus();
   if (job.op == StorageRequest::Op::kDownload) {
-    StatusOr<std::vector<Block>> chunk =
-        shard->DownloadMany(job.leg.local_indices);
+    const std::vector<size_t>& positions = job.leg.positions;
+    StatusOr<StorageReply> chunk = shard->Exchange(
+        StorageRequest::DownloadOf(std::move(job.leg.local_indices)));
     if (chunk.ok()) {
-      // Distinct request positions per leg: these writes race with nothing.
-      for (size_t k = 0; k < chunk->size(); ++k) {
-        flight->gathered[job.leg.positions[k]] = std::move((*chunk)[k]);
+      // Distinct request positions per leg: these writes land in disjoint
+      // byte ranges of the flat reply buffer and race with nothing. Runs of
+      // consecutive positions (a scan's whole leg) collapse into single
+      // memcpys.
+      const size_t block_size = flight->gathered.block_size();
+      uint8_t* out = flight->gathered.empty()
+                         ? nullptr
+                         : flight->gathered.Mutable(0).data();
+      const uint8_t* in =
+          chunk->blocks.empty() ? nullptr : chunk->blocks[0].data();
+      for (size_t k = 0; k < positions.size();) {
+        size_t run = 1;
+        while (k + run < positions.size() &&
+               positions[k + run] == positions[k] + run) {
+          ++run;
+        }
+        CopyBytes(out + positions[k] * block_size, in + k * block_size,
+                  run * block_size);
+        k += run;
       }
     } else {
       leg_status = chunk.status();
     }
   } else {
-    leg_status = shard->UploadMany(job.leg.local_indices,
-                                   std::move(job.upload_blocks));
+    leg_status =
+        shard
+            ->Exchange(StorageRequest::UploadOf(
+                std::move(job.leg.local_indices),
+                std::move(job.upload_payload)))
+            .status();
   }
   {
     std::lock_guard<std::mutex> lock(flight->mu);
@@ -102,7 +125,8 @@ Ticket AsyncShardedBackend::Submit(StorageRequest request) {
   auto flight = std::make_unique<Flight>();
   flight->request = std::move(request);
   if (flight->request.op == StorageRequest::Op::kDownload) {
-    flight->gathered.resize(flight->request.indices.size());
+    flight->gathered = BlockBuffer::FromPool(
+        pool_, flight->request.indices.size(), block_size_);
   }
   std::vector<ShardRouter::Leg> legs =
       router_.Partition(flight->request.indices);
@@ -129,9 +153,27 @@ Ticket AsyncShardedBackend::Submit(StorageRequest request) {
     job.flight = raw;
     job.op = raw->request.op;
     if (job.op == StorageRequest::Op::kUpload) {
-      job.upload_blocks.reserve(legs[s].positions.size());
-      for (size_t position : legs[s].positions) {
-        job.upload_blocks.push_back(std::move(raw->request.blocks[position]));
+      // Scatter the flat parent payload into a flat per-leg payload here on
+      // the client thread, so workers never touch the parent request.
+      // Consecutive-position runs collapse into single memcpys.
+      const std::vector<size_t>& positions = legs[s].positions;
+      job.upload_payload =
+          BlockBuffer::FromPool(pool_, positions.size(), block_size_);
+      uint8_t* out = job.upload_payload.empty()
+                         ? nullptr
+                         : job.upload_payload.Mutable(0).data();
+      const uint8_t* in = raw->request.payload.empty()
+                              ? nullptr
+                              : raw->request.payload[0].data();
+      for (size_t k = 0; k < positions.size();) {
+        size_t run = 1;
+        while (k + run < positions.size() &&
+               positions[k + run] == positions[k] + run) {
+          ++run;
+        }
+        CopyBytes(out + k * block_size_, in + positions[k] * block_size_,
+                  run * block_size_);
+        k += run;
       }
     }
     job.leg = std::move(legs[s]);
@@ -173,13 +215,11 @@ StatusOr<StorageReply> AsyncShardedBackend::Wait(Ticket ticket) {
     std::lock_guard<std::mutex> lock(transcript_mu_);
     if (flight.request.op == StorageRequest::Op::kDownload) {
       transcript_.RecordRoundtrip();
-      for (BlockId index : flight.request.indices) {
-        transcript_.Record(AccessEvent::Type::kDownload, index);
-      }
+      transcript_.RecordMany(AccessEvent::Type::kDownload,
+                             flight.request.indices);
     } else {
-      for (BlockId index : flight.request.indices) {
-        transcript_.Record(AccessEvent::Type::kUpload, index);
-      }
+      transcript_.RecordMany(AccessEvent::Type::kUpload,
+                             flight.request.indices);
     }
   }
   StorageReply reply;
@@ -219,7 +259,7 @@ void AsyncShardedBackend::SetTranscriptCountingOnly(bool counting_only) {
   for (auto& shard : shards_) shard->SetTranscriptCountingOnly(counting_only);
 }
 
-const Block& AsyncShardedBackend::PeekBlock(BlockId index) const {
+Block AsyncShardedBackend::PeekBlock(BlockId index) const {
   DPSTORE_CHECK_LT(index, router_.n());
   auto [s, local] = router_.Locate(index);
   return shards_[s]->PeekBlock(local);

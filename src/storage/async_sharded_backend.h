@@ -66,7 +66,7 @@ class AsyncShardedBackend : public StorageBackend {
   void ResetTranscript() override;
   void SetTranscriptCountingOnly(bool counting_only) override;
 
-  const Block& PeekBlock(BlockId index) const override;
+  Block PeekBlock(BlockId index) const override;
   void CorruptBlock(BlockId index) override;
 
   /// One Bernoulli roll per exchange at Submit, before any leg is enqueued
@@ -79,12 +79,12 @@ class AsyncShardedBackend : public StorageBackend {
   StatusOr<StorageReply> Execute(StorageRequest request) override;
 
  private:
-  /// One exchange in flight: its request, the reply slots workers fill
-  /// (distinct positions per leg, so no lock is needed for the writes
-  /// themselves), and the completion latch.
+  /// One exchange in flight: its request, the flat reply buffer workers
+  /// fill (distinct block ranges per leg, so no lock is needed for the
+  /// writes themselves), and the completion latch.
   struct Flight {
     StorageRequest request;
-    std::vector<Block> gathered;
+    BlockBuffer gathered;
     std::mutex mu;
     std::condition_variable cv;
     size_t legs_outstanding = 0;
@@ -104,7 +104,7 @@ class AsyncShardedBackend : public StorageBackend {
     struct Job {
       Flight* flight = nullptr;
       ShardRouter::Leg leg;
-      std::vector<Block> upload_blocks;  // aligned with leg, uploads only
+      BlockBuffer upload_payload;  // aligned with leg, uploads only
       StorageRequest::Op op = StorageRequest::Op::kDownload;
     };
     std::mutex mu;
@@ -122,6 +122,10 @@ class AsyncShardedBackend : public StorageBackend {
   size_t block_size_;
   std::vector<std::unique_ptr<StorageBackend>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Recycles reply and per-leg payload slabs. Thread-safe: slabs are
+  /// acquired on the client thread at Submit and released wherever the
+  /// reply dies.
+  std::shared_ptr<BufferPool> pool_;
 
   std::mutex pending_mu_;
   Ticket next_ticket_ = 1;

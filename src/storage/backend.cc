@@ -18,21 +18,21 @@ TransportStats StatsFromTranscript(const Transcript& transcript,
 Status ValidateRequest(const StorageRequest& request, uint64_t n,
                        size_t block_size) {
   if (request.op == StorageRequest::Op::kUpload) {
-    if (request.indices.size() != request.blocks.size()) {
+    if (request.indices.size() != request.payload.size()) {
       return InvalidArgumentError("upload exchange: index/block count mismatch");
     }
-  } else if (!request.blocks.empty()) {
+    if (request.payload.ragged() ||
+        (!request.payload.empty() &&
+         request.payload.block_size() != block_size)) {
+      return InvalidArgumentError("upload exchange: block size mismatch");
+    }
+  } else if (!request.payload.empty()) {
     return InvalidArgumentError("download exchange carries upload payloads");
   }
   for (BlockId index : request.indices) {
     if (index >= n) {
       return OutOfRangeError("index " + std::to_string(index) +
                              " >= n=" + std::to_string(n));
-    }
-  }
-  for (const Block& block : request.blocks) {
-    if (block.size() != block_size) {
-      return InvalidArgumentError("upload exchange: block size mismatch");
     }
   }
   return OkStatus();
@@ -69,13 +69,13 @@ StatusOr<StorageReply> StorageBackend::Exchange(StorageRequest request) {
 StatusOr<Block> StorageBackend::Download(BlockId index) {
   DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
                            Exchange(StorageRequest::DownloadOf({index})));
-  return std::move(reply.blocks[0]);
+  return ToBlock(reply.blocks[0]);
 }
 
 Status StorageBackend::Upload(BlockId index, Block block) {
-  std::vector<Block> blocks;
-  blocks.push_back(std::move(block));
-  return Exchange(StorageRequest::UploadOf({index}, std::move(blocks)))
+  BlockBuffer payload(block.size());
+  payload.Append(block);
+  return Exchange(StorageRequest::UploadOf({index}, std::move(payload)))
       .status();
 }
 
@@ -83,13 +83,12 @@ StatusOr<std::vector<Block>> StorageBackend::DownloadMany(
     const std::vector<BlockId>& indices) {
   DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
                            Exchange(StorageRequest::DownloadOf(indices)));
-  return std::move(reply.blocks);
+  return reply.blocks.ToBlocks();
 }
 
 Status StorageBackend::UploadMany(const std::vector<BlockId>& indices,
                                   std::vector<Block> blocks) {
-  return Exchange(StorageRequest::UploadOf(indices, std::move(blocks)))
-      .status();
+  return Exchange(StorageRequest::UploadOf(indices, blocks)).status();
 }
 
 BackendFactory MemoryBackendFactory(bool counting_only) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "storage/block.h"
+#include "storage/block_buffer.h"
 #include "storage/transcript.h"
 #include "util/random.h"
 #include "util/statusor.h"
@@ -59,8 +60,11 @@ struct StorageRequest {
   Op op = Op::kDownload;
   /// Addresses touched, in request order. Duplicates are allowed.
   std::vector<BlockId> indices;
-  /// Upload payloads, aligned with `indices`. Empty for downloads.
-  std::vector<Block> blocks;
+  /// Upload payloads as one flat buffer, block i aligned with indices[i].
+  /// Empty for downloads. Flat (rather than vector-of-vectors) so an
+  /// exchange is one allocation however many blocks it names — the
+  /// transport's whole allocation-free discipline hangs off this field.
+  BlockBuffer payload;
 
   static StorageRequest DownloadOf(std::vector<BlockId> indices) {
     StorageRequest request;
@@ -69,23 +73,33 @@ struct StorageRequest {
     return request;
   }
   static StorageRequest UploadOf(std::vector<BlockId> indices,
-                                 std::vector<Block> blocks) {
+                                 BlockBuffer payload) {
     StorageRequest request;
     request.op = Op::kUpload;
     request.indices = std::move(indices);
-    request.blocks = std::move(blocks);
+    request.payload = std::move(payload);
     return request;
+  }
+  /// Compat builder: packs owned blocks into the flat payload. Ragged
+  /// block sizes survive until ValidateRequest, which rejects them exactly
+  /// as the vector-of-vectors transport did.
+  static StorageRequest UploadOf(std::vector<BlockId> indices,
+                                 const std::vector<Block>& blocks) {
+    return UploadOf(std::move(indices), BlockBuffer::Pack(blocks));
   }
 
   /// True for the requests that are free by contract (no RPC at all): an
   /// empty download and an empty upload.
-  bool IsNoOp() const { return indices.empty() && blocks.empty(); }
+  bool IsNoOp() const { return indices.empty() && payload.empty(); }
 };
 
 /// The server's answer to one exchange: downloaded blocks in request order
-/// (empty for uploads, which carry no reply payload).
+/// (empty for uploads, which carry no reply payload). One flat buffer,
+/// typically recycled through the backend's BufferPool; read blocks through
+/// views (`reply.blocks[i]`) and materialize owned Blocks only when a copy
+/// must outlive the reply.
 struct StorageReply {
-  std::vector<Block> blocks;
+  BlockBuffer blocks;
 };
 
 /// Handle for an exchange in flight between Submit and Wait.
@@ -209,8 +223,10 @@ class StorageBackend {
   virtual void SetTranscriptCountingOnly(bool counting_only) = 0;
 
   /// Direct unrecorded read, for test assertions and adversary "knowledge of
-  /// the public database" - never used by schemes during queries.
-  virtual const Block& PeekBlock(BlockId index) const = 0;
+  /// the public database" - never used by schemes during queries. Returns a
+  /// materialized copy: server memory is a flat arena, so there is no
+  /// per-block vector to reference.
+  virtual Block PeekBlock(BlockId index) const = 0;
 
   /// Flips one byte of the stored block; used to exercise tamper detection.
   virtual void CorruptBlock(BlockId index) = 0;

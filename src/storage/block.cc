@@ -32,8 +32,9 @@ Block MarkerBlock(BlockId id, size_t block_size) {
   return block;
 }
 
-bool IsMarkerBlock(const Block& block, BlockId id) {
-  return block == MarkerBlock(id, block.size());
+bool IsMarkerBlock(std::span<const uint8_t> block, BlockId id) {
+  Block expected = MarkerBlock(id, block.size());
+  return std::equal(block.begin(), block.end(), expected.begin());
 }
 
 Block RandomBlock(Rng* rng, size_t block_size) {

@@ -2,6 +2,7 @@
 #define DPSTORE_STORAGE_BLOCK_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,8 +34,9 @@ std::string BlockToString(const Block& block);
 /// correctness checks can recognize which logical record they received.
 Block MarkerBlock(BlockId id, size_t block_size);
 
-/// True if `block` equals MarkerBlock(id, block.size()).
-bool IsMarkerBlock(const Block& block, BlockId id);
+/// True if `block` equals MarkerBlock(id, block.size()). The span overload
+/// accepts views into flat buffers (and Blocks, implicitly) alike.
+bool IsMarkerBlock(std::span<const uint8_t> block, BlockId id);
 
 /// Uniformly random payload from `rng`.
 Block RandomBlock(Rng* rng, size_t block_size);

@@ -1,0 +1,198 @@
+#include "storage/block_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+Block ToBlock(BlockView view) { return Block(view.begin(), view.end()); }
+
+BufferPool::Slab BufferPool::Acquire(size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Last-in-first-out keeps the hottest slab (the one most recently
+    // sized for this pool's traffic) in play; a too-small slab is simply
+    // dropped rather than reallocated under the lock.
+    while (!free_.empty()) {
+      Slab slab = std::move(free_.back());
+      free_.pop_back();
+      if (slab.capacity >= bytes) {
+        ++reuses_;
+        return slab;
+      }
+    }
+  }
+  Slab fresh;
+  if (bytes > 0) {
+    fresh.data = std::make_unique_for_overwrite<uint8_t[]>(bytes);
+    fresh.capacity = bytes;
+  }
+  return fresh;
+}
+
+void BufferPool::Release(Slab slab) {
+  if (slab.data == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() < max_free_) free_.push_back(std::move(slab));
+}
+
+uint64_t BufferPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+BlockBuffer BlockBuffer::Uninitialized(size_t count, size_t block_size) {
+  BlockBuffer buffer(block_size);
+  buffer.EnsureCapacity(count * block_size);
+  buffer.count_ = count;
+  return buffer;
+}
+
+BlockBuffer BlockBuffer::Zeroed(size_t count, size_t block_size) {
+  BlockBuffer buffer = Uninitialized(count, block_size);
+  if (buffer.bytes() > 0) std::memset(buffer.data_.get(), 0, buffer.bytes());
+  return buffer;
+}
+
+BlockBuffer BlockBuffer::FromPool(std::shared_ptr<BufferPool> pool,
+                                  size_t count, size_t block_size) {
+  if (pool == nullptr) return Uninitialized(count, block_size);
+  BlockBuffer buffer(block_size);
+  BufferPool::Slab slab = pool->Acquire(count * block_size);
+  buffer.data_ = std::move(slab.data);
+  buffer.capacity_ = slab.capacity;
+  buffer.count_ = count;
+  buffer.pool_ = std::move(pool);
+  return buffer;
+}
+
+BlockBuffer BlockBuffer::Pack(const std::vector<Block>& blocks) {
+  const size_t block_size = blocks.empty() ? 0 : blocks[0].size();
+  BlockBuffer buffer = Uninitialized(blocks.size(), block_size);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].size() != block_size) {
+      buffer.ragged_ = true;
+      return buffer;
+    }
+    CopyBytes(buffer.data_.get() + i * block_size, blocks[i].data(),
+              block_size);
+  }
+  return buffer;
+}
+
+BlockBuffer::~BlockBuffer() { ReleaseSlab(); }
+
+void BlockBuffer::ReleaseSlab() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Release({std::move(data_), capacity_});
+  }
+  data_.reset();
+  capacity_ = 0;
+  count_ = 0;
+  pool_.reset();
+}
+
+BlockBuffer::BlockBuffer(BlockBuffer&& other) noexcept
+    : data_(std::move(other.data_)),
+      capacity_(other.capacity_),
+      count_(other.count_),
+      block_size_(other.block_size_),
+      ragged_(other.ragged_),
+      pool_(std::move(other.pool_)) {
+  other.capacity_ = 0;
+  other.count_ = 0;
+}
+
+BlockBuffer& BlockBuffer::operator=(BlockBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseSlab();
+  data_ = std::move(other.data_);
+  capacity_ = other.capacity_;
+  count_ = other.count_;
+  block_size_ = other.block_size_;
+  ragged_ = other.ragged_;
+  pool_ = std::move(other.pool_);
+  other.capacity_ = 0;
+  other.count_ = 0;
+  return *this;
+}
+
+BlockBuffer::BlockBuffer(const BlockBuffer& other)
+    : block_size_(other.block_size_), ragged_(other.ragged_) {
+  // Deep copy; the copy owns plain storage (no pool), so copying a pooled
+  // reply cannot double-release a slab.
+  EnsureCapacity(other.bytes());
+  count_ = other.count_;
+  CopyBytes(data_.get(), other.data_.get(), bytes());
+}
+
+BlockBuffer& BlockBuffer::operator=(const BlockBuffer& other) {
+  if (this == &other) return *this;
+  *this = BlockBuffer(other);  // copy-construct, then move-assign
+  return *this;
+}
+
+BlockView BlockBuffer::operator[](size_t i) const {
+  DPSTORE_CHECK_LT(i, count_);
+  return {data_.get() + i * block_size_, block_size_};
+}
+
+MutableBlockView BlockBuffer::Mutable(size_t i) {
+  DPSTORE_CHECK_LT(i, count_);
+  return {data_.get() + i * block_size_, block_size_};
+}
+
+void BlockBuffer::EnsureCapacity(size_t min_bytes) {
+  if (capacity_ >= min_bytes) return;
+  size_t grown = std::max(min_bytes, capacity_ * 2);
+  auto fresh = std::make_unique_for_overwrite<uint8_t[]>(grown);
+  CopyBytes(fresh.get(), data_.get(), bytes());
+  // The old slab shrinks out from under the pool's expectations; return it
+  // rather than leak the pooling contract.
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Release({std::move(data_), capacity_});
+    pool_.reset();
+  }
+  data_ = std::move(fresh);
+  capacity_ = grown;
+}
+
+MutableBlockView BlockBuffer::AppendUninitialized() {
+  DPSTORE_CHECK_GT(block_size_, 0u);
+  EnsureCapacity((count_ + 1) * block_size_);
+  ++count_;
+  return Mutable(count_ - 1);
+}
+
+void BlockBuffer::Append(BlockView block) {
+  if (count_ == 0 && block_size_ == 0) block_size_ = block.size();
+  if (block.size() != block_size_) {
+    ragged_ = true;
+    return;
+  }
+  if (block_size_ == 0) {
+    // Zero-sized geometry: count the (empty) block, nothing to copy.
+    ++count_;
+    return;
+  }
+  MutableBlockView slot = AppendUninitialized();
+  CopyBytes(slot.data(), block.data(), block.size());
+}
+
+void BlockBuffer::Reserve(size_t count) {
+  EnsureCapacity(count * block_size_);
+}
+
+std::vector<Block> BlockBuffer::ToBlocks() const {
+  std::vector<Block> blocks;
+  blocks.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    blocks.push_back(ToBlock((*this)[i]));
+  }
+  return blocks;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,225 @@
+#include "storage/fusing_backend.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+FusingBackend::FusingBackend(std::unique_ptr<StorageBackend> inner,
+                             uint64_t max_blocks, uint64_t max_bytes)
+    : inner_(std::move(inner)),
+      max_blocks_(max_blocks),
+      max_bytes_(max_bytes),
+      pool_(std::make_shared<BufferPool>()) {
+  DPSTORE_CHECK(inner_ != nullptr);
+  DPSTORE_CHECK_GE(max_blocks_, 1u);
+}
+
+FusingBackend::~FusingBackend() {
+  // Queued uploads are fire-and-forget write-backs the client believes
+  // durable; they must not die with the scheduler.
+  FlushQueue();
+}
+
+void FusingBackend::Park(Ticket ticket, StatusOr<StorageReply> reply) {
+  ready_.emplace_back(ticket, std::move(reply));
+}
+
+bool FusingBackend::WouldOverflow(const StorageRequest& request) const {
+  const uint64_t blocks = queued_blocks_ + request.indices.size();
+  if (blocks > max_blocks_) return true;
+  if (max_bytes_ > 0 && blocks * block_size() > max_bytes_) return true;
+  return false;
+}
+
+Ticket FusingBackend::Submit(StorageRequest request) {
+  const Ticket ticket = next_ticket_++;
+  // Free-by-contract exchanges never reach any backend and record nothing;
+  // they do not disturb the pending run either.
+  if (request.IsNoOp()) {
+    Park(ticket, StorageReply{});
+    return ticket;
+  }
+  // Validation errors park immediately (reported at Wait), exactly as in
+  // the unfused transport: an invalid exchange never executes, never
+  // records, and never forces the queue out.
+  Status valid = ValidateRequest(request, n(), block_size());
+  if (!valid.ok()) {
+    Park(ticket, std::move(valid));
+    return ticket;
+  }
+  ++exchanges_in_;
+  if (!queue_.empty() &&
+      (queue_.front().request.op != request.op || WouldOverflow(request))) {
+    FlushQueue();
+  }
+  queued_blocks_ += request.indices.size();
+  queue_.push_back(QueuedExchange{ticket, std::move(request)});
+  return ticket;
+}
+
+void FusingBackend::FlushQueue() {
+  if (queue_.empty()) return;
+  const StorageRequest::Op op = queue_.front().request.op;
+
+  // Build the fused exchange: concatenated indices (and payloads for an
+  // upload run), submission order preserved.
+  StorageRequest fused;
+  fused.op = op;
+  fused.indices.reserve(queued_blocks_);
+  if (op == StorageRequest::Op::kUpload) {
+    fused.payload =
+        BlockBuffer::FromPool(pool_, queued_blocks_, block_size());
+  }
+  size_t cursor = 0;
+  for (const QueuedExchange& queued : queue_) {
+    for (BlockId index : queued.request.indices) {
+      fused.indices.push_back(index);
+    }
+    if (op == StorageRequest::Op::kUpload) {
+      for (size_t i = 0; i < queued.request.payload.size(); ++i) {
+        CopyBytes(fused.payload.Mutable(cursor + i).data(),
+                  queued.request.payload[i].data(), block_size());
+      }
+    }
+    cursor += queued.request.indices.size();
+  }
+
+  StatusOr<StorageReply> fused_reply = inner_->Exchange(std::move(fused));
+  ++fused_out_;
+
+  if (!fused_reply.ok()) {
+    // The fused exchange failed as a unit: every constituent sees the same
+    // error, nothing is recorded, no storage changed (inner atomicity).
+    for (QueuedExchange& queued : queue_) {
+      Park(queued.ticket, fused_reply.status());
+    }
+  } else if (op == StorageRequest::Op::kDownload) {
+    // Slice the fused reply back into per-exchange replies and record each
+    // ORIGINAL exchange: one roundtrip + its download events, in submission
+    // order — the adversary's view is indistinguishable from no fusion.
+    cursor = 0;
+    for (QueuedExchange& queued : queue_) {
+      const size_t count = queued.request.indices.size();
+      StorageReply reply;
+      reply.blocks = BlockBuffer::FromPool(pool_, count, block_size());
+      if (count > 0) {
+        // A constituent's blocks are one contiguous range of the fused
+        // reply: one memcpy slices them out.
+        CopyBytes(reply.blocks.Mutable(0).data(),
+                  fused_reply->blocks[cursor].data(), count * block_size());
+      }
+      cursor += count;
+      transcript_.RecordRoundtrip();
+      transcript_.RecordMany(AccessEvent::Type::kDownload,
+                             queued.request.indices);
+      Park(queued.ticket, std::move(reply));
+    }
+  } else {
+    for (QueuedExchange& queued : queue_) {
+      transcript_.RecordMany(AccessEvent::Type::kUpload,
+                             queued.request.indices);
+      Park(queued.ticket, StorageReply{});
+    }
+  }
+  queue_.clear();
+  queued_blocks_ = 0;
+}
+
+StatusOr<StorageReply> FusingBackend::Wait(Ticket ticket) {
+  // A Wait on any queued ticket forces the pending run out; the reply (or
+  // the run's error) is then parked like any other.
+  for (const QueuedExchange& queued : queue_) {
+    if (queued.ticket == ticket) {
+      FlushQueue();
+      break;
+    }
+  }
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->first == ticket) {
+      StatusOr<StorageReply> reply = std::move(it->second);
+      ready_.erase(it);
+      return reply;
+    }
+  }
+  return NotFoundError("Wait: unknown or already-consumed ticket " +
+                       std::to_string(ticket));
+}
+
+Status FusingBackend::FlushPending() {
+  if (queue_.empty()) return OkStatus();
+  // Remember the run's tickets so the flush outcome can be reported now;
+  // the parked replies stay valid for the eventual Waits.
+  std::vector<Ticket> tickets;
+  tickets.reserve(queue_.size());
+  for (const QueuedExchange& queued : queue_) tickets.push_back(queued.ticket);
+  FlushQueue();
+  for (Ticket ticket : tickets) {
+    for (const auto& [parked, reply] : ready_) {
+      if (parked == ticket && !reply.ok()) return reply.status();
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<StorageReply> FusingBackend::Execute(StorageRequest request) {
+  return Wait(Submit(std::move(request)));
+}
+
+Status FusingBackend::SetArray(std::vector<Block> blocks) {
+  FlushQueue();
+  return inner_->SetArray(std::move(blocks));
+}
+
+void FusingBackend::BeginQuery() {
+  FlushQueue();
+  transcript_.BeginQuery();
+  inner_->BeginQuery();
+}
+
+void FusingBackend::ResetTranscript() {
+  transcript_.Clear();
+  inner_->ResetTranscript();
+}
+
+void FusingBackend::SetTranscriptCountingOnly(bool counting_only) {
+  transcript_.SetCountingOnly(counting_only);
+  inner_->SetTranscriptCountingOnly(counting_only);
+}
+
+Block FusingBackend::PeekBlock(BlockId index) const {
+  // Queued uploads have not reached the inner backend yet; serve the
+  // freshest queued copy so Peek sees what a flushed state would.
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->request.op != StorageRequest::Op::kUpload) continue;
+    const std::vector<BlockId>& indices = it->request.indices;
+    for (size_t i = indices.size(); i-- > 0;) {
+      if (indices[i] == index) return ToBlock(it->request.payload[i]);
+    }
+  }
+  return inner_->PeekBlock(index);
+}
+
+void FusingBackend::CorruptBlock(BlockId index) {
+  FlushQueue();
+  inner_->CorruptBlock(index);
+}
+
+void FusingBackend::SetFailureRate(double rate, uint64_t seed) {
+  inner_->SetFailureRate(rate, seed);
+}
+
+BackendFactory FusingBackendFactory(uint64_t max_blocks,
+                                    const BackendFactory& inner_factory,
+                                    uint64_t max_bytes, bool counting_only) {
+  return [max_blocks, inner_factory, max_bytes, counting_only](
+             uint64_t n, size_t block_size) {
+    auto backend = std::make_unique<FusingBackend>(
+        MakeBackend(inner_factory, n, block_size), max_blocks, max_bytes);
+    if (counting_only) backend->SetTranscriptCountingOnly(true);
+    return backend;
+  };
+}
+
+}  // namespace dpstore

@@ -1,0 +1,136 @@
+#ifndef DPSTORE_STORAGE_FUSING_BACKEND_H_
+#define DPSTORE_STORAGE_FUSING_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/block_buffer.h"
+
+namespace dpstore {
+
+/// Exchange-fusion scheduler (the ROADMAP's batch scheduler): a decorator
+/// that coalesces ADJACENT SAME-DIRECTION exchanges into one fused
+/// StorageRequest before forwarding to the inner backend, up to a
+/// configurable block-count / byte budget. The pipelined replay showed
+/// per-exchange overhead dominating small exchanges; fusion trades a little
+/// submit latency for fewer, larger inner exchanges — the knob the cost
+/// model can price as a roundtrip/bandwidth trade.
+///
+/// The adversary's view is NOT the fused traffic: this backend keeps its
+/// own Transcript recording every ORIGINAL exchange exactly as an unfused
+/// backend would (one roundtrip per constituent download exchange, events
+/// in submission order, per-query boundaries preserved — BeginQuery flushes
+/// the queue so fusion never crosses a query boundary). Transcripts,
+/// TransportStats and replayed reply bytes are therefore bit-identical
+/// across fusion budgets, including budget 1 (= no fusion); only the inner
+/// backend's wire schedule (inner().transcript()) and wall-clock change.
+///
+/// Queueing discipline: Submit validates, then either appends the exchange
+/// to the pending fused run or — when the direction flips or the budget
+/// would overflow — forwards the pending run first. A queued exchange is
+/// forced out by Wait on any ticket in the run, by BeginQuery, or by
+/// FlushPending(). Waits must eventually come (every scheme's narrow calls
+/// are Submit immediately followed by Wait), so nothing stalls forever.
+///
+/// Error semantics: a fused inner exchange fails as a unit, so every
+/// constituent of the run observes the same error at Wait and nothing is
+/// recorded — the transport's atomicity contract, now at run granularity.
+/// With fault injection the inner backend rolls once per FUSED exchange;
+/// budgets therefore change the fault pattern (documented, like any batch).
+class FusingBackend : public StorageBackend {
+ public:
+  /// Wraps `inner`. `max_blocks` >= 1 bounds the blocks a fused exchange
+  /// may carry; `max_bytes` (0 = unlimited) additionally bounds its payload
+  /// bytes (count * block_size). max_blocks == 1 degenerates to a
+  /// pass-through scheduler.
+  FusingBackend(std::unique_ptr<StorageBackend> inner, uint64_t max_blocks,
+                uint64_t max_bytes = 0);
+  ~FusingBackend() override;
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+
+  uint64_t max_blocks() const { return max_blocks_; }
+  uint64_t max_bytes() const { return max_bytes_; }
+  /// How many fused exchanges reached the inner backend, and how many
+  /// original exchanges they carried (fused_out <= exchanges_in).
+  uint64_t exchanges_in() const { return exchanges_in_; }
+  uint64_t fused_out() const { return fused_out_; }
+
+  uint64_t n() const override { return inner_->n(); }
+  size_t block_size() const override { return inner_->block_size(); }
+
+  /// Flushes the queue (stale dirty exchanges must not straddle a reload),
+  /// then forwards.
+  Status SetArray(std::vector<Block> blocks) override;
+
+  Ticket Submit(StorageRequest request) override;
+  StatusOr<StorageReply> Wait(Ticket ticket) override;
+
+  /// Forwards any queued exchanges to the inner backend now. Errors (which
+  /// park in the constituent replies regardless, to be seen at Wait) are
+  /// returned for callers that want them early.
+  Status FlushPending();
+
+  /// Query boundary: fusion never crosses it, so per-query transcript
+  /// structure matches the unfused backend exactly.
+  void BeginQuery() override;
+
+  /// The adversary's view: every original exchange, unfused.
+  const Transcript& transcript() const override { return transcript_; }
+  void ResetTranscript() override;
+  void SetTranscriptCountingOnly(bool counting_only) override;
+
+  Block PeekBlock(BlockId index) const override;
+  void CorruptBlock(BlockId index) override;
+
+  /// Forwards: dropped RPCs are the inner transport's to model. One roll
+  /// per FUSED exchange (see class comment).
+  void SetFailureRate(double rate, uint64_t seed = 7) override;
+
+ protected:
+  /// Never reached through the overridden Submit; provided so the class is
+  /// concrete. Equivalent to a one-shot Submit+Wait.
+  StatusOr<StorageReply> Execute(StorageRequest request) override;
+
+ private:
+  struct QueuedExchange {
+    Ticket ticket = 0;
+    StorageRequest request;
+  };
+
+  bool WouldOverflow(const StorageRequest& request) const;
+  void FlushQueue();
+  void Park(Ticket ticket, StatusOr<StorageReply> reply);
+
+  std::unique_ptr<StorageBackend> inner_;
+  uint64_t max_blocks_;
+  uint64_t max_bytes_;
+  std::shared_ptr<BufferPool> pool_;
+
+  /// The pending fused run: same-direction exchanges in submission order.
+  std::vector<QueuedExchange> queue_;
+  uint64_t queued_blocks_ = 0;
+
+  Ticket next_ticket_ = 1;
+  std::vector<std::pair<Ticket, StatusOr<StorageReply>>> ready_;
+
+  Transcript transcript_;
+  uint64_t exchanges_in_ = 0;
+  uint64_t fused_out_ = 0;
+};
+
+/// BackendFactory producing a FusingBackend with the given budget over
+/// `inner_factory` backends (in-memory when null).
+BackendFactory FusingBackendFactory(uint64_t max_blocks,
+                                    const BackendFactory& inner_factory =
+                                        nullptr,
+                                    uint64_t max_bytes = 0,
+                                    bool counting_only = false);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_FUSING_BACKEND_H_

@@ -1,14 +1,18 @@
 #include "storage/server.h"
 
+#include <cstring>
 #include <utility>
 
 namespace dpstore {
 
 StorageServer::StorageServer(uint64_t n, size_t block_size)
-    : array_(n, ZeroBlock(block_size)), block_size_(block_size) {}
+    : n_(n),
+      block_size_(block_size),
+      arena_(n * block_size, 0),
+      pool_(std::make_shared<BufferPool>()) {}
 
 Status StorageServer::SetArray(std::vector<Block> blocks) {
-  if (blocks.size() != array_.size()) {
+  if (blocks.size() != n_) {
     return InvalidArgumentError("SetArray: wrong block count");
   }
   for (const Block& b : blocks) {
@@ -16,41 +20,56 @@ Status StorageServer::SetArray(std::vector<Block> blocks) {
       return InvalidArgumentError("SetArray: block size mismatch");
     }
   }
-  array_ = std::move(blocks);
+  for (uint64_t i = 0; i < n_; ++i) {
+    CopyBytes(Slot(i), blocks[i].data(), block_size_);
+  }
   return OkStatus();
 }
 
 StatusOr<StorageReply> StorageServer::Execute(StorageRequest request) {
-  DPSTORE_RETURN_IF_ERROR(
-      ValidateRequest(request, array_.size(), block_size_));
+  DPSTORE_RETURN_IF_ERROR(ValidateRequest(request, n_, block_size_));
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
   StorageReply reply;
+  const std::vector<BlockId>& indices = request.indices;
+  const size_t count = indices.size();
   if (request.op == StorageRequest::Op::kDownload) {
     // The reply blocks, however many, travel in one message: one roundtrip.
     transcript_.RecordRoundtrip();
-    reply.blocks.reserve(request.indices.size());
-    for (BlockId index : request.indices) {
-      transcript_.Record(AccessEvent::Type::kDownload, index);
-      reply.blocks.push_back(array_[index]);
+    transcript_.RecordMany(AccessEvent::Type::kDownload, indices);
+    reply.blocks = BlockBuffer::FromPool(pool_, count, block_size_);
+    uint8_t* out = reply.blocks.empty() ? nullptr
+                                        : reply.blocks.Mutable(0).data();
+    // Runs of consecutive addresses collapse into single memcpys: a scan
+    // exchange (trivial PIR, linear ORAM) becomes ONE copy of the arena.
+    for (size_t i = 0; i < count;) {
+      size_t run = 1;
+      while (i + run < count && indices[i + run] == indices[i] + run) ++run;
+      CopyBytes(out + i * block_size_, Slot(indices[i]), run * block_size_);
+      i += run;
     }
   } else {
-    for (size_t i = 0; i < request.indices.size(); ++i) {
-      transcript_.Record(AccessEvent::Type::kUpload, request.indices[i]);
-      array_[request.indices[i]] = std::move(request.blocks[i]);
+    transcript_.RecordMany(AccessEvent::Type::kUpload, indices);
+    const uint8_t* in =
+        request.payload.empty() ? nullptr : request.payload[0].data();
+    for (size_t i = 0; i < count;) {
+      size_t run = 1;
+      while (i + run < count && indices[i + run] == indices[i] + run) ++run;
+      CopyBytes(Slot(indices[i]), in + i * block_size_, run * block_size_);
+      i += run;
     }
   }
   return reply;
 }
 
-const Block& StorageServer::PeekBlock(BlockId index) const {
-  DPSTORE_CHECK_LT(index, array_.size());
-  return array_[index];
+Block StorageServer::PeekBlock(BlockId index) const {
+  DPSTORE_CHECK_LT(index, n_);
+  return Block(Slot(index), Slot(index) + block_size_);
 }
 
 void StorageServer::CorruptBlock(BlockId index) {
-  DPSTORE_CHECK_LT(index, array_.size());
-  DPSTORE_CHECK(!array_[index].empty());
-  array_[index][0] ^= 0xFF;
+  DPSTORE_CHECK_LT(index, n_);
+  DPSTORE_CHECK_GT(block_size_, 0u);
+  *Slot(index) ^= 0xFF;
 }
 
 void StorageServer::SetFailureRate(double rate, uint64_t seed) {

@@ -2,10 +2,12 @@
 #define DPSTORE_STORAGE_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/backend.h"
 #include "storage/block.h"
+#include "storage/block_buffer.h"
 #include "storage/transcript.h"
 #include "util/random.h"
 #include "util/statusor.h"
@@ -17,6 +19,14 @@ namespace dpstore {
 /// supporting only the balls-and-bins operations of Definition 3.1
 /// (download block at address i / upload block to address i), exchanged in
 /// single or batched messages.
+///
+/// Memory model: the whole array is ONE flat arena of n * block_size bytes.
+/// A download exchange memcpys the addressed blocks into a flat reply
+/// buffer recycled through a BufferPool; an upload memcpys payload views
+/// into the arena. Steady-state Submit/Wait therefore performs zero heap
+/// allocations regardless of batch size (asserted by the counting-allocator
+/// regression test), where the vector-of-vectors server performed one per
+/// block.
 ///
 /// Every exchange is recorded in the adversarial Transcript, which is what
 /// the differential-privacy definitions and the empirical-privacy harness
@@ -32,12 +42,12 @@ class StorageServer : public StorageBackend {
   /// Creates a server holding `n` zeroed blocks of `block_size` bytes.
   StorageServer(uint64_t n, size_t block_size);
 
-  uint64_t n() const override { return array_.size(); }
+  uint64_t n() const override { return n_; }
   size_t block_size() const override { return block_size_; }
 
   Status SetArray(std::vector<Block> blocks) override;
 
-  const Block& PeekBlock(BlockId index) const override;
+  Block PeekBlock(BlockId index) const override;
   void CorruptBlock(BlockId index) override;
 
   void BeginQuery() override { transcript_.BeginQuery(); }
@@ -51,12 +61,21 @@ class StorageServer : public StorageBackend {
   void SetFailureRate(double rate, uint64_t seed = 7) override;
 
  protected:
-  /// Runs one exchange against the in-memory array, synchronously.
+  /// Runs one exchange against the flat arena, synchronously.
   StatusOr<StorageReply> Execute(StorageRequest request) override;
 
  private:
-  std::vector<Block> array_;
+  const uint8_t* Slot(BlockId index) const {
+    return arena_.data() + index * block_size_;
+  }
+  uint8_t* Slot(BlockId index) {
+    return arena_.data() + index * block_size_;
+  }
+
+  uint64_t n_;
   size_t block_size_;
+  std::vector<uint8_t> arena_;  // n_ * block_size_ bytes, block i at i*bs
+  std::shared_ptr<BufferPool> pool_;
   Transcript transcript_;
   FaultInjector faults_;
 };

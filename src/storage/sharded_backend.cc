@@ -24,6 +24,14 @@ uint64_t ShardRouter::ShardSize(uint64_t s) const {
 std::vector<ShardRouter::Leg> ShardRouter::Partition(
     const std::vector<BlockId>& indices) const {
   std::vector<Leg> legs(num_shards_);
+  // Counting pass first so each leg reserves exactly once: on million-block
+  // exchanges the reallocation copying of incremental growth is measurable.
+  std::vector<size_t> counts(num_shards_, 0);
+  for (BlockId index : indices) ++counts[ShardOf(index)];
+  for (uint64_t s = 0; s < num_shards_; ++s) {
+    legs[s].local_indices.reserve(counts[s]);
+    legs[s].positions.reserve(counts[s]);
+  }
   for (size_t i = 0; i < indices.size(); ++i) {
     auto [s, local] = Locate(indices[i]);
     legs[s].local_indices.push_back(local);
@@ -56,7 +64,9 @@ Status DistributeArray(
 ShardedBackend::ShardedBackend(uint64_t n, size_t block_size,
                                uint64_t num_shards,
                                const BackendFactory& inner_factory)
-    : router_(n, num_shards), block_size_(block_size) {
+    : router_(n, num_shards),
+      block_size_(block_size),
+      pool_(std::make_shared<BufferPool>()) {
   shards_.reserve(num_shards);
   for (uint64_t s = 0; s < num_shards; ++s) {
     shards_.push_back(
@@ -77,41 +87,84 @@ StatusOr<StorageReply> ShardedBackend::Execute(StorageRequest request) {
   // own - see SetFailureRate).
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
 
+  // Single-shard fast path: the partition is the identity, so the exchange
+  // forwards wholesale and the shard's reply IS the parent reply (a buffer
+  // move, zero copies). Recording happens before the move: the inner leg
+  // cannot fail once global validation and the fault roll have passed
+  // (shards carry no fault state of their own — see SetFailureRate), the
+  // same invariant the multi-shard fan-out below relies on.
+  if (shards_.size() == 1) {
+    if (request.op == StorageRequest::Op::kDownload) {
+      transcript_.RecordRoundtrip();
+      transcript_.RecordMany(AccessEvent::Type::kDownload, request.indices);
+    } else {
+      transcript_.RecordMany(AccessEvent::Type::kUpload, request.indices);
+    }
+    return shards_[0]->Exchange(std::move(request));
+  }
+
   // Fan the exchange out shard by shard (this synchronous variant walks the
   // legs on the caller's thread; AsyncShardedBackend overlaps them), then
-  // reassemble the replies in request order.
+  // reassemble the replies in request order. The scatter/gather legs copy
+  // directly between the parent's flat buffers and each shard's — no
+  // per-block vectors anywhere — and runs of consecutive request positions
+  // (a scan's whole leg) collapse into single memcpys.
   std::vector<ShardRouter::Leg> legs = router_.Partition(request.indices);
   StorageReply reply;
   if (request.op == StorageRequest::Op::kDownload) {
-    reply.blocks.resize(request.indices.size());
+    reply.blocks =
+        BlockBuffer::FromPool(pool_, request.indices.size(), block_size_);
+    uint8_t* out = reply.blocks.empty() ? nullptr
+                                        : reply.blocks.Mutable(0).data();
     for (uint64_t s = 0; s < shards_.size(); ++s) {
       if (legs[s].local_indices.empty()) continue;
+      const std::vector<size_t>& positions = legs[s].positions;
       DPSTORE_ASSIGN_OR_RETURN(
-          std::vector<Block> chunk,
-          shards_[s]->DownloadMany(legs[s].local_indices));
-      for (size_t k = 0; k < chunk.size(); ++k) {
-        reply.blocks[legs[s].positions[k]] = std::move(chunk[k]);
+          StorageReply chunk,
+          shards_[s]->Exchange(
+              StorageRequest::DownloadOf(std::move(legs[s].local_indices))));
+      const uint8_t* in = chunk.blocks.empty() ? nullptr
+                                               : chunk.blocks[0].data();
+      for (size_t k = 0; k < positions.size();) {
+        size_t run = 1;
+        while (k + run < positions.size() &&
+               positions[k + run] == positions[k] + run) {
+          ++run;
+        }
+        CopyBytes(out + positions[k] * block_size_, in + k * block_size_,
+                  run * block_size_);
+        k += run;
       }
     }
     // One roundtrip: the per-shard legs are (modeled as) concurrent.
     transcript_.RecordRoundtrip();
-    for (BlockId index : request.indices) {
-      transcript_.Record(AccessEvent::Type::kDownload, index);
-    }
+    transcript_.RecordMany(AccessEvent::Type::kDownload, request.indices);
   } else {
+    const uint8_t* in =
+        request.payload.empty() ? nullptr : request.payload[0].data();
     for (uint64_t s = 0; s < shards_.size(); ++s) {
       if (legs[s].local_indices.empty()) continue;
-      std::vector<Block> chunk;
-      chunk.reserve(legs[s].positions.size());
-      for (size_t position : legs[s].positions) {
-        chunk.push_back(std::move(request.blocks[position]));
+      const std::vector<size_t>& positions = legs[s].positions;
+      BlockBuffer chunk =
+          BlockBuffer::FromPool(pool_, positions.size(), block_size_);
+      uint8_t* chunk_out = chunk.empty() ? nullptr : chunk.Mutable(0).data();
+      for (size_t k = 0; k < positions.size();) {
+        size_t run = 1;
+        while (k + run < positions.size() &&
+               positions[k + run] == positions[k] + run) {
+          ++run;
+        }
+        CopyBytes(chunk_out + k * block_size_,
+                  in + positions[k] * block_size_, run * block_size_);
+        k += run;
       }
       DPSTORE_RETURN_IF_ERROR(
-          shards_[s]->UploadMany(legs[s].local_indices, std::move(chunk)));
+          shards_[s]
+              ->Exchange(StorageRequest::UploadOf(
+                  std::move(legs[s].local_indices), std::move(chunk)))
+              .status());
     }
-    for (BlockId index : request.indices) {
-      transcript_.Record(AccessEvent::Type::kUpload, index);
-    }
+    transcript_.RecordMany(AccessEvent::Type::kUpload, request.indices);
   }
   return reply;
 }
@@ -131,7 +184,7 @@ void ShardedBackend::SetTranscriptCountingOnly(bool counting_only) {
   for (auto& shard : shards_) shard->SetTranscriptCountingOnly(counting_only);
 }
 
-const Block& ShardedBackend::PeekBlock(BlockId index) const {
+Block ShardedBackend::PeekBlock(BlockId index) const {
   DPSTORE_CHECK_LT(index, router_.n());
   auto [s, local] = router_.Locate(index);
   return shards_[s]->PeekBlock(local);

@@ -100,7 +100,7 @@ class ShardedBackend : public StorageBackend {
   void ResetTranscript() override;
   void SetTranscriptCountingOnly(bool counting_only) override;
 
-  const Block& PeekBlock(BlockId index) const override;
+  Block PeekBlock(BlockId index) const override;
   void CorruptBlock(BlockId index) override;
 
   /// Fault injection lives at THIS level, not in the shards: one Bernoulli
@@ -121,6 +121,7 @@ class ShardedBackend : public StorageBackend {
   ShardRouter router_;
   size_t block_size_;
   std::vector<std::unique_ptr<StorageBackend>> shards_;
+  std::shared_ptr<BufferPool> pool_;  // recycles reassembled reply buffers
   Transcript transcript_;
   FaultInjector faults_;
 };

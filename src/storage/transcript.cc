@@ -20,6 +20,23 @@ void Transcript::Record(AccessEvent::Type type, BlockId index) {
   }
 }
 
+void Transcript::RecordMany(AccessEvent::Type type,
+                            std::span<const BlockId> indices) {
+  if (!counting_only_) {
+    // Plain push_back: an exact-size reserve here would pin capacity to the
+    // current total and defeat amortized growth (quadratic copying across
+    // a long run of exchanges).
+    for (BlockId index : indices) {
+      events_.push_back(AccessEvent{type, index});
+    }
+  }
+  if (type == AccessEvent::Type::kDownload) {
+    download_count_ += indices.size();
+  } else {
+    upload_count_ += indices.size();
+  }
+}
+
 void Transcript::SetCountingOnly(bool counting_only) {
   const bool was_counting_only = counting_only_;
   counting_only_ = counting_only;

@@ -2,6 +2,7 @@
 #define DPSTORE_STORAGE_TRANSCRIPT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,12 @@ class Transcript {
   void BeginQuery();
 
   void Record(AccessEvent::Type type, BlockId index);
+
+  /// Records one event per index, in order — semantically identical to
+  /// calling Record in a loop, but one call (and in counting-only mode one
+  /// counter bump) for a whole batched exchange, which matters at
+  /// million-block exchanges.
+  void RecordMany(AccessEvent::Type type, std::span<const BlockId> indices);
 
   /// Meters one blocking client-server exchange (see class comment).
   void RecordRoundtrip() { ++roundtrip_count_; }

@@ -11,15 +11,31 @@ namespace dpstore {
 WriteBackCacheBackend::WriteBackCacheBackend(
     std::unique_ptr<StorageBackend> inner, size_t capacity,
     std::shared_ptr<CacheStats> sink)
-    : inner_(std::move(inner)), capacity_(capacity), sink_(std::move(sink)) {
+    : inner_(std::move(inner)),
+      capacity_(capacity),
+      pool_(std::make_shared<BufferPool>()),
+      sink_(std::move(sink)) {
   DPSTORE_CHECK(inner_ != nullptr);
   DPSTORE_CHECK_GT(capacity_, 0u);
+  // The whole cache is one slab sized for the working set; entries are
+  // views into fixed slots, handed out and reclaimed through a free list.
+  slab_.resize(capacity_ * inner_->block_size());
+  free_slots_.reserve(capacity_);
+  for (size_t slot = capacity_; slot-- > 0;) free_slots_.push_back(slot);
 }
 
 WriteBackCacheBackend::~WriteBackCacheBackend() {
   // Best-effort: dirty blocks must not die with the cache. Call Flush()
   // explicitly to observe write-back errors.
   Flush().ok();
+}
+
+BlockView WriteBackCacheBackend::SlotView(size_t slot) const {
+  return {slab_.data() + slot * inner_->block_size(), inner_->block_size()};
+}
+
+MutableBlockView WriteBackCacheBackend::SlotView(size_t slot) {
+  return {slab_.data() + slot * inner_->block_size(), inner_->block_size()};
 }
 
 size_t WriteBackCacheBackend::dirty_blocks() const {
@@ -42,11 +58,16 @@ void WriteBackCacheBackend::Touch(Entry& entry, BlockId index) {
   entry.lru_it = lru_.begin();
 }
 
-void WriteBackCacheBackend::Insert(BlockId index, Block data, bool dirty) {
+void WriteBackCacheBackend::Insert(BlockId index, BlockView data,
+                                   bool dirty) {
   DPSTORE_CHECK_LT(entries_.size(), capacity_);
+  DPSTORE_CHECK(!free_slots_.empty());
+  const size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  CopyBytes(SlotView(slot).data(), data.data(), data.size());
   lru_.push_front(index);
   Entry entry;
-  entry.data = std::move(data);
+  entry.slot = slot;
   entry.dirty = dirty;
   entry.lru_it = lru_.begin();
   entries_.emplace(index, std::move(entry));
@@ -60,7 +81,7 @@ Status WriteBackCacheBackend::MakeRoom(
 
   std::vector<BlockId> victims;
   std::vector<BlockId> dirty_ids;
-  std::vector<Block> dirty_blocks;
+  BlockBuffer dirty_payload(inner_->block_size());
   for (auto it = lru_.rbegin();
        it != lru_.rend() && victims.size() < victims_needed; ++it) {
     const BlockId index = *it;
@@ -69,18 +90,23 @@ Status WriteBackCacheBackend::MakeRoom(
     victims.push_back(index);
     if (entry.dirty) {
       dirty_ids.push_back(index);
-      dirty_blocks.push_back(entry.data);  // copy: on error nothing changes
+      // Copy into the write-back payload: on error the slab is unchanged.
+      dirty_payload.Append(SlotView(entry.slot));
     }
   }
   DPSTORE_CHECK_EQ(victims.size(), victims_needed)
       << "caller pinned too much of the cache";
   if (!dirty_ids.empty()) {
     DPSTORE_RETURN_IF_ERROR(
-        inner_->UploadMany(dirty_ids, std::move(dirty_blocks)));
+        inner_
+            ->Exchange(StorageRequest::UploadOf(dirty_ids,
+                                                std::move(dirty_payload)))
+            .status());
     Count(&CacheStats::writeback_blocks, dirty_ids.size());
   }
   for (BlockId index : victims) {
     auto entry_it = entries_.find(index);
+    free_slots_.push_back(entry_it->second.slot);
     lru_.erase(entry_it->second.lru_it);
     entries_.erase(entry_it);
   }
@@ -94,10 +120,16 @@ Status WriteBackCacheBackend::Flush() {
   }
   if (dirty_ids.empty()) return OkStatus();
   std::sort(dirty_ids.begin(), dirty_ids.end());  // deterministic write-back
-  std::vector<Block> blocks;
-  blocks.reserve(dirty_ids.size());
-  for (BlockId index : dirty_ids) blocks.push_back(entries_.at(index).data);
-  DPSTORE_RETURN_IF_ERROR(inner_->UploadMany(dirty_ids, std::move(blocks)));
+  BlockBuffer payload = BlockBuffer::FromPool(pool_, dirty_ids.size(),
+                                              inner_->block_size());
+  for (size_t k = 0; k < dirty_ids.size(); ++k) {
+    const Entry& entry = entries_.at(dirty_ids[k]);
+    CopyBytes(payload.Mutable(k).data(), SlotView(entry.slot).data(),
+              inner_->block_size());
+  }
+  DPSTORE_RETURN_IF_ERROR(
+      inner_->Exchange(StorageRequest::UploadOf(dirty_ids, std::move(payload)))
+          .status());
   Count(&CacheStats::writeback_blocks, dirty_ids.size());
   for (BlockId index : dirty_ids) entries_.at(index).dirty = false;
   return OkStatus();
@@ -108,20 +140,23 @@ Status WriteBackCacheBackend::SetArray(std::vector<Block> blocks) {
   // by definition and must not be written back over the new contents.
   entries_.clear();
   lru_.clear();
+  free_slots_.clear();
+  for (size_t slot = capacity_; slot-- > 0;) free_slots_.push_back(slot);
   return inner_->SetArray(std::move(blocks));
 }
 
-const Block& WriteBackCacheBackend::PeekBlock(BlockId index) const {
+Block WriteBackCacheBackend::PeekBlock(BlockId index) const {
   auto it = entries_.find(index);
-  if (it != entries_.end()) return it->second.data;
+  if (it != entries_.end()) return ToBlock(SlotView(it->second.slot));
   return inner_->PeekBlock(index);
 }
 
 void WriteBackCacheBackend::CorruptBlock(BlockId index) {
   auto it = entries_.find(index);
   if (it != entries_.end()) {
-    DPSTORE_CHECK(!it->second.data.empty());
-    it->second.data[0] ^= 0xFF;
+    MutableBlockView view = SlotView(it->second.slot);
+    DPSTORE_CHECK(!view.empty());
+    view[0] ^= 0xFF;
     return;
   }
   inner_->CorruptBlock(index);
@@ -144,8 +179,10 @@ StatusOr<StorageReply> WriteBackCacheBackend::ExecuteDownload(
   // a later eviction cannot reach them) and distinct,
   // first-appearance-order misses. Duplicate missing indices are fetched
   // once: in-batch coalescing.
+  const size_t block_size = inner_->block_size();
   StorageReply reply;
-  reply.blocks.resize(request.indices.size());
+  reply.blocks =
+      BlockBuffer::FromPool(pool_, request.indices.size(), block_size);
   std::vector<BlockId> miss_ids;
   std::unordered_map<BlockId, size_t> miss_slot;
   std::vector<size_t> miss_positions;
@@ -154,7 +191,8 @@ StatusOr<StorageReply> WriteBackCacheBackend::ExecuteDownload(
     auto it = entries_.find(index);
     if (it != entries_.end()) {
       Touch(it->second, index);
-      reply.blocks[i] = it->second.data;
+      CopyBytes(reply.blocks.Mutable(i).data(),
+                SlotView(it->second.slot).data(), block_size);
     } else {
       if (miss_slot.emplace(index, miss_ids.size()).second) {
         miss_ids.push_back(index);
@@ -171,14 +209,17 @@ StatusOr<StorageReply> WriteBackCacheBackend::ExecuteDownload(
   // blocks would flush the whole working set for nothing.
   const bool fill = miss_ids.size() < capacity_;
   if (fill) DPSTORE_RETURN_IF_ERROR(MakeRoom(miss_ids.size()));
-  DPSTORE_ASSIGN_OR_RETURN(std::vector<Block> fetched,
-                           inner_->DownloadMany(miss_ids));
+  DPSTORE_ASSIGN_OR_RETURN(
+      StorageReply fetched,
+      inner_->Exchange(StorageRequest::DownloadOf(miss_ids)));
   for (size_t position : miss_positions) {
-    reply.blocks[position] = fetched[miss_slot.at(request.indices[position])];
+    CopyBytes(reply.blocks.Mutable(position).data(),
+              fetched.blocks[miss_slot.at(request.indices[position])].data(),
+              block_size);
   }
   if (fill) {
     for (size_t k = 0; k < miss_ids.size(); ++k) {
-      Insert(miss_ids[k], std::move(fetched[k]), /*dirty=*/false);
+      Insert(miss_ids[k], fetched.blocks[k], /*dirty=*/false);
     }
   }
   return reply;
@@ -210,14 +251,18 @@ StatusOr<StorageReply> WriteBackCacheBackend::ExecuteUpload(
       const BlockId index = request.indices[i];
       if (entries_.find(index) == entries_.end()) continue;
       if (refresh.find(index) == refresh.end()) refresh_order.push_back(index);
-      refresh[index] = request.blocks[i];  // last write wins
+      refresh[index] = ToBlock(request.payload[i]);  // last write wins
     }
     const size_t batch_blocks = request.indices.size();
-    DPSTORE_RETURN_IF_ERROR(inner_->UploadMany(std::move(request.indices),
-                                               std::move(request.blocks)));
+    DPSTORE_RETURN_IF_ERROR(
+        inner_
+            ->Exchange(StorageRequest::UploadOf(std::move(request.indices),
+                                                std::move(request.payload)))
+            .status());
     for (BlockId index : refresh_order) {
       Entry& entry = entries_.at(index);
-      entry.data = std::move(refresh.at(index));
+      const Block& fresh = refresh.at(index);
+      CopyBytes(SlotView(entry.slot).data(), fresh.data(), fresh.size());
       entry.dirty = false;  // the server holds it now
       Touch(entry, index);
     }
@@ -232,11 +277,12 @@ StatusOr<StorageReply> WriteBackCacheBackend::ExecuteUpload(
     const BlockId index = request.indices[i];
     auto it = entries_.find(index);
     if (it != entries_.end()) {
-      it->second.data = std::move(request.blocks[i]);
+      CopyBytes(SlotView(it->second.slot).data(), request.payload[i].data(),
+                request.payload.block_size());
       it->second.dirty = true;
       Touch(it->second, index);
     } else {
-      Insert(index, std::move(request.blocks[i]), /*dirty=*/true);
+      Insert(index, request.payload[i], /*dirty=*/true);
     }
   }
   Count(&CacheStats::uploads_absorbed, request.indices.size());

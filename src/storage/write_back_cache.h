@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "storage/backend.h"
+#include "storage/block_buffer.h"
 
 namespace dpstore {
 
@@ -116,7 +117,7 @@ class WriteBackCacheBackend : public StorageBackend {
   }
 
   /// Freshest value: the cached copy when present, else the inner block.
-  const Block& PeekBlock(BlockId index) const override;
+  Block PeekBlock(BlockId index) const override;
   /// Corrupts the copy a download would serve (cached if present).
   void CorruptBlock(BlockId index) override;
 
@@ -128,8 +129,11 @@ class WriteBackCacheBackend : public StorageBackend {
   StatusOr<StorageReply> Execute(StorageRequest request) override;
 
  private:
+  /// A cache line is a fixed slot in the flat slab (capacity * block_size
+  /// bytes, allocated once at construction): no per-entry Block vectors,
+  /// so filling, absorbing and evicting are pure memcpy traffic.
   struct Entry {
-    Block data;
+    size_t slot = 0;  // block index into slab_
     bool dirty = false;
     std::list<BlockId>::iterator lru_it;  // position in lru_
   };
@@ -137,8 +141,11 @@ class WriteBackCacheBackend : public StorageBackend {
   StatusOr<StorageReply> ExecuteDownload(StorageRequest request);
   StatusOr<StorageReply> ExecuteUpload(StorageRequest request);
 
+  BlockView SlotView(size_t slot) const;
+  MutableBlockView SlotView(size_t slot);
+
   void Touch(Entry& entry, BlockId index);
-  void Insert(BlockId index, Block data, bool dirty);
+  void Insert(BlockId index, BlockView data, bool dirty);
   /// Evicts LRU entries until `incoming` new blocks fit, writing dirty
   /// victims back in one batched exchange first. Entries named in `pinned`
   /// are never chosen (the current exchange is about to touch them, so
@@ -151,6 +158,9 @@ class WriteBackCacheBackend : public StorageBackend {
 
   std::unique_ptr<StorageBackend> inner_;
   size_t capacity_;
+  std::vector<uint8_t> slab_;        // capacity_ * block_size() bytes
+  std::vector<size_t> free_slots_;   // unused slab slots, LIFO
+  std::shared_ptr<BufferPool> pool_;  // recycles reply / write-back buffers
   std::unordered_map<BlockId, Entry> entries_;
   std::list<BlockId> lru_;  // front = most recently used
   CacheStats stats_;

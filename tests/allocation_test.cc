@@ -1,0 +1,114 @@
+// Allocation-regression suite for the flat BlockBuffer transport: the
+// counting global allocator (counting_allocator.cc, linked into this binary
+// only) meters operator-new calls around steady-state Submit/Wait windows.
+//
+// The property under test is the tentpole's whole point: once the
+// BufferPool has warmed up, an exchange's allocation count is O(1) — a
+// small constant independent of how many blocks the exchange names — where
+// the vector-of-vectors transport allocated one vector PER BLOCK. The
+// assertions compare small-batch and large-batch windows rather than
+// pinning absolute counts, so toolchain-dependent incidental allocations
+// (status strings, gtest internals) cannot flake the suite.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "counting_allocator.h"
+#include "storage/block_buffer.h"
+#include "storage/server.h"
+
+namespace dpstore {
+namespace {
+
+// Allocations per steady-state download exchange of `batch` blocks against
+// a warmed-up in-memory server, averaged over `rounds`.
+int64_t AllocsPerExchange(StorageServer* server, size_t batch,
+                          int rounds = 8) {
+  std::vector<BlockId> indices(batch);
+  std::iota(indices.begin(), indices.end(), BlockId{0});
+  // Warm-up: first exchange pays the pool's cold slab and the ready-queue
+  // growth; none of that is steady state.
+  for (int i = 0; i < 2; ++i) {
+    auto reply = server->Exchange(StorageRequest::DownloadOf(indices));
+    EXPECT_TRUE(reply.ok());
+  }
+  test::AllocationWindow window;
+  for (int i = 0; i < rounds; ++i) {
+    auto reply = server->Exchange(StorageRequest::DownloadOf(indices));
+    EXPECT_TRUE(reply.ok());
+  }
+  return window.Delta() / rounds;
+}
+
+TEST(AllocationTest, CounterSeesAllocations) {
+  test::AllocationWindow window;
+  auto* p = new std::vector<int>(100);
+  delete p;
+  EXPECT_GE(window.Delta(), 1);
+}
+
+TEST(AllocationTest, SteadyStateExchangeAllocationsAreO1NotOBlocks) {
+  StorageServer server(4096, 64);
+  server.SetTranscriptCountingOnly(true);  // event recording is O(blocks)
+
+  const int64_t small = AllocsPerExchange(&server, 16);
+  const int64_t large = AllocsPerExchange(&server, 2048);
+
+  // O(1): the per-exchange allocation count must not grow with the batch.
+  // (The old transport allocated one vector per block: small=16ish,
+  // large=2048ish. The flat transport allocates the request's index vector
+  // and nothing else once the reply pool is warm.)
+  EXPECT_EQ(small, large) << "per-exchange allocations scale with batch size";
+  EXPECT_LE(large, 4) << "steady-state exchange should be allocation-free "
+                         "beyond the caller's own index vector";
+}
+
+TEST(AllocationTest, SteadyStateUploadAllocationsAreO1) {
+  StorageServer server(4096, 64);
+  server.SetTranscriptCountingOnly(true);
+
+  auto allocs_per_upload = [&server](size_t batch, int rounds = 8) {
+    std::vector<BlockId> indices(batch);
+    std::iota(indices.begin(), indices.end(), BlockId{0});
+    BlockBuffer payload = BlockBuffer::Zeroed(batch, 64);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_TRUE(
+          server.Exchange(StorageRequest::UploadOf(indices, payload)).ok());
+    }
+    test::AllocationWindow window;
+    for (int i = 0; i < rounds; ++i) {
+      EXPECT_TRUE(
+          server.Exchange(StorageRequest::UploadOf(indices, payload)).ok());
+    }
+    return window.Delta() / rounds;
+  };
+
+  const int64_t small = allocs_per_upload(16);
+  const int64_t large = allocs_per_upload(2048);
+  EXPECT_EQ(small, large);
+  EXPECT_LE(large, 6);
+}
+
+TEST(AllocationTest, BufferPoolRecyclesReplySlabs) {
+  StorageServer server(1024, 32);
+  server.SetTranscriptCountingOnly(true);
+  std::vector<BlockId> indices(512);
+  std::iota(indices.begin(), indices.end(), BlockId{0});
+  // One cold exchange, then the reply slab must round-trip through the
+  // pool: repeated equal-size exchanges with the reply destroyed between
+  // them never allocate a fresh slab.
+  { auto r = server.Exchange(StorageRequest::DownloadOf(indices)); }
+  test::AllocationWindow window;
+  for (int i = 0; i < 4; ++i) {
+    auto reply = server.Exchange(StorageRequest::DownloadOf(indices));
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->blocks.size(), indices.size());
+  }
+  // The request's own index-vector copy is the only allocation allowed.
+  EXPECT_LE(window.Delta(), 4 * 2);
+}
+
+}  // namespace
+}  // namespace dpstore

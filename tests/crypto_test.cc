@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <cstring>
 #include <set>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +10,7 @@
 #include "crypto/cipher.h"
 #include "crypto/prf.h"
 #include "crypto/prg.h"
+#include "storage/block_buffer.h"
 
 namespace dpstore {
 namespace crypto {
@@ -177,7 +180,7 @@ TEST(SystemRandomTest, ProducesDistinctKeys) {
 TEST(CipherTest, EncryptDecryptRoundTrip) {
   Cipher cipher = Cipher::WithRandomKey();
   std::vector<uint8_t> plaintext = {1, 2, 3, 4, 5, 255, 0, 17};
-  auto ciphertext = cipher.Encrypt(plaintext);
+  auto ciphertext = cipher.EncryptCopy(plaintext);
   EXPECT_EQ(ciphertext.size(), Cipher::CiphertextSize(plaintext.size()));
   auto decrypted = cipher.Decrypt(ciphertext);
   ASSERT_TRUE(decrypted.ok());
@@ -187,7 +190,7 @@ TEST(CipherTest, EncryptDecryptRoundTrip) {
 TEST(CipherTest, EmptyPlaintext) {
   Cipher cipher = Cipher::WithRandomKey();
   std::vector<uint8_t> empty;
-  auto ct = cipher.Encrypt(empty);
+  auto ct = cipher.EncryptCopy(empty);
   auto pt = cipher.Decrypt(ct);
   ASSERT_TRUE(pt.ok());
   EXPECT_TRUE(pt->empty());
@@ -198,8 +201,8 @@ TEST(CipherTest, EncryptionIsRandomized) {
   // the re-randomization property Algorithm 3's overwrite phase needs.
   Cipher cipher = Cipher::WithRandomKey();
   std::vector<uint8_t> plaintext(64, 0x42);
-  auto c1 = cipher.Encrypt(plaintext);
-  auto c2 = cipher.Encrypt(plaintext);
+  auto c1 = cipher.EncryptCopy(plaintext);
+  auto c2 = cipher.EncryptCopy(plaintext);
   EXPECT_NE(c1, c2);
   EXPECT_EQ(*cipher.Decrypt(c1), *cipher.Decrypt(c2));
 }
@@ -207,7 +210,7 @@ TEST(CipherTest, EncryptionIsRandomized) {
 TEST(CipherTest, TamperDetection) {
   Cipher cipher = Cipher::WithRandomKey();
   std::vector<uint8_t> plaintext(32, 7);
-  auto ct = cipher.Encrypt(plaintext);
+  auto ct = cipher.EncryptCopy(plaintext);
   for (size_t pos : {size_t{0}, ct.size() / 2, ct.size() - 1}) {
     auto tampered = ct;
     tampered[pos] ^= 0x01;
@@ -218,7 +221,7 @@ TEST(CipherTest, TamperDetection) {
 
 TEST(CipherTest, TruncationDetected) {
   Cipher cipher = Cipher::WithRandomKey();
-  auto ct = cipher.Encrypt(std::vector<uint8_t>(16, 1));
+  auto ct = cipher.EncryptCopy(std::vector<uint8_t>(16, 1));
   ct.resize(10);
   EXPECT_EQ(cipher.Decrypt(ct).status().code(), StatusCode::kDataLoss);
 }
@@ -226,7 +229,7 @@ TEST(CipherTest, TruncationDetected) {
 TEST(CipherTest, WrongKeyFailsAuthentication) {
   Cipher a = Cipher::WithRandomKey();
   Cipher b = Cipher::WithRandomKey();
-  auto ct = a.Encrypt(std::vector<uint8_t>(16, 9));
+  auto ct = a.EncryptCopy(std::vector<uint8_t>(16, 9));
   EXPECT_FALSE(b.Decrypt(ct).ok());
 }
 
@@ -235,16 +238,93 @@ TEST(CipherTest, DerivedFromMasterKeyIsDeterministic) {
   master[7] = 0x33;
   Cipher a(master);
   Cipher b(master);
-  auto ct = a.Encrypt(std::vector<uint8_t>(8, 4));
+  auto ct = a.EncryptCopy(std::vector<uint8_t>(8, 4));
   auto pt = b.Decrypt(ct);
   ASSERT_TRUE(pt.ok());
   EXPECT_EQ((*pt)[0], 4);
 }
 
+TEST(CipherTest, InPlaceRoundTripInsideFlatBuffer) {
+  // The hot-loop contract: stage plaintext at PlaintextOffset() inside a
+  // ciphertext-sized slot of a flat buffer, encrypt in place, decrypt in
+  // place, and read the plaintext back through the returned view.
+  Cipher cipher = Cipher::WithRandomKey();
+  const size_t plain_size = 40;
+  dpstore::BlockBuffer buffer = dpstore::BlockBuffer::Zeroed(
+      3, Cipher::CiphertextSize(plain_size));
+  for (size_t k = 0; k < buffer.size(); ++k) {
+    dpstore::MutableBlockView slot = buffer.Mutable(k);
+    for (size_t i = 0; i < plain_size; ++i) {
+      slot[Cipher::PlaintextOffset() + i] = static_cast<uint8_t>(k * 7 + i);
+    }
+    cipher.EncryptInPlace(slot);
+  }
+  for (size_t k = 0; k < buffer.size(); ++k) {
+    auto plain = cipher.DecryptInPlace(buffer.Mutable(k));
+    ASSERT_TRUE(plain.ok()) << k;
+    ASSERT_EQ(plain->size(), plain_size);
+    for (size_t i = 0; i < plain_size; ++i) {
+      EXPECT_EQ((*plain)[i], static_cast<uint8_t>(k * 7 + i));
+    }
+  }
+}
+
+TEST(CipherTest, InPlaceAndCopyingFormsInteroperate) {
+  Cipher cipher = Cipher::WithRandomKey();
+  std::vector<uint8_t> plaintext = {9, 8, 7, 6, 5};
+  // EncryptCopy -> DecryptInPlace.
+  auto ct = cipher.EncryptCopy(plaintext);
+  auto in_place = cipher.DecryptInPlace(ct);
+  ASSERT_TRUE(in_place.ok());
+  EXPECT_TRUE(std::equal(in_place->begin(), in_place->end(),
+                         plaintext.begin(), plaintext.end()));
+  // EncryptInPlace -> Decrypt (copying).
+  std::vector<uint8_t> slot(Cipher::CiphertextSize(plaintext.size()), 0);
+  std::copy(plaintext.begin(), plaintext.end(),
+            slot.begin() + Cipher::PlaintextOffset());
+  cipher.EncryptInPlace(slot);
+  auto copied = cipher.Decrypt(slot);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(*copied, plaintext);
+}
+
+TEST(CipherTest, InPlaceDecryptRejectsTamperWithoutModifyingSlot) {
+  Cipher cipher = Cipher::WithRandomKey();
+  auto ct = cipher.EncryptCopy(std::vector<uint8_t>(16, 3));
+  ct[kChaChaNonceSize] ^= 0x01;  // corrupt the body
+  auto before = ct;
+  EXPECT_EQ(cipher.DecryptInPlace(ct).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(ct, before) << "failed decrypt must leave the slot untouched";
+}
+
+TEST(ChaChaTest, MultiBlockXorMatchesBlockAtATime) {
+  // ChaCha20Xor's hoisted-state multi-block path must produce exactly the
+  // keystream of per-block ChaCha20Block calls at successive counters.
+  ChaChaKey key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
+  ChaChaNonce nonce{};
+  nonce[0] = 0x5A;
+  const size_t len = 3 * kChaChaBlockSize + 17;  // full blocks + a tail
+  std::vector<uint8_t> data(len);
+  for (size_t i = 0; i < len; ++i) data[i] = static_cast<uint8_t>(i * 31);
+  std::vector<uint8_t> expected = data;
+  ChaCha20Xor(key, nonce, /*counter=*/5, data.data(), len);
+  uint8_t block[kChaChaBlockSize];
+  for (size_t offset = 0, counter = 5; offset < len;
+       offset += kChaChaBlockSize, ++counter) {
+    ChaCha20Block(key, nonce, static_cast<uint32_t>(counter), block);
+    for (size_t i = 0; i < kChaChaBlockSize && offset + i < len; ++i) {
+      expected[offset + i] ^= block[i];
+    }
+  }
+  EXPECT_EQ(data, expected);
+}
+
 TEST(CipherTest, CiphertextHidesPlaintextBytes) {
   Cipher cipher = Cipher::WithRandomKey();
   std::vector<uint8_t> plaintext(128, 0x00);
-  auto ct = cipher.Encrypt(plaintext);
+  auto ct = cipher.EncryptCopy(plaintext);
   // The body (between nonce and tag) should not be all zeros.
   size_t zeros = 0;
   for (size_t i = kChaChaNonceSize; i < ct.size() - Cipher::kTagSize; ++i) {

@@ -33,7 +33,7 @@ std::unique_ptr<StorageServer> MakeEncryptedServer(
   auto server = std::make_unique<StorageServer>(
       ids.size(), crypto::Cipher::CiphertextSize(kBlockSize));
   std::vector<Block> array;
-  for (uint64_t id : ids) array.push_back(cipher.Encrypt(BlockWithId(id)));
+  for (uint64_t id : ids) array.push_back(cipher.EncryptCopy(BlockWithId(id)));
   DPSTORE_CHECK_OK(server->SetArray(std::move(array)));
   return server;
 }

@@ -171,7 +171,7 @@ TEST(ExchangeApiTest, ErrorsSurfaceAtWaitNotSubmit) {
   EXPECT_EQ(server.Wait(mixed).status().code(), StatusCode::kInvalidArgument);
   // A download exchange must not smuggle payloads.
   StorageRequest confused = StorageRequest::DownloadOf({0});
-  confused.blocks.push_back(ZeroBlock(8));
+  confused.payload.Append(ZeroBlock(8));
   EXPECT_EQ(server.Exchange(std::move(confused)).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
@@ -183,7 +183,8 @@ TEST(ExchangeApiTest, NoOpExchangesAreFree) {
   auto download = server.Exchange(StorageRequest::DownloadOf({}));
   ASSERT_TRUE(download.ok());
   EXPECT_TRUE(download->blocks.empty());
-  ASSERT_TRUE(server.Exchange(StorageRequest::UploadOf({}, {})).ok());
+  ASSERT_TRUE(
+      server.Exchange(StorageRequest::UploadOf({}, BlockBuffer())).ok());
   EXPECT_EQ(server.transcript().TotalBlocksMoved(), 0u);
   EXPECT_EQ(server.roundtrip_count(), 0u);
 }
