@@ -10,6 +10,7 @@
 // Cells emitted:
 //   BENCH_throughput_<scheme>__<backend>.json        scheme sweep (n=256)
 //   BENCH_throughput_scale_<scheme>_n<log2 n>_<backend>_s<shards>.json
+//   BENCH_throughput_socket_<scheme>_n<log2 n>.json   modeled vs measured
 //   BENCH_throughput_pipeline_s<shards>_d<depth>.json
 //   BENCH_throughput_transport_<backend>_b<batch>.json
 //   BENCH_throughput.json                            closing summary
@@ -235,6 +236,60 @@ int SweepScale() {
   return cells;
 }
 
+// --- Socket transport: modeled vs measured -----------------------------------
+
+/// The real-RPC cells: the same scale-sweep shape, but over the `socket`
+/// backend (in-process dpstore_server dispatch loop over a socketpair), so
+/// every cell reports MEASURED wall-clock per exchange next to the modeled
+/// LAN/WAN numbers the CostModel has been standing in with. n stays modest:
+/// these cells also run under the sanitizer CI sweeps, where socket I/O
+/// pays 5-10x.
+constexpr ScaleCase kSocketCases[] = {
+    {"trivial_pir", 12, 16},      {"trivial_pir", 16, 8},
+    {"path_oram", 12, 32},        {"dp_ram_retrieval", 12, 64},
+    {"linear_oram", 12, 8},
+};
+
+int SweepSocket() {
+  int cells = 0;
+  for (const ScaleCase& scale : kSocketCases) {
+    SchemeConfig config;
+    config.n = uint64_t{1} << scale.log2_n;
+    config.value_size = kRecordSize;
+    config.seed = 31337;
+    config.backend = "socket";  // socketpair fallback: no external server
+    config.counting_only_transcript = true;
+    auto scheme = SchemeRegistry::Instance().MakeRam(scale.scheme, config);
+    DPSTORE_CHECK_OK(scheme.status());
+    Rng rng(config.seed);
+    auto workload = MakeRamWorkload("uniform", &rng, config.n, scale.ops,
+                                    /*write_fraction=*/0.0);
+    DPSTORE_CHECK_OK(workload.status());
+    auto report = RunRamWorkload(scheme->get(), *workload);
+    DPSTORE_CHECK_OK(report.status());
+    bench::BenchJson json("throughput_socket_" + std::string(scale.scheme) +
+                          "_n" + std::to_string(scale.log2_n));
+    json.Metric("scheme", std::string(scale.scheme));
+    json.Metric("backend", std::string("socket"));
+    json.Metric("log2_n", scale.log2_n);
+    json.Metric("ops", report->operations);
+    json.Metric("blocks_per_op", report->BlocksPerOp());
+    json.Metric("roundtrips_per_op", report->RoundtripsPerOp());
+    // The comparison this transport exists for: modeled vs measured.
+    json.Metric("lan_ms_per_op_modeled", report->LatencyPerOpMs(kLanModel));
+    json.Metric("wan_ms_per_op_modeled", report->LatencyPerOpMs(kWanModel));
+    json.Metric("measured_socket_ms_per_op", report->MeasuredMsPerOp());
+    json.Metric("wall_ms_per_op",
+                report->operations == 0
+                    ? 0.0
+                    : report->wall_ms /
+                          static_cast<double>(report->operations));
+    json.Emit();
+    ++cells;
+  }
+  return cells;
+}
+
 // --- Pipelined exchange replay ----------------------------------------------
 
 /// Records one Path ORAM main-tree transcript, then replays its per-query
@@ -410,6 +465,7 @@ int main() {
   cells += dpstore::SweepRamSchemes();
   cells += dpstore::SweepKvsSchemes();
   cells += dpstore::SweepScale();
+  cells += dpstore::SweepSocket();
   cells += dpstore::SweepPipeline();
   cells += dpstore::SweepFusion();
   cells += dpstore::SweepTransportBatches();

@@ -44,6 +44,16 @@ struct WorkloadReport {
                : model.StatsLatencyMs(transport) /
                      static_cast<double>(operations);
   }
+  /// MEASURED transport latency per operation: wall-clock the backend spent
+  /// completing exchanges (TransportStats::measured_wall_ms). 0 for
+  /// in-process backends; the number the modeled latencies finally get
+  /// compared against on a real transport (SocketBackend).
+  double MeasuredMsPerOp() const {
+    return operations == 0
+               ? 0.0
+               : transport.measured_wall_ms /
+                     static_cast<double>(operations);
+  }
 };
 
 /// Runs `sequence` against any RAM-repertoire scheme through the unified

@@ -20,6 +20,7 @@
 #include "storage/async_sharded_backend.h"
 #include "storage/fusing_backend.h"
 #include "storage/sharded_backend.h"
+#include "storage/socket_backend.h"
 #include "storage/write_back_cache.h"
 
 namespace dpstore {
@@ -221,9 +222,27 @@ StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
         MemoryBackendFactory(config.counting_only_transcript),
         config.fuse_bytes, config.counting_only_transcript);
   }
+  if (config.backend == "socket") {
+    SocketBackendOptions options;
+    options.socket_path = config.socket_path;
+    options.host = config.socket_host;
+    options.port = config.socket_port;
+    if (!options.host.empty() && options.port == 0) {
+      return InvalidArgumentError("socket backend needs socket_port with "
+                                  "socket_host");
+    }
+    // A port without a host would otherwise silently fall back to the
+    // in-process socketpair server — and measure the wrong transport.
+    if (options.host.empty() && options.port != 0) {
+      return InvalidArgumentError("socket backend needs socket_host with "
+                                  "socket_port");
+    }
+    return SocketBackendFactory(std::move(options),
+                                config.counting_only_transcript);
+  }
   return NotFoundError(
       "unknown backend '" + config.backend +
-      "' (known: memory, sharded, async_sharded, cached, fused)");
+      "' (known: memory, sharded, async_sharded, cached, fused, socket)");
 }
 
 SchemeRegistry& SchemeRegistry::Instance() {

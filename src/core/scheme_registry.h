@@ -1,6 +1,14 @@
 #ifndef DPSTORE_CORE_SCHEME_REGISTRY_H_
 #define DPSTORE_CORE_SCHEME_REGISTRY_H_
 
+/// \file
+/// SchemeConfig + SchemeRegistry: build any scheme in the library, on any
+/// storage topology, by name from one config value. This is the header
+/// every bench, test, and experiment driver goes through — "run every
+/// scheme against every workload on every backend" is a loop over
+/// RamSchemeNames() x backends, not a hand-written matrix. The layer map
+/// is in docs/architecture.md.
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,9 +37,12 @@ struct SchemeConfig {
   /// (ShardedBackend over `shards` in-memory shards), "async_sharded"
   /// (AsyncShardedBackend: the same partition with one worker thread per
   /// shard, legs genuinely overlapped), "cached" (WriteBackCacheBackend
-  /// of `cache_blocks` blocks over an in-memory server), or "fused"
+  /// of `cache_blocks` blocks over an in-memory server), "fused"
   /// (FusingBackend coalescing adjacent same-direction exchanges up to
-  /// `fuse_blocks` blocks over an in-memory server).
+  /// `fuse_blocks` blocks over an in-memory server), or "socket"
+  /// (SocketBackend: the real RPC transport — exchanges serialized over a
+  /// socket to a dpstore_server at `socket_path` / `socket_host:port`, or
+  /// to an in-process socketpair server when neither is set).
   std::string backend = "memory";
   uint64_t shards = 4;
   /// Write-back cache capacity in blocks (backend "cached").
@@ -40,6 +51,13 @@ struct SchemeConfig {
   uint64_t fuse_blocks = 64;
   /// Optional fused-exchange byte budget (backend "fused"); 0 = unlimited.
   uint64_t fuse_bytes = 0;
+  /// Unix-domain path of a running dpstore_server (backend "socket").
+  std::string socket_path;
+  /// TCP endpoint of a running dpstore_server (backend "socket"). With
+  /// both this and `socket_path` empty, every backend the factory builds
+  /// spawns its own in-process socketpair server.
+  std::string socket_host;
+  uint16_t socket_port = 0;
   /// Optional sink accumulating hit/miss counters across every cache the
   /// factory builds for this scheme (backend "cached").
   std::shared_ptr<CacheStats> cache_stats;
@@ -80,11 +98,20 @@ class SchemeRegistry {
 
   /// Registers a factory under `name`; later registrations win, so tests
   /// and experiments can shadow a built-in.
+  /// \param name     lookup key (conventionally snake_case scheme name)
+  /// \param factory  builds a scheme from a SchemeConfig, or returns why
+  ///                 it cannot (bad config values surface here)
   void RegisterRam(const std::string& name, RamFactory factory);
   void RegisterKvs(const std::string& name, KvsFactory factory);
 
+  /// Builds the RAM scheme registered as `name`.
+  /// \param name    a registered scheme name (see RamSchemeNames())
+  /// \param config  geometry, seed, backend topology, DP parameters
+  /// \return a ready-to-query scheme pre-seeded with the marker database,
+  ///         NotFound for unknown names, or the factory's own error
   StatusOr<std::unique_ptr<RamScheme>> MakeRam(
       const std::string& name, const SchemeConfig& config) const;
+  /// KVS counterpart of MakeRam; KVS schemes start empty.
   StatusOr<std::unique_ptr<KvsScheme>> MakeKvs(
       const std::string& name, const SchemeConfig& config) const;
 

@@ -1,0 +1,132 @@
+// dpstore_server: a standalone storage server process speaking the wire
+// codec (storage/wire.h, spec in docs/wire-format.md) over a Unix-domain
+// or TCP socket. Each accepted connection gets its own StorageServer arena
+// (geometry fixed by the client's Open frame) and is served on its own
+// thread until the client disconnects, so independent clients — replicas
+// of a multi-server scheme, parallel test shards — never share state.
+//
+// Usage:
+//   dpstore_server --unix /tmp/dpstore.sock
+//   dpstore_server --port 47777 [--host 127.0.0.1]
+//
+// Prints one "dpstore_server: listening on ..." line to stdout when ready
+// (CI waits for it), then serves until killed.
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/storage_service.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --unix <path> | --port <port> [--host <addr>]\n",
+               argv0);
+  return 2;
+}
+
+int ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "dpstore_server: socket path too long: %s\n",
+                 path.c_str());
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    std::perror("dpstore_server: unix listen");
+    if (fd >= 0) ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ListenTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "dpstore_server: bad --host %s\n", host.c_str());
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("dpstore_server: socket");
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    std::perror("dpstore_server: tcp listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  // Exactly one of --unix / --port.
+  if (unix_path.empty() == (port < 0)) return Usage(argv[0]);
+
+  int listen_fd = -1;
+  std::string where;
+  if (!unix_path.empty()) {
+    listen_fd = ListenUnix(unix_path);
+    where = "unix:" + unix_path;
+  } else {
+    if (port <= 0 || port > 65535) return Usage(argv[0]);
+    listen_fd = ListenTcp(host, static_cast<uint16_t>(port));
+    where = host + ":" + std::to_string(port);
+  }
+  if (listen_fd < 0) return 1;
+
+  std::printf("dpstore_server: listening on %s\n", where.c_str());
+  std::fflush(stdout);
+
+  for (;;) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::perror("dpstore_server: accept");
+      break;
+    }
+    // One thread per connection; ServeStorageConnection closes the fd.
+    std::thread([conn] { dpstore::ServeStorageConnection(conn); }).detach();
+  }
+  ::close(listen_fd);
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "server/storage_service.h"
+
+#include <unistd.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/server.h"
+#include "storage/wire.h"
+
+namespace dpstore {
+
+namespace {
+
+Status SendError(int fd, const Status& status, uint64_t ticket) {
+  return wire::WriteFrame(fd, wire::EncodeReplyError(status, ticket));
+}
+
+Status SendAck(int fd, uint64_t ticket) {
+  static const BlockBuffer kEmpty;
+  return wire::WriteFrame(fd, wire::EncodeReplyBlocks(kEmpty, ticket));
+}
+
+/// The dispatch loop proper; returns when the stream ends (EOF, framing
+/// error, or write failure). Split out so the caller closes `fd` on every
+/// exit path.
+void ServeLoop(int fd, uint64_t* exchanges) {
+  std::unique_ptr<StorageServer> arena;
+  std::vector<uint8_t> scratch;
+  for (;;) {
+    StatusOr<wire::DecodedFrame> frame = wire::ReadFrame(fd, &scratch);
+    if (!frame.ok()) return;  // EOF or unframeable bytes: close.
+    const wire::FrameHeader& header = frame->header;
+    const uint64_t ticket = header.ticket;
+    Status sent = OkStatus();
+
+    if (header.type == wire::FrameType::kOpen) {
+      // (Re)build the arena. The geometry is fixed per store, so a
+      // connection re-Opening simply starts a fresh zeroed array. The cap
+      // check divides rather than multiplies: a forged aux must not be
+      // able to wrap the product and size a terminal allocation. Header
+      // headroom keeps a full-array reply frame under the cap too.
+      if (header.aux == 0 || header.block_size == 0 ||
+          header.aux > (wire::kMaxFrameBytes - wire::kHeaderBytes) /
+                           header.block_size) {
+        sent = SendError(fd, InvalidArgumentError("open: bad geometry"),
+                         ticket);
+      } else {
+        arena = std::make_unique<StorageServer>(header.aux, header.block_size);
+        // The remote arena's own transcript is never shipped back (the
+        // adversary's view is the client-side transcript); keep it to
+        // counters so a long-lived connection cannot grow without bound.
+        arena->SetTranscriptCountingOnly(true);
+        sent = SendAck(fd, ticket);
+      }
+    } else if (arena == nullptr) {
+      sent = SendError(fd, FailedPreconditionError("frame before open"),
+                       ticket);
+    } else {
+      switch (header.type) {
+        case wire::FrameType::kRequest: {
+          // The decode only bounded the request frame; the REPLY of a
+          // download is count * block_size bytes, and duplicate indices
+          // make count independent of n. Cap it (division, no overflow)
+          // before the arena sizes an allocation a hostile client chose.
+          if (static_cast<StorageRequest::Op>(header.code) ==
+                  StorageRequest::Op::kDownload &&
+              arena->block_size() > 0 &&
+              frame->indices.size() >
+                  (wire::kMaxFrameBytes - wire::kHeaderBytes) /
+                      arena->block_size()) {
+            sent = SendError(
+                fd,
+                InvalidArgumentError(
+                    "download reply would exceed the wire frame cap"),
+                ticket);
+            break;
+          }
+          StorageRequest request;
+          request.op = static_cast<StorageRequest::Op>(header.code);
+          request.indices = std::move(frame->indices);
+          request.payload = std::move(frame->payload);
+          StatusOr<StorageReply> reply = arena->Exchange(std::move(request));
+          ++*exchanges;
+          sent = reply.ok()
+                     ? wire::WriteFrame(
+                           fd, wire::EncodeReplyBlocks(reply->blocks, ticket))
+                     : SendError(fd, reply.status(), ticket);
+          break;
+        }
+        case wire::FrameType::kSetArray: {
+          Status status = arena->SetArray(frame->payload.ToBlocks());
+          sent = status.ok() ? SendAck(fd, ticket)
+                             : SendError(fd, status, ticket);
+          break;
+        }
+        case wire::FrameType::kPeek: {
+          if (header.aux >= arena->n()) {
+            sent = SendError(fd, OutOfRangeError("peek: index out of range"),
+                             ticket);
+          } else {
+            BlockBuffer one(arena->block_size());
+            one.Append(arena->PeekBlock(header.aux));
+            sent = wire::WriteFrame(fd, wire::EncodeReplyBlocks(one, ticket));
+          }
+          break;
+        }
+        case wire::FrameType::kCorrupt: {
+          if (header.aux >= arena->n()) {
+            sent = SendError(
+                fd, OutOfRangeError("corrupt: index out of range"), ticket);
+          } else {
+            arena->CorruptBlock(header.aux);
+            sent = SendAck(fd, ticket);
+          }
+          break;
+        }
+        default:
+          sent = SendError(
+              fd, InvalidArgumentError("unexpected frame type on server"),
+              ticket);
+          break;
+      }
+    }
+    if (!sent.ok()) return;
+  }
+}
+
+}  // namespace
+
+uint64_t ServeStorageConnection(int fd) {
+  uint64_t exchanges = 0;
+  ServeLoop(fd, &exchanges);
+  ::close(fd);
+  return exchanges;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,33 @@
+#ifndef DPSTORE_SERVER_STORAGE_SERVICE_H_
+#define DPSTORE_SERVER_STORAGE_SERVICE_H_
+
+/// \file
+/// Server side of the wire codec: the dispatch loop that turns one
+/// connected socket into a remote StorageServer arena.
+///
+/// Shared by the dpstore_server binary (src/server/dpstore_server_main.cc)
+/// and by SocketBackend's in-process fallback, which serves the same loop
+/// from a thread over a socketpair — so a test that runs against the
+/// fallback exercises byte-for-byte the same codec and dispatch as a real
+/// TCP deployment.
+
+#include <cstdint>
+
+namespace dpstore {
+
+/// Serves one client connection on `fd` until the peer closes it (or a
+/// framing error makes the stream untrustworthy). Protocol: the first
+/// frame must be kOpen carrying the array geometry (n, block_size); the
+/// service builds a private StorageServer arena for the connection and
+/// then answers kRequest / kSetArray / kPeek / kCorrupt frames until EOF.
+/// Every request frame gets exactly one reply frame with the same ticket,
+/// in request order. Malformed exchanges answer with error frames;
+/// undecodable bytes close the connection (framing cannot be resynced).
+///
+/// Owns nothing beyond the per-connection arena; closes `fd` on return.
+/// Returns the number of exchange frames served (for logging/tests).
+uint64_t ServeStorageConnection(int fd);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_SERVER_STORAGE_SERVICE_H_

@@ -1,6 +1,14 @@
 #ifndef DPSTORE_STORAGE_BACKEND_H_
 #define DPSTORE_STORAGE_BACKEND_H_
 
+/// \file
+/// The storage transport seam: every scheme talks to untrusted storage
+/// exclusively through StorageBackend, whose surface is message-shaped
+/// (StorageRequest / StorageReply) and two-phase (Submit / Wait). This is
+/// the first header a new contributor should read; the full layer map is
+/// in docs/architecture.md and the wire encoding of these messages in
+/// docs/wire-format.md.
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,17 +32,27 @@ struct TransportStats {
   uint64_t blocks_moved = 0;
   uint64_t bytes_moved = 0;
   uint64_t roundtrips = 0;
+  /// MEASURED wall-clock milliseconds the transport spent completing
+  /// exchanges (submit to reply-parked), summed per exchange. 0 for
+  /// in-process backends, where an exchange is a function call; a real RPC
+  /// transport (SocketBackend) reports its actual socket latency here, next
+  /// to the modeled CostModel axes. Deliberately excluded from operator==:
+  /// equality compares the adversary-visible modeled axes, which must be
+  /// bit-identical across backends, while measured time never is.
+  double measured_wall_ms = 0.0;
 
   TransportStats& operator+=(const TransportStats& other) {
     blocks_moved += other.blocks_moved;
     bytes_moved += other.bytes_moved;
     roundtrips += other.roundtrips;
+    measured_wall_ms += other.measured_wall_ms;
     return *this;
   }
   friend TransportStats operator-(TransportStats a, const TransportStats& b) {
     a.blocks_moved -= b.blocks_moved;
     a.bytes_moved -= b.bytes_moved;
     a.roundtrips -= b.roundtrips;
+    a.measured_wall_ms -= b.measured_wall_ms;
     return a;
   }
   friend bool operator==(const TransportStats& a, const TransportStats& b) {
@@ -44,6 +62,10 @@ struct TransportStats {
 };
 
 /// Reads a backend transcript into TransportStats.
+/// \param transcript  the adversary-view event/counter record to read
+/// \param block_size  bytes per block, used to derive bytes_moved
+/// \return modeled axes only; measured_wall_ms is left at 0 (callers that
+///         want it use StorageBackend::Stats(), which fills it in)
 TransportStats StatsFromTranscript(const Transcript& transcript,
                                    size_t block_size);
 
@@ -109,6 +131,11 @@ using Ticket = uint64_t;
 /// bytes: every index in range, upload payload count and sizes matching.
 /// Shared by every backend so the whole transport rejects malformed
 /// exchanges identically, before any fault roll or state change.
+/// \param request     the exchange to validate (not modified)
+/// \param n           array size the indices must stay below
+/// \param block_size  required payload block size for uploads
+/// \return OK, or InvalidArgument (payload/index count or size mismatch)
+///         / OutOfRange (index >= n) with the offending value named
 Status ValidateRequest(const StorageRequest& request, uint64_t n,
                        size_t block_size);
 
@@ -190,11 +217,17 @@ class StorageBackend {
   /// injected faults are reported at Wait, so a pipelined submitter needs no
   /// error path of its own. The default implementation executes the
   /// exchange eagerly (synchronous transport) and parks the reply.
+  /// \param request  the exchange, consumed (its payload moves to the wire)
+  /// \return a fresh single-use ticket; never fails at this phase
   virtual Ticket Submit(StorageRequest request);
 
   /// Blocks until the exchange behind `ticket` completes and returns its
   /// reply (downloaded blocks in request order; empty for uploads).
   /// Consumes the ticket: a second Wait on it is NotFound.
+  /// \param ticket  a ticket returned by Submit and not yet waited on
+  /// \return the reply, or the exchange's error (validation, injected
+  ///         fault, transport failure) — in which case nothing was
+  ///         recorded and no storage changed
   virtual StatusOr<StorageReply> Wait(Ticket ticket);
 
   /// One-shot exchange: Submit immediately followed by Wait.
@@ -235,6 +268,14 @@ class StorageBackend {
   /// dropped RPC. A batched exchange fails as a unit.
   virtual void SetFailureRate(double rate, uint64_t seed = 7) = 0;
 
+  /// Total MEASURED wall-clock milliseconds spent completing exchanges,
+  /// summed per exchange from submission to the reply being parked. The
+  /// in-process default is 0.0 (an exchange is a function call, and the
+  /// modeled CostModel latency is the interesting number); backends that
+  /// cross a real wire (SocketBackend) override this with socket time, and
+  /// Stats() surfaces it as TransportStats::measured_wall_ms.
+  virtual double MeasuredWallMs() const { return 0.0; }
+
   // Convenience counters over transcript().
   uint64_t download_count() const { return transcript().download_count(); }
   uint64_t upload_count() const { return transcript().upload_count(); }
@@ -243,7 +284,9 @@ class StorageBackend {
     return transcript().TotalBlocksMoved() * block_size();
   }
   TransportStats Stats() const {
-    return StatsFromTranscript(transcript(), block_size());
+    TransportStats stats = StatsFromTranscript(transcript(), block_size());
+    stats.measured_wall_ms = MeasuredWallMs();
+    return stats;
   }
 
  protected:

@@ -1,6 +1,16 @@
 #ifndef DPSTORE_STORAGE_BLOCK_BUFFER_H_
 #define DPSTORE_STORAGE_BLOCK_BUFFER_H_
 
+/// \file
+/// The transport's payload memory model: BlockBuffer (a batch of
+/// equal-sized blocks in ONE contiguous allocation), BlockView /
+/// MutableBlockView (non-owning spans into it), and BufferPool (the
+/// free list that makes steady-state Submit/Wait allocation-free).
+/// Ownership and invalidation rules are documented per type below and
+/// summarized in README "Transport memory model"; the flat layout is
+/// also what lets the socket transport serialize a payload as one
+/// writev leg (docs/wire-format.md).
+
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -51,9 +61,12 @@ class BufferPool {
 
   /// Returns a slab with capacity >= `bytes`; reuses a pooled slab when one
   /// is big enough, else allocates fresh (uninitialized) storage.
+  /// \param bytes  minimum capacity the caller needs
+  /// \return a slab the caller owns until it calls Release
   Slab Acquire(size_t bytes);
 
   /// Returns a slab to the free list (dropped when the pool is full).
+  /// \param slab  a slab previously returned by Acquire (or fresh)
   void Release(Slab slab);
 
   /// Pooled-reuse counter, for allocation regression tests.
@@ -118,7 +131,11 @@ class BlockBuffer {
   size_t bytes() const { return count_ * block_size_; }
   bool ragged() const { return ragged_; }
 
+  /// Read-only view of block `i`. Valid until the next append / clear /
+  /// move / destruction of this buffer — derive, use, drop.
+  /// \param i  block index, must be < size()
   BlockView operator[](size_t i) const;
+  /// Writable view of block `i`; same lifetime rules as operator[].
   MutableBlockView Mutable(size_t i);
 
   /// All payload bytes, in block order.

@@ -1,0 +1,436 @@
+#include "storage/socket_backend.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "server/storage_service.h"
+#include "util/check.h"
+
+namespace dpstore {
+
+namespace {
+
+/// Connects to a Unix-domain dpstore_server. Returns -1 with `*why` set.
+int ConnectUnix(const std::string& path, Status* why) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *why = InvalidArgumentError("socket path too long: " + path);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *why = UnavailableError(std::string("socket(): ") + std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *why = UnavailableError("connect(" + path +
+                            "): " + std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Connects to a TCP dpstore_server. Returns -1 with `*why` set.
+int ConnectTcp(const std::string& host, uint16_t port, Status* why) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    *why = UnavailableError("getaddrinfo(" + host + "): " +
+                            ::gai_strerror(rc));
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    *why = UnavailableError("connect(" + host + ":" + service +
+                            "): " + std::strerror(errno));
+    return -1;
+  }
+  // Small header-only frames (single-block exchanges, acks) must not sit in
+  // Nagle's buffer: this backend MEASURES latency.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+SocketBackend::SocketBackend(uint64_t n, size_t block_size,
+                             SocketBackendOptions options)
+    : n_(n), block_size_(block_size) {
+  StartConnection(n, block_size, options);
+}
+
+void SocketBackend::StartConnection(uint64_t n, size_t block_size,
+                                    const SocketBackendOptions& options) {
+  Status why = OkStatus();
+  if (!options.socket_path.empty()) {
+    fd_ = ConnectUnix(options.socket_path, &why);
+  } else if (!options.host.empty()) {
+    fd_ = ConnectTcp(options.host, options.port, &why);
+  } else {
+    // In-process fallback: the same dispatch loop dpstore_server runs,
+    // served from a thread over a socketpair.
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      why = UnavailableError(std::string("socketpair(): ") +
+                             std::strerror(errno));
+    } else {
+      fd_ = fds[0];
+      server_ = std::thread([server_fd = fds[1]] {
+        ServeStorageConnection(server_fd);
+      });
+    }
+  }
+  if (fd_ < 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    broken_ = std::move(why);
+    return;
+  }
+  writer_ = std::thread(&SocketBackend::WriterLoop, this);
+  reader_ = std::thread(&SocketBackend::ReaderLoop, this);
+  // Open handshake: the server builds a connection-private arena of this
+  // geometry. A rejection (or transport failure) latches as broken_, so
+  // every later operation reports the root cause.
+  StatusOr<StorageReply> ack = ControlRoundTrip(
+      wire::FrameType::kOpen, n, static_cast<uint32_t>(block_size),
+      BlockBuffer());
+  if (!ack.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_.ok()) broken_ = ack.status();
+  }
+}
+
+SocketBackend::~SocketBackend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  writer_cv_.notify_all();
+  // Full shutdown BEFORE joining: a peer that stalled (stopped reading,
+  // network partition) leaves the writer blocked in sendmsg and the
+  // reader blocked in read, where neither observes stopping_; shutdown
+  // wakes both (EPIPE / EOF), so destruction can never hang on a bad
+  // peer. Nothing is lost in the clean case: every ticket has been
+  // waited by contract, which implies every queued frame was written and
+  // every reply consumed.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (writer_.joinable()) writer_.join();
+  if (reader_.joinable()) reader_.join();
+  if (server_.joinable()) server_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SocketBackend::ConnectionStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+Status SocketBackend::SetArray(std::vector<Block> blocks) {
+  // Validate locally so geometry errors match StorageServer::SetArray
+  // byte for byte (and skip shipping a doomed payload).
+  if (blocks.size() != n_) {
+    return InvalidArgumentError("SetArray: wrong block count");
+  }
+  for (const Block& block : blocks) {
+    if (block.size() != block_size_) {
+      return InvalidArgumentError("SetArray: block size mismatch");
+    }
+  }
+  if (block_size_ > 0 &&
+      n_ > (wire::kMaxFrameBytes - wire::kHeaderBytes) / block_size_) {
+    return InvalidArgumentError("SetArray: array exceeds the wire frame cap");
+  }
+  BlockBuffer flat = BlockBuffer::Pack(blocks);
+  return ControlRoundTrip(wire::FrameType::kSetArray, 0,
+                          static_cast<uint32_t>(block_size_), std::move(flat))
+      .status();
+}
+
+Ticket SocketBackend::Submit(StorageRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!broken_.ok()) return ParkImmediateLocked(broken_);
+  // Free-by-contract exchanges never reach the wire (no frame, no fault
+  // roll, no transcript event) — the base-class contract.
+  if (request.IsNoOp()) return ParkImmediateLocked(StorageReply{});
+  // Decided locally, exactly as the in-process backends decide them in
+  // Execute: validation first, then one fault roll per exchange. Nothing
+  // crosses the wire and nothing is recorded for either.
+  Status early = ValidateRequest(request, n_, block_size_);
+  if (early.ok()) {
+    // Both legs of the exchange must fit one wire frame: the request
+    // (8-byte indices, plus the payload for uploads) and the download
+    // reply (count blocks). Division, not multiplication, so a huge
+    // count cannot wrap the arithmetic.
+    const uint64_t count = request.indices.size();
+    const uint64_t per_block =
+        request.op == StorageRequest::Op::kDownload
+            ? std::max<uint64_t>(8, block_size_)
+            : 8 + uint64_t{request.payload.block_size()};
+    if (count > (wire::kMaxFrameBytes - wire::kHeaderBytes) / per_block) {
+      early = InvalidArgumentError(
+          "exchange of " + std::to_string(count) +
+          " blocks exceeds the wire frame cap");
+    }
+  }
+  if (early.ok()) early = faults_.MaybeInject();
+  if (!early.ok()) return ParkImmediateLocked(std::move(early));
+
+  const Ticket ticket = next_ticket_++;
+  wire::EncodedFrame frame = wire::EncodeRequest(request, ticket);
+  auto flight = std::make_unique<InFlight>();
+  flight->op = request.op;
+  flight->indices = std::move(request.indices);
+  flight->expected_blocks = request.op == StorageRequest::Op::kDownload
+                                ? flight->indices.size()
+                                : 0;  // uploads answer with an empty ack
+  flight->record = true;
+  flight->submitted = std::chrono::steady_clock::now();
+  in_flight_.emplace(ticket, std::move(flight));
+  OutFrame out;
+  out.head = std::move(frame.head);
+  out.body_owner = std::move(request.payload);  // keeps frame.body alive
+  out_queue_.push_back(std::move(out));
+  writer_cv_.notify_one();
+  return ticket;
+}
+
+StatusOr<StorageReply> SocketBackend::Wait(Ticket ticket) {
+  std::unique_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = in_flight_.find(ticket);
+    if (it == in_flight_.end()) {
+      return NotFoundError("Wait: unknown or already-consumed ticket " +
+                           std::to_string(ticket));
+    }
+    InFlight* slot = it->second.get();
+    reply_cv_.wait(lock, [slot] { return slot->done; });
+    // Re-find: the map may have rehashed while we waited (slot pointers
+    // are stable, iterators are not).
+    flight = std::move(in_flight_.at(ticket));
+    in_flight_.erase(ticket);
+    if (flight->record && flight->reply.ok()) {
+      measured_wall_ms_ += MsBetween(flight->submitted, flight->parked);
+    }
+  }
+  // Transcript recording happens at Wait, atomically per exchange (the
+  // AsyncShardedBackend discipline): awaited in submission order — which
+  // every scheme's narrow calls guarantee — the adversary's view is
+  // bit-identical to the in-memory backend's.
+  if (flight->record && flight->reply.ok()) {
+    if (flight->op == StorageRequest::Op::kDownload) {
+      transcript_.RecordRoundtrip();
+      transcript_.RecordMany(AccessEvent::Type::kDownload, flight->indices);
+    } else {
+      transcript_.RecordMany(AccessEvent::Type::kUpload, flight->indices);
+    }
+  }
+  return std::move(flight->reply);
+}
+
+Block SocketBackend::PeekBlock(BlockId index) const {
+  DPSTORE_CHECK_LT(index, n_);
+  // Peek is morally const (an unrecorded read) but must travel the same
+  // writer/reader machinery as everything else.
+  auto* self = const_cast<SocketBackend*>(this);
+  StatusOr<StorageReply> reply = self->ControlRoundTrip(
+      wire::FrameType::kPeek, index, 0, BlockBuffer());
+  DPSTORE_CHECK_OK(reply.status());
+  DPSTORE_CHECK_EQ(reply->blocks.size(), 1u);
+  return ToBlock(reply->blocks[0]);
+}
+
+void SocketBackend::CorruptBlock(BlockId index) {
+  DPSTORE_CHECK_LT(index, n_);
+  DPSTORE_CHECK_GT(block_size_, 0u);
+  DPSTORE_CHECK_OK(
+      ControlRoundTrip(wire::FrameType::kCorrupt, index, 0, BlockBuffer())
+          .status());
+}
+
+void SocketBackend::SetFailureRate(double rate, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.Set(rate, seed);
+}
+
+double SocketBackend::MeasuredWallMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return measured_wall_ms_;
+}
+
+StatusOr<StorageReply> SocketBackend::Execute(StorageRequest request) {
+  return Wait(Submit(std::move(request)));
+}
+
+Ticket SocketBackend::ParkImmediateLocked(StatusOr<StorageReply> reply) {
+  const Ticket ticket = next_ticket_++;
+  auto flight = std::make_unique<InFlight>();
+  flight->done = true;
+  flight->reply = std::move(reply);
+  in_flight_.emplace(ticket, std::move(flight));
+  return ticket;
+}
+
+StatusOr<StorageReply> SocketBackend::ControlRoundTrip(
+    wire::FrameType type, uint64_t aux, uint32_t block_size,
+    BlockBuffer body_owner) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!broken_.ok()) return broken_;
+  const Ticket ticket = next_ticket_++;
+  auto flight = std::make_unique<InFlight>();
+  flight->expected_blocks = type == wire::FrameType::kPeek ? 1 : 0;
+  InFlight* slot = flight.get();
+  in_flight_.emplace(ticket, std::move(flight));
+  OutFrame out;
+  if (type == wire::FrameType::kSetArray) {
+    wire::EncodedFrame frame = wire::EncodeSetArray(body_owner, ticket);
+    out.head = std::move(frame.head);
+    out.body_owner = std::move(body_owner);
+  } else {
+    wire::EncodedFrame frame =
+        wire::EncodeControl(type, ticket, aux, block_size);
+    out.head = std::move(frame.head);
+  }
+  out_queue_.push_back(std::move(out));
+  writer_cv_.notify_one();
+  reply_cv_.wait(lock, [slot] { return slot->done; });
+  StatusOr<StorageReply> reply = std::move(slot->reply);
+  in_flight_.erase(ticket);
+  return reply;
+}
+
+void SocketBackend::WriterLoop() {
+  for (;;) {
+    OutFrame out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      writer_cv_.wait(lock, [this] {
+        return stopping_ || !out_queue_.empty() || !broken_.ok();
+      });
+      if (!broken_.ok()) return;
+      if (out_queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      out = std::move(out_queue_.front());
+      out_queue_.pop_front();
+    }
+    wire::EncodedFrame frame;
+    frame.head = std::move(out.head);
+    frame.body = out.body_owner.AllBytes();
+    Status written = wire::WriteFrame(fd_, frame);
+    if (!written.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      BreakConnectionLocked(std::move(written));
+      return;
+    }
+  }
+}
+
+void SocketBackend::ReaderLoop() {
+  std::vector<uint8_t> scratch;
+  for (;;) {
+    StatusOr<wire::DecodedFrame> frame = wire::ReadFrame(fd_, &scratch);
+    const auto parked = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!frame.ok()) {
+      // Clean EOF during shutdown is the expected end of the stream;
+      // anything else (mid-frame EOF, corrupt frame, I/O error) breaks
+      // every exchange still in flight rather than crashing or hanging.
+      BreakConnectionLocked(frame.status());
+      return;
+    }
+    auto it = in_flight_.find(frame->header.ticket);
+    if (it == in_flight_.end() || it->second->done) {
+      BreakConnectionLocked(
+          DataLossError("wire: reply for unknown or completed ticket " +
+                        std::to_string(frame->header.ticket)));
+      return;
+    }
+    InFlight* slot = it->second.get();
+    if (frame->header.type == wire::FrameType::kReplyBlocks) {
+      // A WELL-FORMED reply whose geometry disagrees with the request is
+      // as hostile as a corrupt frame: without this check, a lying server
+      // could park a 0-block reply for a 1-block download and crash the
+      // client at reply.blocks[0] instead of failing the exchange.
+      if (frame->payload.size() != slot->expected_blocks ||
+          (!frame->payload.empty() &&
+           frame->payload.block_size() != block_size_)) {
+        BreakConnectionLocked(DataLossError(
+            "wire: reply geometry mismatch for ticket " +
+            std::to_string(frame->header.ticket)));
+        return;
+      }
+      StorageReply reply;
+      reply.blocks = std::move(frame->payload);
+      slot->reply = std::move(reply);
+    } else if (frame->header.type == wire::FrameType::kReplyError) {
+      slot->reply = Status(static_cast<StatusCode>(frame->header.code),
+                           std::move(frame->message));
+    } else {
+      BreakConnectionLocked(
+          DataLossError("wire: unexpected frame type in reply stream"));
+      return;
+    }
+    slot->parked = parked;
+    slot->done = true;
+    reply_cv_.notify_all();
+  }
+}
+
+void SocketBackend::BreakConnectionLocked(Status why) {
+  if (broken_.ok()) {
+    broken_ = UnavailableError("socket backend: connection broken: " +
+                               why.ToString());
+  }
+  for (auto& [ticket, flight] : in_flight_) {
+    if (!flight->done) {
+      flight->done = true;
+      flight->record = false;  // nothing completed: record nothing
+      flight->reply = broken_;
+    }
+  }
+  reply_cv_.notify_all();
+  writer_cv_.notify_all();
+}
+
+BackendFactory SocketBackendFactory(SocketBackendOptions options,
+                                    bool counting_only) {
+  return [options, counting_only](uint64_t n, size_t block_size) {
+    auto backend = std::make_unique<SocketBackend>(n, block_size, options);
+    if (counting_only) backend->SetTranscriptCountingOnly(true);
+    return backend;
+  };
+}
+
+}  // namespace dpstore

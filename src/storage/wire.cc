@@ -1,0 +1,317 @@
+#include "storage/wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace dpstore {
+namespace wire {
+
+namespace {
+
+// Explicit little-endian scalar serialization: the format is defined by
+// these loops, not by host memory layout.
+void PutU32(std::vector<uint8_t>* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(value >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(value >> (8 * i)));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= uint32_t(p[i]) << (8 * i);
+  return value;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= uint64_t(p[i]) << (8 * i);
+  return value;
+}
+
+/// Builds `head` = length prefix + header + indices for a frame whose body
+/// (the second writev leg) will carry `body_bytes` payload bytes.
+std::vector<uint8_t> EncodeHead(const FrameHeader& header,
+                                const std::vector<BlockId>& indices,
+                                size_t body_bytes) {
+  std::vector<uint8_t> head;
+  head.reserve(4 + kHeaderBytes + indices.size() * 8);
+  const uint64_t length = kHeaderBytes + indices.size() * 8 + body_bytes;
+  PutU32(&head, static_cast<uint32_t>(length));
+  head.push_back(header.version);
+  head.push_back(static_cast<uint8_t>(header.type));
+  head.push_back(header.code);
+  head.push_back(0);  // reserved
+  PutU64(&head, header.ticket);
+  PutU64(&head, header.count);
+  PutU32(&head, header.block_size);
+  PutU64(&head, header.aux);
+  for (BlockId index : indices) PutU64(&head, index);
+  return head;
+}
+
+Status TruncatedError(const char* what) {
+  return DataLossError(std::string("wire: truncated frame: ") + what);
+}
+
+}  // namespace
+
+EncodedFrame EncodeRequest(const StorageRequest& request, uint64_t ticket) {
+  FrameHeader header;
+  header.type = FrameType::kRequest;
+  header.code = static_cast<uint8_t>(request.op);
+  header.ticket = ticket;
+  header.count = request.indices.size();
+  header.block_size = static_cast<uint32_t>(request.payload.block_size());
+  EncodedFrame frame;
+  frame.body = request.payload.AllBytes();
+  frame.head = EncodeHead(header, request.indices, frame.body.size());
+  return frame;
+}
+
+EncodedFrame EncodeReplyBlocks(const BlockBuffer& blocks, uint64_t ticket) {
+  FrameHeader header;
+  header.type = FrameType::kReplyBlocks;
+  header.ticket = ticket;
+  header.count = blocks.size();
+  header.block_size = static_cast<uint32_t>(blocks.block_size());
+  EncodedFrame frame;
+  frame.body = blocks.AllBytes();
+  frame.head = EncodeHead(header, {}, frame.body.size());
+  return frame;
+}
+
+EncodedFrame EncodeReplyError(const Status& status, uint64_t ticket) {
+  FrameHeader header;
+  header.type = FrameType::kReplyError;
+  header.code = static_cast<uint8_t>(status.code());
+  header.ticket = ticket;
+  header.count = status.message().size();
+  EncodedFrame frame;
+  frame.head = EncodeHead(header, {}, status.message().size());
+  // The message rides in `head` (it is small and owned nowhere stable the
+  // frame could alias).
+  const auto* text = reinterpret_cast<const uint8_t*>(status.message().data());
+  frame.head.insert(frame.head.end(), text, text + status.message().size());
+  return frame;
+}
+
+EncodedFrame EncodeControl(FrameType type, uint64_t ticket, uint64_t aux,
+                           uint32_t block_size) {
+  FrameHeader header;
+  header.type = type;
+  header.ticket = ticket;
+  header.aux = aux;
+  header.block_size = block_size;
+  EncodedFrame frame;
+  frame.head = EncodeHead(header, {}, 0);
+  return frame;
+}
+
+EncodedFrame EncodeSetArray(const BlockBuffer& array, uint64_t ticket) {
+  FrameHeader header;
+  header.type = FrameType::kSetArray;
+  header.ticket = ticket;
+  header.count = array.size();
+  header.block_size = static_cast<uint32_t>(array.block_size());
+  EncodedFrame frame;
+  frame.body = array.AllBytes();
+  frame.head = EncodeHead(header, {}, frame.body.size());
+  return frame;
+}
+
+StatusOr<DecodedFrame> DecodeFrame(BlockView bytes) {
+  if (bytes.size() < kHeaderBytes) return TruncatedError("header");
+  const uint8_t* p = bytes.data();
+  DecodedFrame frame;
+  FrameHeader& header = frame.header;
+  header.version = p[0];
+  if (header.version != kWireVersion) {
+    return InvalidArgumentError("wire: unknown version " +
+                                std::to_string(header.version));
+  }
+  const uint8_t raw_type = p[1];
+  if (raw_type < static_cast<uint8_t>(FrameType::kRequest) ||
+      raw_type > static_cast<uint8_t>(FrameType::kCorrupt)) {
+    return InvalidArgumentError("wire: unknown frame type " +
+                                std::to_string(raw_type));
+  }
+  header.type = static_cast<FrameType>(raw_type);
+  header.code = p[2];
+  // p[3] reserved, ignored.
+  header.ticket = GetU64(p + 4);
+  header.count = GetU64(p + 12);
+  header.block_size = GetU32(p + 20);
+  header.aux = GetU64(p + 24);
+  const size_t rest = bytes.size() - kHeaderBytes;
+  const uint8_t* tail = p + kHeaderBytes;
+
+  // Every type's body size is fully determined by the header; a mismatch
+  // with the actual frame length is a corrupt (or hostile) frame. Checking
+  // BEFORE sizing any allocation is what defuses a forged max-count header.
+  switch (header.type) {
+    case FrameType::kRequest: {
+      if (header.code > 1) {
+        return InvalidArgumentError("wire: unknown request op " +
+                                    std::to_string(header.code));
+      }
+      const bool upload = header.code == 1;
+      // count * 8 (indices) + payload must be exactly `rest`; work in
+      // checked steps so a forged count cannot overflow the arithmetic.
+      if (header.count > rest / 8) return TruncatedError("indices");
+      const size_t index_bytes = size_t(header.count) * 8;
+      const size_t payload_bytes = rest - index_bytes;
+      if (upload) {
+        if (size_t(header.count) * header.block_size != payload_bytes) {
+          return TruncatedError("upload payload");
+        }
+      } else if (payload_bytes != 0) {
+        return InvalidArgumentError("wire: download request carries payload");
+      }
+      frame.indices.resize(header.count);
+      for (uint64_t i = 0; i < header.count; ++i) {
+        frame.indices[i] = GetU64(tail + i * 8);
+      }
+      if (upload && header.count > 0) {
+        frame.payload =
+            BlockBuffer::Uninitialized(header.count, header.block_size);
+        CopyBytes(frame.payload.Mutable(0).data(), tail + index_bytes,
+                  payload_bytes);
+      }
+      return frame;
+    }
+    case FrameType::kReplyBlocks:
+    case FrameType::kSetArray: {
+      if (header.block_size == 0 && header.count > 0) {
+        return InvalidArgumentError("wire: blocks frame with block_size 0");
+      }
+      if (header.count != 0 &&
+          (header.count > rest / header.block_size ||
+           size_t(header.count) * header.block_size != rest)) {
+        return TruncatedError("block payload");
+      }
+      if (header.count == 0 && rest != 0) {
+        return InvalidArgumentError("wire: empty blocks frame with payload");
+      }
+      if (header.count > 0) {
+        frame.payload =
+            BlockBuffer::Uninitialized(header.count, header.block_size);
+        CopyBytes(frame.payload.Mutable(0).data(), tail, rest);
+      }
+      return frame;
+    }
+    case FrameType::kReplyError: {
+      if (header.count != rest) return TruncatedError("error message");
+      if (header.code == 0 ||
+          header.code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+        return InvalidArgumentError("wire: error frame with bad status code " +
+                                    std::to_string(header.code));
+      }
+      frame.message.assign(reinterpret_cast<const char*>(tail), rest);
+      return frame;
+    }
+    case FrameType::kOpen:
+    case FrameType::kPeek:
+    case FrameType::kCorrupt: {
+      if (rest != 0) {
+        return InvalidArgumentError("wire: control frame carries payload");
+      }
+      return frame;
+    }
+  }
+  return InternalError("wire: unreachable frame type");
+}
+
+Status WriteFrame(int fd, const EncodedFrame& frame) {
+  // The writer side of the length-prefix contract: a frame beyond the cap
+  // would be rejected by any conforming reader — and beyond u32, its
+  // truncated prefix would desynchronize the stream. Refuse to put it on
+  // the wire at all; the connection stays usable.
+  const uint64_t length =
+      (frame.head.size() - sizeof(uint32_t)) + frame.body.size();
+  if (length > kMaxFrameBytes) {
+    return InvalidArgumentError("wire: frame of " + std::to_string(length) +
+                                " bytes exceeds cap");
+  }
+  struct iovec iov[2];
+  iov[0].iov_base = const_cast<uint8_t*>(frame.head.data());
+  iov[0].iov_len = frame.head.size();
+  iov[1].iov_base = const_cast<uint8_t*>(frame.body.data());
+  iov[1].iov_len = frame.body.size();
+  int iovcnt = frame.body.empty() ? 1 : 2;
+  struct iovec* cursor = iov;
+  while (iovcnt > 0) {
+    // sendmsg(MSG_NOSIGNAL), not writev: a peer that vanished mid-write
+    // must surface as EPIPE, not kill the process with SIGPIPE.
+    struct msghdr msg{};
+    msg.msg_iov = cursor;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t wrote = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("wire: write failed: ") +
+                              std::strerror(errno));
+    }
+    size_t remaining = static_cast<size_t>(wrote);
+    while (iovcnt > 0 && remaining >= cursor->iov_len) {
+      remaining -= cursor->iov_len;
+      ++cursor;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      cursor->iov_base = static_cast<uint8_t*>(cursor->iov_base) + remaining;
+      cursor->iov_len -= remaining;
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+/// Reads exactly `len` bytes. `clean_eof_ok`: EOF before the first byte is
+/// a clean close (NotFound), mid-read EOF is DataLoss.
+Status ReadExactly(int fd, uint8_t* out, size_t len, bool clean_eof_ok) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("wire: read failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && clean_eof_ok) {
+        return NotFoundError("wire: connection closed");
+      }
+      return DataLossError("wire: connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<DecodedFrame> ReadFrame(int fd, std::vector<uint8_t>* scratch) {
+  uint8_t prefix[4];
+  DPSTORE_RETURN_IF_ERROR(
+      ReadExactly(fd, prefix, sizeof(prefix), /*clean_eof_ok=*/true));
+  const uint32_t length = GetU32(prefix);
+  if (length > kMaxFrameBytes) {
+    return DataLossError("wire: frame length " + std::to_string(length) +
+                         " exceeds cap");
+  }
+  if (scratch->size() < length) scratch->resize(length);
+  DPSTORE_RETURN_IF_ERROR(
+      ReadExactly(fd, scratch->data(), length, /*clean_eof_ok=*/false));
+  return DecodeFrame(BlockView(scratch->data(), length));
+}
+
+}  // namespace wire
+}  // namespace dpstore

@@ -1,0 +1,159 @@
+#ifndef DPSTORE_STORAGE_WIRE_H_
+#define DPSTORE_STORAGE_WIRE_H_
+
+/// \file
+/// Length-prefixed binary wire codec for the storage transport.
+///
+/// `StorageRequest`/`StorageReply` are already the transport's message
+/// shapes; this codec makes them a wire format so an exchange can cross a
+/// real socket to a server process (SocketBackend / dpstore_server). The
+/// normative specification lives in docs/wire-format.md — the layout
+/// constants below and that document must change together (bump
+/// `kWireVersion` on any incompatible change).
+///
+/// Framing: every message is one frame,
+///
+///   [u32 length][FrameHeader (28 bytes)][count * u64 indices][payload]
+///
+/// where `length` counts every byte after itself and all integers are
+/// little-endian. The payload of an upload request / blocks reply is the
+/// flat BlockBuffer region, one contiguous run of count * block_size bytes
+/// — which is what makes serialization two writev legs (header+indices,
+/// payload) instead of a per-block gather loop.
+///
+/// Decoding is defensive by contract: a truncated, corrupt, or
+/// internally-inconsistent frame decodes to an error Status (never a crash
+/// or an oversized allocation), because the bytes may come from an
+/// untrusted peer. The fuzz-ish table test in tests/wire_test.cc holds the
+/// codec to this.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/block_buffer.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+namespace wire {
+
+/// Codec version, first byte of every frame header. Peers reject frames
+/// whose version they do not speak.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Hard ceiling on one frame's `length` field (header + indices + payload).
+/// Caps what a corrupt or hostile length prefix can make the reader
+/// allocate; generous enough for a full n = 2^20 x 64 B scan exchange
+/// (64 MiB) with room to grow.
+inline constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 30;
+
+/// Frame types. Requests flow client -> server, replies server -> client;
+/// every request frame gets exactly one reply frame with the same ticket.
+enum class FrameType : uint8_t {
+  /// One storage exchange (StorageRequest). `code` is the op (0 download,
+  /// 1 upload); downloads answer with kReplyBlocks carrying the blocks,
+  /// uploads with an empty kReplyBlocks acknowledgement.
+  kRequest = 1,
+  /// Successful reply: `count` blocks of `block_size` bytes.
+  kReplyBlocks = 2,
+  /// Error reply: `code` is the StatusCode, payload is the message text.
+  kReplyError = 3,
+  /// Connection hello: `aux` = n, `block_size` set. The server builds its
+  /// arena from this geometry; must be the first frame on a connection.
+  kOpen = 4,
+  /// Whole-array replacement (SetArray): payload = n * block_size bytes.
+  kSetArray = 5,
+  /// Unrecorded single-block read (`aux` = index), for test assertions and
+  /// the adversary's knowledge of the public database.
+  kPeek = 6,
+  /// Flips one byte of block `aux` (tamper-detection tests).
+  kCorrupt = 7,
+};
+
+/// The fixed header of every frame, after the u32 length prefix. 28 bytes
+/// on the wire, little-endian, laid out field by field (no struct
+/// memcpy — the encoder/decoder serialize explicitly so padding and host
+/// endianness never leak into the format).
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kRequest;
+  /// kRequest: StorageRequest::Op. kReplyError: StatusCode. Else 0.
+  uint8_t code = 0;
+  /// Correlates a reply with its request (the client's Ticket).
+  uint64_t ticket = 0;
+  /// kRequest / kReplyBlocks / kSetArray: number of blocks (and, for
+  /// requests, of indices). kReplyError: message byte count.
+  uint64_t count = 0;
+  /// Bytes per payload block; 0 when the frame carries no block payload.
+  uint32_t block_size = 0;
+  /// Type-specific scalar: kOpen: n. kPeek / kCorrupt: the block index.
+  uint64_t aux = 0;
+};
+
+/// Serialized size of the fixed header (excluding the u32 length prefix).
+inline constexpr size_t kHeaderBytes = 1 + 1 + 1 + 1 /*reserved*/ + 8 + 8 +
+                                       4 + 8;
+
+/// One frame ready to write: `head` is the length prefix + header +
+/// indices, `body` borrows the flat payload region (the second writev
+/// leg). `body` must outlive the write; it aliases the request/reply
+/// buffer, never a copy.
+struct EncodedFrame {
+  std::vector<uint8_t> head;
+  BlockView body;
+};
+
+/// One decoded frame. Indices/payload/message are owned copies (the
+/// reader's scratch buffer is reused across frames).
+struct DecodedFrame {
+  FrameHeader header;
+  std::vector<BlockId> indices;
+  BlockBuffer payload;
+  std::string message;  // kReplyError only
+};
+
+/// Encodes one storage exchange. The frame body aliases
+/// `request.payload` — keep the request alive until the frame is written.
+EncodedFrame EncodeRequest(const StorageRequest& request, uint64_t ticket);
+
+/// Encodes a successful reply of `blocks` (empty = acknowledgement). The
+/// frame body aliases `blocks`.
+EncodedFrame EncodeReplyBlocks(const BlockBuffer& blocks, uint64_t ticket);
+
+/// Encodes an error reply carrying `status` (which must not be OK).
+EncodedFrame EncodeReplyError(const Status& status, uint64_t ticket);
+
+/// Encodes a control frame (kOpen / kPeek / kCorrupt) with no payload.
+EncodedFrame EncodeControl(FrameType type, uint64_t ticket, uint64_t aux,
+                           uint32_t block_size);
+
+/// Encodes a whole-array replacement. The frame body aliases `array`.
+EncodedFrame EncodeSetArray(const BlockBuffer& array, uint64_t ticket);
+
+/// Decodes one frame from `bytes` (the frame body: header + indices +
+/// payload, WITHOUT the u32 length prefix, which the reader consumed to
+/// size `bytes`). Rejects — with InvalidArgument/DataLoss, never UB — any
+/// frame that is truncated, claims a count/block_size inconsistent with
+/// its actual length, uses an unknown version or type, or would require
+/// an oversized allocation.
+StatusOr<DecodedFrame> DecodeFrame(BlockView bytes);
+
+// --- POSIX stream I/O --------------------------------------------------------
+
+/// Writes `frame` to `fd` (both writev legs), looping on short writes.
+/// Unavailable on EOF/EPIPE or I/O error.
+Status WriteFrame(int fd, const EncodedFrame& frame);
+
+/// Reads one length-prefixed frame body from `fd` into `*scratch` (resized
+/// as needed, reused across calls) and returns the decoded frame.
+/// NotFound("connection closed") on clean EOF at a frame boundary;
+/// DataLoss on mid-frame EOF or a length prefix exceeding kMaxFrameBytes;
+/// Unavailable on I/O error.
+StatusOr<DecodedFrame> ReadFrame(int fd, std::vector<uint8_t>* scratch);
+
+}  // namespace wire
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_WIRE_H_
