@@ -1,42 +1,70 @@
 // dpstore_server: a standalone storage server process speaking the wire
 // codec (storage/wire.h, spec in docs/wire-format.md) over a Unix-domain
-// or TCP socket. Each accepted connection gets its own StorageServer arena
-// (geometry fixed by the client's Open frame) and is served on its own
-// thread until the client disconnects, so independent clients — replicas
-// of a multi-server scheme, parallel test shards — never share state.
+// or TCP socket. All connections are tenants of ONE shared StorageEngine
+// (each bound to the namespace its Open frame names — private by
+// default, shared by id), served by a bounded worker pool instead of a
+// thread per connection.
 //
 // Usage:
-//   dpstore_server --unix /tmp/dpstore.sock
-//   dpstore_server --port 47777 [--host 127.0.0.1]
+//   dpstore_server --unix /tmp/dpstore.sock [--threads N] [--max-conns N]
+//   dpstore_server --port 47777 [--host 127.0.0.1] [--threads N] ...
 //
 // Prints one "dpstore_server: listening on ..." line to stdout when ready
-// (CI waits for it), then serves until killed.
+// (CI waits for it), then serves until SIGINT/SIGTERM — on which it stops
+// accepting, finishes every in-flight exchange, prints the
+// connection/namespace accounting, and exits 0.
 
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 
 #include "server/storage_service.h"
 
 namespace {
 
-int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --unix <path> | --port <port> [--host <addr>]\n",
+volatile sig_atomic_t g_stop = 0;
+volatile int g_listen_fd = -1;
+
+// SIGINT/SIGTERM: flag the drain and wake the accept loop. shutdown() on
+// the listening socket makes the blocked accept() return immediately.
+void HandleStopSignal(int /*signo*/) {
+  g_stop = 1;
+  const int fd = g_listen_fd;
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s --unix <path> | --port <port> [--host <addr>]\n"
+               "          [--threads <n>] [--max-conns <n>]\n"
+               "\n"
+               "  --unix <path>    listen on a Unix-domain socket\n"
+               "  --port <port>    listen on TCP (with --host, default "
+               "127.0.0.1)\n"
+               "  --threads <n>    storage worker threads (default 4)\n"
+               "  --max-conns <n>  concurrent connection cap (default 64;\n"
+               "                   also sizes the listen backlog)\n"
+               "  --help           print this help and exit\n",
                argv0);
+}
+
+int Usage(const char* argv0) {
+  PrintUsage(stderr, argv0);
   return 2;
 }
 
-int ListenUnix(const std::string& path) {
+int ListenUnix(const std::string& path, int backlog) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -49,7 +77,7 @@ int ListenUnix(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0 ||
       ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
+      ::listen(fd, backlog) != 0) {
     std::perror("dpstore_server: unix listen");
     if (fd >= 0) ::close(fd);
     return -1;
@@ -57,7 +85,7 @@ int ListenUnix(const std::string& path) {
   return fd;
 }
 
-int ListenTcp(const std::string& host, uint16_t port) {
+int ListenTcp(const std::string& host, uint16_t port, int backlog) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -73,12 +101,20 @@ int ListenTcp(const std::string& host, uint16_t port) {
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
+      ::listen(fd, backlog) != 0) {
     std::perror("dpstore_server: tcp listen");
     ::close(fd);
     return -1;
   }
   return fd;
+}
+
+/// Parses a positive integer flag value; returns -1 on garbage.
+long ParseCount(const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) return -1;
+  return value;
 }
 
 }  // namespace
@@ -87,46 +123,107 @@ int main(int argc, char** argv) {
   std::string unix_path;
   std::string host = "127.0.0.1";
   int port = -1;
+  long threads = 4;
+  long max_conns = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--unix" && i + 1 < argc) {
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--unix" && i + 1 < argc) {
       unix_path = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = ParseCount(argv[++i]);
+      if (threads < 0) return Usage(argv[0]);
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      max_conns = ParseCount(argv[++i]);
+      if (max_conns < 0) return Usage(argv[0]);
     } else {
+      // Unknown flag (or a flag missing its value): refuse loudly rather
+      // than silently serving with a misconfiguration.
+      std::fprintf(stderr, "dpstore_server: unknown argument: %s\n",
+                   arg.c_str());
       return Usage(argv[0]);
     }
   }
   // Exactly one of --unix / --port.
   if (unix_path.empty() == (port < 0)) return Usage(argv[0]);
 
+  // The kernel clamps to SOMAXCONN anyway; clamping ourselves keeps the
+  // number honest in the log. A full backlog means clients see ECONNREFUSED
+  // instead of silently queueing behind a cap we would reject anyway.
+  const int backlog =
+      static_cast<int>(std::min<long>(max_conns, SOMAXCONN));
   int listen_fd = -1;
   std::string where;
   if (!unix_path.empty()) {
-    listen_fd = ListenUnix(unix_path);
+    listen_fd = ListenUnix(unix_path, backlog);
     where = "unix:" + unix_path;
   } else {
     if (port <= 0 || port > 65535) return Usage(argv[0]);
-    listen_fd = ListenTcp(host, static_cast<uint16_t>(port));
+    listen_fd = ListenTcp(host, static_cast<uint16_t>(port), backlog);
     where = host + ":" + std::to_string(port);
   }
   if (listen_fd < 0) return 1;
 
-  std::printf("dpstore_server: listening on %s\n", where.c_str());
+  g_listen_fd = listen_fd;
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // broken clients surface as write errors
+
+  dpstore::StorageServiceOptions options;
+  options.num_threads = static_cast<size_t>(threads);
+  options.max_conns = static_cast<size_t>(max_conns);
+  dpstore::StorageService service(options);
+
+  std::printf("dpstore_server: listening on %s (threads=%ld max-conns=%ld)\n",
+              where.c_str(), threads, max_conns);
   std::fflush(stdout);
 
-  for (;;) {
+  while (g_stop == 0) {
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
-      if (errno == EINTR) continue;
+      if (g_stop != 0) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Log and keep serving on transient resource exhaustion; anything
+      // else is a programming or environment error worth dying loudly on.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::fprintf(stderr, "dpstore_server: accept: %s (retrying)\n",
+                     std::strerror(errno));
+        continue;
+      }
       std::perror("dpstore_server: accept");
       break;
     }
-    // One thread per connection; ServeStorageConnection closes the fd.
-    std::thread([conn] { dpstore::ServeStorageConnection(conn); }).detach();
+    if (!service.HandleConnection(conn)) {
+      std::fprintf(stderr,
+                   "dpstore_server: refused connection (at --max-conns or "
+                   "draining)\n");
+    }
   }
+
+  // Graceful drain: stop accepting, finish in-flight exchanges, report.
   ::close(listen_fd);
+  if (!unix_path.empty()) ::unlink(unix_path.c_str());
+  service.Drain();
+  const dpstore::StorageServiceCounters counters = service.Counters();
+  std::printf(
+      "dpstore_server: drained: conns accepted=%" PRIu64 " rejected=%" PRIu64
+      " | frames=%" PRIu64 " exchanges=%" PRIu64 " (fused %" PRIu64
+      " in %" PRIu64 " batches) | namespaces live=%" PRIu64
+      " created=%" PRIu64 " | blocks moved=%" PRIu64 "\n",
+      counters.connections_accepted, counters.connections_rejected,
+      counters.frames_served, counters.exchanges_served,
+      counters.fused_frames, counters.fused_batches,
+      counters.engine.namespaces, counters.engine.namespaces_created,
+      counters.engine.blocks_moved);
+  std::fflush(stdout);
   return 0;
 }

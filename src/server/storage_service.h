@@ -2,30 +2,138 @@
 #define DPSTORE_SERVER_STORAGE_SERVICE_H_
 
 /// \file
-/// Server side of the wire codec: the dispatch loop that turns one
-/// connected socket into a remote StorageServer arena.
+/// Server side of the wire codec: StorageService turns connected sockets
+/// into tenants of ONE shared StorageEngine.
 ///
-/// Shared by the dpstore_server binary (src/server/dpstore_server_main.cc)
-/// and by SocketBackend's in-process fallback, which serves the same loop
-/// from a thread over a socketpair — so a test that runs against the
-/// fallback exercises byte-for-byte the same codec and dispatch as a real
-/// TCP deployment.
+/// PR 5's ServeStorageConnection owned a private arena per connection on
+/// a dedicated thread — structurally single-tenant. The service splits
+/// that into three roles:
+///
+///   * per-connection READERS: thin threads that only decode frames and
+///     enqueue work (they never touch storage);
+///   * a BOUNDED WORKER POOL (`num_threads`) executing exchanges against
+///     the shared engine — server capacity no longer scales threads with
+///     connections;
+///   * a CROSS-CONNECTION BATCH SCHEDULER: a worker draining one
+///     connection's queue also harvests same-direction request frames
+///     bound for the SAME namespace from other ready connections and
+///     executes them as one fused engine exchange (the FusingBackend
+///     idea, applied server-side). Each connection still receives
+///     exactly one reply frame per request frame, with its own ticket,
+///     in its own request order — the adversary-view invariant is per
+///     connection and fusion never changes any client's bytes.
+///
+/// Shared by the dpstore_server binary and by SocketBackend's in-process
+/// fallback (ServeStorageConnection), which serves the same dispatch
+/// synchronously from one thread over a socketpair — a test against the
+/// fallback exercises byte-for-byte the same codec and execution path as
+/// a real TCP deployment.
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/engine.h"
 
 namespace dpstore {
 
-/// Serves one client connection on `fd` until the peer closes it (or a
-/// framing error makes the stream untrustworthy). Protocol: the first
-/// frame must be kOpen carrying the array geometry (n, block_size); the
-/// service builds a private StorageServer arena for the connection and
-/// then answers kRequest / kSetArray / kPeek / kCorrupt frames until EOF.
-/// Every request frame gets exactly one reply frame with the same ticket,
-/// in request order. Malformed exchanges answer with error frames;
-/// undecodable bytes close the connection (framing cannot be resynced).
-///
-/// Owns nothing beyond the per-connection arena; closes `fd` on return.
-/// Returns the number of exchange frames served (for logging/tests).
+struct StorageServiceOptions {
+  /// Worker threads executing exchanges (threaded mode). 0 spawns no
+  /// pool: only ServeBlocking may be used (the in-process fallback).
+  size_t num_threads = 4;
+  /// Concurrent-connection cap; HandleConnection refuses (and closes)
+  /// beyond it.
+  size_t max_conns = 64;
+  /// Cross-connection fusion budget: max blocks one fused engine
+  /// exchange may carry. 1 disables fusion.
+  uint64_t fuse_blocks = 256;
+  /// Stripe count for the shared engine's per-namespace locking.
+  size_t lock_stripes = 16;
+};
+
+/// Point-in-time accounting (connection/namespace accounting for the
+/// server binary's drain report).
+struct StorageServiceCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_rejected = 0;  ///< refused at max_conns
+  uint64_t frames_served = 0;         ///< reply frames written
+  uint64_t exchanges_served = 0;      ///< kRequest frames answered
+  uint64_t fused_batches = 0;         ///< engine calls carrying >1 frame
+  uint64_t fused_frames = 0;          ///< request frames that rode fused
+  StorageEngineCounters engine;
+};
+
+class StorageService {
+ public:
+  explicit StorageService(StorageServiceOptions options = {});
+  /// Drains (see Drain) and joins every thread.
+  ~StorageService();
+
+  StorageService(const StorageService&) = delete;
+  StorageService& operator=(const StorageService&) = delete;
+
+  /// Adopts `fd` as a new connection: spawns its reader and serves its
+  /// frames from the worker pool. Returns false — closing `fd` — when
+  /// draining or at max_conns. Requires num_threads >= 1.
+  bool HandleConnection(int fd);
+
+  /// Serves one connection synchronously on the caller's thread against
+  /// the shared engine, until EOF or a framing error; closes `fd` on
+  /// return. Returns the number of exchange frames served. This is the
+  /// PR 5 dispatch loop, now a thin client of the engine.
+  uint64_t ServeBlocking(int fd);
+
+  /// Graceful shutdown: refuse new connections, stop reading, finish
+  /// every in-flight exchange (replies still flow), close all
+  /// connections, park the workers. Idempotent.
+  void Drain();
+
+  StorageServiceCounters Counters() const;
+  StorageEngine& engine() { return *engine_; }
+
+ private:
+  struct Connection;
+
+  void WorkerLoop(unsigned tid);
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// Executes one connection's head-of-queue group (plus harvested
+  /// same-direction requests from other ready connections). mu_ held on
+  /// entry and exit, released around engine execution and socket writes.
+  void ProcessLocked(unsigned tid, std::unique_lock<std::mutex>& lock,
+                     const std::shared_ptr<Connection>& conn);
+  /// Marks `conn` ready (or finalizes it) after its queue changed.
+  /// Requires mu_.
+  void ScheduleLocked(const std::shared_ptr<Connection>& conn);
+  /// Closes and retires a connection whose reader stopped and whose
+  /// queue drained. Requires mu_.
+  void FinalizeLocked(const std::shared_ptr<Connection>& conn);
+  /// Marks a connection dead after a reply write failed: drops its queue
+  /// and shuts the socket down so its reader stops. Requires mu_.
+  void FailLocked(const std::shared_ptr<Connection>& conn);
+
+  const StorageServiceOptions options_;
+  std::shared_ptr<StorageEngine> engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // workers: ready_ / stopping_
+  std::condition_variable drained_cv_;  // Drain: connections_active -> 0
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> ready_;
+  bool draining_ = false;
+  bool stopping_ = false;
+  StorageServiceCounters counters_;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Compat entry point (SocketBackend's socketpair fallback): serves one
+/// connection on the caller's thread against a connection-private
+/// engine, exactly the PR 5 contract. Closes `fd`; returns exchange
+/// frames served.
 uint64_t ServeStorageConnection(int fd);
 
 }  // namespace dpstore

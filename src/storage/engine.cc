@@ -1,0 +1,357 @@
+#include "storage/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+/// One namespace: a flat arena plus its stripe locks. Stored behind a
+/// unique_ptr in the engine map so the address is stable for the life of
+/// the namespace — handles cache it and the hot path never touches the
+/// map.
+struct NamespaceHandle::State {
+  State(NamespaceId id_in, uint64_t n_in, size_t block_size_in,
+        size_t stripes, bool private_in)
+      : id(id_in),
+        n(n_in),
+        block_size(block_size_in),
+        is_private(private_in),
+        arena(n_in * block_size_in, 0),
+        stripe_count(std::max<size_t>(1, std::min({stripes, size_t{64},
+                                                   size_t(n_in ? n_in : 1)}))),
+        stripe_width((n_in + stripe_count - 1) / std::max<uint64_t>(
+                         1, stripe_count)),
+        locks(stripe_count) {}
+
+  /// Stripe holding block `index`: contiguous ranges of `stripe_width`
+  /// blocks, so run-coalesced copies cross as few locks as possible.
+  size_t StripeOf(BlockId index) const {
+    return stripe_width == 0 ? 0 : std::min(stripe_count - 1,
+                                            size_t(index / stripe_width));
+  }
+
+  const uint8_t* Slot(BlockId index) const {
+    return arena.data() + index * block_size;
+  }
+  uint8_t* Slot(BlockId index) { return arena.data() + index * block_size; }
+
+  const NamespaceId id;
+  const uint64_t n;
+  const size_t block_size;
+  const bool is_private;
+  std::vector<uint8_t> arena;  // n * block_size bytes, block i at i*bs
+  const size_t stripe_count;
+  const uint64_t stripe_width;
+  /// Stripe i guards blocks [i*stripe_width, (i+1)*stripe_width). Mutable
+  /// so Peek (logically const) can lock its stripe.
+  mutable std::vector<std::mutex> locks;
+  uint64_t handles = 0;  // guarded by the engine's namespaces_mu_
+};
+
+namespace {
+
+/// RAII over the stripes an exchange touches: locks ascending (the
+/// deadlock-freedom order shared by every exchange), unlocks descending.
+/// The touched-set is a 64-bit mask — stack only, no allocation.
+class StripeLockSet {
+ public:
+  StripeLockSet(NamespaceHandle::State* ns, uint64_t mask)
+      : ns_(ns), mask_(mask) {
+    for (size_t s = 0; s < ns_->stripe_count; ++s) {
+      if (mask_ & (uint64_t{1} << s)) ns_->locks[s].lock();
+    }
+  }
+  ~StripeLockSet() {
+    for (size_t s = ns_->stripe_count; s-- > 0;) {
+      if (mask_ & (uint64_t{1} << s)) ns_->locks[s].unlock();
+    }
+  }
+  StripeLockSet(const StripeLockSet&) = delete;
+  StripeLockSet& operator=(const StripeLockSet&) = delete;
+
+ private:
+  NamespaceHandle::State* ns_;
+  uint64_t mask_;
+};
+
+uint64_t StripeMaskOf(const NamespaceHandle::State& ns,
+                      const std::vector<BlockId>& indices) {
+  uint64_t mask = 0;
+  for (BlockId index : indices) {
+    mask |= uint64_t{1} << ns.StripeOf(index);
+  }
+  return mask;
+}
+
+}  // namespace
+
+// --- NamespaceHandle ---------------------------------------------------------
+
+NamespaceHandle::~NamespaceHandle() {
+  if (engine_ != nullptr && state_ != nullptr) engine_->Detach(state_);
+}
+
+NamespaceHandle::NamespaceHandle(NamespaceHandle&& other) noexcept
+    : engine_(std::move(other.engine_)), state_(other.state_) {
+  other.state_ = nullptr;
+}
+
+NamespaceHandle& NamespaceHandle::operator=(NamespaceHandle&& other) noexcept {
+  if (this != &other) {
+    if (engine_ != nullptr && state_ != nullptr) engine_->Detach(state_);
+    engine_ = std::move(other.engine_);
+    state_ = other.state_;
+    other.state_ = nullptr;
+  }
+  return *this;
+}
+
+NamespaceId NamespaceHandle::id() const {
+  DPSTORE_CHECK(state_ != nullptr);
+  return state_->id;
+}
+
+uint64_t NamespaceHandle::n() const {
+  DPSTORE_CHECK(state_ != nullptr);
+  return state_->n;
+}
+
+size_t NamespaceHandle::block_size() const {
+  DPSTORE_CHECK(state_ != nullptr);
+  return state_->block_size;
+}
+
+// --- StorageEngine -----------------------------------------------------------
+
+std::shared_ptr<StorageEngine> StorageEngine::Create(
+    StorageEngineOptions options) {
+  // make_shared cannot reach the private constructor; the extra
+  // allocation here is once per engine, not per exchange.
+  return std::shared_ptr<StorageEngine>(new StorageEngine(options));
+}
+
+StorageEngine::StorageEngine(StorageEngineOptions options)
+    : num_threads_(std::max<size_t>(1, options.num_threads)),
+      lock_stripes_(std::max<size_t>(1, std::min<size_t>(64,
+                                                         options.lock_stripes))),
+      pool_(std::make_shared<BufferPool>(/*max_free=*/4 * num_threads_)),
+      // Private ids grow downward from the top of the id space so they
+      // can never collide with client-chosen shared ids.
+      next_private_id_(~NamespaceId{0}),
+      tid_counters_(num_threads_) {}
+
+StorageEngine::~StorageEngine() = default;
+
+NamespaceHandle::State* StorageEngine::FindLocked(NamespaceId id) const {
+  auto it = namespaces_.find(id);
+  return it == namespaces_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<NamespaceHandle> StorageEngine::Attach(NamespaceId id, uint64_t n,
+                                                size_t block_size,
+                                                AttachMode mode) {
+  std::unique_lock<std::shared_mutex> lock(namespaces_mu_);
+  NamespaceHandle::State* state = nullptr;
+  if (mode == AttachMode::kPrivate) {
+    const NamespaceId fresh = next_private_id_--;
+    auto owned = std::make_unique<NamespaceHandle::State>(
+        fresh, n, block_size, lock_stripes_, /*private_in=*/true);
+    state = owned.get();
+    namespaces_.emplace(fresh, std::move(owned));
+    ++namespaces_created_;
+  } else {
+    if (id == 0) {
+      return InvalidArgumentError(
+          "engine: shared namespace id 0 is reserved for private mode");
+    }
+    state = FindLocked(id);
+    if (state != nullptr) {
+      if (state->n != n || state->block_size != block_size) {
+        return FailedPreconditionError(
+            "engine: namespace " + std::to_string(id) +
+            " exists with different geometry (n=" + std::to_string(state->n) +
+            ", block_size=" + std::to_string(state->block_size) + ")");
+      }
+    } else {
+      auto owned = std::make_unique<NamespaceHandle::State>(
+          id, n, block_size, lock_stripes_, /*private_in=*/false);
+      state = owned.get();
+      namespaces_.emplace(id, std::move(owned));
+      ++namespaces_created_;
+    }
+  }
+  ++state->handles;
+  ++attached_handles_;
+  return NamespaceHandle(shared_from_this(), state);
+}
+
+void StorageEngine::Detach(NamespaceHandle::State* state) {
+  std::unique_lock<std::shared_mutex> lock(namespaces_mu_);
+  --attached_handles_;
+  if (--state->handles == 0 && state->is_private) {
+    // Private arenas die with their last handle (the PR 5 semantics);
+    // shared ones persist for the next Attach.
+    namespaces_.erase(state->id);
+  }
+}
+
+StatusOr<StorageReply> StorageEngine::ExecuteBatch(
+    unsigned tid, const NamespaceHandle& ns, const StorageRequest& request) {
+  DPSTORE_CHECK(ns.valid());
+  NamespaceHandle::State* state = ns.state_;
+  DPSTORE_RETURN_IF_ERROR(
+      ValidateRequest(request, state->n, state->block_size));
+  const std::vector<BlockId>& indices = request.indices;
+  const size_t count = indices.size();
+  const size_t block_size = state->block_size;
+  StorageReply reply;
+  if (request.op == StorageRequest::Op::kDownload) {
+    // Acquire the (pooled) reply slab BEFORE taking any stripe lock: a
+    // cold allocation must not extend the critical section.
+    reply.blocks = BlockBuffer::FromPool(pool_, count, block_size);
+    uint8_t* out =
+        reply.blocks.empty() ? nullptr : reply.blocks.Mutable(0).data();
+    StripeLockSet held(state, StripeMaskOf(*state, indices));
+    // Runs of consecutive addresses collapse into single memcpys: a scan
+    // exchange (trivial PIR, linear ORAM) is ONE copy of the arena.
+    for (size_t i = 0; i < count;) {
+      size_t run = 1;
+      while (i + run < count && indices[i + run] == indices[i] + run) ++run;
+      CopyBytes(out + i * block_size, state->Slot(indices[i]),
+                run * block_size);
+      i += run;
+    }
+  } else {
+    const uint8_t* in =
+        request.payload.empty() ? nullptr : request.payload[0].data();
+    StripeLockSet held(state, StripeMaskOf(*state, indices));
+    for (size_t i = 0; i < count;) {
+      size_t run = 1;
+      while (i + run < count && indices[i + run] == indices[i] + run) ++run;
+      CopyBytes(state->Slot(indices[i]), in + i * block_size,
+                run * block_size);
+      i += run;
+    }
+  }
+  TidCounters& counters =
+      tid_counters_[tid < num_threads_ ? tid : tid % num_threads_];
+  counters.exchanges.fetch_add(1, std::memory_order_relaxed);
+  counters.blocks_moved.fetch_add(count, std::memory_order_relaxed);
+  return reply;
+}
+
+Status StorageEngine::SetArray(const NamespaceHandle& ns,
+                               const std::vector<Block>& blocks) {
+  DPSTORE_CHECK(ns.valid());
+  NamespaceHandle::State* state = ns.state_;
+  if (blocks.size() != state->n) {
+    return InvalidArgumentError("SetArray: wrong block count");
+  }
+  for (const Block& b : blocks) {
+    if (b.size() != state->block_size) {
+      return InvalidArgumentError("SetArray: block size mismatch");
+    }
+  }
+  StripeLockSet held(state,
+                     state->stripe_count >= 64
+                         ? ~uint64_t{0}
+                         : (uint64_t{1} << state->stripe_count) - 1);
+  for (uint64_t i = 0; i < state->n; ++i) {
+    CopyBytes(state->Slot(i), blocks[i].data(), state->block_size);
+  }
+  return OkStatus();
+}
+
+StatusOr<Block> StorageEngine::Peek(const NamespaceHandle& ns,
+                                    BlockId index) const {
+  DPSTORE_CHECK(ns.valid());
+  NamespaceHandle::State* state = ns.state_;
+  if (index >= state->n) {
+    return OutOfRangeError("peek: index out of range");
+  }
+  std::lock_guard<std::mutex> held(state->locks[state->StripeOf(index)]);
+  return Block(state->Slot(index), state->Slot(index) + state->block_size);
+}
+
+Status StorageEngine::Corrupt(const NamespaceHandle& ns, BlockId index) {
+  DPSTORE_CHECK(ns.valid());
+  NamespaceHandle::State* state = ns.state_;
+  if (index >= state->n) {
+    return OutOfRangeError("corrupt: index out of range");
+  }
+  if (state->block_size == 0) {
+    return InvalidArgumentError("corrupt: zero-sized blocks");
+  }
+  std::lock_guard<std::mutex> held(state->locks[state->StripeOf(index)]);
+  *state->Slot(index) ^= 0xFF;
+  return OkStatus();
+}
+
+StorageEngineCounters StorageEngine::Counters() const {
+  StorageEngineCounters counters;
+  {
+    std::shared_lock<std::shared_mutex> lock(namespaces_mu_);
+    counters.namespaces = namespaces_.size();
+    counters.attached_handles = attached_handles_;
+    counters.namespaces_created = namespaces_created_;
+  }
+  for (const TidCounters& tid : tid_counters_) {
+    counters.exchanges += tid.exchanges.load(std::memory_order_relaxed);
+    counters.blocks_moved += tid.blocks_moved.load(std::memory_order_relaxed);
+  }
+  return counters;
+}
+
+// --- EngineBackend -----------------------------------------------------------
+
+EngineBackend::EngineBackend(std::shared_ptr<StorageEngine> engine,
+                             uint64_t n, size_t block_size, NamespaceId id,
+                             AttachMode mode, unsigned tid)
+    : engine_(std::move(engine)), n_(n), block_size_(block_size), tid_(tid) {
+  StatusOr<NamespaceHandle> attached =
+      engine_->Attach(id, n, block_size, mode);
+  DPSTORE_CHECK_OK(attached.status());
+  ns_ = std::move(*attached);
+}
+
+Status EngineBackend::SetArray(std::vector<Block> blocks) {
+  return engine_->SetArray(ns_, blocks);
+}
+
+Block EngineBackend::PeekBlock(BlockId index) const {
+  StatusOr<Block> block = engine_->Peek(ns_, index);
+  DPSTORE_CHECK_OK(block.status());
+  return std::move(*block);
+}
+
+void EngineBackend::CorruptBlock(BlockId index) {
+  DPSTORE_CHECK_OK(engine_->Corrupt(ns_, index));
+}
+
+void EngineBackend::SetFailureRate(double rate, uint64_t seed) {
+  faults_.Set(rate, seed);
+}
+
+StatusOr<StorageReply> EngineBackend::Execute(StorageRequest request) {
+  // The client-side half of the exchange contract: validate, roll the
+  // fault injector once, and only then touch shared storage — exactly the
+  // order (and error bytes) of the PR 4 StorageServer, so transcripts and
+  // failure patterns stay bit-identical through the shared engine.
+  DPSTORE_RETURN_IF_ERROR(ValidateRequest(request, n_, block_size_));
+  DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
+  DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
+                           engine_->ExecuteBatch(tid_, ns_, request));
+  if (request.op == StorageRequest::Op::kDownload) {
+    // The reply blocks, however many, travel in one message: one roundtrip.
+    transcript_.RecordRoundtrip();
+    transcript_.RecordMany(AccessEvent::Type::kDownload, request.indices);
+  } else {
+    transcript_.RecordMany(AccessEvent::Type::kUpload, request.indices);
+  }
+  return reply;
+}
+
+}  // namespace dpstore

@@ -3,81 +3,33 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
-#include "storage/backend.h"
-#include "storage/block.h"
-#include "storage/block_buffer.h"
-#include "storage/transcript.h"
-#include "util/random.h"
-#include "util/statusor.h"
+#include "storage/engine.h"
 
 namespace dpstore {
 
-/// Simulated untrusted storage server (the paper's server_m): the in-memory
-/// StorageBackend implementation. A passive array of equal-sized blocks
-/// supporting only the balls-and-bins operations of Definition 3.1
-/// (download block at address i / upload block to address i), exchanged in
-/// single or batched messages.
+/// Simulated untrusted storage server (the paper's server_m): the
+/// in-memory StorageBackend implementation — a passive array of
+/// equal-sized blocks supporting only the balls-and-bins operations of
+/// Definition 3.1 (download block at address i / upload block to address
+/// i), exchanged in single or batched messages.
 ///
-/// Memory model: the whole array is ONE flat arena of n * block_size bytes.
-/// A download exchange memcpys the addressed blocks into a flat reply
-/// buffer recycled through a BufferPool; an upload memcpys payload views
-/// into the arena. Steady-state Submit/Wait therefore performs zero heap
-/// allocations regardless of batch size (asserted by the counting-allocator
-/// regression test), where the vector-of-vectors server performed one per
-/// block.
-///
-/// Every exchange is recorded in the adversarial Transcript, which is what
-/// the differential-privacy definitions and the empirical-privacy harness
-/// quantify over. The server also meters bandwidth and roundtrips so
-/// overhead experiments read directly off it.
-///
-/// Fault injection (for failure-path tests): with probability
-/// `failure_rate`, each exchange returns Unavailable without touching
-/// storage or the transcript, modeling a dropped RPC. A batched exchange
-/// fails as a unit.
-class StorageServer : public StorageBackend {
+/// Since the multi-tenant refactor this is a thin adapter: a private
+/// single-namespace StorageEngine plus the per-client view EngineBackend
+/// provides (Transcript, FaultInjector, pooled replies). The memory
+/// model, run-coalesced memcpys, zero-steady-state-allocation property
+/// and every observable byte (transcripts, TransportStats, error
+/// messages, fault patterns) are unchanged from the pre-engine
+/// StorageServer — asserted by the storage, allocation and engine
+/// equivalence suites. Multi-tenant deployments share ONE engine across
+/// many EngineBackends / connections instead.
+class StorageServer : public EngineBackend {
  public:
   /// Creates a server holding `n` zeroed blocks of `block_size` bytes.
-  StorageServer(uint64_t n, size_t block_size);
-
-  uint64_t n() const override { return n_; }
-  size_t block_size() const override { return block_size_; }
-
-  Status SetArray(std::vector<Block> blocks) override;
-
-  Block PeekBlock(BlockId index) const override;
-  void CorruptBlock(BlockId index) override;
-
-  void BeginQuery() override { transcript_.BeginQuery(); }
-
-  const Transcript& transcript() const override { return transcript_; }
-  void ResetTranscript() override { transcript_.Clear(); }
-  void SetTranscriptCountingOnly(bool counting_only) override {
-    transcript_.SetCountingOnly(counting_only);
-  }
-
-  void SetFailureRate(double rate, uint64_t seed = 7) override;
-
- protected:
-  /// Runs one exchange against the flat arena, synchronously.
-  StatusOr<StorageReply> Execute(StorageRequest request) override;
-
- private:
-  const uint8_t* Slot(BlockId index) const {
-    return arena_.data() + index * block_size_;
-  }
-  uint8_t* Slot(BlockId index) {
-    return arena_.data() + index * block_size_;
-  }
-
-  uint64_t n_;
-  size_t block_size_;
-  std::vector<uint8_t> arena_;  // n_ * block_size_ bytes, block i at i*bs
-  std::shared_ptr<BufferPool> pool_;
-  Transcript transcript_;
-  FaultInjector faults_;
+  StorageServer(uint64_t n, size_t block_size)
+      : EngineBackend(StorageEngine::Create(StorageEngineOptions{
+                          /*num_threads=*/1, /*lock_stripes=*/1}),
+                      n, block_size) {}
 };
 
 }  // namespace dpstore

@@ -86,7 +86,10 @@ double MsBetween(std::chrono::steady_clock::time_point a,
 
 SocketBackend::SocketBackend(uint64_t n, size_t block_size,
                              SocketBackendOptions options)
-    : n_(n), block_size_(block_size) {
+    : n_(n),
+      block_size_(block_size),
+      namespace_id_(options.namespace_id),
+      open_mode_(options.attach_or_create ? 1 : 0) {
   StartConnection(n, block_size, options);
 }
 
@@ -118,9 +121,10 @@ void SocketBackend::StartConnection(uint64_t n, size_t block_size,
   }
   writer_ = std::thread(&SocketBackend::WriterLoop, this);
   reader_ = std::thread(&SocketBackend::ReaderLoop, this);
-  // Open handshake: the server builds a connection-private arena of this
-  // geometry. A rejection (or transport failure) latches as broken_, so
-  // every later operation reports the root cause.
+  // Open handshake: the server binds this connection to an engine
+  // namespace of this geometry (private by default, shared when the
+  // options say so). A rejection (or transport failure) latches as
+  // broken_, so every later operation reports the root cause.
   StatusOr<StorageReply> ack = ControlRoundTrip(
       wire::FrameType::kOpen, n, static_cast<uint32_t>(block_size),
       BlockBuffer());
@@ -316,6 +320,12 @@ StatusOr<StorageReply> SocketBackend::ControlRoundTrip(
     wire::EncodedFrame frame = wire::EncodeSetArray(body_owner, ticket);
     out.head = std::move(frame.head);
     out.body_owner = std::move(body_owner);
+  } else if (type == wire::FrameType::kOpen) {
+    // The handshake carries the namespace binding from the options:
+    // private by default, or attach-or-create of a shared namespace.
+    wire::EncodedFrame frame =
+        wire::EncodeOpen(ticket, aux, block_size, namespace_id_, open_mode_);
+    out.head = std::move(frame.head);
   } else {
     wire::EncodedFrame frame =
         wire::EncodeControl(type, ticket, aux, block_size);

@@ -39,6 +39,14 @@ struct SocketBackendOptions {
   /// TCP host (name or numeric) of a running dpstore_server.
   std::string host;
   uint16_t port = 0;
+  /// Engine namespace binding shipped in the Open handshake (wire v2).
+  /// Defaults request a connection-private arena — the classic
+  /// semantics, where every backend gets its own zeroed array. Setting
+  /// `attach_or_create` with a nonzero `namespace_id` instead attaches
+  /// this backend to the server's shared namespace of that id (creating
+  /// it on first attach), so N backends become N tenants of ONE arena.
+  uint64_t namespace_id = 0;
+  bool attach_or_create = false;
 };
 
 /// StorageBackend whose server is on the far side of a socket.
@@ -158,6 +166,9 @@ class SocketBackend : public StorageBackend {
 
   uint64_t n_ = 0;
   size_t block_size_ = 0;
+  /// Namespace binding the Open frame carries (from the options).
+  uint64_t namespace_id_ = 0;
+  uint8_t open_mode_ = 0;
   int fd_ = -1;
   std::thread writer_;
   std::thread reader_;

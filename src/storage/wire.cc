@@ -75,20 +75,32 @@ EncodedFrame EncodeRequest(const StorageRequest& request, uint64_t ticket) {
   return frame;
 }
 
-EncodedFrame EncodeReplyBlocks(const BlockBuffer& blocks, uint64_t ticket) {
+EncodedFrame EncodeReplyBlocks(const BlockBuffer& blocks, uint64_t ticket,
+                               uint8_t version) {
+  return EncodeReplyBlocksView(blocks.AllBytes(), blocks.size(),
+                               static_cast<uint32_t>(blocks.block_size()),
+                               ticket, version);
+}
+
+EncodedFrame EncodeReplyBlocksView(BlockView body, uint64_t count,
+                                   uint32_t block_size, uint64_t ticket,
+                                   uint8_t version) {
   FrameHeader header;
+  header.version = version;
   header.type = FrameType::kReplyBlocks;
   header.ticket = ticket;
-  header.count = blocks.size();
-  header.block_size = static_cast<uint32_t>(blocks.block_size());
+  header.count = count;
+  header.block_size = block_size;
   EncodedFrame frame;
-  frame.body = blocks.AllBytes();
+  frame.body = body;
   frame.head = EncodeHead(header, {}, frame.body.size());
   return frame;
 }
 
-EncodedFrame EncodeReplyError(const Status& status, uint64_t ticket) {
+EncodedFrame EncodeReplyError(const Status& status, uint64_t ticket,
+                              uint8_t version) {
   FrameHeader header;
+  header.version = version;
   header.type = FrameType::kReplyError;
   header.code = static_cast<uint8_t>(status.code());
   header.ticket = ticket;
@@ -114,6 +126,20 @@ EncodedFrame EncodeControl(FrameType type, uint64_t ticket, uint64_t aux,
   return frame;
 }
 
+EncodedFrame EncodeOpen(uint64_t ticket, uint64_t n, uint32_t block_size,
+                        uint64_t namespace_id, uint8_t mode) {
+  FrameHeader header;
+  header.type = FrameType::kOpen;
+  header.code = mode;
+  header.ticket = ticket;
+  header.count = namespace_id;
+  header.block_size = block_size;
+  header.aux = n;
+  EncodedFrame frame;
+  frame.head = EncodeHead(header, {}, 0);
+  return frame;
+}
+
 EncodedFrame EncodeSetArray(const BlockBuffer& array, uint64_t ticket) {
   FrameHeader header;
   header.type = FrameType::kSetArray;
@@ -132,7 +158,7 @@ StatusOr<DecodedFrame> DecodeFrame(BlockView bytes) {
   DecodedFrame frame;
   FrameHeader& header = frame.header;
   header.version = p[0];
-  if (header.version != kWireVersion) {
+  if (header.version < kMinWireVersion || header.version > kWireVersion) {
     return InvalidArgumentError("wire: unknown version " +
                                 std::to_string(header.version));
   }
@@ -221,6 +247,18 @@ StatusOr<DecodedFrame> DecodeFrame(BlockView bytes) {
     case FrameType::kCorrupt: {
       if (rest != 0) {
         return InvalidArgumentError("wire: control frame carries payload");
+      }
+      if (header.type == FrameType::kOpen) {
+        // v2: code is the attach mode; a v1 frame always carries 0
+        // (private), so one check covers both versions.
+        if (header.code > 1) {
+          return InvalidArgumentError("wire: unknown open mode " +
+                                      std::to_string(header.code));
+        }
+        if (header.code == 1 && header.count == 0) {
+          return InvalidArgumentError(
+              "wire: shared open requires a nonzero namespace id");
+        }
       }
       return frame;
     }

@@ -39,9 +39,15 @@
 namespace dpstore {
 namespace wire {
 
-/// Codec version, first byte of every frame header. Peers reject frames
-/// whose version they do not speak.
-inline constexpr uint8_t kWireVersion = 1;
+/// Codec version, first byte of every frame header. Version 2 extends
+/// kOpen with a namespace id (`count`) and attach mode (`code`) so N
+/// connections can share one server arena; every other frame is
+/// unchanged. Decoders accept kMinWireVersion..kWireVersion (a v1 Open
+/// carries code 0 / count 0, which v2 reads as "private namespace" — the
+/// exact v1 semantics), and a server answers each connection with the
+/// version its Open arrived in, so v1 clients keep working unmodified.
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kMinWireVersion = 1;
 
 /// Hard ceiling on one frame's `length` field (header + indices + payload).
 /// Caps what a corrupt or hostile length prefix can make the reader
@@ -60,8 +66,10 @@ enum class FrameType : uint8_t {
   kReplyBlocks = 2,
   /// Error reply: `code` is the StatusCode, payload is the message text.
   kReplyError = 3,
-  /// Connection hello: `aux` = n, `block_size` set. The server builds its
-  /// arena from this geometry; must be the first frame on a connection.
+  /// Connection hello: `aux` = n, `block_size` set; must be the first
+  /// frame on a connection. Since v2, `code` is the attach mode (0 =
+  /// private arena, 1 = attach-or-create the shared namespace named by
+  /// `count`); the server binds the connection to that engine namespace.
   kOpen = 4,
   /// Whole-array replacement (SetArray): payload = n * block_size bytes.
   kSetArray = 5,
@@ -119,15 +127,32 @@ struct DecodedFrame {
 EncodedFrame EncodeRequest(const StorageRequest& request, uint64_t ticket);
 
 /// Encodes a successful reply of `blocks` (empty = acknowledgement). The
-/// frame body aliases `blocks`.
-EncodedFrame EncodeReplyBlocks(const BlockBuffer& blocks, uint64_t ticket);
+/// frame body aliases `blocks`. `version` lets a server answer in the
+/// version the client's Open arrived in (negotiation, see kWireVersion).
+EncodedFrame EncodeReplyBlocks(const BlockBuffer& blocks, uint64_t ticket,
+                               uint8_t version = kWireVersion);
+
+/// Encodes a reply of `count` blocks of `block_size` bytes whose payload
+/// is the raw `body` region (count * block_size bytes). The server-side
+/// batch scheduler uses this to slice one fused engine reply into
+/// per-connection reply frames without copying.
+EncodedFrame EncodeReplyBlocksView(BlockView body, uint64_t count,
+                                   uint32_t block_size, uint64_t ticket,
+                                   uint8_t version = kWireVersion);
 
 /// Encodes an error reply carrying `status` (which must not be OK).
-EncodedFrame EncodeReplyError(const Status& status, uint64_t ticket);
+EncodedFrame EncodeReplyError(const Status& status, uint64_t ticket,
+                              uint8_t version = kWireVersion);
 
 /// Encodes a control frame (kOpen / kPeek / kCorrupt) with no payload.
 EncodedFrame EncodeControl(FrameType type, uint64_t ticket, uint64_t aux,
                            uint32_t block_size);
+
+/// Encodes a v2 Open frame: geometry (`n`, `block_size`) plus the
+/// namespace binding (`mode`, and for kAttachOrCreate the shared
+/// `namespace_id` — must be nonzero in that mode).
+EncodedFrame EncodeOpen(uint64_t ticket, uint64_t n, uint32_t block_size,
+                        uint64_t namespace_id, uint8_t mode);
 
 /// Encodes a whole-array replacement. The frame body aliases `array`.
 EncodedFrame EncodeSetArray(const BlockBuffer& array, uint64_t ticket);
