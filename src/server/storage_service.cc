@@ -162,7 +162,11 @@ struct StorageService::Connection {
   bool write_failed = false;  ///< a reply write failed; conn is dead
   bool done = false;          ///< finalized, fd closed
   NamespaceHandle ns;
-  uint8_t version = wire::kWireVersion;
+  /// Until a successful Open negotiates the connection's dialect, replies
+  /// (e.g. "frame before open") are encoded at kMinWireVersion: every
+  /// decoder accepts v1, while a v1-only client would reject a v2 frame
+  /// and see a framing failure instead of the intended error.
+  uint8_t version = wire::kMinWireVersion;
 };
 
 StorageService::StorageService(StorageServiceOptions options)
@@ -208,7 +212,7 @@ bool StorageService::HandleConnection(int fd) {
 
 uint64_t StorageService::ServeBlocking(int fd) {
   NamespaceHandle ns;
-  uint8_t version = wire::kWireVersion;
+  uint8_t version = wire::kMinWireVersion;  // pre-Open; see Connection
   uint64_t exchanges = 0;
   uint64_t frames = 0;
   std::vector<uint8_t> scratch;

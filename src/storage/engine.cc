@@ -157,18 +157,35 @@ StatusOr<NamespaceHandle> StorageEngine::Attach(NamespaceId id, uint64_t n,
   NamespaceHandle::State* state = nullptr;
   if (mode == AttachMode::kPrivate) {
     const NamespaceId fresh = next_private_id_--;
+    // The mint stays inside the reserved upper half of the id space
+    // (2^63 private namespaces before exhaustion), so it cannot collide
+    // with a shared id; the emplace check turns any latent counter bug
+    // into a crash instead of a dangling State pointer.
+    DPSTORE_CHECK(fresh >= kPrivateNamespaceBase);
     auto owned = std::make_unique<NamespaceHandle::State>(
         fresh, n, block_size, lock_stripes_, /*private_in=*/true);
     state = owned.get();
-    namespaces_.emplace(fresh, std::move(owned));
+    DPSTORE_CHECK(namespaces_.emplace(fresh, std::move(owned)).second);
     ++namespaces_created_;
   } else {
     if (id == 0) {
       return InvalidArgumentError(
           "engine: shared namespace id 0 is reserved for private mode");
     }
+    if (id >= kPrivateNamespaceBase) {
+      return InvalidArgumentError(
+          "engine: shared namespace id " + std::to_string(id) +
+          " is in the range reserved for private namespaces");
+    }
     state = FindLocked(id);
     if (state != nullptr) {
+      if (state->is_private) {
+        // Unreachable while the id partition holds (private ids never
+        // pass the range check above); kept so a shared attach can never
+        // reach another tenant's private arena even if minting changes.
+        return FailedPreconditionError(
+            "engine: namespace " + std::to_string(id) + " is private");
+      }
       if (state->n != n || state->block_size != block_size) {
         return FailedPreconditionError(
             "engine: namespace " + std::to_string(id) +
@@ -179,7 +196,7 @@ StatusOr<NamespaceHandle> StorageEngine::Attach(NamespaceId id, uint64_t n,
       auto owned = std::make_unique<NamespaceHandle::State>(
           id, n, block_size, lock_stripes_, /*private_in=*/false);
       state = owned.get();
-      namespaces_.emplace(id, std::move(owned));
+      DPSTORE_CHECK(namespaces_.emplace(id, std::move(owned)).second);
       ++namespaces_created_;
     }
   }
@@ -201,9 +218,15 @@ void StorageEngine::Detach(NamespaceHandle::State* state) {
 StatusOr<StorageReply> StorageEngine::ExecuteBatch(
     unsigned tid, const NamespaceHandle& ns, const StorageRequest& request) {
   DPSTORE_CHECK(ns.valid());
-  NamespaceHandle::State* state = ns.state_;
   DPSTORE_RETURN_IF_ERROR(
-      ValidateRequest(request, state->n, state->block_size));
+      ValidateRequest(request, ns.state_->n, ns.state_->block_size));
+  return ExecuteValidated(tid, ns, request);
+}
+
+StatusOr<StorageReply> StorageEngine::ExecuteValidated(
+    unsigned tid, const NamespaceHandle& ns, const StorageRequest& request) {
+  DPSTORE_CHECK(ns.valid());
+  NamespaceHandle::State* state = ns.state_;
   const std::vector<BlockId>& indices = request.indices;
   const size_t count = indices.size();
   const size_t block_size = state->block_size;
@@ -339,11 +362,14 @@ StatusOr<StorageReply> EngineBackend::Execute(StorageRequest request) {
   // The client-side half of the exchange contract: validate, roll the
   // fault injector once, and only then touch shared storage — exactly the
   // order (and error bytes) of the PR 4 StorageServer, so transcripts and
-  // failure patterns stay bit-identical through the shared engine.
+  // failure patterns stay bit-identical through the shared engine. The
+  // backend's (n_, block_size_) equal the namespace geometry it attached
+  // with, so the engine's pre-validated entry point skips a second
+  // identical O(indices) scan.
   DPSTORE_RETURN_IF_ERROR(ValidateRequest(request, n_, block_size_));
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
   DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
-                           engine_->ExecuteBatch(tid_, ns_, request));
+                           engine_->ExecuteValidated(tid_, ns_, request));
   if (request.op == StorageRequest::Op::kDownload) {
     // The reply blocks, however many, travel in one message: one roundtrip.
     transcript_.RecordRoundtrip();

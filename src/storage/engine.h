@@ -50,6 +50,15 @@ namespace dpstore {
 /// for "mint a fresh private namespace".
 using NamespaceId = uint64_t;
 
+/// The id space is partitioned so client-chosen shared ids can NEVER
+/// collide with (or name) a server-minted private namespace: shared ids
+/// live in [1, kPrivateNamespaceBase), private ids are minted downward
+/// from 2^64-1 inside [kPrivateNamespaceBase, 2^64). Attach rejects a
+/// kAttachOrCreate id in the private half — otherwise a client counting
+/// down from the top could pre-create or attach to another tenant's
+/// private arena.
+inline constexpr NamespaceId kPrivateNamespaceBase = NamespaceId{1} << 63;
+
 /// How Attach resolves a NamespaceId (the wire Open frame's mode field).
 enum class AttachMode : uint8_t {
   /// Ignore the requested id; mint a fresh private namespace that is
@@ -58,7 +67,8 @@ enum class AttachMode : uint8_t {
   kPrivate = 0,
   /// Attach to the namespace with this id if it exists (geometry must
   /// match), else create it. Shared namespaces outlive their handles:
-  /// a client reconnecting finds its blocks still there.
+  /// a client reconnecting finds its blocks still there. Ids must lie in
+  /// [1, kPrivateNamespaceBase) — the private half is never attachable.
   kAttachOrCreate = 1,
 };
 
@@ -130,7 +140,8 @@ class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
   /// Attaches to (or creates) a namespace of `n` blocks of `block_size`
   /// bytes. kPrivate mints a fresh id; kAttachOrCreate attaches to `id`
   /// when it exists — rejecting a geometry mismatch with
-  /// FailedPrecondition — and creates it otherwise.
+  /// FailedPrecondition, and an id outside [1, kPrivateNamespaceBase)
+  /// with InvalidArgument — and creates it otherwise.
   /// \param id          requested namespace id (ignored for kPrivate)
   /// \param n           block count; must be > 0-safe (0 allowed, empty)
   /// \param block_size  bytes per block
@@ -166,10 +177,19 @@ class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
 
  private:
   friend class NamespaceHandle;
+  friend class EngineBackend;
   explicit StorageEngine(StorageEngineOptions options);
 
   NamespaceHandle::State* FindLocked(NamespaceId id) const;
   void Detach(NamespaceHandle::State* state);
+
+  /// ExecuteBatch minus the ValidateRequest pass, for callers that have
+  /// already validated `request` against this exact geometry (EngineBackend
+  /// must validate BEFORE rolling its fault injector; re-validating here
+  /// would double the O(indices) scan on the hot path).
+  StatusOr<StorageReply> ExecuteValidated(unsigned tid,
+                                          const NamespaceHandle& ns,
+                                          const StorageRequest& request);
 
   const size_t num_threads_;
   const size_t lock_stripes_;

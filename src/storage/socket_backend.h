@@ -45,6 +45,8 @@ struct SocketBackendOptions {
   /// `attach_or_create` with a nonzero `namespace_id` instead attaches
   /// this backend to the server's shared namespace of that id (creating
   /// it on first attach), so N backends become N tenants of ONE arena.
+  /// Shared ids must be below 2^63 — the upper half of the id space is
+  /// reserved for server-minted private namespaces and is refused.
   uint64_t namespace_id = 0;
   bool attach_or_create = false;
 };

@@ -69,7 +69,9 @@ enum class FrameType : uint8_t {
   /// Connection hello: `aux` = n, `block_size` set; must be the first
   /// frame on a connection. Since v2, `code` is the attach mode (0 =
   /// private arena, 1 = attach-or-create the shared namespace named by
-  /// `count`); the server binds the connection to that engine namespace.
+  /// `count`, which must be in [1, 2^63) — the upper half is reserved
+  /// for server-minted private namespaces); the server binds the
+  /// connection to that engine namespace.
   kOpen = 4,
   /// Whole-array replacement (SetArray): payload = n * block_size bytes.
   kSetArray = 5,

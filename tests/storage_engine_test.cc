@@ -123,6 +123,49 @@ TEST(StorageEngineTest, AttachRejectsGeometryMismatchAndIdZero) {
   EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(StorageEngineTest, SharedAttachCannotNameAPrivateNamespace) {
+  auto engine = StorageEngine::Create();
+  EngineBackend victim(engine, 8, 4);  // private; id minted from the top
+  ASSERT_TRUE(victim.SetArray(MarkerDatabase(8, 4)).ok());
+  const NamespaceId private_id = victim.namespace_id();
+  ASSERT_GE(private_id, kPrivateNamespaceBase);
+
+  // An attacker who predicts the minted id (they count down
+  // deterministically from 2^64-1) and presents matching geometry must
+  // be refused: the whole upper half of the id space is unattachable.
+  StatusOr<NamespaceHandle> guess =
+      engine->Attach(private_id, 8, 4, AttachMode::kAttachOrCreate);
+  EXPECT_EQ(guess.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<NamespaceHandle> base =
+      engine->Attach(kPrivateNamespaceBase, 8, 4, AttachMode::kAttachOrCreate);
+  EXPECT_EQ(base.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<NamespaceHandle> top =
+      engine->Attach(~NamespaceId{0}, 8, 4, AttachMode::kAttachOrCreate);
+  EXPECT_EQ(top.status().code(), StatusCode::kInvalidArgument);
+
+  // The private tenant is untouched: same arena, still the only handle.
+  EXPECT_EQ(victim.PeekBlock(3), MarkerBlock(3, 4));
+  EXPECT_EQ(engine->Counters().namespaces, 1u);
+  EXPECT_EQ(engine->Counters().attached_handles, 1u);
+}
+
+TEST(StorageEngineTest, SharedIdAdjacentToPrivateRangeCannotCollide) {
+  // The largest legal shared id sits directly below the private range;
+  // creating it and then minting a private namespace must yield two
+  // distinct namespaces (the collision would previously destroy the
+  // freshly built private State and hand back a dangling handle).
+  auto engine = StorageEngine::Create();
+  StatusOr<NamespaceHandle> shared = engine->Attach(
+      kPrivateNamespaceBase - 1, 8, 4, AttachMode::kAttachOrCreate);
+  ASSERT_TRUE(shared.ok());
+  EngineBackend priv(engine, 8, 4);
+  EXPECT_NE(priv.namespace_id(), shared->id());
+  EXPECT_EQ(engine->Counters().namespaces, 2u);
+  ASSERT_TRUE(priv.Upload(1, Block(4, 0x5A)).ok());
+  EXPECT_EQ(engine->Peek(*shared, 1)->size(), size_t{4});
+  EXPECT_EQ(*engine->Peek(*shared, 1), Block(4, 0));  // isolated
+}
+
 // --- Concurrency ---------------------------------------------------------
 
 // N writers hammer ONE shared namespace with whole-array uploads (every
@@ -357,6 +400,47 @@ TEST(StorageServiceTest, ConnectionsShareANamespaceAndDrainCleanly) {
   EXPECT_EQ(counters.exchanges_served, 2u);
   EXPECT_EQ(counters.frames_served, 5u);  // three Opens + two exchanges
   service.reset();  // double-drain via the destructor must be a no-op
+}
+
+TEST(StorageServiceTest, PreOpenErrorsAreV1AndReservedIdsAreRefused) {
+  StorageServiceOptions options;
+  options.num_threads = 1;
+  StorageService service(options);
+
+  int s[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, s), 0);
+  ASSERT_TRUE(service.HandleConnection(s[1]));
+  WireClient client;
+  client.fd = s[0];
+
+  // A request before any Open draws an error the client can decode even
+  // if it only speaks wire v1: the reply is encoded at kMinWireVersion.
+  StorageRequest premature;
+  premature.op = StorageRequest::Op::kDownload;
+  premature.indices = {0};
+  StatusOr<wire::DecodedFrame> early =
+      client.RoundTrip(wire::EncodeRequest(premature, client.next_ticket++));
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->header.type, wire::FrameType::kReplyError);
+  EXPECT_EQ(early->header.version, wire::kMinWireVersion);
+
+  // An attach-or-create Open naming an id in the reserved private half is
+  // refused per frame (the connection survives and can re-Open legally).
+  StatusOr<wire::DecodedFrame> reserved = client.RoundTrip(wire::EncodeOpen(
+      client.next_ticket++, 8, 4,
+      /*namespace_id=*/kPrivateNamespaceBase, /*mode=*/1));
+  ASSERT_TRUE(reserved.ok());
+  EXPECT_EQ(reserved->header.type, wire::FrameType::kReplyError);
+
+  StatusOr<wire::DecodedFrame> ack = client.RoundTrip(
+      wire::EncodeOpen(client.next_ticket++, 8, 4, /*namespace_id=*/5,
+                       /*mode=*/1));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->header.type, wire::FrameType::kReplyBlocks);
+  EXPECT_EQ(ack->header.version, wire::kWireVersion);
+
+  ::close(client.fd);
+  service.Drain();
 }
 
 TEST(StorageServiceTest, RefusesConnectionsBeyondMaxConns) {
