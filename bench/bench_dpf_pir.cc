@@ -1,0 +1,237 @@
+// Query-bandwidth and server-scan study for the two-server DPF PIR.
+//
+// Three groups of BENCH cells:
+//
+//   dpf_pir_query_n<log_n>  — end-to-end queries over in-memory replicas
+//     at n = 2^14 .. 2^22: measured query bytes per access (two serialized
+//     keys, from the replicas' own transport ledgers) against xor_pir's
+//     2n selection bits, plus modeled LAN/WAN latency per access. This is
+//     the paper-facing axis: upload shrinks from Theta(n) bits to
+//     O(lambda log n) bytes while the answer stays one block per replica.
+//
+//   dpf_pir_scan            — the server-side kernel: full-domain key
+//     expansion time and SelectXorScan GiB/s per kernel variant over a
+//     64 MiB arena (the Theta(n) work the PIR lower bound keeps, moved
+//     into the vectorized scan).
+//
+//   dpf_pir_socket          — measured ms/op with the key crossing the
+//     real wire codec into the in-process socketpair server.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+#include "analysis/cost_model.h"
+#include "core/scheme_registry.h"
+#include "crypto/dpf.h"
+#include "pir/dpf_pir.h"
+#include "storage/kernels.h"
+#include "storage/server.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace dpstore {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::unique_ptr<StorageServer> MakeReplica(uint64_t n, size_t block_size) {
+  auto server = std::make_unique<StorageServer>(n, block_size);
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, block_size);
+  DPSTORE_CHECK_OK(server->SetArray(std::move(db)));
+  return server;
+}
+
+void QueryBandwidthSweep() {
+  PrintBanner(std::cout,
+              "dpf_pir query bandwidth vs xor_pir (16 B blocks, measured "
+              "from replica transcripts)");
+  TablePrinter table({"n", "depth", "dpf_bytes/access", "xor_bytes/access",
+                      "compression", "lan_ms", "wan_ms", "measured_ms/op"});
+  constexpr size_t kBlockSize = 16;
+  for (uint64_t log_n = 14; log_n <= 22; log_n += 2) {
+    const uint64_t n = uint64_t{1} << log_n;
+    // One query is seconds of ChaCha at the top size; scale the repeat
+    // count down as the eval cost scales up.
+    const int queries = log_n <= 16 ? 4 : (log_n <= 20 ? 2 : 1);
+    auto s0 = MakeReplica(n, kBlockSize);
+    auto s1 = MakeReplica(n, kBlockSize);
+    TwoServerDpfPir pir(s0.get(), s1.get());
+    Rng rng(log_n);
+    const auto start = Clock::now();
+    for (int q = 0; q < queries; ++q) {
+      const BlockId index = rng.Uniform(n);
+      auto got = pir.Query(index);
+      DPSTORE_CHECK_OK(got.status());
+      DPSTORE_CHECK(IsMarkerBlock(*got, index));
+    }
+    const double measured_ms = ElapsedMs(start) / queries;
+    const TransportStats stats = [&] {
+      TransportStats total = s0->Stats();
+      total += s1->Stats();
+      return total;
+    }();
+    // Upload: two serialized keys (the ledger's aux axis). Download: one
+    // block per replica.
+    const double dpf_bytes =
+        static_cast<double>(stats.aux_bytes) / queries +
+        static_cast<double>(stats.bytes_moved) / queries;
+    const double xor_bytes =
+        2.0 * (static_cast<double>(n) / 8.0 + kBlockSize);
+    const double blocks_per_query =
+        static_cast<double>(stats.blocks_moved) / queries;
+    const double rtts_per_query =
+        static_cast<double>(stats.roundtrips) / queries / 2.0;  // parallel
+    const double lan_ms =
+        kLanModel.QueryLatencyMs(blocks_per_query, rtts_per_query);
+    const double wan_ms =
+        kWanModel.QueryLatencyMs(blocks_per_query, rtts_per_query);
+
+    table.AddRow()
+        .AddCell("2^" + std::to_string(log_n))
+        .AddUint(pir.domain_depth())
+        .AddDouble(dpf_bytes, 0)
+        .AddDouble(xor_bytes, 0)
+        .AddDouble(xor_bytes / dpf_bytes, 1)
+        .AddDouble(lan_ms, 3)
+        .AddDouble(wan_ms, 2)
+        .AddDouble(measured_ms, 2);
+
+    bench::BenchJson cell("dpf_pir_query_n" + std::to_string(log_n));
+    cell.Metric("n", n);
+    cell.Metric("depth", static_cast<uint64_t>(pir.domain_depth()));
+    cell.Metric("block_size", kBlockSize);
+    cell.Metric("query_bytes_per_access", dpf_bytes);
+    cell.Metric("query_bytes_per_server", pir.QueryBytesPerServer());
+    cell.Metric("xor_pir_query_bytes", xor_bytes);
+    cell.Metric("compression_x", xor_bytes / dpf_bytes);
+    cell.Metric("blocks_per_op", blocks_per_query);
+    cell.Metric("roundtrips_per_op", rtts_per_query);
+    cell.Metric("lan_ms_model", lan_ms);
+    cell.Metric("wan_ms_model", wan_ms);
+    cell.Metric("wall_ms_per_op", measured_ms);
+    cell.Emit();
+  }
+  table.Print(std::cout);
+}
+
+void ServerScanStudy() {
+  PrintBanner(std::cout,
+              "Server-side eval: key expansion + SelectXorScan per kernel "
+              "variant (n=2^20 x 64 B = 64 MiB arena)");
+  constexpr uint8_t kDepth = 20;
+  constexpr uint64_t kCount = uint64_t{1} << kDepth;
+  constexpr size_t kBlockSize = 64;
+  Rng rng(7);
+  std::vector<uint8_t> arena(kCount * kBlockSize);
+  for (size_t i = 0; i < arena.size(); ++i) {
+    arena[i] = static_cast<uint8_t>(rng.Uniform(256));
+  }
+  auto keys = crypto::DpfGen(rng.Uniform(kCount), kDepth);
+  DPSTORE_CHECK_OK(keys.status());
+
+  const auto expand_start = Clock::now();
+  const std::vector<uint64_t> bits = crypto::DpfEvalFull(keys->key0);
+  const double expand_ms = ElapsedMs(expand_start);
+
+  bench::BenchJson cell("dpf_pir_scan");
+  cell.Metric("n", kCount);
+  cell.Metric("block_size", kBlockSize);
+  cell.Metric("eval_full_ms", expand_ms);
+  TablePrinter table({"variant", "scan GiB/s"});
+  for (kernels::Variant v :
+       {kernels::Variant::kScalar, kernels::Variant::kSse2,
+        kernels::Variant::kAvx2}) {
+    if (!kernels::VariantSupported(v)) continue;
+    std::vector<uint8_t> answer(kBlockSize, 0);
+    // Warm once, then best of 3 passes.
+    kernels::SelectXorScanVariant(v, answer.data(), arena.data(), kCount,
+                                  kBlockSize, bits.data(), 0);
+    double best_ms = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto start = Clock::now();
+      kernels::SelectXorScanVariant(v, answer.data(), arena.data(), kCount,
+                                    kBlockSize, bits.data(), 0);
+      const double ms = ElapsedMs(start);
+      if (trial == 0 || ms < best_ms) best_ms = ms;
+    }
+    const double gibs = static_cast<double>(arena.size()) /
+                        (best_ms / 1000.0) /
+                        static_cast<double>(size_t{1} << 30);
+    cell.Metric(std::string(kernels::VariantName(v)) + "_gib_s", gibs);
+    table.AddRow().AddCell(kernels::VariantName(v)).AddDouble(gibs, 2);
+  }
+  cell.Metric("active_variant",
+              std::string(kernels::VariantName(kernels::ActiveVariant())));
+  table.Print(std::cout);
+  std::cout << "Key expansion (EvalFull, depth " << unsigned{kDepth}
+            << "): " << expand_ms << " ms\n";
+  cell.Emit();
+}
+
+void SocketStudy() {
+  PrintBanner(std::cout,
+              "dpf_pir over the socket transport (in-process socketpair "
+              "server, n=2^14 x 64 B)");
+  SchemeConfig config;
+  config.n = uint64_t{1} << 14;
+  config.value_size = 64;
+  config.seed = 9;
+  config.backend = "socket";
+  auto scheme = SchemeRegistry::Instance().MakeRam("dpf_pir", config);
+  DPSTORE_CHECK_OK(scheme.status());
+  constexpr int kQueries = 64;
+  Rng rng(17);
+  const auto start = Clock::now();
+  for (int q = 0; q < kQueries; ++q) {
+    const BlockId index = rng.Uniform(config.n);
+    auto got = (*scheme)->QueryRead(index);
+    DPSTORE_CHECK_OK(got.status());
+    DPSTORE_CHECK(IsMarkerBlock(**got, index));
+  }
+  const double wall_ms = ElapsedMs(start) / kQueries;
+  const TransportStats stats = (*scheme)->TransportTotals();
+  bench::BenchJson cell("dpf_pir_socket");
+  cell.Metric("n", config.n);
+  cell.Metric("queries", kQueries);
+  cell.Metric("wall_ms_per_op", wall_ms);
+  cell.Metric("socket_ms_per_op", stats.measured_wall_ms / kQueries);
+  cell.Metric("aux_bytes_per_op",
+              static_cast<double>(stats.aux_bytes) / kQueries);
+  std::cout << "measured " << wall_ms << " ms/op ("
+            << stats.measured_wall_ms / kQueries
+            << " ms/op on the socket itself)\n";
+  cell.Emit();
+}
+
+void Run() {
+  QueryBandwidthSweep();
+  ServerScanStudy();
+  SocketStudy();
+  std::cout
+      << "\nPaper framing: two-server PIR keeps Theta(n) server work (the\n"
+         "lower-bound axis the paper's Section 1 contrasts with) but the\n"
+         "DPF collapses per-query upload from 2n selection bits to two\n"
+         "O(lambda log n) keys — sublinear communication with answers\n"
+         "bit-identical to xor_pir on every storage topology.\n";
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  dpstore::bench::BenchJson json("dpf_pir");
+  dpstore::Run();
+  json.Emit();
+  return 0;
+}

@@ -125,8 +125,11 @@ double Percentile(const std::vector<double>& sorted, double p) {
 /// Runs one open-loop cell: `clients` scheme instances over the socket at
 /// `socket_path` / `host:port`, a combined offered load of `rate` ops/s
 /// spread evenly, `ops_per_client` queries each on a fixed schedule.
+/// `socket_path2`, when nonempty, routes two-replica schemes' second
+/// replica to a separate server process (dpf_pir against a live pair).
 CellResult RunCell(const std::string& scheme_name,
-                   const std::string& socket_path, const std::string& host,
+                   const std::string& socket_path,
+                   const std::string& socket_path2, const std::string& host,
                    uint16_t port, unsigned clients, double rate,
                    uint64_t ops_per_client) {
   const uint64_t kRecords = 64;
@@ -138,6 +141,7 @@ CellResult RunCell(const std::string& scheme_name,
     config.seed = 1 + c;
     config.backend = "socket";
     config.socket_path = socket_path;
+    config.socket_path2 = socket_path2;
     config.socket_host = host;
     config.socket_port = port;
     config.counting_only_transcript = true;
@@ -252,6 +256,7 @@ int main(int argc, char** argv) {
   using namespace dpstore;
 
   std::string unix_path;
+  std::string unix_path2;
   std::string host;
   uint16_t port = 0;
   std::string one_scheme;
@@ -263,6 +268,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--unix" && i + 1 < argc) {
       unix_path = argv[++i];
+    } else if (arg == "--unix2" && i + 1 < argc) {
+      unix_path2 = argv[++i];
     } else if (arg == "--addr" && i + 1 < argc) {
       const std::string addr = argv[++i];
       const size_t colon = addr.rfind(':');
@@ -286,7 +293,8 @@ int main(int argc, char** argv) {
       single_cell = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--unix <path> | --addr <host:port>] "
+                   "usage: %s [--unix <path> [--unix2 <path>] | "
+                   "--addr <host:port>] "
                    "[--scheme <name>] [--clients <n>] [--rate <ops/s>] "
                    "[--ops <n>]\n",
                    argv[0]);
@@ -311,7 +319,7 @@ int main(int argc, char** argv) {
   auto run_one = [&](const std::string& scheme, unsigned c, double r) {
     const uint64_t per_client = ops > 0 ? ops : DeriveOpsPerClient(r, c);
     const CellResult result =
-        RunCell(scheme, unix_path, host, port, c, r, per_client);
+        RunCell(scheme, unix_path, unix_path2, host, port, c, r, per_client);
     EmitCell(scheme, transport, c, r, result);
     ++cells;
     if (!result.ok) ++failed;

@@ -12,7 +12,13 @@ the tool reports the delta of the chosen metric (default: each cell's most
 informative wall-clock metric) plus any transport-axis drift, which must be
 zero: the perf work moves wall-clock, never blocks/bytes/roundtrips.
 
-Exit status: 0 on success, 1 on malformed input. The tool never fails on a
+Cells present on only one side are reported by name (added = current-only,
+removed = baseline-only): a renamed or dropped cell must be a deliberate
+baseline refresh, never silent drift.
+
+Exit status: 0 when the (filtered) cell sets match, 1 on malformed input,
+2 when cells were added/removed or a transport axis drifted — with the
+summary printed either way. The tool never fails on a wall-clock
 regression by itself (containers are noisy); CI greps its output instead.
 """
 
@@ -73,8 +79,12 @@ def main():
 
     base = load_cells(args.baseline)
     curr = load_cells(args.current)
-    shared = sorted(set(base) & set(curr))
-    shared = [name for name in shared if args.filter in name]
+    shared = sorted(name for name in set(base) & set(curr)
+                    if args.filter in name)
+    removed = sorted(name for name in set(base) - set(curr)
+                     if args.filter in name)
+    added = sorted(name for name in set(curr) - set(base)
+                   if args.filter in name)
     if not shared:
         sys.exit("compare_bench: no shared cells to compare")
 
@@ -104,12 +114,24 @@ def main():
 
     print(f"\ncompare_bench: {improved} improved, {regressed} regressed, "
           f"{flat} within {args.threshold * 100:.0f}% "
-          f"(missing cells: base-only {len(set(base) - set(curr))}, "
-          f"curr-only {len(set(curr) - set(base))})")
+          f"(cells: {len(shared)} shared, {len(removed)} removed, "
+          f"{len(added)} added)")
+    if removed:
+        print("REMOVED cells (in baseline, not in current):")
+        for name in removed:
+            print(f"  - {name}")
+    if added:
+        print("ADDED cells (in current, not in baseline):")
+        for name in added:
+            print(f"  + {name}")
     if drifted:
         print("TRANSPORT DRIFT (must stay invariant across perf work):")
         for name, key, old, new in drifted:
             print(f"  {name}: {key} {old} -> {new}")
+    if removed or added or drifted:
+        print("compare_bench: cell set or transport changed — refresh "
+              "bench/baseline/BENCH_all.json if this is intentional")
+        return 2
     return 0
 
 

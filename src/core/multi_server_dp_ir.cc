@@ -2,7 +2,20 @@
 
 #include <cmath>
 
+#include "crypto/dpf.h"
+#include "storage/kernels.h"
+
 namespace dpstore {
+
+namespace {
+
+uint8_t DomainDepthFor(uint64_t n) {
+  uint8_t depth = 1;
+  while ((uint64_t{1} << depth) < n) ++depth;
+  return depth;
+}
+
+}  // namespace
 
 MultiServerDpIr::MultiServerDpIr(std::vector<StorageBackend*> servers,
                                  MultiServerDpIrOptions options)
@@ -26,6 +39,11 @@ MultiServerDpIr::MultiServerDpIr(std::vector<StorageBackend*> servers,
   if (k < 1.0) k = 1.0;
   if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
   k_ = static_cast<uint64_t>(std::ceil(k));
+  if (options_.use_dpf) {
+    DPSTORE_CHECK_EQ(servers_.size(), 2u)
+        << "the DPF retrieval path needs exactly two non-colluding replicas";
+    DPSTORE_CHECK_LE(DomainDepthFor(n_), crypto::kMaxDpfDepth);
+  }
 }
 
 double MultiServerDpIr::achieved_epsilon() const {
@@ -39,6 +57,7 @@ StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
   if (index >= n_) {
     return OutOfRangeError("MultiServerDpIr::Query index out of range");
   }
+  if (options_.use_dpf) return QueryDpf(index);
   const bool error_branch = rng_.Bernoulli(options_.alpha);
   const uint64_t real_server =
       error_branch ? servers_.size() : rng_.Uniform(servers_.size());
@@ -84,6 +103,56 @@ StatusOr<std::optional<Block>> MultiServerDpIr::Query(BlockId index) {
           result = ToBlock(reply->blocks[i]);
         }
       }
+    }
+  }
+  DPSTORE_RETURN_IF_ERROR(first_error);
+  if (error_branch) return std::optional<Block>();
+  DPSTORE_CHECK(result.has_value());
+  return result;
+}
+
+StatusOr<std::optional<Block>> MultiServerDpIr::QueryDpf(BlockId index) {
+  // The error branch keys the eval to a uniform dummy point instead of
+  // skipping it: both branches submit the same exchanges (one K-subset
+  // download and one eval per replica), so the transcript SHAPE carries
+  // no signal about which branch ran.
+  const bool error_branch = rng_.Bernoulli(options_.alpha);
+  const uint64_t eval_point = error_branch ? rng_.Uniform(n_) : index;
+  DPSTORE_ASSIGN_OR_RETURN(
+      crypto::DpfKeyPair keys,
+      crypto::DpfGen(eval_point, DomainDepthFor(n_)));
+  std::vector<uint8_t> key_bytes[2] = {keys.key0.Serialize(),
+                                       keys.key1.Serialize()};
+
+  // Submit everything before waiting on anything, as in the planted path:
+  // all-dummy cover subsets first, then the eval pair.
+  std::vector<Ticket> subset_tickets(servers_.size());
+  std::vector<Ticket> eval_tickets(servers_.size());
+  for (uint64_t s = 0; s < servers_.size(); ++s) {
+    servers_[s]->BeginQuery();
+    std::vector<uint64_t> download_set = rng_.SampleDistinct(k_, n_);
+    rng_.Shuffle(&download_set);
+    subset_tickets[s] =
+        servers_[s]->Submit(StorageRequest::DownloadOf(download_set));
+    eval_tickets[s] = servers_[s]->Submit(
+        StorageRequest::DpfEvalOf(key_bytes[s], /*dpf_offset=*/0));
+  }
+  // Wait on every ticket even after a failure (abandoned tickets leak).
+  std::optional<Block> result;
+  Status first_error = OkStatus();
+  for (uint64_t s = 0; s < servers_.size(); ++s) {
+    StatusOr<StorageReply> subset = servers_[s]->Wait(subset_tickets[s]);
+    if (!subset.ok() && first_error.ok()) first_error = subset.status();
+    StatusOr<StorageReply> share = servers_[s]->Wait(eval_tickets[s]);
+    if (!share.ok()) {
+      if (first_error.ok()) first_error = share.status();
+      continue;
+    }
+    if (!result.has_value()) {
+      result = ToBlock(share->blocks[0]);
+    } else {
+      kernels::XorAccumulate(result->data(), share->blocks[0].data(),
+                             result->size());
     }
   }
   DPSTORE_RETURN_IF_ERROR(first_error);

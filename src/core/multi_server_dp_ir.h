@@ -24,6 +24,15 @@ struct MultiServerDpIrOptions {
   /// index and the query returns nullopt.
   double alpha = 0.1;
   uint64_t seed = 2024;
+  /// Retrieve the real block through a two-server DPF eval pair
+  /// (crypto/dpf.h) instead of planting the index into one replica's
+  /// subset. The K-subsets remain — now ALL dummies, pure cover traffic
+  /// whose shape is index-independent by construction — and the real
+  /// record rides on two O(lambda log n) keys and one aggregate block per
+  /// replica. Requires exactly 2 servers. The alpha error branch is
+  /// preserved (the eval still runs, keyed to a uniform dummy point, so
+  /// both branches produce bit-identical transcript shapes).
+  bool use_dpf = false;
 };
 
 /// Multi-server differentially private IR in the Appendix C model: the
@@ -70,6 +79,10 @@ class MultiServerDpIr : public RamScheme {
   double achieved_epsilon() const;
 
  private:
+  /// The use_dpf retrieval path: all-dummy cover subsets + one DPF eval
+  /// per replica, XOR of the two aggregate blocks = the real record.
+  StatusOr<std::optional<Block>> QueryDpf(BlockId index);
+
   std::vector<StorageBackend*> servers_;
   MultiServerDpIrOptions options_;
   uint64_t n_;

@@ -15,6 +15,7 @@
 #include "oram/oram_kvs.h"
 #include "oram/path_oram.h"
 #include "oram/tunable_dp_oram.h"
+#include "pir/dpf_pir.h"
 #include "pir/trivial_pir.h"
 #include "pir/xor_pir.h"
 #include "storage/async_sharded_backend.h"
@@ -172,8 +173,11 @@ class XorPirScheme : public RamScheme {
   TransportStats TransportTotals() const override {
     TransportStats stats;
     stats.blocks_moved = 2 * queries_;  // one answer block per server
-    stats.bytes_moved =
-        2 * queries_ * record_size_ +
+    stats.bytes_moved = 2 * queries_ * record_size_;
+    // The n-bit selectors are opaque non-block query bytes — the same
+    // axis dpf_pir's keys land on, so the two schemes' query bandwidth
+    // compares directly.
+    stats.aux_bytes =
         (server0_.query_bits_received() + server1_.query_bits_received()) / 8;
     stats.roundtrips = 2 * queries_;  // one per server, as in MultiServerDpIr
     return stats;
@@ -185,6 +189,39 @@ class XorPirScheme : public RamScheme {
   XorPirServer server1_;
   TwoServerXorPir pir_;
   uint64_t queries_ = 0;
+};
+
+/// Two-server DPF PIR behind the unified RAM interface: owns both
+/// marker-loaded replica backends, so — unlike xor_pir's bespoke compute
+/// servers — the config's storage topology applies and the eval rides on
+/// memory, sharded, cached, fused or socket transports alike. Transport
+/// totals come straight from the replicas' transcripts: per query per
+/// replica, 1 eval roundtrip, 1 aggregate block down, O(lambda log n)
+/// key bytes up (TransportStats::aux_bytes).
+class DpfPirScheme : public RamScheme {
+ public:
+  DpfPirScheme(std::unique_ptr<StorageBackend> server0,
+               std::unique_ptr<StorageBackend> server1)
+      : server0_(std::move(server0)),
+        server1_(std::move(server1)),
+        pir_(server0_.get(), server1_.get()) {}
+
+  uint64_t n() const override { return pir_.n(); }
+  size_t record_size() const override { return pir_.block_size(); }
+  StatusOr<std::optional<Block>> QueryRead(BlockId id) override {
+    DPSTORE_ASSIGN_OR_RETURN(Block block, pir_.Query(id));
+    return std::optional<Block>(std::move(block));
+  }
+  TransportStats TransportTotals() const override {
+    TransportStats stats = server0_->Stats();
+    stats += server1_->Stats();
+    return stats;
+  }
+
+ private:
+  std::unique_ptr<StorageBackend> server0_;
+  std::unique_ptr<StorageBackend> server1_;
+  TwoServerDpfPir pir_;
 };
 
 }  // namespace
@@ -420,6 +457,53 @@ SchemeRegistry::SchemeRegistry() {
     return std::unique_ptr<RamScheme>(std::make_unique<XorPirScheme>(
         MarkerDatabase(config.n, config.value_size), config.value_size,
         config.seed));
+  });
+
+  RegisterRam("dpf_pir", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory0,
+                             BackendFactoryFor(config));
+    BackendFactory factory1 = factory0;
+    if (config.backend == "socket" && !config.socket_path2.empty()) {
+      // Replica 1 in its own server process: the two keys of one query
+      // really cross into different address spaces.
+      SchemeConfig replica1 = config;
+      replica1.socket_path = config.socket_path2;
+      DPSTORE_ASSIGN_OR_RETURN(factory1, BackendFactoryFor(replica1));
+    }
+    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> server0,
+                             MakePublicDatabase(config, factory0));
+    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> server1,
+                             MakePublicDatabase(config, factory1));
+    return std::unique_ptr<RamScheme>(std::make_unique<DpfPirScheme>(
+        std::move(server0), std::move(server1)));
+  });
+
+  // The multi-server DP-IR with its real record carried by the DPF eval
+  // pair instead of subset planting: same cover-traffic shape, same alpha
+  // error branch, sublinear query bytes (see MultiServerDpIrOptions).
+  RegisterRam("multi_server_dp_ir_dpf", [](const SchemeConfig& config)
+                  -> StatusOr<std::unique_ptr<RamScheme>> {
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
+    std::vector<std::unique_ptr<StorageBackend>> backends;
+    std::vector<StorageBackend*> pointers;
+    for (int replica = 0; replica < 2; ++replica) {
+      DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
+                               MakePublicDatabase(config, factory));
+      pointers.push_back(backend.get());
+      backends.push_back(std::move(backend));
+    }
+    MultiServerDpIrOptions options;
+    options.num_servers = pointers.size();
+    options.epsilon = EffectiveEpsilon(config);
+    options.alpha = config.alpha;
+    options.seed = config.seed;
+    options.use_dpf = true;
+    auto scheme =
+        std::make_unique<MultiServerDpIr>(std::move(pointers), options);
+    return std::unique_ptr<RamScheme>(
+        std::make_unique<OwnedBackendRam<MultiServerDpIr>>(std::move(backends),
+                                                           std::move(scheme)));
   });
 
   RegisterRam("tunable_dp_oram", [](const SchemeConfig& config)

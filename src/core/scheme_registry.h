@@ -53,6 +53,12 @@ struct SchemeConfig {
   uint64_t fuse_bytes = 0;
   /// Unix-domain path of a running dpstore_server (backend "socket").
   std::string socket_path;
+  /// Second server process for the genuinely-two-server schemes
+  /// (dpf_pir): replica 1 connects here instead of `socket_path`, so the
+  /// two keys of one query really land in different processes. Empty =
+  /// both replicas use the `socket_path` server (distinct private
+  /// namespaces — still distinct arenas, one process).
+  std::string socket_path2;
   /// TCP endpoint of a running dpstore_server (backend "socket"). With
   /// both this and `socket_path` empty, every backend the factory builds
   /// spawns its own in-process socketpair server.

@@ -1,0 +1,266 @@
+#include "crypto/dpf.h"
+
+#include <cstring>
+#include <string>
+
+#include "crypto/chacha20.h"
+#include "crypto/prg.h"
+
+namespace dpstore {
+namespace crypto {
+namespace {
+
+using Seed = std::array<uint8_t, kDpfSeedSize>;
+
+/// One GGM node: a seed and its control bit.
+struct Node {
+  Seed s{};
+  uint8_t t = 0;
+};
+
+/// Both children of one expanded node.
+struct Children {
+  Seed left{};
+  Seed right{};
+  uint8_t t_left = 0;
+  uint8_t t_right = 0;
+};
+
+/// The length-doubling PRG: one ChaCha20 block keyed by the node seed
+/// (zero-padded to the 32-byte cipher key), fixed nonce, counter 0.
+Children Expand(const Seed& seed) {
+  ChaChaKey key{};
+  std::memcpy(key.data(), seed.data(), kDpfSeedSize);
+  ChaChaNonce nonce{};  // all-zero: the seed is fresh per node
+  uint8_t block[kChaChaBlockSize];
+  ChaCha20Block(key, nonce, 0, block);
+  Children c;
+  std::memcpy(c.left.data(), block, kDpfSeedSize);
+  std::memcpy(c.right.data(), block + kDpfSeedSize, kDpfSeedSize);
+  c.t_left = block[2 * kDpfSeedSize] & 1;
+  c.t_right = block[2 * kDpfSeedSize + 1] & 1;
+  return c;
+}
+
+inline void XorSeed(Seed& dst, const Seed& src) {
+  for (size_t i = 0; i < kDpfSeedSize; ++i) {
+    dst[i] = static_cast<uint8_t>(dst[i] ^ src[i]);
+  }
+}
+
+/// Expands `node` one level down with correction word `cw`, returning
+/// (left child, right child) as full Nodes.
+inline void Step(const Node& node, const DpfKey::CorrectionWord& cw,
+                 Node* left, Node* right) {
+  Children c = Expand(node.s);
+  if (node.t) {
+    XorSeed(c.left, cw.seed);
+    XorSeed(c.right, cw.seed);
+    c.t_left = static_cast<uint8_t>(c.t_left ^ cw.t_left);
+    c.t_right = static_cast<uint8_t>(c.t_right ^ cw.t_right);
+  }
+  left->s = c.left;
+  left->t = c.t_left;
+  right->s = c.right;
+  right->t = c.t_right;
+}
+
+Seed RandomSeed() {
+  Seed s;
+  SystemRandomBytes(s.data(), s.size());
+  return s;
+}
+
+Status CheckKey(const DpfKey& key) {
+  if (key.depth < 1 || key.depth > kMaxDpfDepth) {
+    return InvalidArgumentError("dpf: depth out of range");
+  }
+  if (key.cw.size() != key.depth) {
+    return InvalidArgumentError("dpf: correction word count != depth");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::vector<uint8_t> DpfKey::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(DpfKeyBytes(depth));
+  out.push_back('D');
+  out.push_back('P');
+  out.push_back('F');
+  out.push_back('1');
+  out.push_back(party);
+  out.push_back(depth);
+  out.push_back(0);
+  out.push_back(0);
+  out.insert(out.end(), root_seed.begin(), root_seed.end());
+  out.push_back(static_cast<uint8_t>(root_t & 1));
+  for (const CorrectionWord& c : cw) {
+    out.insert(out.end(), c.seed.begin(), c.seed.end());
+    out.push_back(static_cast<uint8_t>((c.t_left & 1) | ((c.t_right & 1) << 1)));
+  }
+  return out;
+}
+
+StatusOr<DpfKey> DpfKey::Parse(const uint8_t* data, size_t len) {
+  if (data == nullptr || len < 25) {
+    return InvalidArgumentError("dpf: key truncated");
+  }
+  if (data[0] != 'D' || data[1] != 'P' || data[2] != 'F' || data[3] != '1') {
+    return InvalidArgumentError("dpf: bad key magic");
+  }
+  DpfKey key;
+  key.party = data[4];
+  key.depth = data[5];
+  if (key.party > 1) return InvalidArgumentError("dpf: bad party");
+  if (key.depth < 1 || key.depth > kMaxDpfDepth) {
+    return InvalidArgumentError("dpf: depth out of range");
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    return InvalidArgumentError("dpf: bad reserved bytes");
+  }
+  if (len != DpfKeyBytes(key.depth)) {
+    return InvalidArgumentError("dpf: key length does not match depth");
+  }
+  std::memcpy(key.root_seed.data(), data + 8, kDpfSeedSize);
+  const uint8_t root_t = data[24];
+  if (root_t > 1) return InvalidArgumentError("dpf: bad control bit");
+  key.root_t = root_t;
+  key.cw.resize(key.depth);
+  const uint8_t* p = data + 25;
+  for (uint8_t i = 0; i < key.depth; ++i) {
+    std::memcpy(key.cw[i].seed.data(), p, kDpfSeedSize);
+    const uint8_t bits = p[kDpfSeedSize];
+    if (bits > 3) return InvalidArgumentError("dpf: bad control bits");
+    key.cw[i].t_left = bits & 1;
+    key.cw[i].t_right = (bits >> 1) & 1;
+    p += kDpfSeedSize + 1;
+  }
+  return key;
+}
+
+StatusOr<DpfKeyPair> DpfGen(uint64_t alpha, uint8_t depth) {
+  if (depth < 1 || depth > kMaxDpfDepth) {
+    return InvalidArgumentError("dpf: depth out of range");
+  }
+  if (depth < 64 && alpha >= (uint64_t{1} << depth)) {
+    return InvalidArgumentError("dpf: alpha outside the domain");
+  }
+  DpfKeyPair pair;
+  pair.key0.party = 0;
+  pair.key1.party = 1;
+  pair.key0.depth = depth;
+  pair.key1.depth = depth;
+  pair.key0.root_seed = RandomSeed();
+  pair.key1.root_seed = RandomSeed();
+  pair.key0.root_t = 0;
+  pair.key1.root_t = 1;
+  pair.key0.cw.resize(depth);
+
+  Seed s0 = pair.key0.root_seed;
+  Seed s1 = pair.key1.root_seed;
+  uint8_t t0 = 0;
+  uint8_t t1 = 1;
+  for (uint8_t i = 0; i < depth; ++i) {
+    const Children c0 = Expand(s0);
+    const Children c1 = Expand(s1);
+    // MSB-first walk: level i consumes bit (depth - 1 - i) of alpha.
+    const uint8_t a = static_cast<uint8_t>((alpha >> (depth - 1 - i)) & 1);
+    const Seed& lose0 = a ? c0.left : c0.right;
+    const Seed& lose1 = a ? c1.left : c1.right;
+    DpfKey::CorrectionWord cw;
+    cw.seed = lose0;
+    XorSeed(cw.seed, lose1);
+    // The control-bit corrections force the parties' bits to differ on
+    // the special path and agree off it.
+    cw.t_left = static_cast<uint8_t>(c0.t_left ^ c1.t_left ^ a ^ 1);
+    cw.t_right = static_cast<uint8_t>(c0.t_right ^ c1.t_right ^ a);
+    pair.key0.cw[i] = cw;
+
+    const Seed& keep0 = a ? c0.right : c0.left;
+    const Seed& keep1 = a ? c1.right : c1.left;
+    const uint8_t tk0 = a ? c0.t_right : c0.t_left;
+    const uint8_t tk1 = a ? c1.t_right : c1.t_left;
+    const uint8_t tcw_keep = a ? cw.t_right : cw.t_left;
+
+    Seed next0 = keep0;
+    if (t0) XorSeed(next0, cw.seed);
+    const uint8_t nt0 = static_cast<uint8_t>(tk0 ^ (t0 ? tcw_keep : 0));
+    Seed next1 = keep1;
+    if (t1) XorSeed(next1, cw.seed);
+    const uint8_t nt1 = static_cast<uint8_t>(tk1 ^ (t1 ? tcw_keep : 0));
+    s0 = next0;
+    t0 = nt0;
+    s1 = next1;
+    t1 = nt1;
+  }
+  pair.key1.cw = pair.key0.cw;  // correction words are shared
+  return pair;
+}
+
+std::vector<uint64_t> DpfEvalFull(const DpfKey& key) {
+  const Status check = CheckKey(key);
+  if (!check.ok()) return {};
+  const uint8_t depth = key.depth;
+  const uint64_t n = uint64_t{1} << depth;
+  std::vector<uint64_t> out((n + 63) / 64, 0);
+
+  // Split the tree into a top section expanded breadth-first once and a
+  // set of bottom subtrees expanded one at a time, so the live node set
+  // is bounded (~2^kSubDepth seeds) however deep the tree is.
+  constexpr uint8_t kSubDepth = 12;
+  const uint8_t split = depth > kSubDepth ? depth - kSubDepth : 0;
+
+  std::vector<Node> top(1);
+  top[0].s = key.root_seed;
+  top[0].t = key.root_t;
+  std::vector<Node> next;
+  for (uint8_t level = 0; level < split; ++level) {
+    next.resize(top.size() * 2);
+    for (size_t j = 0; j < top.size(); ++j) {
+      Step(top[j], key.cw[level], &next[2 * j], &next[2 * j + 1]);
+    }
+    top.swap(next);
+  }
+
+  // Each top node roots a subtree of sub_n leaves; sub_n is a multiple of
+  // 64 whenever there is more than one subtree (split > 0 implies
+  // depth - split = kSubDepth), so every subtree owns whole output words.
+  const uint8_t sub_depth = depth - split;
+  const uint64_t sub_n = uint64_t{1} << sub_depth;
+  std::vector<Node> cur;
+  for (size_t j = 0; j < top.size(); ++j) {
+    cur.assign(1, top[j]);
+    for (uint8_t level = split; level < depth; ++level) {
+      next.resize(cur.size() * 2);
+      for (size_t k = 0; k < cur.size(); ++k) {
+        Step(cur[k], key.cw[level], &next[2 * k], &next[2 * k + 1]);
+      }
+      cur.swap(next);
+    }
+    const uint64_t base = j * sub_n;
+    for (uint64_t k = 0; k < sub_n; ++k) {
+      const uint64_t bit = base + k;
+      out[bit >> 6] |= static_cast<uint64_t>(cur[k].t & 1) << (bit & 63);
+    }
+  }
+  return out;
+}
+
+uint8_t DpfEvalPoint(const DpfKey& key, uint64_t x) {
+  if (!CheckKey(key).ok()) return 0;
+  Node node;
+  node.s = key.root_seed;
+  node.t = key.root_t;
+  Node left, right;
+  for (uint8_t i = 0; i < key.depth; ++i) {
+    Step(node, key.cw[i], &left, &right);
+    const uint8_t bit = static_cast<uint8_t>((x >> (key.depth - 1 - i)) & 1);
+    node = bit ? right : left;
+  }
+  return node.t;
+}
+
+}  // namespace crypto
+}  // namespace dpstore

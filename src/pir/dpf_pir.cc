@@ -1,0 +1,62 @@
+#include "pir/dpf_pir.h"
+
+#include <utility>
+
+#include "crypto/dpf.h"
+#include "storage/kernels.h"
+#include "util/check.h"
+
+namespace dpstore {
+
+namespace {
+
+/// ceil(log2 n) floored at 1 — the smallest DPF domain covering [0, n).
+uint8_t DomainDepthFor(uint64_t n) {
+  uint8_t depth = 1;
+  while ((uint64_t{1} << depth) < n) ++depth;
+  return depth;
+}
+
+}  // namespace
+
+TwoServerDpfPir::TwoServerDpfPir(StorageBackend* server0,
+                                 StorageBackend* server1)
+    : server0_(server0), server1_(server1) {
+  DPSTORE_CHECK(server0 != nullptr);
+  DPSTORE_CHECK(server1 != nullptr);
+  DPSTORE_CHECK_EQ(server0->n(), server1->n());
+  DPSTORE_CHECK_EQ(server0->block_size(), server1->block_size());
+  DPSTORE_CHECK_GT(server0->n(), 0u);
+  depth_ = DomainDepthFor(server0->n());
+  DPSTORE_CHECK_LE(depth_, crypto::kMaxDpfDepth)
+      << "database too large for the DPF domain cap";
+}
+
+uint64_t TwoServerDpfPir::QueryBytesPerServer() const {
+  return crypto::DpfKeyBytes(depth_);
+}
+
+StatusOr<Block> TwoServerDpfPir::Query(BlockId index) {
+  if (index >= n()) {
+    return OutOfRangeError("TwoServerDpfPir::Query index out of range");
+  }
+  server0_->BeginQuery();
+  server1_->BeginQuery();
+  DPSTORE_ASSIGN_OR_RETURN(crypto::DpfKeyPair keys,
+                           crypto::DpfGen(index, depth_));
+  // One eval exchange per replica: the key travels up, one aggregate
+  // block travels down. Submit both before waiting so the two servers'
+  // scans genuinely overlap on transports that can (async, socket).
+  Ticket t0 = server0_->Submit(
+      StorageRequest::DpfEvalOf(keys.key0.Serialize(), /*dpf_offset=*/0));
+  Ticket t1 = server1_->Submit(
+      StorageRequest::DpfEvalOf(keys.key1.Serialize(), /*dpf_offset=*/0));
+  DPSTORE_ASSIGN_OR_RETURN(StorageReply r0, server0_->Wait(t0));
+  DPSTORE_ASSIGN_OR_RETURN(StorageReply r1, server1_->Wait(t1));
+  // a0 ^ a1 = XOR over x of (bit0(x) ^ bit1(x)) * block(x) = block(index).
+  Block answer = ToBlock(r0.blocks[0]);
+  kernels::XorAccumulate(answer.data(), r1.blocks[0].data(), answer.size());
+  return answer;
+}
+
+}  // namespace dpstore

@@ -1,0 +1,68 @@
+#ifndef DPSTORE_PIR_DPF_PIR_H_
+#define DPSTORE_PIR_DPF_PIR_H_
+
+/// \file
+/// Two-server DPF-based PIR (Boyle-Gilboa-Ishai over the GGM tree in
+/// crypto/dpf.h): the computational answer to xor_pir's Theta(n)-bit
+/// queries. The client splits the point function at its index into two
+/// keys of O(lambda log n) bytes, ships one key per replica, and each
+/// server answers with ONE block — the XOR of the blocks its key's
+/// expanded bit vector selects, computed in a single streaming pass over
+/// its flat arena (StorageRequest::Op::kDpfEval, executed by the
+/// SelectXorScan kernel). XORing the two answers yields the queried
+/// block; each server's view is one pseudorandom key, computationally
+/// independent of the index.
+///
+/// Per query per replica: ~25 + 17 * ceil(log2 n) query bytes up
+/// (365 B at n = 2^20, versus xor_pir's n bits = 128 KiB), one block
+/// down, one roundtrip. Server work stays Theta(n) — the PIR lower bound
+/// the paper's introduction contrasts with — but moves from per-query
+/// client bandwidth into the vectorized server scan.
+///
+/// Unlike xor_pir's bespoke compute servers, the replicas here are plain
+/// StorageBackends, so the scheme runs unchanged over every topology in
+/// the registry: memory, sharded (the eval fans out per shard and the
+/// partial XORs compose), cached (flushes then scans), fused (bypasses
+/// the queue), and socket (the key crosses the wire to a real
+/// dpstore_server process).
+
+#include <cstdint>
+
+#include "storage/backend.h"
+#include "util/statusor.h"
+
+namespace dpstore {
+
+/// Client of the two-server DPF PIR. Both backends must hold identical
+/// replicas of the same geometry.
+class TwoServerDpfPir {
+ public:
+  /// Key randomness comes from the system RNG (crypto/dpf.h), not a
+  /// caller seed: unlike the statistical schemes there is no replayable
+  /// noise to pin down, and fresh seeds per query are what the hiding
+  /// argument needs.
+  TwoServerDpfPir(StorageBackend* server0, StorageBackend* server1);
+
+  uint64_t n() const { return server0_->n(); }
+  size_t block_size() const { return server0_->block_size(); }
+
+  /// Tree depth of the keys: ceil(log2 n), floored at 1. The domain
+  /// 2^depth rounds n up to a power of two; bits for points >= n land
+  /// beyond both replicas' arenas and are never read, identically on
+  /// both sides, so correctness and privacy are unaffected.
+  uint8_t domain_depth() const { return depth_; }
+
+  /// Serialized bytes each replica receives per query.
+  uint64_t QueryBytesPerServer() const;
+
+  StatusOr<Block> Query(BlockId index);
+
+ private:
+  StorageBackend* server0_;
+  StorageBackend* server1_;
+  uint8_t depth_;
+};
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_PIR_DPF_PIR_H_

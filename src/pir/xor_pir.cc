@@ -1,7 +1,6 @@
 #include "pir/xor_pir.h"
 
-#include <cstring>
-
+#include "storage/kernels.h"
 #include "util/check.h"
 
 namespace dpstore {
@@ -18,23 +17,22 @@ StatusOr<Block> XorPirServer::Answer(const std::vector<uint8_t>& selector) {
     return InvalidArgumentError("XorPirServer: selector length mismatch");
   }
   query_bits_received_ += selector.size();
-  Block answer(block_size_, 0);
-  for (uint64_t i = 0; i < database_.size(); ++i) {
+  // Pack the byte selector into the little-endian bit words the kernel
+  // layer gates its scan with, counting selected blocks along the way
+  // (ops_count keeps its "blocks operated on" meaning).
+  std::vector<uint64_t> bits((selector.size() + 63) / 64, 0);
+  for (uint64_t i = 0; i < selector.size(); ++i) {
     if (selector[i] == 0) continue;
     ++ops_count_;
-    const uint8_t* block = database_[i].data();
-    size_t b = 0;
-    // Word-granular subset XOR over the flat replica; memcpy keeps it
-    // alignment-safe and the compiler lowers it to plain 64-bit ops.
-    for (; b + 8 <= block_size_; b += 8) {
-      uint64_t acc, word;
-      std::memcpy(&acc, answer.data() + b, 8);
-      std::memcpy(&word, block + b, 8);
-      acc ^= word;
-      std::memcpy(answer.data() + b, &acc, 8);
-    }
-    for (; b < block_size_; ++b) answer[b] ^= block[b];
+    bits[i >> 6] |= uint64_t{1} << (i & 63);
   }
+  Block answer(block_size_, 0);
+  // One streaming pass over the flat replica through the dispatched
+  // kernel (AVX2/SSE2/scalar — storage/kernels.h), the same scan the
+  // engine's kDpfEval path runs.
+  kernels::SelectXorScan(answer.data(), database_[0].data(),
+                         database_.size(), block_size_, bits.data(),
+                         /*bit_offset=*/0);
   return answer;
 }
 

@@ -92,6 +92,11 @@ Status DispatchFrame(StorageEngine& engine, unsigned tid, NamespaceHandle* ns,
       request.op = static_cast<StorageRequest::Op>(header.code);
       request.indices = std::move(frame.indices);
       request.payload = std::move(frame.payload);
+      // DPF evals carry the domain offset in aux (see wire.h); the reply
+      // is a single block, so the download cap above cannot bind.
+      if (request.op == StorageRequest::Op::kDpfEval) {
+        request.dpf_offset = header.aux;
+      }
       StatusOr<StorageReply> reply = engine.ExecuteBatch(tid, *ns, request);
       ++*exchanges;
       return reply.ok() ? wire::WriteFrame(fd,

@@ -1,8 +1,10 @@
 #include "storage/async_sharded_backend.h"
 
+#include <cstring>
 #include <string>
 #include <utility>
 
+#include "storage/kernels.h"
 #include "util/check.h"
 
 namespace dpstore {
@@ -57,7 +59,24 @@ void AsyncShardedBackend::WorkerLoop(uint64_t s) {
 void AsyncShardedBackend::RunLeg(Worker::Job job, StorageBackend* shard) {
   Flight* flight = job.flight;
   Status leg_status = OkStatus();
-  if (job.op == StorageRequest::Op::kDownload) {
+  if (job.op == StorageRequest::Op::kDpfEval) {
+    StorageRequest leg;
+    leg.op = StorageRequest::Op::kDpfEval;
+    leg.payload = std::move(job.upload_payload);
+    leg.dpf_offset = job.dpf_offset;
+    StatusOr<StorageReply> chunk = shard->Exchange(std::move(leg));
+    if (chunk.ok()) {
+      // Every dpf leg folds into the SAME single reply block, so unlike
+      // the download gather these writes are not disjoint: XOR under the
+      // flight lock. XOR commutes, so leg completion order is irrelevant.
+      std::lock_guard<std::mutex> lock(flight->mu);
+      kernels::XorAccumulate(flight->gathered.Mutable(0).data(),
+                             chunk->blocks[0].data(),
+                             flight->gathered.block_size());
+    } else {
+      leg_status = chunk.status();
+    }
+  } else if (job.op == StorageRequest::Op::kDownload) {
     const std::vector<size_t>& positions = job.leg.positions;
     StatusOr<StorageReply> chunk = shard->Exchange(
         StorageRequest::DownloadOf(std::move(job.leg.local_indices)));
@@ -124,15 +143,24 @@ Ticket AsyncShardedBackend::Submit(StorageRequest request) {
 
   auto flight = std::make_unique<Flight>();
   flight->request = std::move(request);
+  const bool is_dpf = flight->request.op == StorageRequest::Op::kDpfEval;
   if (flight->request.op == StorageRequest::Op::kDownload) {
     flight->gathered = BlockBuffer::FromPool(
         pool_, flight->request.indices.size(), block_size_);
+  } else if (is_dpf) {
+    // The per-shard dpf legs XOR into this one block, so it starts zeroed.
+    flight->gathered = BlockBuffer::FromPool(pool_, 1, block_size_);
+    std::memset(flight->gathered.Mutable(0).data(), 0, block_size_);
   }
   std::vector<ShardRouter::Leg> legs =
       router_.Partition(flight->request.indices);
   std::vector<uint64_t> touched;
   for (uint64_t s = 0; s < legs.size(); ++s) {
-    if (!legs[s].local_indices.empty()) touched.push_back(s);
+    // A dpf eval touches every non-empty shard (the key addresses the
+    // whole arena); index-addressed ops touch the shards their legs name.
+    if (is_dpf ? router_.ShardSize(s) > 0 : !legs[s].local_indices.empty()) {
+      touched.push_back(s);
+    }
   }
   flight->legs_outstanding = touched.size();
 
@@ -152,7 +180,10 @@ Ticket AsyncShardedBackend::Submit(StorageRequest request) {
     Worker::Job job;
     job.flight = raw;
     job.op = raw->request.op;
-    if (job.op == StorageRequest::Op::kUpload) {
+    if (is_dpf) {
+      job.upload_payload = raw->request.payload;  // own copy of the key
+      job.dpf_offset = raw->request.dpf_offset + s * router_.rows_per_shard();
+    } else if (job.op == StorageRequest::Op::kUpload) {
       // Scatter the flat parent payload into a flat per-leg payload here on
       // the client thread, so workers never touch the parent request.
       // Consecutive-position runs collapse into single memcpys.
@@ -213,7 +244,10 @@ StatusOr<StorageReply> AsyncShardedBackend::Wait(Ticket ticket) {
   // in request order, exactly as the synchronous backend would.
   {
     std::lock_guard<std::mutex> lock(transcript_mu_);
-    if (flight.request.op == StorageRequest::Op::kDownload) {
+    if (flight.request.op == StorageRequest::Op::kDpfEval) {
+      transcript_.RecordRoundtrip();
+      transcript_.RecordEval(flight.request.payload.bytes());
+    } else if (flight.request.op == StorageRequest::Op::kDownload) {
       transcript_.RecordRoundtrip();
       transcript_.RecordMany(AccessEvent::Type::kDownload,
                              flight.request.indices);

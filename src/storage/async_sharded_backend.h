@@ -104,8 +104,12 @@ class AsyncShardedBackend : public StorageBackend {
     struct Job {
       Flight* flight = nullptr;
       ShardRouter::Leg leg;
-      BlockBuffer upload_payload;  // aligned with leg, uploads only
+      /// Uploads: the per-leg payload slice. DPF evals: this shard's copy
+      /// of the serialized key.
+      BlockBuffer upload_payload;
       StorageRequest::Op op = StorageRequest::Op::kDownload;
+      /// DPF evals only: this shard's offset into the key's domain.
+      uint64_t dpf_offset = 0;
     };
     std::mutex mu;
     std::condition_variable cv;

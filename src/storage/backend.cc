@@ -12,11 +12,24 @@ TransportStats StatsFromTranscript(const Transcript& transcript,
   stats.blocks_moved = transcript.TotalBlocksMoved();
   stats.bytes_moved = transcript.TotalBlocksMoved() * block_size;
   stats.roundtrips = transcript.roundtrip_count();
+  stats.aux_bytes = transcript.eval_query_bytes();
   return stats;
 }
 
 Status ValidateRequest(const StorageRequest& request, uint64_t n,
                        size_t block_size) {
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    if (!request.indices.empty()) {
+      return InvalidArgumentError("dpf eval exchange carries indices");
+    }
+    if (request.payload.size() != 1 || request.payload.block_size() == 0) {
+      return InvalidArgumentError(
+          "dpf eval exchange must carry exactly one serialized key");
+    }
+    // The key itself is parsed (and rejected) where it is evaluated; here
+    // only the exchange geometry is checked, like every other op.
+    return OkStatus();
+  }
   if (request.op == StorageRequest::Op::kUpload) {
     if (request.indices.size() != request.payload.size()) {
       return InvalidArgumentError("upload exchange: index/block count mismatch");

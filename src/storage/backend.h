@@ -32,6 +32,12 @@ struct TransportStats {
   uint64_t blocks_moved = 0;
   uint64_t bytes_moved = 0;
   uint64_t roundtrips = 0;
+  /// Opaque non-block query bytes shipped alongside the block traffic:
+  /// serialized DPF keys for kDpfEval exchanges, xor_pir's selection
+  /// vectors. Kept out of bytes_moved (which stays blocks x block_size, the
+  /// paper's block-bandwidth axis) so the two query-compression regimes are
+  /// directly comparable on one column.
+  uint64_t aux_bytes = 0;
   /// MEASURED wall-clock milliseconds the transport spent completing
   /// exchanges (submit to reply-parked), summed per exchange. 0 for
   /// in-process backends, where an exchange is a function call; a real RPC
@@ -45,6 +51,7 @@ struct TransportStats {
     blocks_moved += other.blocks_moved;
     bytes_moved += other.bytes_moved;
     roundtrips += other.roundtrips;
+    aux_bytes += other.aux_bytes;
     measured_wall_ms += other.measured_wall_ms;
     return *this;
   }
@@ -52,12 +59,14 @@ struct TransportStats {
     a.blocks_moved -= b.blocks_moved;
     a.bytes_moved -= b.bytes_moved;
     a.roundtrips -= b.roundtrips;
+    a.aux_bytes -= b.aux_bytes;
     a.measured_wall_ms -= b.measured_wall_ms;
     return a;
   }
   friend bool operator==(const TransportStats& a, const TransportStats& b) {
     return a.blocks_moved == b.blocks_moved &&
-           a.bytes_moved == b.bytes_moved && a.roundtrips == b.roundtrips;
+           a.bytes_moved == b.bytes_moved && a.roundtrips == b.roundtrips &&
+           a.aux_bytes == b.aux_bytes;
   }
 };
 
@@ -77,16 +86,30 @@ TransportStats StatsFromTranscript(const Transcript& transcript,
 /// of a blocking method call) is what lets backends defer, overlap, shard
 /// and cache it — and is the wire format a future RPC transport serializes.
 struct StorageRequest {
-  enum class Op : uint8_t { kDownload = 0, kUpload = 1 };
+  /// kDpfEval is the one *compute* exchange: the client ships a serialized
+  /// DPF key (crypto/dpf.h) instead of indices, and the server answers with
+  /// a single block — the XOR of every arena block whose selection bit in
+  /// the key's expanded domain is set. One roundtrip, O(lambda log n)
+  /// upload, one block down: the query-compression regime xor_pir's
+  /// 2n-bit selection vectors cannot reach.
+  enum class Op : uint8_t { kDownload = 0, kUpload = 1, kDpfEval = 2 };
 
   Op op = Op::kDownload;
-  /// Addresses touched, in request order. Duplicates are allowed.
+  /// Addresses touched, in request order. Duplicates are allowed. Empty
+  /// for kDpfEval (the key addresses the whole arena).
   std::vector<BlockId> indices;
   /// Upload payloads as one flat buffer, block i aligned with indices[i].
-  /// Empty for downloads. Flat (rather than vector-of-vectors) so an
-  /// exchange is one allocation however many blocks it names — the
-  /// transport's whole allocation-free discipline hangs off this field.
+  /// Empty for downloads. For kDpfEval: exactly one "block" whose
+  /// block_size is the serialized key length. Flat (rather than
+  /// vector-of-vectors) so an exchange is one allocation however many
+  /// blocks it names — the transport's whole allocation-free discipline
+  /// hangs off this field.
   BlockBuffer payload;
+  /// kDpfEval only: where this backend's block 0 sits in the DPF domain.
+  /// A sharded backend fans one eval out by bumping the offset per shard,
+  /// so each shard XORs its own slice of the selection bits and the XOR of
+  /// the shard answers equals the whole-arena answer.
+  uint64_t dpf_offset = 0;
 
   static StorageRequest DownloadOf(std::vector<BlockId> indices) {
     StorageRequest request;
@@ -108,6 +131,17 @@ struct StorageRequest {
   static StorageRequest UploadOf(std::vector<BlockId> indices,
                                  const std::vector<Block>& blocks) {
     return UploadOf(std::move(indices), BlockBuffer::Pack(blocks));
+  }
+  /// Builds a DPF evaluation exchange from a serialized key.
+  static StorageRequest DpfEvalOf(const std::vector<uint8_t>& key_bytes,
+                                  uint64_t dpf_offset = 0) {
+    StorageRequest request;
+    request.op = Op::kDpfEval;
+    request.dpf_offset = dpf_offset;
+    BlockBuffer key(key_bytes.size());
+    key.Append(BlockView(key_bytes.data(), key_bytes.size()));
+    request.payload = std::move(key);
+    return request;
   }
 
   /// True for the requests that are free by contract (no RPC at all): an

@@ -1,9 +1,12 @@
 #include "storage/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <utility>
 
+#include "crypto/dpf.h"
+#include "storage/kernels.h"
 #include "util/check.h"
 
 namespace dpstore {
@@ -85,6 +88,31 @@ uint64_t StripeMaskOf(const NamespaceHandle::State& ns,
   }
   return mask;
 }
+
+uint64_t AllStripesMask(const NamespaceHandle::State& ns) {
+  return ns.stripe_count >= 64 ? ~uint64_t{0}
+                               : (uint64_t{1} << ns.stripe_count) - 1;
+}
+
+/// Batches the run-coalesced copies of one exchange through the dispatched
+/// CopyRuns kernel without allocating: runs accumulate in a stack array
+/// and flush in groups.
+class RunBatch {
+ public:
+  void Add(uint8_t* dst, const uint8_t* src, size_t len) {
+    if (len == 0) return;
+    runs_[count_++] = kernels::CopyRun{dst, src, len};
+    if (count_ == runs_.size()) Flush();
+  }
+  void Flush() {
+    if (count_ > 0) kernels::CopyRuns(runs_.data(), count_);
+    count_ = 0;
+  }
+
+ private:
+  std::array<kernels::CopyRun, 64> runs_;
+  size_t count_ = 0;
+};
 
 }  // namespace
 
@@ -231,6 +259,38 @@ StatusOr<StorageReply> StorageEngine::ExecuteValidated(
   const size_t count = indices.size();
   const size_t block_size = state->block_size;
   StorageReply reply;
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    // Parse and bound-check the key before touching the arena: the bytes
+    // may have crossed the wire from an untrusted client.
+    const BlockView key_bytes = request.payload[0];
+    StatusOr<crypto::DpfKey> key =
+        crypto::DpfKey::Parse(key_bytes.data(), key_bytes.size());
+    DPSTORE_RETURN_IF_ERROR(key.status());
+    const uint64_t domain = uint64_t{1} << key->depth;
+    if (request.dpf_offset >= domain || domain - request.dpf_offset < state->n) {
+      return InvalidArgumentError(
+          "dpf eval: key domain 2^" + std::to_string(key->depth) +
+          " does not cover offset " + std::to_string(request.dpf_offset) +
+          " + n=" + std::to_string(state->n));
+    }
+    // Expand the key OUTSIDE the stripe locks (it is pure computation),
+    // then do the one streaming pass over the arena under all stripes —
+    // the eval must see a consistent snapshot, like SetArray.
+    const std::vector<uint64_t> bits = crypto::DpfEvalFull(*key);
+    reply.blocks = BlockBuffer::FromPool(pool_, 1, block_size);
+    MutableBlockView out = reply.blocks.Mutable(0);
+    std::memset(out.data(), 0, out.size());
+    if (state->n > 0 && block_size > 0) {
+      StripeLockSet held(state, AllStripesMask(*state));
+      kernels::SelectXorScan(out.data(), state->arena.data(), state->n,
+                             block_size, bits.data(), request.dpf_offset);
+    }
+    TidCounters& counters =
+        tid_counters_[tid < num_threads_ ? tid : tid % num_threads_];
+    counters.exchanges.fetch_add(1, std::memory_order_relaxed);
+    counters.blocks_moved.fetch_add(1, std::memory_order_relaxed);
+    return reply;
+  }
   if (request.op == StorageRequest::Op::kDownload) {
     // Acquire the (pooled) reply slab BEFORE taking any stripe lock: a
     // cold allocation must not extend the critical section.
@@ -238,26 +298,31 @@ StatusOr<StorageReply> StorageEngine::ExecuteValidated(
     uint8_t* out =
         reply.blocks.empty() ? nullptr : reply.blocks.Mutable(0).data();
     StripeLockSet held(state, StripeMaskOf(*state, indices));
-    // Runs of consecutive addresses collapse into single memcpys: a scan
-    // exchange (trivial PIR, linear ORAM) is ONE copy of the arena.
+    // Runs of consecutive addresses collapse into single copies through
+    // the dispatched CopyRuns kernel: a scan exchange (trivial PIR,
+    // linear ORAM) is ONE copy of the arena.
+    RunBatch batch;
     for (size_t i = 0; i < count;) {
       size_t run = 1;
       while (i + run < count && indices[i + run] == indices[i] + run) ++run;
-      CopyBytes(out + i * block_size, state->Slot(indices[i]),
+      batch.Add(out + i * block_size, state->Slot(indices[i]),
                 run * block_size);
       i += run;
     }
+    batch.Flush();
   } else {
     const uint8_t* in =
         request.payload.empty() ? nullptr : request.payload[0].data();
     StripeLockSet held(state, StripeMaskOf(*state, indices));
+    RunBatch batch;
     for (size_t i = 0; i < count;) {
       size_t run = 1;
       while (i + run < count && indices[i + run] == indices[i] + run) ++run;
-      CopyBytes(state->Slot(indices[i]), in + i * block_size,
+      batch.Add(state->Slot(indices[i]), in + i * block_size,
                 run * block_size);
       i += run;
     }
+    batch.Flush();
   }
   TidCounters& counters =
       tid_counters_[tid < num_threads_ ? tid : tid % num_threads_];
@@ -370,7 +435,12 @@ StatusOr<StorageReply> EngineBackend::Execute(StorageRequest request) {
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
   DPSTORE_ASSIGN_OR_RETURN(StorageReply reply,
                            engine_->ExecuteValidated(tid_, ns_, request));
-  if (request.op == StorageRequest::Op::kDownload) {
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    // One blocking exchange: the key up, one aggregate block down. The
+    // adversary's view has no per-index events (see Transcript::RecordEval).
+    transcript_.RecordRoundtrip();
+    transcript_.RecordEval(request.payload.bytes());
+  } else if (request.op == StorageRequest::Op::kDownload) {
     // The reply blocks, however many, travel in one message: one roundtrip.
     transcript_.RecordRoundtrip();
     transcript_.RecordMany(AccessEvent::Type::kDownload, request.indices);

@@ -50,6 +50,21 @@ Ticket FusingBackend::Submit(StorageRequest request) {
     return ticket;
   }
   ++exchanges_in_;
+  // DPF evals never fuse: concatenating opaque keys has no meaning, and the
+  // eval must observe every queued upload. Flush the pending run, execute
+  // directly, record in this (unfused-view) transcript, park the reply.
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    FlushQueue();
+    const uint64_t key_bytes = request.payload.bytes();
+    StatusOr<StorageReply> reply = inner_->Exchange(std::move(request));
+    ++fused_out_;
+    if (reply.ok()) {
+      transcript_.RecordRoundtrip();
+      transcript_.RecordEval(key_bytes);
+    }
+    Park(ticket, std::move(reply));
+    return ticket;
+  }
   if (!queue_.empty() &&
       (queue_.front().request.op != request.op || WouldOverflow(request))) {
     FlushQueue();

@@ -1,8 +1,10 @@
 #include "storage/sharded_backend.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "storage/kernels.h"
 #include "util/check.h"
 
 namespace dpstore {
@@ -86,6 +88,33 @@ StatusOr<StorageReply> ShardedBackend::Execute(StorageRequest request) {
   // the indices are validated, because shards carry no fault state of their
   // own - see SetFailureRate).
   DPSTORE_RETURN_IF_ERROR(faults_.MaybeInject());
+
+  // DPF eval fan-out: shard s's block 0 sits at global offset
+  // s * rows_per_shard, so each shard evaluates the SAME key over its own
+  // slice of the selection bits (offset bumped per shard) and the XOR of
+  // the shard answers equals the whole-arena answer — XOR of partial XORs
+  // composes. Recorded here in the global transcript as one eval exchange,
+  // exactly like the memory backend.
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    StorageReply reply;
+    reply.blocks = BlockBuffer::FromPool(pool_, 1, block_size_);
+    MutableBlockView out = reply.blocks.Mutable(0);
+    std::memset(out.data(), 0, out.size());
+    const uint64_t key_bytes = request.payload.bytes();
+    for (uint64_t s = 0; s < shards_.size(); ++s) {
+      if (router_.ShardSize(s) == 0) continue;
+      StorageRequest leg;
+      leg.op = StorageRequest::Op::kDpfEval;
+      leg.payload = request.payload;  // deep copy; keys are O(lambda log n)
+      leg.dpf_offset = request.dpf_offset + s * router_.rows_per_shard();
+      DPSTORE_ASSIGN_OR_RETURN(StorageReply chunk,
+                               shards_[s]->Exchange(std::move(leg)));
+      kernels::XorAccumulate(out.data(), chunk.blocks[0].data(), block_size_);
+    }
+    transcript_.RecordRoundtrip();
+    transcript_.RecordEval(key_bytes);
+    return reply;
+  }
 
   // Single-shard fast path: the partition is the identity, so the exchange
   // forwards wholesale and the shard's reply IS the parent reply (a buffer

@@ -214,9 +214,16 @@ Ticket SocketBackend::Submit(StorageRequest request) {
   auto flight = std::make_unique<InFlight>();
   flight->op = request.op;
   flight->indices = std::move(request.indices);
-  flight->expected_blocks = request.op == StorageRequest::Op::kDownload
-                                ? flight->indices.size()
-                                : 0;  // uploads answer with an empty ack
+  if (request.op == StorageRequest::Op::kDownload) {
+    flight->expected_blocks = flight->indices.size();
+  } else if (request.op == StorageRequest::Op::kDpfEval) {
+    // The server answers an eval with one aggregate block of the arena's
+    // geometry; the key bytes are remembered for RecordEval at Wait.
+    flight->expected_blocks = 1;
+    flight->eval_query_bytes = request.payload.bytes();
+  } else {
+    flight->expected_blocks = 0;  // uploads answer with an empty ack
+  }
   flight->record = true;
   flight->submitted = std::chrono::steady_clock::now();
   in_flight_.emplace(ticket, std::move(flight));
@@ -252,7 +259,10 @@ StatusOr<StorageReply> SocketBackend::Wait(Ticket ticket) {
   // every scheme's narrow calls guarantee — the adversary's view is
   // bit-identical to the in-memory backend's.
   if (flight->record && flight->reply.ok()) {
-    if (flight->op == StorageRequest::Op::kDownload) {
+    if (flight->op == StorageRequest::Op::kDpfEval) {
+      transcript_.RecordRoundtrip();
+      transcript_.RecordEval(flight->eval_query_bytes);
+    } else if (flight->op == StorageRequest::Op::kDownload) {
       transcript_.RecordRoundtrip();
       transcript_.RecordMany(AccessEvent::Type::kDownload, flight->indices);
     } else {

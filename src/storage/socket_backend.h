@@ -137,6 +137,8 @@ class SocketBackend : public StorageBackend {
     /// Record transcript events and measured time at Wait (true only for
     /// exchanges that actually crossed the wire).
     bool record = false;
+    /// DPF evals: serialized key bytes shipped, for RecordEval at Wait.
+    uint64_t eval_query_bytes = 0;
     bool done = false;
     StatusOr<StorageReply> reply{StorageReply{}};
     std::chrono::steady_clock::time_point submitted;

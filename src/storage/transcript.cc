@@ -110,6 +110,8 @@ void Transcript::Clear() {
   download_count_ = 0;
   upload_count_ = 0;
   roundtrip_count_ = 0;
+  eval_count_ = 0;
+  eval_query_bytes_ = 0;
 }
 
 std::string Transcript::ToString() const {

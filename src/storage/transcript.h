@@ -61,6 +61,18 @@ class Transcript {
   /// Meters one blocking client-server exchange (see class comment).
   void RecordRoundtrip() { ++roundtrip_count_; }
 
+  /// Meters one DPF evaluation exchange: `query_bytes` of opaque key
+  /// upload, one answer block down. Counter-only by design — the
+  /// adversary's per-event view of an eval is an opaque key and a single
+  /// aggregate block, with no per-index structure to record (that opacity
+  /// is the whole point of the primitive), so evals never appear in
+  /// events() and are visible only through eval_count() /
+  /// eval_query_bytes() / TotalBlocksMoved().
+  void RecordEval(uint64_t query_bytes) {
+    ++eval_count_;
+    eval_query_bytes_ += query_bytes;
+  }
+
   /// Switches between full event recording and counting-only tallies.
   /// Enabling drops any events stored so far (the counters survive).
   /// Disabling clears the transcript entirely: per-query boundaries cannot
@@ -85,9 +97,12 @@ class Transcript {
   uint64_t download_count() const { return download_count_; }
   uint64_t upload_count() const { return upload_count_; }
   uint64_t roundtrip_count() const { return roundtrip_count_; }
+  uint64_t eval_count() const { return eval_count_; }
+  uint64_t eval_query_bytes() const { return eval_query_bytes_; }
   /// Total blocks moved (the paper's "operations" / bandwidth in blocks).
+  /// Each DPF eval moves exactly one (aggregate) answer block.
   uint64_t TotalBlocksMoved() const {
-    return download_count_ + upload_count_;
+    return download_count_ + upload_count_ + eval_count_;
   }
 
   /// Blocks moved per query, or 0 with no queries.
@@ -110,6 +125,8 @@ class Transcript {
   uint64_t download_count_ = 0;
   uint64_t upload_count_ = 0;
   uint64_t roundtrip_count_ = 0;
+  uint64_t eval_count_ = 0;
+  uint64_t eval_query_bytes_ = 0;
   bool counting_only_ = false;
 };
 

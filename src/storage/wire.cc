@@ -67,8 +67,15 @@ EncodedFrame EncodeRequest(const StorageRequest& request, uint64_t ticket) {
   header.type = FrameType::kRequest;
   header.code = static_cast<uint8_t>(request.op);
   header.ticket = ticket;
-  header.count = request.indices.size();
   header.block_size = static_cast<uint32_t>(request.payload.block_size());
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    // A dpf-eval frame carries no indices: count sizes the key payload
+    // (one "block" of key bytes) and aux is the domain offset.
+    header.count = request.payload.size();
+    header.aux = request.dpf_offset;
+  } else {
+    header.count = request.indices.size();
+  }
   EncodedFrame frame;
   frame.body = request.payload.AllBytes();
   frame.head = EncodeHead(header, request.indices, frame.body.size());
@@ -183,9 +190,21 @@ StatusOr<DecodedFrame> DecodeFrame(BlockView bytes) {
   // BEFORE sizing any allocation is what defuses a forged max-count header.
   switch (header.type) {
     case FrameType::kRequest: {
-      if (header.code > 1) {
+      if (header.code > 2) {
         return InvalidArgumentError("wire: unknown request op " +
                                     std::to_string(header.code));
+      }
+      if (header.code == 2) {
+        // DPF eval: no indices; the payload is exactly one serialized key
+        // of block_size bytes (count == 1 by construction), aux is the
+        // domain offset. Same defensive arithmetic as uploads.
+        if (header.count != 1 || header.block_size == 0 ||
+            size_t(header.block_size) != rest) {
+          return TruncatedError("dpf key payload");
+        }
+        frame.payload = BlockBuffer::Uninitialized(1, header.block_size);
+        CopyBytes(frame.payload.Mutable(0).data(), tail, rest);
+        return frame;
       }
       const bool upload = header.code == 1;
       // count * 8 (indices) + payload must be exactly `rest`; work in

@@ -59,8 +59,13 @@ inline constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 30;
 /// every request frame gets exactly one reply frame with the same ticket.
 enum class FrameType : uint8_t {
   /// One storage exchange (StorageRequest). `code` is the op (0 download,
-  /// 1 upload); downloads answer with kReplyBlocks carrying the blocks,
-  /// uploads with an empty kReplyBlocks acknowledgement.
+  /// 1 upload, 2 dpf eval); downloads answer with kReplyBlocks carrying
+  /// the blocks, uploads with an empty kReplyBlocks acknowledgement. A
+  /// dpf-eval frame (code 2) carries no indices: `count` is 1,
+  /// `block_size` is the serialized key length (the payload), `aux` is
+  /// the DPF domain offset, and the answer is a 1-block kReplyBlocks of
+  /// the arena's block size. Code 2 is a compatible extension within wire
+  /// v2 — an older server answers it with a clean error frame.
   kRequest = 1,
   /// Successful reply: `count` blocks of `block_size` bytes.
   kReplyBlocks = 2,
@@ -89,7 +94,8 @@ enum class FrameType : uint8_t {
 struct FrameHeader {
   uint8_t version = kWireVersion;
   FrameType type = FrameType::kRequest;
-  /// kRequest: StorageRequest::Op. kReplyError: StatusCode. Else 0.
+  /// kRequest: StorageRequest::Op. kReplyError: StatusCode. kOpen: attach
+  /// mode. Else 0.
   uint8_t code = 0;
   /// Correlates a reply with its request (the client's Ticket).
   uint64_t ticket = 0;
@@ -99,6 +105,7 @@ struct FrameHeader {
   /// Bytes per payload block; 0 when the frame carries no block payload.
   uint32_t block_size = 0;
   /// Type-specific scalar: kOpen: n. kPeek / kCorrupt: the block index.
+  /// kRequest with code 2 (dpf eval): the DPF domain offset.
   uint64_t aux = 0;
 };
 

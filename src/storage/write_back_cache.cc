@@ -167,6 +167,13 @@ StatusOr<StorageReply> WriteBackCacheBackend::Execute(StorageRequest request) {
       ValidateRequest(request, inner_->n(), inner_->block_size()));
   // No fault roll here: dropped RPCs are the inner backend's to model, and
   // an exchange the cache absorbs entirely involves no RPC at all.
+  if (request.op == StorageRequest::Op::kDpfEval) {
+    // The eval scans the server's arena, which must reflect every absorbed
+    // write first — flush, then forward. Cached clean copies stay valid
+    // (the eval reads, never writes).
+    DPSTORE_RETURN_IF_ERROR(Flush());
+    return inner_->Exchange(std::move(request));
+  }
   if (request.op == StorageRequest::Op::kDownload) {
     return ExecuteDownload(std::move(request));
   }

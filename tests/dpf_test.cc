@@ -1,0 +1,194 @@
+// Tests for the GGM-tree DPF (crypto/dpf.h): the two parties' full-domain
+// evaluations must XOR to exactly the point function at every depth, the
+// serialized key format must round-trip, and — keys being untrusted wire
+// input — truncated or corrupt encodings must be rejected, never crash.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/dpf.h"
+#include "util/random.h"
+
+namespace dpstore {
+namespace crypto {
+namespace {
+
+uint64_t PopCount(const std::vector<uint64_t>& words) {
+  uint64_t ones = 0;
+  for (uint64_t w : words) ones += __builtin_popcountll(w);
+  return ones;
+}
+
+uint8_t BitAt(const std::vector<uint64_t>& words, uint64_t x) {
+  return static_cast<uint8_t>((words[x >> 6] >> (x & 63)) & 1);
+}
+
+TEST(DpfTest, EvalPairXorsToPointFunctionAtEveryDepth) {
+  Rng rng(101);
+  // Every tree depth the scheme layer can request, up to n = 2^22: random
+  // alphas, whole-domain check that eval0 XOR eval1 is the indicator of
+  // alpha. The packed-word XOR makes the full-domain comparison cheap
+  // even at the top depth.
+  for (uint8_t depth = 1; depth <= 22; ++depth) {
+    const uint64_t n = uint64_t{1} << depth;
+    const uint64_t alpha = rng.Uniform(n);
+    auto keys = DpfGen(alpha, depth);
+    ASSERT_TRUE(keys.ok()) << keys.status();
+    EXPECT_EQ(keys->key0.party, 0);
+    EXPECT_EQ(keys->key1.party, 1);
+    const std::vector<uint64_t> eval0 = DpfEvalFull(keys->key0);
+    const std::vector<uint64_t> eval1 = DpfEvalFull(keys->key1);
+    ASSERT_EQ(eval0.size(), (n + 63) / 64);
+    ASSERT_EQ(eval1.size(), eval0.size());
+    std::vector<uint64_t> combined(eval0.size());
+    for (size_t w = 0; w < combined.size(); ++w) {
+      combined[w] = eval0[w] ^ eval1[w];
+    }
+    // Exactly one bit set, at alpha — popcount + the bit itself together
+    // pin the whole domain.
+    EXPECT_EQ(PopCount(combined), 1u) << "depth=" << unsigned{depth};
+    EXPECT_EQ(BitAt(combined, alpha), 1) << "depth=" << unsigned{depth};
+  }
+}
+
+TEST(DpfTest, ExhaustiveAlphasAtSmallDepths) {
+  for (uint8_t depth = 1; depth <= 6; ++depth) {
+    const uint64_t n = uint64_t{1} << depth;
+    for (uint64_t alpha = 0; alpha < n; ++alpha) {
+      auto keys = DpfGen(alpha, depth);
+      ASSERT_TRUE(keys.ok());
+      const std::vector<uint64_t> eval0 = DpfEvalFull(keys->key0);
+      const std::vector<uint64_t> eval1 = DpfEvalFull(keys->key1);
+      for (uint64_t x = 0; x < n; ++x) {
+        EXPECT_EQ(BitAt(eval0, x) ^ BitAt(eval1, x), x == alpha ? 1 : 0)
+            << "depth=" << unsigned{depth} << " alpha=" << alpha
+            << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(DpfTest, EvalPointAgreesWithEvalFull) {
+  Rng rng(102);
+  for (uint8_t depth : {uint8_t{1}, uint8_t{5}, uint8_t{13}, uint8_t{18}}) {
+    const uint64_t n = uint64_t{1} << depth;
+    auto keys = DpfGen(rng.Uniform(n), depth);
+    ASSERT_TRUE(keys.ok());
+    for (const DpfKey* key : {&keys->key0, &keys->key1}) {
+      const std::vector<uint64_t> full = DpfEvalFull(*key);
+      for (int trial = 0; trial < 64; ++trial) {
+        const uint64_t x = rng.Uniform(n);
+        EXPECT_EQ(DpfEvalPoint(*key, x), BitAt(full, x));
+      }
+    }
+  }
+}
+
+TEST(DpfTest, EachPartyEvaluationLooksBalanced) {
+  // A single key's bit vector is pseudorandom (each party's share alone
+  // carries no information about alpha): at depth 16 the popcount should
+  // be near n/2, not degenerate. A 6-sigma band keeps this deterministic
+  // in practice without being vacuous.
+  auto keys = DpfGen(12345, 16);
+  ASSERT_TRUE(keys.ok());
+  for (const DpfKey* key : {&keys->key0, &keys->key1}) {
+    const uint64_t ones = PopCount(DpfEvalFull(*key));
+    EXPECT_GT(ones, 32768u - 6 * 128) << "party " << unsigned{key->party};
+    EXPECT_LT(ones, 32768u + 6 * 128) << "party " << unsigned{key->party};
+  }
+}
+
+TEST(DpfTest, SerializationRoundTrips) {
+  Rng rng(103);
+  for (uint8_t depth : {uint8_t{1}, uint8_t{7}, uint8_t{20},
+                        kMaxDpfDepth}) {
+    auto keys = DpfGen(rng.Uniform(uint64_t{1} << depth), depth);
+    ASSERT_TRUE(keys.ok());
+    for (const DpfKey* key : {&keys->key0, &keys->key1}) {
+      const std::vector<uint8_t> bytes = key->Serialize();
+      EXPECT_EQ(bytes.size(), DpfKeyBytes(depth));
+      auto parsed = DpfKey::Parse(bytes.data(), bytes.size());
+      ASSERT_TRUE(parsed.ok()) << parsed.status();
+      EXPECT_EQ(parsed->party, key->party);
+      EXPECT_EQ(parsed->depth, key->depth);
+      EXPECT_EQ(parsed->root_seed, key->root_seed);
+      EXPECT_EQ(parsed->root_t, key->root_t);
+      ASSERT_EQ(parsed->cw.size(), key->cw.size());
+      for (size_t level = 0; level < key->cw.size(); ++level) {
+        EXPECT_EQ(parsed->cw[level].seed, key->cw[level].seed);
+        EXPECT_EQ(parsed->cw[level].t_left, key->cw[level].t_left);
+        EXPECT_EQ(parsed->cw[level].t_right, key->cw[level].t_right);
+      }
+      // Re-serialization is byte-identical (canonical encoding).
+      EXPECT_EQ(parsed->Serialize(), bytes);
+    }
+  }
+}
+
+TEST(DpfTest, ParseRejectsTruncatedAndCorruptKeys) {
+  auto keys = DpfGen(5, 8);
+  ASSERT_TRUE(keys.ok());
+  const std::vector<uint8_t> good = keys->key0.Serialize();
+  ASSERT_TRUE(DpfKey::Parse(good.data(), good.size()).ok());
+
+  // Truncation at every prefix length must fail cleanly.
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(DpfKey::Parse(good.data(), len).ok()) << "len=" << len;
+  }
+  // Trailing garbage.
+  std::vector<uint8_t> longer = good;
+  longer.push_back(0);
+  EXPECT_FALSE(DpfKey::Parse(longer.data(), longer.size()).ok());
+  // Null input.
+  EXPECT_FALSE(DpfKey::Parse(nullptr, 0).ok());
+
+  auto corrupt = [&](size_t at, uint8_t value) {
+    std::vector<uint8_t> bad = good;
+    bad[at] = value;
+    return DpfKey::Parse(bad.data(), bad.size()).status();
+  };
+  // Bad magic.
+  EXPECT_FALSE(corrupt(0, 'X').ok());
+  // Party byte outside {0, 1}.
+  EXPECT_FALSE(corrupt(4, 2).ok());
+  // Depth 0, and a depth that disagrees with the actual length.
+  EXPECT_FALSE(corrupt(5, 0).ok());
+  EXPECT_FALSE(corrupt(5, 9).ok());
+  // Depth beyond the cap: a hostile key must not size a 2^depth eval.
+  EXPECT_FALSE(corrupt(5, kMaxDpfDepth + 1).ok());
+  // Reserved bytes must be zero.
+  EXPECT_FALSE(corrupt(6, 1).ok());
+  EXPECT_FALSE(corrupt(7, 1).ok());
+  // Root control byte and per-level control-bit bytes must be bit-valued.
+  EXPECT_FALSE(corrupt(24, 2).ok());
+  EXPECT_FALSE(corrupt(good.size() - 1, 4).ok());
+}
+
+TEST(DpfTest, GenRejectsBadDomains) {
+  EXPECT_FALSE(DpfGen(0, 0).ok());
+  EXPECT_FALSE(DpfGen(0, kMaxDpfDepth + 1).ok());
+  // Alpha outside the domain.
+  EXPECT_FALSE(DpfGen(2, 1).ok());
+  EXPECT_FALSE(DpfGen(uint64_t{1} << 20, 20).ok());
+  // Boundary alphas are fine.
+  EXPECT_TRUE(DpfGen(0, 1).ok());
+  EXPECT_TRUE(DpfGen(1, 1).ok());
+  EXPECT_TRUE(DpfGen((uint64_t{1} << 20) - 1, 20).ok());
+}
+
+TEST(DpfTest, EvalFullOfMalformedKeyIsEmpty) {
+  // DpfEvalFull is documented to return {} rather than crash on a key
+  // whose invariants are broken (depth 0 or cw size mismatch) — the
+  // defensive floor beneath the Parse layer.
+  DpfKey bad;
+  bad.depth = 0;
+  EXPECT_TRUE(DpfEvalFull(bad).empty());
+  bad.depth = 4;
+  bad.cw.resize(2);  // should be 4
+  EXPECT_TRUE(DpfEvalFull(bad).empty());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace dpstore

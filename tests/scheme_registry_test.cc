@@ -50,8 +50,9 @@ TEST(SchemeRegistryTest, RegisteredNamesAreComplete) {
             ram.end());
   EXPECT_EQ(ram,
             (std::vector<std::string>{"bucket_dp_ram", "dp_ir", "dp_ram",
-                                      "dp_ram_retrieval", "linear_oram",
-                                      "multi_server_dp_ir", "path_oram",
+                                      "dp_ram_retrieval", "dpf_pir",
+                                      "linear_oram", "multi_server_dp_ir",
+                                      "multi_server_dp_ir_dpf", "path_oram",
                                       "strawman_ir", "trivial_pir",
                                       "tunable_dp_oram", "xor_pir"}));
   EXPECT_EQ(SchemeRegistry::Instance().KvsSchemeNames(),
