@@ -16,6 +16,9 @@
 // Flags (all optional):
 //   --unix <path>      target a running dpstore_server on a Unix socket
 //   --addr <host:port> target a running dpstore_server over TCP
+//   --data-dir <d>     run the in-process server durable (WAL + mmap
+//                      arenas under <d>): durable-vs-in-memory p99 on
+//                      the same schedule
 //   --scheme <name>    single-cell mode: run just this scheme
 //   --clients <n>      single-cell mode: client count (default 4)
 //   --rate <ops/s>     single-cell mode: offered load (default 400)
@@ -59,11 +62,17 @@ using Clock = std::chrono::steady_clock;
 /// codec, reader threads and worker pool as a standalone deployment.
 class InProcessServer {
  public:
-  InProcessServer() {
+  /// A non-empty `data_dir` runs the engine durable (mmap arenas +
+  /// write-ahead journal), so the same schedule measures the fdatasync
+  /// tax against the in-memory numbers.
+  explicit InProcessServer(const std::string& data_dir = "") {
     StorageServiceOptions options;
     options.num_threads = 4;
     options.max_conns = 256;
-    service_ = std::make_unique<StorageService>(options);
+    options.persist.data_dir = data_dir;
+    auto made = StorageService::Make(options);
+    DPSTORE_CHECK_OK(made.status());
+    service_ = std::move(*made);
     path_ = "/tmp/dpstore_loadgen_" + std::to_string(::getpid()) + ".sock";
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -260,6 +269,7 @@ int main(int argc, char** argv) {
   std::string host;
   uint16_t port = 0;
   std::string one_scheme;
+  std::string data_dir;
   unsigned clients = 4;
   double rate = 400.0;
   uint64_t ops = 0;
@@ -268,6 +278,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--unix" && i + 1 < argc) {
       unix_path = argv[++i];
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
     } else if (arg == "--unix2" && i + 1 < argc) {
       unix_path2 = argv[++i];
     } else if (arg == "--addr" && i + 1 < argc) {
@@ -294,7 +306,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--unix <path> [--unix2 <path>] | "
-                   "--addr <host:port>] "
+                   "--addr <host:port> | --data-dir <d>] "
                    "[--scheme <name>] [--clients <n>] [--rate <ops/s>] "
                    "[--ops <n>]\n",
                    argv[0]);
@@ -302,13 +314,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  // No target given: bring up the full service stack in-process.
+  // No target given: bring up the full service stack in-process —
+  // durable when --data-dir names a directory, so the same open-loop
+  // schedule yields a durable-vs-in-memory p99 comparison.
   std::unique_ptr<InProcessServer> local;
   std::string transport = "tcp";
   if (unix_path.empty() && host.empty()) {
-    local = std::make_unique<InProcessServer>();
+    local = std::make_unique<InProcessServer>(data_dir);
     unix_path = local->path();
-    transport = "inproc-unix";
+    transport = data_dir.empty() ? "inproc-unix" : "inproc-unix-durable";
   } else if (!unix_path.empty()) {
     transport = "unix";
   }

@@ -1,0 +1,222 @@
+// bench_persist: durability-subsystem microbenchmarks (PR 8).
+//
+// Two studies against a throwaway data dir under /tmp:
+//
+//   1. Journal append throughput: fsync-batch-size x record-size. Each
+//      cell appends upload records of `record_bytes` payload and calls
+//      Sync once per `batch` appends — the group-commit discipline the
+//      server's exchange-fusion seam produces. Reported per cell:
+//      ops/sec and the p99 of per-op latency (the op whose turn pays the
+//      fdatasync shows up in the tail, which is exactly the durable-write
+//      tax the loadgen study sees end to end).
+//
+//   2. Recovery time vs journal length: write a journal of R records,
+//      then measure Journal::Open's scan+replay wall time. Linear in
+//      journal bytes; the per-record and per-MB rates are the numbers
+//      that size a --data-dir deployment's restart budget.
+//
+// Emits BENCH_persist.json via bench_json.h.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+#include "storage/persist/journal.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace dpstore {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/dpstore_bench_persist_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  DPSTORE_CHECK(dir != nullptr);
+  return dir;
+}
+
+void RemoveTree(const std::string& dir) {
+  if (DIR* d = opendir(dir.c_str())) {
+    while (dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    closedir(d);
+  }
+  rmdir(dir.c_str());
+}
+
+double Percentile(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t index = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies->size())));
+  return (*latencies)[index];
+}
+
+struct AppendCell {
+  double ops_per_sec = 0.0;
+  double p99_ms = 0.0;
+  uint64_t fsyncs = 0;
+};
+
+/// One append-throughput cell: `ops` upload records of `record_bytes`
+/// payload, one Sync per `batch` appends.
+AppendCell RunAppendCell(size_t batch, size_t record_bytes, uint64_t ops) {
+  const std::string dir = MakeTempDir();
+  persist::PersistOptions options;
+  options.data_dir = dir;
+  auto journal = persist::Journal::Open(
+      dir, options, 1, [](const persist::JournalRecordView&) {
+        return OkStatus();
+      });
+  DPSTORE_CHECK_OK(journal.status());
+
+  const uint32_t block_size = static_cast<uint32_t>(record_bytes);
+  const uint64_t index = 0;
+  std::vector<uint8_t> payload(record_bytes, 0xA5);
+  std::vector<double> latencies;
+  latencies.reserve(ops);
+
+  const Clock::time_point start = Clock::now();
+  for (uint64_t op = 0; op < ops; ++op) {
+    const Clock::time_point begin = Clock::now();
+    auto lsn = (*journal)->Append(1, persist::JournalOp::kUpload, block_size,
+                                  1, &index, payload.data(), payload.size());
+    DPSTORE_CHECK_OK(lsn.status());
+    if ((op + 1) % batch == 0) {
+      DPSTORE_CHECK_OK((*journal)->Sync(*lsn));
+    }
+    latencies.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - begin)
+            .count());
+  }
+  DPSTORE_CHECK_OK((*journal)->Sync((*journal)->last_lsn()));
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  AppendCell cell;
+  cell.ops_per_sec =
+      seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+  cell.p99_ms = Percentile(&latencies, 0.99);
+  cell.fsyncs = (*journal)->SnapshotCounters().fsyncs;
+  journal->reset();
+  RemoveTree(dir);
+  return cell;
+}
+
+struct RecoveryCell {
+  double replay_ms = 0.0;
+  double records_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+/// Writes a journal of `records` upload records (`record_bytes` payload
+/// each), closes it, and measures a fresh Open's scan+replay.
+RecoveryCell RunRecoveryCell(uint64_t records, size_t record_bytes) {
+  const std::string dir = MakeTempDir();
+  persist::PersistOptions options;
+  options.data_dir = dir;
+  uint64_t journal_bytes = 0;
+  {
+    auto journal = persist::Journal::Open(
+        dir, options, 1, [](const persist::JournalRecordView&) {
+          return OkStatus();
+        });
+    DPSTORE_CHECK_OK(journal.status());
+    const uint64_t index = 0;
+    std::vector<uint8_t> payload(record_bytes, 0x3C);
+    for (uint64_t op = 0; op < records; ++op) {
+      DPSTORE_CHECK_OK((*journal)
+                           ->Append(1, persist::JournalOp::kUpload,
+                                    static_cast<uint32_t>(record_bytes), 1,
+                                    &index, payload.data(), payload.size())
+                           .status());
+    }
+    DPSTORE_CHECK_OK((*journal)->Sync((*journal)->last_lsn()));
+    journal_bytes = (*journal)->SnapshotCounters().journal_bytes;
+  }
+
+  uint64_t replayed = 0;
+  const Clock::time_point start = Clock::now();
+  auto journal = persist::Journal::Open(
+      dir, options, 1, [&replayed](const persist::JournalRecordView&) {
+        ++replayed;
+        return OkStatus();
+      });
+  const double ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - start)
+                        .count();
+  DPSTORE_CHECK_OK(journal.status());
+  DPSTORE_CHECK_EQ(replayed, records);
+  journal->reset();
+  RemoveTree(dir);
+
+  RecoveryCell cell;
+  cell.replay_ms = ms;
+  cell.records_per_sec =
+      ms > 0 ? static_cast<double>(records) * 1000.0 / ms : 0.0;
+  cell.mb_per_sec = ms > 0 ? static_cast<double>(journal_bytes) / 1048576.0 *
+                                 1000.0 / ms
+                           : 0.0;
+  return cell;
+}
+
+}  // namespace
+}  // namespace dpstore
+
+int main() {
+  using namespace dpstore;
+  bench::BenchJson json("persist");
+  json.Metric("crc32c_variant", std::string(crc32c::VariantName()));
+
+  // Study 1: group-commit batch size x record size.
+  const uint64_t kOps = 2000;
+  for (const size_t batch : {size_t{1}, size_t{8}, size_t{64}}) {
+    for (const size_t record_bytes : {size_t{64}, size_t{1024}}) {
+      const AppendCell cell = RunAppendCell(batch, record_bytes, kOps);
+      const std::string key =
+          "append_b" + std::to_string(batch) + "_s" +
+          std::to_string(record_bytes);
+      json.Metric(key + "_ops_per_sec", cell.ops_per_sec);
+      json.Metric(key + "_p99_ms", cell.p99_ms);
+      json.Metric(key + "_fsyncs", cell.fsyncs);
+      std::printf("persist: batch=%-3zu record=%-5zu  %10.0f ops/s  "
+                  "p99 %.4f ms  (%llu fsyncs)\n",
+                  batch, record_bytes, cell.ops_per_sec, cell.p99_ms,
+                  static_cast<unsigned long long>(cell.fsyncs));
+    }
+  }
+
+  // Study 2: recovery time vs journal length.
+  for (const uint64_t records : {uint64_t{1000}, uint64_t{10000},
+                                 uint64_t{40000}}) {
+    const RecoveryCell cell = RunRecoveryCell(records, 256);
+    const std::string key = "recovery_r" + std::to_string(records);
+    json.Metric(key + "_ms", cell.replay_ms);
+    json.Metric(key + "_records_per_sec", cell.records_per_sec);
+    json.Metric(key + "_mb_per_sec", cell.mb_per_sec);
+    std::printf("persist: recovery of %6llu records  %8.2f ms  "
+                "(%.0f rec/s, %.1f MB/s)\n",
+                static_cast<unsigned long long>(records), cell.replay_ms,
+                cell.records_per_sec, cell.mb_per_sec);
+  }
+
+  json.Emit();
+  return 0;
+}

@@ -174,10 +174,33 @@ struct StorageService::Connection {
   uint8_t version = wire::kMinWireVersion;
 };
 
+namespace {
+
+StorageEngineOptions EngineOptionsFor(const StorageServiceOptions& options) {
+  StorageEngineOptions engine_options;
+  engine_options.num_threads = std::max<size_t>(options.num_threads, 1);
+  engine_options.lock_stripes = options.lock_stripes;
+  engine_options.persist = options.persist;
+  return engine_options;
+}
+
+}  // namespace
+
 StorageService::StorageService(StorageServiceOptions options)
-    : options_(options),
-      engine_(StorageEngine::Create(StorageEngineOptions{
-          std::max<size_t>(options.num_threads, 1), options.lock_stripes})) {
+    : StorageService(options, StorageEngine::Create(EngineOptionsFor(options))) {
+}
+
+StatusOr<std::unique_ptr<StorageService>> StorageService::Make(
+    StorageServiceOptions options) {
+  DPSTORE_ASSIGN_OR_RETURN(std::shared_ptr<StorageEngine> engine,
+                           StorageEngine::Open(EngineOptionsFor(options)));
+  return std::unique_ptr<StorageService>(
+      new StorageService(options, std::move(engine)));
+}
+
+StorageService::StorageService(StorageServiceOptions options,
+                               std::shared_ptr<StorageEngine> engine)
+    : options_(options), engine_(std::move(engine)) {
   workers_.reserve(options_.num_threads);
   for (size_t tid = 0; tid < options_.num_threads; ++tid) {
     workers_.emplace_back(&StorageService::WorkerLoop, this,
@@ -477,6 +500,10 @@ void StorageService::Drain() {
   for (const auto& c : conns) {
     if (c->reader.joinable()) c->reader.join();
   }
+  // Quiescent now (no readers, no workers, no in-flight exchanges):
+  // checkpoint so a clean restart replays nothing. Best-effort — on
+  // failure the journal simply remains for the next Open to replay.
+  (void)engine_->Checkpoint();
 }
 
 StorageServiceCounters StorageService::Counters() const {

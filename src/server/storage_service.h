@@ -52,6 +52,13 @@ struct StorageServiceOptions {
   uint64_t fuse_blocks = 256;
   /// Stripe count for the shared engine's per-namespace locking.
   size_t lock_stripes = 16;
+  /// Durability passthrough to the shared engine (--data-dir). With it
+  /// set, an upload's ack is only written after its journal record is
+  /// fdatasync-durable — and because a fused group executes as ONE engine
+  /// exchange, a batch of fused uploads costs one journal record and one
+  /// fdatasync (group commit covers concurrent workers too). Use Make()
+  /// to observe recovery failures as Status.
+  persist::PersistOptions persist;
 };
 
 /// Point-in-time accounting (connection/namespace accounting for the
@@ -69,7 +76,13 @@ struct StorageServiceCounters {
 
 class StorageService {
  public:
+  /// CHECK-fails if options.persist asks for a data dir that cannot be
+  /// recovered; Make() reports that as Status instead.
   explicit StorageService(StorageServiceOptions options = {});
+  /// Construction path for persistent deployments: runs crash recovery
+  /// (StorageEngine::Open) and surfaces its DataLoss/Internal errors.
+  static StatusOr<std::unique_ptr<StorageService>> Make(
+      StorageServiceOptions options = {});
   /// Drains (see Drain) and joins every thread.
   ~StorageService();
 
@@ -89,7 +102,8 @@ class StorageService {
 
   /// Graceful shutdown: refuse new connections, stop reading, finish
   /// every in-flight exchange (replies still flow), close all
-  /// connections, park the workers. Idempotent.
+  /// connections, park the workers, and — once quiescent — checkpoint
+  /// the engine so a clean restart replays nothing. Idempotent.
   void Drain();
 
   StorageServiceCounters Counters() const;
@@ -97,6 +111,9 @@ class StorageService {
 
  private:
   struct Connection;
+
+  StorageService(StorageServiceOptions options,
+                 std::shared_ptr<StorageEngine> engine);
 
   void WorkerLoop(unsigned tid);
   void ReaderLoop(std::shared_ptr<Connection> conn);

@@ -1,12 +1,18 @@
 #include "storage/engine.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
 #include "crypto/dpf.h"
 #include "storage/kernels.h"
+#include "storage/persist/journal.h"
+#include "storage/persist/mmap_arena.h"
 #include "util/check.h"
 
 namespace dpstore {
@@ -17,12 +23,15 @@ namespace dpstore {
 /// map.
 struct NamespaceHandle::State {
   State(NamespaceId id_in, uint64_t n_in, size_t block_size_in,
-        size_t stripes, bool private_in)
+        size_t stripes, bool private_in,
+        std::unique_ptr<persist::MmapArena> marena_in = nullptr)
       : id(id_in),
         n(n_in),
         block_size(block_size_in),
         is_private(private_in),
-        arena(n_in * block_size_in, 0),
+        marena(std::move(marena_in)),
+        arena(marena ? 0 : n_in * block_size_in, 0),
+        base(marena ? marena->data() : arena.data()),
         stripe_count(std::max<size_t>(1, std::min({stripes, size_t{64},
                                                    size_t(n_in ? n_in : 1)}))),
         stripe_width((n_in + stripe_count - 1) / std::max<uint64_t>(
@@ -37,15 +46,20 @@ struct NamespaceHandle::State {
   }
 
   const uint8_t* Slot(BlockId index) const {
-    return arena.data() + index * block_size;
+    return base + index * block_size;
   }
-  uint8_t* Slot(BlockId index) { return arena.data() + index * block_size; }
+  uint8_t* Slot(BlockId index) { return base + index * block_size; }
 
   const NamespaceId id;
   const uint64_t n;
   const size_t block_size;
   const bool is_private;
+  /// Non-null for a persistent (shared, engine-has-data-dir) namespace:
+  /// `base` then aliases the MAP_PRIVATE working copy and the heap vector
+  /// stays empty. The member order matters — base is computed from both.
+  std::unique_ptr<persist::MmapArena> marena;
   std::vector<uint8_t> arena;  // n * block_size bytes, block i at i*bs
+  uint8_t* const base;         // the live arena bytes, whichever backing
   const size_t stripe_count;
   const uint64_t stripe_width;
   /// Stripe i guards blocks [i*stripe_width, (i+1)*stripe_width). Mutable
@@ -156,22 +170,174 @@ size_t NamespaceHandle::block_size() const {
 
 std::shared_ptr<StorageEngine> StorageEngine::Create(
     StorageEngineOptions options) {
+  StatusOr<std::shared_ptr<StorageEngine>> engine = Open(std::move(options));
+  DPSTORE_CHECK_OK(engine.status());
+  return std::move(*engine);
+}
+
+StatusOr<std::shared_ptr<StorageEngine>> StorageEngine::Open(
+    StorageEngineOptions options) {
   // make_shared cannot reach the private constructor; the extra
   // allocation here is once per engine, not per exchange.
-  return std::shared_ptr<StorageEngine>(new StorageEngine(options));
+  auto engine = std::shared_ptr<StorageEngine>(new StorageEngine(options));
+  if (!engine->persist_.data_dir.empty()) {
+    DPSTORE_RETURN_IF_ERROR(engine->Recover());
+  }
+  return engine;
 }
 
 StorageEngine::StorageEngine(StorageEngineOptions options)
     : num_threads_(std::max<size_t>(1, options.num_threads)),
       lock_stripes_(std::max<size_t>(1, std::min<size_t>(64,
                                                          options.lock_stripes))),
+      persist_(options.persist),
       pool_(std::make_shared<BufferPool>(/*max_free=*/4 * num_threads_)),
       // Private ids grow downward from the top of the id space so they
       // can never collide with client-chosen shared ids.
       next_private_id_(~NamespaceId{0}),
       tid_counters_(num_threads_) {}
 
-StorageEngine::~StorageEngine() = default;
+StorageEngine::~StorageEngine() {
+  if (journal_ != nullptr && persist_.checkpoint_on_close) {
+    // Best-effort: success leaves an empty journal for an instant next
+    // Open; failure just means that Open replays the journal instead.
+    (void)Checkpoint();
+  }
+}
+
+Status StorageEngine::Recover() {
+  const std::string& dir = persist_.data_dir;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return InternalError("mkdir failed for " + dir + ": " +
+                         std::strerror(errno));
+  }
+
+  // Map every arena file present. Arena files exist only for shared
+  // namespaces, and are fsync'd (file and directory) before any journal
+  // record can reference them — so an id the journal mentions but the
+  // directory lacks is DataLoss, not a race.
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return InternalError("opendir failed for " + dir + ": " +
+                         std::strerror(errno));
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    const size_t len = std::strlen(e->d_name);
+    if (len > 9 && std::memcmp(e->d_name, "ns_", 3) == 0 &&
+        std::memcmp(e->d_name + len - 6, ".arena", 6) == 0) {
+      names.emplace_back(e->d_name);
+    }
+  }
+  ::closedir(d);
+
+  uint64_t max_durable_lsn = 0;
+  for (const std::string& name : names) {
+    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<persist::MmapArena> arena,
+                             persist::MmapArena::Open(dir + "/" + name));
+    const NamespaceId id = arena->namespace_id();
+    if (id == 0 || id >= kPrivateNamespaceBase) {
+      return DataLossError("arena file " + name +
+                           " claims non-shared namespace id " +
+                           std::to_string(id));
+    }
+    if (FindLocked(id) != nullptr) {
+      return DataLossError("duplicate arena file for namespace " +
+                           std::to_string(id));
+    }
+    max_durable_lsn = std::max(max_durable_lsn, arena->durable_lsn());
+    auto owned = std::make_unique<NamespaceHandle::State>(
+        id, arena->n(), arena->block_size(), lock_stripes_,
+        /*private_in=*/false, std::move(arena));
+    DPSTORE_CHECK(namespaces_.emplace(id, std::move(owned)).second);
+    ++namespaces_created_;
+    ++recovered_namespaces_;
+  }
+
+  // Replay. Each record re-executes its mutation against the mapped
+  // arena, skipping LSNs the arena already checkpointed (replay after a
+  // torn checkpoint is idempotent because every skipped record's effect
+  // is already in the durable image).
+  auto apply = [this](const persist::JournalRecordView& r) -> Status {
+    NamespaceHandle::State* state = FindLocked(r.namespace_id);
+    if (state == nullptr || state->marena == nullptr) {
+      return DataLossError("journal references unknown namespace " +
+                           std::to_string(r.namespace_id));
+    }
+    if (r.lsn <= state->marena->durable_lsn()) return OkStatus();
+    if (r.block_size != state->block_size) {
+      return DataLossError("journal record lsn " + std::to_string(r.lsn) +
+                           " block_size " + std::to_string(r.block_size) +
+                           " != namespace block_size " +
+                           std::to_string(state->block_size));
+    }
+    switch (r.op) {
+      case persist::JournalOp::kUpload:
+        for (uint64_t i = 0; i < r.count; ++i) {
+          const uint64_t index = r.index(i);
+          if (index >= state->n) {
+            return DataLossError("journal upload index " +
+                                 std::to_string(index) + " out of range");
+          }
+          std::memcpy(state->Slot(index), r.payload + i * state->block_size,
+                      state->block_size);
+        }
+        break;
+      case persist::JournalOp::kSetArray:
+        if (r.count != state->n) {
+          return DataLossError("journal set_array count " +
+                               std::to_string(r.count) + " != n " +
+                               std::to_string(state->n));
+        }
+        std::memcpy(state->base, r.payload, r.count * state->block_size);
+        break;
+      case persist::JournalOp::kCorrupt: {
+        const uint64_t index = r.index(0);
+        if (index >= state->n) {
+          return DataLossError("journal corrupt index " +
+                               std::to_string(index) + " out of range");
+        }
+        *state->Slot(index) ^= 0xFF;
+        break;
+      }
+    }
+    return OkStatus();
+  };
+  DPSTORE_ASSIGN_OR_RETURN(
+      journal_,
+      persist::Journal::Open(dir, persist_, max_durable_lsn + 1, apply));
+
+  // Land the replayed state: every Open returns with durable arenas and
+  // an empty journal, so recovery time is paid once, not compounded.
+  return Checkpoint();
+}
+
+Status StorageEngine::Checkpoint() {
+  if (journal_ == nullptr) return OkStatus();
+  std::unique_lock<std::shared_mutex> lock(namespaces_mu_);
+  const uint64_t lsn = journal_->last_lsn();
+  if (checkpoints_ > 0 && lsn == last_checkpoint_lsn_) return OkStatus();
+  // Order of record: journal durable first, then arena images, then the
+  // durable-LSN bumps (inside MmapArena::Checkpoint). A crash between any
+  // two steps replays from the old LSN and rewrites everything the torn
+  // image could contain.
+  DPSTORE_RETURN_IF_ERROR(journal_->Sync(lsn));
+  for (auto& entry : namespaces_) {
+    NamespaceHandle::State* state = entry.second.get();
+    if (state->marena == nullptr) continue;
+    StripeLockSet held(state, AllStripesMask(*state));
+    DPSTORE_RETURN_IF_ERROR(state->marena->Checkpoint(lsn));
+  }
+  DPSTORE_RETURN_IF_ERROR(journal_->Truncate());
+  ++checkpoints_;
+  last_checkpoint_lsn_ = lsn;
+  return OkStatus();
+}
+
+Status StorageEngine::SyncJournal() {
+  if (journal_ == nullptr) return OkStatus();
+  return journal_->Sync(journal_->last_lsn());
+}
 
 NamespaceHandle::State* StorageEngine::FindLocked(NamespaceId id) const {
   auto it = namespaces_.find(id);
@@ -221,8 +387,20 @@ StatusOr<NamespaceHandle> StorageEngine::Attach(NamespaceId id, uint64_t n,
             ", block_size=" + std::to_string(state->block_size) + ")");
       }
     } else {
+      std::unique_ptr<persist::MmapArena> marena;
+      if (journal_ != nullptr) {
+        // Durable birth certificate before any journal record can name
+        // this id: MmapArena::Create fsyncs the file and the directory.
+        // Its durable LSN starts at the journal's current tip — no
+        // earlier record can reference an id that did not exist yet.
+        DPSTORE_ASSIGN_OR_RETURN(
+            marena, persist::MmapArena::Create(persist_.data_dir, id, n,
+                                               block_size,
+                                               journal_->last_lsn()));
+      }
       auto owned = std::make_unique<NamespaceHandle::State>(
-          id, n, block_size, lock_stripes_, /*private_in=*/false);
+          id, n, block_size, lock_stripes_, /*private_in=*/false,
+          std::move(marena));
       state = owned.get();
       DPSTORE_CHECK(namespaces_.emplace(id, std::move(owned)).second);
       ++namespaces_created_;
@@ -282,7 +460,7 @@ StatusOr<StorageReply> StorageEngine::ExecuteValidated(
     std::memset(out.data(), 0, out.size());
     if (state->n > 0 && block_size > 0) {
       StripeLockSet held(state, AllStripesMask(*state));
-      kernels::SelectXorScan(out.data(), state->arena.data(), state->n,
+      kernels::SelectXorScan(out.data(), state->base, state->n,
                              block_size, bits.data(), request.dpf_offset);
     }
     TidCounters& counters =
@@ -313,16 +491,33 @@ StatusOr<StorageReply> StorageEngine::ExecuteValidated(
   } else {
     const uint8_t* in =
         request.payload.empty() ? nullptr : request.payload[0].data();
-    StripeLockSet held(state, StripeMaskOf(*state, indices));
-    RunBatch batch;
-    for (size_t i = 0; i < count;) {
-      size_t run = 1;
-      while (i + run < count && indices[i + run] == indices[i] + run) ++run;
-      batch.Add(state->Slot(indices[i]), in + i * block_size,
-                run * block_size);
-      i += run;
+    uint64_t lsn = 0;
+    {
+      StripeLockSet held(state, StripeMaskOf(*state, indices));
+      if (journal_ != nullptr && !state->is_private && count > 0) {
+        // Write-ahead, inside the stripe locks: for any two conflicting
+        // uploads the journal order equals the apply order, and an append
+        // failure leaves memory untouched (the exchange just errors).
+        DPSTORE_ASSIGN_OR_RETURN(
+            lsn, journal_->Append(state->id, persist::JournalOp::kUpload,
+                                  static_cast<uint32_t>(block_size), count,
+                                  indices.data(), in, count * block_size));
+      }
+      RunBatch batch;
+      for (size_t i = 0; i < count;) {
+        size_t run = 1;
+        while (i + run < count && indices[i + run] == indices[i] + run) ++run;
+        batch.Add(state->Slot(indices[i]), in + i * block_size,
+                  run * block_size);
+        i += run;
+      }
+      batch.Flush();
     }
-    batch.Flush();
+    // Durability ack outside the locks: group commit means concurrent
+    // uploads (and the server's fused batches) share one fdatasync.
+    if (lsn != 0 && persist_.sync_uploads) {
+      DPSTORE_RETURN_IF_ERROR(journal_->Sync(lsn));
+    }
   }
   TidCounters& counters =
       tid_counters_[tid < num_threads_ ? tid : tid % num_threads_];
@@ -343,12 +538,30 @@ Status StorageEngine::SetArray(const NamespaceHandle& ns,
       return InvalidArgumentError("SetArray: block size mismatch");
     }
   }
-  StripeLockSet held(state,
-                     state->stripe_count >= 64
-                         ? ~uint64_t{0}
-                         : (uint64_t{1} << state->stripe_count) - 1);
-  for (uint64_t i = 0; i < state->n; ++i) {
-    CopyBytes(state->Slot(i), blocks[i].data(), state->block_size);
+  uint64_t lsn = 0;
+  {
+    StripeLockSet held(state,
+                       state->stripe_count >= 64
+                           ? ~uint64_t{0}
+                           : (uint64_t{1} << state->stripe_count) - 1);
+    for (uint64_t i = 0; i < state->n; ++i) {
+      CopyBytes(state->Slot(i), blocks[i].data(), state->block_size);
+    }
+    if (journal_ != nullptr && !state->is_private && state->n > 0 &&
+        state->block_size > 0) {
+      // Apply-then-append, unlike uploads: the incoming blocks are not
+      // contiguous, and the freshly written arena is — journal the image.
+      // On append failure memory is already updated but the caller sees
+      // the error and the setup phase retries from scratch.
+      DPSTORE_ASSIGN_OR_RETURN(
+          lsn, journal_->Append(state->id, persist::JournalOp::kSetArray,
+                                static_cast<uint32_t>(state->block_size),
+                                state->n, nullptr, state->base,
+                                state->n * state->block_size));
+    }
+  }
+  if (lsn != 0 && persist_.sync_uploads) {
+    DPSTORE_RETURN_IF_ERROR(journal_->Sync(lsn));
   }
   return OkStatus();
 }
@@ -373,8 +586,21 @@ Status StorageEngine::Corrupt(const NamespaceHandle& ns, BlockId index) {
   if (state->block_size == 0) {
     return InvalidArgumentError("corrupt: zero-sized blocks");
   }
-  std::lock_guard<std::mutex> held(state->locks[state->StripeOf(index)]);
-  *state->Slot(index) ^= 0xFF;
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> held(state->locks[state->StripeOf(index)]);
+    if (journal_ != nullptr && !state->is_private) {
+      const uint64_t journal_index = index;
+      DPSTORE_ASSIGN_OR_RETURN(
+          lsn, journal_->Append(state->id, persist::JournalOp::kCorrupt,
+                                static_cast<uint32_t>(state->block_size), 1,
+                                &journal_index, nullptr, 0));
+    }
+    *state->Slot(index) ^= 0xFF;
+  }
+  if (lsn != 0 && persist_.sync_uploads) {
+    DPSTORE_RETURN_IF_ERROR(journal_->Sync(lsn));
+  }
   return OkStatus();
 }
 
@@ -385,6 +611,17 @@ StorageEngineCounters StorageEngine::Counters() const {
     counters.namespaces = namespaces_.size();
     counters.attached_handles = attached_handles_;
     counters.namespaces_created = namespaces_created_;
+    counters.persist.checkpoints = checkpoints_;
+    counters.persist.recovered_namespaces = recovered_namespaces_;
+  }
+  if (journal_ != nullptr) {
+    const persist::PersistCounters j = journal_->SnapshotCounters();
+    counters.persist.journal_appends = j.journal_appends;
+    counters.persist.journal_bytes = j.journal_bytes;
+    counters.persist.fsyncs = j.fsyncs;
+    counters.persist.group_commit_riders = j.group_commit_riders;
+    counters.persist.segments_rotated = j.segments_rotated;
+    counters.persist.recovered_records = j.recovered_records;
   }
   for (const TidCounters& tid : tid_counters_) {
     counters.exchanges += tid.exchanges.load(std::memory_order_relaxed);

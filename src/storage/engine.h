@@ -42,9 +42,14 @@
 #include "storage/backend.h"
 #include "storage/block.h"
 #include "storage/block_buffer.h"
+#include "storage/persist/persist.h"
 #include "util/statusor.h"
 
 namespace dpstore {
+
+namespace persist {
+class Journal;
+}  // namespace persist
 
 /// Identifies one named arena inside a StorageEngine. Id 0 is reserved
 /// for "mint a fresh private namespace".
@@ -116,6 +121,12 @@ struct StorageEngineOptions {
   /// Stripes per namespace arena (clamped to [1, 64]). More stripes =
   /// more write parallelism on disjoint ranges; 1 = a single big lock.
   size_t lock_stripes = 16;
+  /// Durability (src/storage/persist/). An empty data_dir keeps the
+  /// classic all-heap engine; a non-empty one makes every SHARED
+  /// namespace an mmap-backed arena whose mutations are write-ahead
+  /// journaled, recoverable bit-identically after SIGKILL via Open().
+  /// Private namespaces always stay on the heap (persist.h explains why).
+  persist::PersistOptions persist;
 };
 
 /// Point-in-time accounting snapshot (Counters()).
@@ -125,6 +136,8 @@ struct StorageEngineCounters {
   uint64_t namespaces_created = 0;
   uint64_t exchanges = 0;         ///< ExecuteBatch calls that succeeded
   uint64_t blocks_moved = 0;      ///< blocks copied in/out of arenas
+  persist::PersistCounters persist;  ///< durability accounting (all zero
+                                     ///< for an in-memory engine)
 };
 
 /// The shared multi-tenant block store. Thread-safe throughout; see the
@@ -132,7 +145,18 @@ struct StorageEngineCounters {
 /// handles can keep it alive (std::enable_shared_from_this).
 class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
  public:
+  /// In-memory construction; CHECK-fails if options ask for persistence
+  /// and recovery fails (use Open to observe recovery errors as Status).
   static std::shared_ptr<StorageEngine> Create(
+      StorageEngineOptions options = {});
+
+  /// Full construction path: when options.persist.data_dir is set, maps
+  /// every ns_*.arena file found there, replays the journal over them
+  /// (DataLoss for any corruption that cannot be a torn tail), and
+  /// checkpoints — so a successful Open always starts from a durable,
+  /// empty-journal state whose arenas are bit-identical to the last
+  /// synced pre-crash state.
+  static StatusOr<std::shared_ptr<StorageEngine>> Open(
       StorageEngineOptions options = {});
 
   ~StorageEngine();
@@ -175,6 +199,19 @@ class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
   size_t num_threads() const { return num_threads_; }
   StorageEngineCounters Counters() const;
 
+  /// Checkpoints every persistent arena through the journal's last LSN
+  /// and truncates the journal. REQUIRES quiescence: no exchange may be
+  /// in flight (the server calls this at drain; tests at known barriers).
+  /// No-op for an in-memory engine.
+  Status Checkpoint();
+
+  /// Makes every journal record appended so far fdatasync-durable (group
+  /// commit). The server's worker pool calls this once per fused upload
+  /// batch — with persist.sync_uploads=false on the engine, that is the
+  /// "batch of fused uploads costs one fdatasync" seam; replies must not
+  /// be written to sockets before it returns. No-op when not persistent.
+  Status SyncJournal();
+
  private:
   friend class NamespaceHandle;
   friend class EngineBackend;
@@ -182,6 +219,10 @@ class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
 
   NamespaceHandle::State* FindLocked(NamespaceId id) const;
   void Detach(NamespaceHandle::State* state);
+
+  /// Open()'s persistence arm: maps arenas, replays the journal,
+  /// checkpoints. Runs single-threaded before the engine is published.
+  Status Recover();
 
   /// ExecuteBatch minus the ValidateRequest pass, for callers that have
   /// already validated `request` against this exact geometry (EngineBackend
@@ -193,7 +234,11 @@ class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
 
   const size_t num_threads_;
   const size_t lock_stripes_;
+  const persist::PersistOptions persist_;
   std::shared_ptr<BufferPool> pool_;
+  /// Present iff persist_.data_dir is non-empty. The journal is engine-
+  /// wide (one LSN sequence across namespaces); arenas live per-State.
+  std::unique_ptr<persist::Journal> journal_;
 
   mutable std::shared_mutex namespaces_mu_;
   std::unordered_map<NamespaceId,
@@ -201,6 +246,12 @@ class StorageEngine : public std::enable_shared_from_this<StorageEngine> {
   NamespaceId next_private_id_;
   uint64_t namespaces_created_ = 0;
   uint64_t attached_handles_ = 0;
+  uint64_t checkpoints_ = 0;            // guarded by namespaces_mu_
+  uint64_t recovered_namespaces_ = 0;   // set once during Open
+  /// Journal LSN the last Checkpoint() covered, so back-to-back
+  /// checkpoints (Drain then destructor) after no new writes are free.
+  /// Guarded by namespaces_mu_.
+  uint64_t last_checkpoint_lsn_ = 0;
 
   /// Per-tid hot counters, padded to a cache line each so concurrent
   /// workers never false-share (the reason ExecuteBatch wants a tid).

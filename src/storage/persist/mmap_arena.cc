@@ -1,0 +1,250 @@
+#include "storage/persist/mmap_arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace dpstore {
+namespace persist {
+namespace {
+
+// Header field offsets inside the 4096-byte header page. All integers
+// little-endian (the spec in docs/persistence.md is normative).
+constexpr size_t kOffMagic = 0;        // 8 bytes
+constexpr size_t kOffVersion = 8;      // u32
+constexpr size_t kOffHeaderBytes = 12; // u32
+constexpr size_t kOffNamespace = 16;   // u64
+constexpr size_t kOffN = 24;           // u64
+constexpr size_t kOffBlockSize = 32;   // u32
+constexpr size_t kOffReserved = 36;    // u32, must be zero
+constexpr size_t kOffDurableLsn = 40;  // u64
+constexpr size_t kOffCrc = 48;         // u32 over bytes [0, 48)
+constexpr size_t kCrcCoverage = kOffCrc;
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+void EncodeHeader(uint8_t* page, uint64_t namespace_id, uint64_t n,
+                  size_t block_size, uint64_t durable_lsn) {
+  std::memset(page, 0, kArenaHeaderBytes);
+  std::memcpy(page + kOffMagic, kArenaMagic, sizeof(kArenaMagic));
+  PutU32(page + kOffVersion, kArenaFormatVersion);
+  PutU32(page + kOffHeaderBytes, static_cast<uint32_t>(kArenaHeaderBytes));
+  PutU64(page + kOffNamespace, namespace_id);
+  PutU64(page + kOffN, n);
+  PutU32(page + kOffBlockSize, static_cast<uint32_t>(block_size));
+  PutU32(page + kOffReserved, 0);
+  PutU64(page + kOffDurableLsn, durable_lsn);
+  PutU32(page + kOffCrc, crc32c::Crc32c(page, kCrcCoverage));
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return InternalError(what + " failed for " + path + ": " +
+                       std::strerror(errno));
+}
+
+// Full-buffer pwrite loop (pwrite may be short on huge buffers).
+Status PwriteAll(int fd, const uint8_t* buf, size_t len, off_t off,
+                 const std::string& path) {
+  while (len > 0) {
+    ssize_t w = ::pwrite(fd, buf, len, off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", path);
+    }
+    buf += w;
+    len -= static_cast<size_t>(w);
+    off += w;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string MmapArena::FileName(uint64_t namespace_id) {
+  return "ns_" + std::to_string(namespace_id) + ".arena";
+}
+
+StatusOr<std::unique_ptr<MmapArena>> MmapArena::Create(
+    const std::string& dir, uint64_t namespace_id, uint64_t n,
+    size_t block_size, uint64_t initial_lsn) {
+  const std::string path = dir + "/" + FileName(namespace_id);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return Errno("open(O_EXCL)", path);
+
+  const uint64_t payload = n * static_cast<uint64_t>(block_size);
+  Status st = OkStatus();
+  uint8_t page[kArenaHeaderBytes];
+  EncodeHeader(page, namespace_id, n, block_size, initial_lsn);
+  if (::ftruncate(fd, static_cast<off_t>(kArenaHeaderBytes + payload)) != 0) {
+    st = Errno("ftruncate", path);
+  }
+  if (st.ok()) st = PwriteAll(fd, page, kArenaHeaderBytes, 0, path);
+  // The header (and the zeroed payload extent) must be on disk before any
+  // journal record can reference this namespace.
+  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync", path);
+  if (st.ok()) {
+    // Persist the directory entry too, or a crash could leave journal
+    // records pointing at a file that never existed.
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) {
+      st = Errno("open(dir)", dir);
+    } else {
+      if (::fsync(dfd) != 0) st = Errno("fsync(dir)", dir);
+      ::close(dfd);
+    }
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return st;
+  }
+
+  auto arena = std::unique_ptr<MmapArena>(new MmapArena());
+  arena->path_ = path;
+  arena->fd_ = fd;
+  st = arena->MapAndValidate(/*fresh=*/true);
+  if (!st.ok()) {
+    ::unlink(path.c_str());
+    return st;
+  }
+  return arena;
+}
+
+StatusOr<std::unique_ptr<MmapArena>> MmapArena::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Errno("open", path);
+  auto arena = std::unique_ptr<MmapArena>(new MmapArena());
+  arena->path_ = path;
+  arena->fd_ = fd;
+  Status st = arena->MapAndValidate(/*fresh=*/false);
+  if (!st.ok()) return st;
+  return arena;
+}
+
+Status MmapArena::MapAndValidate(bool fresh) {
+  struct stat sb;
+  if (::fstat(fd_, &sb) != 0) return Errno("fstat", path_);
+  const uint64_t file_bytes = static_cast<uint64_t>(sb.st_size);
+  if (file_bytes < kArenaHeaderBytes) {
+    return DataLossError("arena file " + path_ + " truncated below header (" +
+                         std::to_string(file_bytes) + " bytes)");
+  }
+
+  // Header page: MAP_SHARED so Checkpoint's durable-LSN bump is an
+  // in-place store + msync of one page.
+  void* hm = ::mmap(nullptr, kArenaHeaderBytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED, fd_, 0);
+  if (hm == MAP_FAILED) return Errno("mmap(header)", path_);
+  header_map_ = static_cast<uint8_t*>(hm);
+
+  if (std::memcmp(header_map_ + kOffMagic, kArenaMagic, sizeof(kArenaMagic)) !=
+      0) {
+    return DataLossError("arena file " + path_ + " has bad magic");
+  }
+  const uint32_t version = GetU32(header_map_ + kOffVersion);
+  if (version != kArenaFormatVersion) {
+    return DataLossError("arena file " + path_ + " has unsupported version " +
+                         std::to_string(version));
+  }
+  if (GetU32(header_map_ + kOffHeaderBytes) != kArenaHeaderBytes ||
+      GetU32(header_map_ + kOffReserved) != 0) {
+    return DataLossError("arena file " + path_ + " has malformed header");
+  }
+  const uint32_t want_crc = GetU32(header_map_ + kOffCrc);
+  const uint32_t got_crc = crc32c::Crc32c(header_map_, kCrcCoverage);
+  if (want_crc != got_crc) {
+    return DataLossError("arena file " + path_ + " header CRC mismatch");
+  }
+
+  namespace_id_ = GetU64(header_map_ + kOffNamespace);
+  n_ = GetU64(header_map_ + kOffN);
+  block_size_ = GetU32(header_map_ + kOffBlockSize);
+  durable_lsn_ = GetU64(header_map_ + kOffDurableLsn);
+  // Empty namespaces (n or block_size zero) are legal — the engine allows
+  // them — but a geometry whose payload cannot fit in 2^40 bytes is a
+  // corrupt header, not a real arena.
+  if (block_size_ > (uint64_t{1} << 30) ||
+      (block_size_ != 0 && n_ > (uint64_t{1} << 40) / block_size_)) {
+    return DataLossError("arena file " + path_ + " has implausible geometry");
+  }
+  const uint64_t expect_bytes = kArenaHeaderBytes + n_ * block_size_;
+  if (file_bytes != expect_bytes) {
+    return DataLossError("arena file " + path_ + " size " +
+                         std::to_string(file_bytes) + " != geometry-implied " +
+                         std::to_string(expect_bytes));
+  }
+  (void)fresh;
+
+  // Payload: MAP_PRIVATE over the whole file; writes dirty COW pages the
+  // kernel never writes back. data_ skips the header page.
+  payload_map_bytes_ = static_cast<size_t>(expect_bytes);
+  void* pm = ::mmap(nullptr, payload_map_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE, fd_, 0);
+  if (pm == MAP_FAILED) return Errno("mmap(payload)", path_);
+  payload_map_ = static_cast<uint8_t*>(pm);
+  data_ = payload_map_ + kArenaHeaderBytes;
+  return OkStatus();
+}
+
+Status MmapArena::Checkpoint(uint64_t lsn) {
+  DPSTORE_CHECK(lsn >= durable_lsn_);
+  Status st = PwriteAll(fd_, data_, bytes(), kArenaHeaderBytes, path_);
+  if (!st.ok()) return st;
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+  // Payload is durable; only now is it safe to claim coverage through lsn.
+  durable_lsn_ = lsn;
+  PutU64(header_map_ + kOffDurableLsn, lsn);
+  PutU32(header_map_ + kOffCrc, crc32c::Crc32c(header_map_, kCrcCoverage));
+  if (::msync(header_map_, kArenaHeaderBytes, MS_SYNC) != 0) {
+    return Errno("msync(header)", path_);
+  }
+  return OkStatus();
+}
+
+void MmapArena::Unmap() {
+  if (payload_map_ != nullptr) {
+    ::munmap(payload_map_, payload_map_bytes_);
+    payload_map_ = nullptr;
+    data_ = nullptr;
+  }
+  if (header_map_ != nullptr) {
+    ::munmap(header_map_, kArenaHeaderBytes);
+    header_map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+MmapArena::~MmapArena() { Unmap(); }
+
+}  // namespace persist
+}  // namespace dpstore

@@ -1,0 +1,111 @@
+#ifndef DPSTORE_STORAGE_PERSIST_MMAP_ARENA_H_
+#define DPSTORE_STORAGE_PERSIST_MMAP_ARENA_H_
+
+/// \file
+/// MmapArena: one namespace's file-backed block arena.
+///
+/// On-disk layout (normative spec: docs/persistence.md):
+///
+///   [4096-byte header][n * block_size payload bytes]
+///
+/// The header carries magic, format version, the namespace geometry
+/// (id, n, block_size) and `durable_lsn` — the journal LSN through which
+/// the PAYLOAD REGION of this file is guaranteed to be durable — all
+/// under a CRC32C. Opening a file whose geometry disagrees with the
+/// caller's is rejected with FailedPrecondition; a torn, truncated or
+/// corrupt header is DataLoss. Never UB: every field is validated before
+/// the payload is mapped.
+///
+/// Mapping discipline — the crash-consistency keystone: the payload is
+/// mapped MAP_PRIVATE, so engine writes dirty copy-on-write pages that
+/// the kernel can NEVER write back on its own. The file's payload region
+/// changes only inside Checkpoint(), which is ordered strictly AFTER the
+/// journal is fdatasync-durable through the checkpoint LSN. Recovery can
+/// therefore trust: file payload = some checkpoint image, every byte of
+/// which is implied by journal records <= header.durable_lsn. (A
+/// MAP_SHARED payload would let kernel writeback leak bytes of ops whose
+/// journal records were lost in the crash — an arena no journal replay
+/// could repair.) The header page is a separate small MAP_SHARED mapping
+/// updated in place and msync'd, so the durable-LSN bump is one page
+/// flush.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace dpstore {
+namespace persist {
+
+/// Size of the reserved header region at the front of every arena file.
+inline constexpr size_t kArenaHeaderBytes = 4096;
+/// Arena file magic, first 8 bytes.
+inline constexpr char kArenaMagic[8] = {'D', 'P', 'S', 'A',
+                                        'R', 'E', 'N', 'A'};
+inline constexpr uint32_t kArenaFormatVersion = 1;
+
+class MmapArena {
+ public:
+  /// File name for a namespace's arena inside a data dir: "ns_<id>.arena".
+  static std::string FileName(uint64_t namespace_id);
+
+  /// Creates a brand-new arena file (O_EXCL — an unexpected existing file
+  /// is an error, not silently adopted), sized, headered with
+  /// durable_lsn = `initial_lsn`, fsync'd, and with `dir` fsync'd so the
+  /// file itself survives a crash. Returns the opened arena.
+  static StatusOr<std::unique_ptr<MmapArena>> Create(
+      const std::string& dir, uint64_t namespace_id, uint64_t n,
+      size_t block_size, uint64_t initial_lsn);
+
+  /// Opens an existing arena file, validating size, magic, version and
+  /// header CRC (DataLoss on any mismatch). The caller learns the
+  /// geometry from the accessors; pass expected geometry to Attach-time
+  /// checks at a higher layer.
+  static StatusOr<std::unique_ptr<MmapArena>> Open(const std::string& path);
+
+  ~MmapArena();
+  MmapArena(const MmapArena&) = delete;
+  MmapArena& operator=(const MmapArena&) = delete;
+
+  uint64_t namespace_id() const { return namespace_id_; }
+  uint64_t n() const { return n_; }
+  size_t block_size() const { return block_size_; }
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  const std::string& path() const { return path_; }
+
+  /// The working copy: n * block_size writable bytes (MAP_PRIVATE pages
+  /// over the file payload). Null when the arena is empty.
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t bytes() const { return static_cast<size_t>(n_) * block_size_; }
+
+  /// Makes the working copy durable through `lsn`: pwrites the payload
+  /// region from the private mapping, fdatasyncs, then bumps the header's
+  /// durable_lsn in the MAP_SHARED header page and msyncs it. The caller
+  /// MUST already have the journal durable through `lsn` — this ordering
+  /// is what recovery relies on.
+  Status Checkpoint(uint64_t lsn);
+
+ private:
+  MmapArena() = default;
+  Status MapAndValidate(bool fresh);
+  void Unmap();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t namespace_id_ = 0;
+  uint64_t n_ = 0;
+  size_t block_size_ = 0;
+  uint64_t durable_lsn_ = 0;
+  uint8_t* header_map_ = nullptr;  // kArenaHeaderBytes, MAP_SHARED
+  uint8_t* payload_map_ = nullptr; // whole file, MAP_PRIVATE
+  size_t payload_map_bytes_ = 0;
+  uint8_t* data_ = nullptr;        // payload_map_ + kArenaHeaderBytes
+};
+
+}  // namespace persist
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_PERSIST_MMAP_ARENA_H_

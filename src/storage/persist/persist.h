@@ -1,0 +1,75 @@
+#ifndef DPSTORE_STORAGE_PERSIST_PERSIST_H_
+#define DPSTORE_STORAGE_PERSIST_PERSIST_H_
+
+/// \file
+/// The durability seam: PersistOptions is how a StorageEngine is asked to
+/// keep its shared namespaces on disk, and PersistCounters is the
+/// accounting the server's drain line reports. The subsystem behind the
+/// seam lives in this directory:
+///
+///   * MmapArena (mmap_arena.h) — one file-backed namespace arena: a
+///     4 KiB header (magic/version/geometry/durable-LSN) followed by the
+///     n x block_size payload, mapped MAP_PRIVATE so the page cache IS
+///     the working copy and the FILE only changes at checkpoint — the
+///     invariant that makes recovery exact (docs/persistence.md).
+///   * Journal (journal.h) — the engine-wide CRC32C-framed write-ahead
+///     log of upload exchanges, with group-commit fdatasync batching and
+///     segment rotation.
+///   * Recovery — StorageEngine::Open maps every ns_*.arena in the data
+///     directory, replays the journal records above each arena's durable
+///     LSN, and checkpoints; the result is bit-identical to the arena at
+///     the moment of the last synced record (proven by the SIGKILL
+///     crash-injection suite, tests/crash_recovery_test.cc).
+///
+/// Only SHARED namespaces persist. A private namespace is destroyed at
+/// last detach and cannot be re-attached by name after a restart, so
+/// durability would be dead weight; private arenas stay on the heap and
+/// leave no files in the data directory.
+
+#include <cstdint>
+#include <string>
+
+namespace dpstore {
+namespace persist {
+
+/// Durability knobs, carried inside StorageEngineOptions. An empty
+/// `data_dir` disables the subsystem entirely (the classic in-memory
+/// engine, byte-for-byte).
+struct PersistOptions {
+  /// Directory holding the arena files and journal segments. Created if
+  /// missing. Empty = in-memory engine.
+  std::string data_dir;
+  /// Journal segment rotation threshold in bytes (a new segment starts
+  /// once the current one exceeds this).
+  uint64_t journal_segment_bytes = uint64_t{8} << 20;
+  /// When true (the default), an upload exchange's reply is withheld
+  /// until its journal record is fdatasync-durable — batched by group
+  /// commit, so concurrent (or server-side fused) uploads share one
+  /// fdatasync. False trades the ack guarantee for throughput: records
+  /// are still written in order, but a crash may lose an acked tail.
+  bool sync_uploads = true;
+  /// When true (the default), the engine checkpoints on destruction so a
+  /// clean shutdown leaves an empty journal. Benches and recovery tests
+  /// set false to leave a replayable journal behind.
+  bool checkpoint_on_close = true;
+};
+
+/// Point-in-time durability accounting (inside StorageEngineCounters).
+struct PersistCounters {
+  uint64_t journal_appends = 0;  ///< records appended
+  uint64_t journal_bytes = 0;    ///< bytes appended (incl. framing)
+  uint64_t fsyncs = 0;           ///< fdatasync/msync calls issued
+  /// Sync() calls satisfied by a group-commit leader's fdatasync instead
+  /// of issuing their own (higher = better batching).
+  uint64_t group_commit_riders = 0;
+  uint64_t segments_rotated = 0;
+  uint64_t checkpoints = 0;
+  /// Recovery-time tallies (set once by StorageEngine::Open).
+  uint64_t recovered_namespaces = 0;
+  uint64_t recovered_records = 0;
+};
+
+}  // namespace persist
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_PERSIST_PERSIST_H_

@@ -28,7 +28,8 @@ class StorageServer : public EngineBackend {
   /// Creates a server holding `n` zeroed blocks of `block_size` bytes.
   StorageServer(uint64_t n, size_t block_size)
       : EngineBackend(StorageEngine::Create(StorageEngineOptions{
-                          /*num_threads=*/1, /*lock_stripes=*/1}),
+                          /*num_threads=*/1, /*lock_stripes=*/1,
+                          /*persist=*/{}}),
                       n, block_size) {}
 };
 

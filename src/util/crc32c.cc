@@ -1,0 +1,113 @@
+#include "util/crc32c.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DPSTORE_CRC32C_X86 1
+#else
+#define DPSTORE_CRC32C_X86 0
+#endif
+
+namespace dpstore {
+namespace crc32c {
+namespace {
+
+// Slice-by-8 tables for the reflected Castagnoli polynomial, built once
+// at startup. Table [0] is the classic byte-at-a-time table; tables
+// [1..7] fold 8 input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);  // reflected poly
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables* t = new Tables();
+  return *t;
+}
+
+uint32_t ExtendTable(uint32_t crc, const uint8_t* data, size_t len) {
+  const Tables& tb = tables();
+  crc = ~crc;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, data, 8);
+    word ^= crc;  // little-endian: low 4 bytes absorb the running crc
+    crc = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+          tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+          tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+          tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][(word >> 56) & 0xFF];
+    data += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = tb.t[0][(crc ^ *data++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+#if DPSTORE_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t ExtendSse42(uint32_t crc,
+                                                       const uint8_t* data,
+                                                       size_t len) {
+  crc = ~crc;
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, data, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    data += 8;
+    len -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (len-- > 0) crc = _mm_crc32_u8(crc, *data++);
+  return ~crc;
+}
+#endif  // DPSTORE_CRC32C_X86
+
+bool UseHardware() {
+  // Same contract as storage/kernels.h: DPSTORE_KERNEL=scalar forces the
+  // portable variant; nothing can force hardware the CPU lacks.
+  static const bool use = [] {
+#if DPSTORE_CRC32C_X86
+    const char* env = std::getenv("DPSTORE_KERNEL");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) return false;
+    return __builtin_cpu_supports("sse4.2") != 0;
+#else
+    return false;
+#endif
+  }();
+  return use;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t len) {
+#if DPSTORE_CRC32C_X86
+  if (UseHardware()) return ExtendSse42(crc, data, len);
+#endif
+  return ExtendTable(crc, data, len);
+}
+
+const char* VariantName() { return UseHardware() ? "sse42" : "table"; }
+
+}  // namespace crc32c
+}  // namespace dpstore

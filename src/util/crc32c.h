@@ -1,0 +1,40 @@
+#ifndef DPSTORE_UTIL_CRC32C_H_
+#define DPSTORE_UTIL_CRC32C_H_
+
+/// \file
+/// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the checksum
+/// framing every durability artifact: journal records and the persistent
+/// arena header (docs/persistence.md is the normative spec; its CRC
+/// definition and this implementation must agree bit for bit).
+///
+/// Dispatch follows the storage/kernels.h idiom: a portable slice-by-8
+/// table variant always exists, and when the CPU has SSE4.2 the hardware
+/// `crc32` instruction is used instead — selected once at startup,
+/// forceable DOWN (never up) with DPSTORE_KERNEL=scalar so the table
+/// variant stays testable on any box. Both variants produce identical
+/// values; tests/persist_test.cc holds them to the RFC 3720 check vector.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpstore {
+namespace crc32c {
+
+/// Extends a running CRC32C with `len` more bytes. Start (and finish)
+/// with `crc = 0` for a whole-buffer checksum; chaining calls over a
+/// split buffer matches one call over the concatenation.
+uint32_t Extend(uint32_t crc, const uint8_t* data, size_t len);
+
+/// Whole-buffer convenience: Extend(0, data, len).
+inline uint32_t Crc32c(const uint8_t* data, size_t len) {
+  return Extend(0, data, len);
+}
+
+/// Name of the variant dispatch selected ("sse42" or "table"), for bench
+/// provenance and tests.
+const char* VariantName();
+
+}  // namespace crc32c
+}  // namespace dpstore
+
+#endif  // DPSTORE_UTIL_CRC32C_H_

@@ -7,12 +7,8 @@
 // keeps its correctness/alpha contract. When DPSTORE_SERVER_BIN names the
 // dpstore_server binary, the two keys of one query additionally cross
 // into two genuinely separate server processes.
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +22,7 @@
 #include "core/scheme_registry.h"
 #include "crypto/dpf.h"
 #include "pir/dpf_pir.h"
+#include "server_harness.h"
 #include "storage/server.h"
 
 namespace dpstore {
@@ -216,49 +213,15 @@ TEST(MultiServerDpIrDpfTest, TranscriptShapeIsBranchIndependent) {
 }
 
 // --- Two genuinely separate server processes ---------------------------------
+// Process plumbing (spawn/stop) lives in server_harness.h, shared with the
+// crash-recovery suite.
 
-// Spawns `bin --unix path` and waits until the socket accepts connections.
-// Returns the child pid, or -1 on failure.
-pid_t SpawnServer(const std::string& bin, const std::string& path) {
-  std::remove(path.c_str());
-  const pid_t pid = fork();
-  if (pid < 0) return -1;
-  if (pid == 0) {
-    execl(bin.c_str(), bin.c_str(), "--unix", path.c_str(),
-          static_cast<char*>(nullptr));
-    _exit(127);  // exec failed
-  }
-  // Poll readiness: a successful connect means the listener is up.
-  for (int attempt = 0; attempt < 200; ++attempt) {
-    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd >= 0) {
-      sockaddr_un addr{};
-      addr.sun_family = AF_UNIX;
-      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
-                    path.c_str());
-      const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr));
-      close(fd);
-      if (rc == 0) return pid;
-    }
-    usleep(25 * 1000);
-  }
-  kill(pid, SIGKILL);
-  waitpid(pid, nullptr, 0);
-  return -1;
-}
-
-void StopServer(pid_t pid) {
-  kill(pid, SIGTERM);
-  int status = 0;
-  waitpid(pid, &status, 0);
-  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
-      << "server did not drain cleanly";
-}
+using test::SpawnServer;
+using test::StopServer;
 
 TEST(DpfPirTest, TwoSeparateServerProcessesAnswerEquivalently) {
-  const char* bin = std::getenv("DPSTORE_SERVER_BIN");
-  if (bin == nullptr || bin[0] == '\0') {
+  const std::string bin = test::ServerBinary();
+  if (bin.empty()) {
     GTEST_SKIP() << "set DPSTORE_SERVER_BIN to the dpstore_server binary "
                     "to run the two-process test";
   }

@@ -1,0 +1,97 @@
+#ifndef DPSTORE_TESTS_SERVER_HARNESS_H_
+#define DPSTORE_TESTS_SERVER_HARNESS_H_
+
+// Process-level dpstore_server harness shared by the multi-process suites
+// (dpf_pir_test's two-server equivalence, crash_recovery_test's SIGKILL
+// loop). Spawns the real server binary named by the DPSTORE_SERVER_BIN
+// environment variable (ctest sets it; suites GTEST_SKIP without it),
+// waits for the listening socket to accept, and offers both a graceful
+// stop (SIGTERM, expecting a clean drain) and a crash (SIGKILL, the
+// durability suite's whole point being that nothing gets flushed).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace dpstore {
+namespace test {
+
+/// Path of the dpstore_server binary, or "" when the env var is unset
+/// (callers GTEST_SKIP in that case).
+inline std::string ServerBinary() {
+  const char* bin = std::getenv("DPSTORE_SERVER_BIN");
+  return bin == nullptr ? std::string() : std::string(bin);
+}
+
+/// Spawns `bin --unix path extra_args...` and waits until the socket
+/// accepts connections. Returns the child pid, or -1 on failure —
+/// including the child exiting during the wait (e.g. refusing to serve
+/// after a failed recovery), so callers can assert on startup refusal.
+inline pid_t SpawnServer(const std::string& bin, const std::string& path,
+                         const std::vector<std::string>& extra_args = {}) {
+  std::remove(path.c_str());
+  const pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(bin.c_str()));
+    argv.push_back(const_cast<char*>("--unix"));
+    argv.push_back(const_cast<char*>(path.c_str()));
+    for (const std::string& arg : extra_args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(bin.c_str(), argv.data());
+    _exit(127);  // exec failed
+  }
+  // Poll readiness: a successful connect means the listener is up.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                    path.c_str());
+      const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr));
+      close(fd);
+      if (rc == 0) return pid;
+    }
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) return -1;  // died early
+    usleep(25 * 1000);
+  }
+  kill(pid, SIGKILL);
+  waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+/// Graceful stop: SIGTERM and expect the drain to exit 0.
+inline void StopServer(pid_t pid) {
+  kill(pid, SIGTERM);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "server did not drain cleanly";
+}
+
+/// Crash: SIGKILL and reap. No exit expectation — the process gets no
+/// chance to flush, drain, or checkpoint anything.
+inline void KillServer(pid_t pid) {
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+}  // namespace test
+}  // namespace dpstore
+
+#endif  // DPSTORE_TESTS_SERVER_HARNESS_H_

@@ -180,7 +180,7 @@ TEST(StorageEngineTest, SharedNamespaceSerializesWholeExchanges) {
   constexpr int kIters = 200;
 
   auto engine = StorageEngine::Create(
-      StorageEngineOptions{/*num_threads=*/kThreads, /*lock_stripes=*/16});
+      StorageEngineOptions{/*num_threads=*/kThreads, /*lock_stripes=*/16, /*persist=*/{}});
   std::vector<BlockId> all(kBlocks);
   for (uint64_t i = 0; i < kBlocks; ++i) all[i] = i;
 
@@ -275,7 +275,7 @@ SchemeRun RunSchemeOver(const std::string& name, BackendFactory factory) {
 /// observes.
 TEST(EngineEquivalenceTest, SchemeViewBitIdenticalToMemoryOnBusyEngine) {
   auto engine = StorageEngine::Create(
-      StorageEngineOptions{/*num_threads=*/4, /*lock_stripes=*/8});
+      StorageEngineOptions{/*num_threads=*/4, /*lock_stripes=*/8, /*persist=*/{}});
 
   // Noise tenant: random-ish exchanges on its own namespace until stopped.
   std::atomic<bool> stop{false};
