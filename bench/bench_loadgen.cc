@@ -45,10 +45,12 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "chaos_proxy.h"
 
 #include "core/scheme_registry.h"
 #include "server/storage_service.h"
 #include "util/check.h"
+#include "util/io.h"
 
 namespace dpstore {
 namespace {
@@ -87,7 +89,7 @@ class InProcessServer {
     DPSTORE_CHECK_EQ(::listen(listen_fd_, 128), 0);
     acceptor_ = std::thread([this] {
       for (;;) {
-        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        const int conn = io::AcceptEintr(listen_fd_, nullptr, nullptr);
         if (conn < 0) return;  // listener closed: shut down
         service_->HandleConnection(conn);
       }
@@ -115,8 +117,16 @@ class InProcessServer {
 
 struct CellResult {
   bool ok = false;
+  /// Acked ops (latency percentiles are computed over these only).
   uint64_t ops = 0;
+  /// Ops whose QueryRead surfaced an error (counted, not fatal: under an
+  /// injected-fault schedule errors are part of the measurement, and a
+  /// failed op must not erase the rest of the cell's tail percentiles).
+  uint64_t errors = 0;
+  /// Attempted-ops throughput (acked + errored, the classic number).
   double achieved_ops_per_sec = 0.0;
+  /// Acked-only throughput: what the service actually delivered.
+  double achieved_ok_ops_sec = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -131,29 +141,27 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[index];
 }
 
-/// Runs one open-loop cell: `clients` scheme instances over the socket at
-/// `socket_path` / `host:port`, a combined offered load of `rate` ops/s
-/// spread evenly, `ops_per_client` queries each on a fixed schedule.
-/// `socket_path2`, when nonempty, routes two-replica schemes' second
-/// replica to a separate server process (dpf_pir against a live pair).
+/// Runs one open-loop cell: `clients` scheme instances built from
+/// `base_config` (socket target, backend topology, retry/reconnect knobs),
+/// a combined offered load of `rate` ops/s spread evenly,
+/// `ops_per_client` queries each on a fixed schedule. When the base
+/// config names a shared-namespace range, each client gets a disjoint
+/// sub-range (the registry mints ids per backend within one factory, but
+/// the factories of different clients would otherwise collide).
 CellResult RunCell(const std::string& scheme_name,
-                   const std::string& socket_path,
-                   const std::string& socket_path2, const std::string& host,
-                   uint16_t port, unsigned clients, double rate,
-                   uint64_t ops_per_client) {
+                   const SchemeConfig& base_config, unsigned clients,
+                   double rate, uint64_t ops_per_client) {
   const uint64_t kRecords = 64;
   std::vector<std::unique_ptr<RamScheme>> schemes(clients);
   for (unsigned c = 0; c < clients; ++c) {
-    SchemeConfig config;
+    SchemeConfig config = base_config;
     config.n = kRecords;
     config.value_size = 64;
     config.seed = 1 + c;
-    config.backend = "socket";
-    config.socket_path = socket_path;
-    config.socket_path2 = socket_path2;
-    config.socket_host = host;
-    config.socket_port = port;
     config.counting_only_transcript = true;
+    if (config.socket_namespace_base != 0) {
+      config.socket_namespace_base += uint64_t{c} * 64;
+    }
     auto scheme = SchemeRegistry::Instance().MakeRam(scheme_name, config);
     if (!scheme.ok()) {
       std::fprintf(stderr, "loadgen: cannot build %s: %s\n",
@@ -169,7 +177,7 @@ CellResult RunCell(const std::string& scheme_name,
       static_cast<int64_t>(1e9 * static_cast<double>(clients) / rate));
   std::vector<std::vector<double>> latencies(clients);
   std::vector<Clock::time_point> last_done(clients);
-  std::atomic<int> failures{0};
+  std::atomic<uint64_t> errors{0};
   std::latch ready(static_cast<ptrdiff_t>(clients));
   const Clock::time_point start =
       Clock::now() + std::chrono::milliseconds(50);
@@ -194,8 +202,10 @@ CellResult RunCell(const std::string& scheme_name,
         StatusOr<std::optional<Block>> got = scheme.QueryRead(id);
         const Clock::time_point done = Clock::now();
         if (!got.ok()) {
-          failures.fetch_add(1, std::memory_order_relaxed);
-          return;
+          // Count and carry on: under a fault schedule an errored op is a
+          // data point, and the schedule keeps its remaining arrivals.
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
         }
         // Open-loop latency: from the SCHEDULED arrival, so time spent
         // queued behind a saturated server counts against it.
@@ -207,7 +217,6 @@ CellResult RunCell(const std::string& scheme_name,
     });
   }
   for (std::thread& thread : threads) thread.join();
-  if (failures.load() != 0) return CellResult{};
 
   std::vector<double> all;
   for (const std::vector<double>& lat : latencies) {
@@ -215,13 +224,19 @@ CellResult RunCell(const std::string& scheme_name,
   }
   std::sort(all.begin(), all.end());
   CellResult result;
-  result.ok = true;
+  result.errors = errors.load();
+  // A cell that acked nothing measured nothing: report it failed.
+  result.ok = !all.empty();
   result.ops = all.size();
   const Clock::time_point end =
       *std::max_element(last_done.begin(), last_done.end());
   const double seconds =
       std::chrono::duration<double>(end - start).count();
   result.achieved_ops_per_sec =
+      seconds > 0
+          ? static_cast<double>(all.size() + result.errors) / seconds
+          : 0.0;
+  result.achieved_ok_ops_sec =
       seconds > 0 ? static_cast<double>(all.size()) / seconds : 0.0;
   double sum = 0;
   for (double ms : all) sum += ms;
@@ -233,20 +248,25 @@ CellResult RunCell(const std::string& scheme_name,
 }
 
 void EmitCell(const std::string& scheme, const std::string& transport,
-              unsigned clients, double rate, const CellResult& result) {
-  bench::BenchJson json("loadgen_" + scheme + "_c" + std::to_string(clients) +
-                        "_r" + std::to_string(static_cast<int>(rate)));
+              unsigned clients, double rate, const CellResult& result,
+              const std::string& tag = "") {
+  bench::BenchJson json("loadgen_" + scheme + (tag.empty() ? "" : "_" + tag) +
+                        "_c" + std::to_string(clients) + "_r" +
+                        std::to_string(static_cast<int>(rate)));
   json.Metric("scheme", scheme);
   json.Metric("transport", transport);
   json.Metric("clients", clients);
   json.Metric("offered_ops_per_sec", rate);
   json.Metric("achieved_ops_per_sec", result.achieved_ops_per_sec);
+  json.Metric("achieved_ok_ops_sec", result.achieved_ok_ops_sec);
   json.Metric("ops", result.ops);
+  json.Metric("errors", result.errors);
   json.Metric("mean_ms", result.mean_ms);
   json.Metric("p50_ms", result.p50_ms);
   json.Metric("p99_ms", result.p99_ms);
   json.Metric("p999_ms", result.p999_ms);
   json.Metric("ok", result.ok ? 1 : 0);
+  if (!tag.empty()) json.Metric("tag", tag);
   json.Emit();
 }
 
@@ -330,11 +350,17 @@ int main(int argc, char** argv) {
   bench::BenchJson summary("loadgen");
   int cells = 0;
   int failed = 0;
-  auto run_one = [&](const std::string& scheme, unsigned c, double r) {
+  SchemeConfig wire_config;
+  wire_config.backend = "socket";
+  wire_config.socket_path = unix_path;
+  wire_config.socket_path2 = unix_path2;
+  wire_config.socket_host = host;
+  wire_config.socket_port = port;
+  auto run_one = [&](const std::string& scheme, const SchemeConfig& base,
+                     unsigned c, double r, const std::string& tag = "") {
     const uint64_t per_client = ops > 0 ? ops : DeriveOpsPerClient(r, c);
-    const CellResult result =
-        RunCell(scheme, unix_path, unix_path2, host, port, c, r, per_client);
-    EmitCell(scheme, transport, c, r, result);
+    const CellResult result = RunCell(scheme, base, c, r, per_client);
+    EmitCell(scheme, transport, c, r, result, tag);
     ++cells;
     if (!result.ok) ++failed;
   };
@@ -342,15 +368,44 @@ int main(int argc, char** argv) {
   if (single_cell) {
     if (one_scheme.empty()) one_scheme = "dp_ir";
     if (clients == 0) clients = 1;
-    run_one(one_scheme, clients, rate);
+    run_one(one_scheme, wire_config, clients, rate);
   } else {
     // The study proper: offered load x client count x scheme. 12 cells.
     for (const char* scheme : {"dp_ir", "path_oram"}) {
       for (unsigned c : {1u, 2u, 4u}) {
         for (double r : {200.0, 800.0}) {
-          run_one(scheme, c, r);
+          run_one(scheme, wire_config, c, r);
         }
       }
+    }
+
+    // Chaos cells: the same open-loop schedule through the fault-injecting
+    // proxy with 1% of post-warmup frames resetting the connection —
+    // p99 and errored-op counts with transport retry OFF vs ON. Retry ON
+    // decorates the reconnecting socket with RetryingBackend, so a reset
+    // download is transparently resubmitted (reads are always safe to
+    // retry) and shows up as tail latency instead of an error.
+    if (!unix_path.empty()) {
+      test::ChaosOptions chaos;
+      chaos.seed = 1;
+      chaos.warmup_frames = 2;  // Open/SetArray land clean
+      chaos.reset_prob = 0.01;
+      const std::string proxy_path = unix_path + ".chaos";
+      test::ChaosProxy proxy(proxy_path, unix_path, chaos);
+      proxy.Start();
+
+      SchemeConfig chaos_config = wire_config;
+      chaos_config.socket_path = proxy_path;
+      chaos_config.socket_path2.clear();
+      chaos_config.socket_reconnect_max = 100;
+      chaos_config.socket_namespace_base = 50000;
+      run_one("dp_ir", chaos_config, 4, 400.0, "chaos_retry_off");
+
+      chaos_config.backend = "retry";
+      chaos_config.retry_inner = "socket";
+      chaos_config.socket_namespace_base = 60000;
+      run_one("dp_ir", chaos_config, 4, 400.0, "chaos_retry_on");
+      proxy.Stop();
     }
   }
 

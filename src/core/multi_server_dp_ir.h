@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/scheme.h"
@@ -53,7 +54,12 @@ struct MultiServerDpIrOptions {
 class MultiServerDpIr : public RamScheme {
  public:
   /// `servers` are replicas holding identical public databases; they must
-  /// outlive this object and all have equal n.
+  /// outlive this object and all have equal n. The protocol runs over the
+  /// first `options.num_servers` of them; any extras are failover SPARES.
+  /// When an active replica's exchange fails, the query fails atomically
+  /// (no partial answer), the dead slot is swapped for the next spare, and
+  /// the caller's retry re-runs query generation — fresh subsets and
+  /// masks from rng_, never a byte-identical resend.
   MultiServerDpIr(std::vector<StorageBackend*> servers,
                   MultiServerDpIrOptions options);
 
@@ -74,17 +80,37 @@ class MultiServerDpIr : public RamScheme {
   /// K = ceil((1-alpha) n / ((e^eps - 1)(D - (1-alpha)))), clamped to
   /// [1, n].
   uint64_t k() const { return k_; }
-  uint64_t num_servers() const { return servers_.size(); }
+  /// Protocol width D (active replicas per query), not the endpoint count.
+  uint64_t num_servers() const { return active_.size(); }
+  /// Endpoints handed in, including unused spares.
+  uint64_t replica_count() const { return servers_.size(); }
   /// Exact per-corrupted-server budget for the configured K.
   double achieved_epsilon() const;
+
+  /// Completed reconfigurations (dead slot swapped for a spare).
+  uint64_t failovers() const { return failovers_; }
+  /// Human-readable reconfiguration record, one entry per failed slot.
+  const std::vector<std::string>& failover_log() const {
+    return failover_log_;
+  }
 
  private:
   /// The use_dpf retrieval path: all-dummy cover subsets + one DPF eval
   /// per replica, XOR of the two aggregate blocks = the real record.
   StatusOr<std::optional<Block>> QueryDpf(BlockId index);
 
+  /// Swaps active slot `slot` for the next spare (if any), logging it.
+  void FailoverSlot(uint64_t slot, const Status& why);
+  StorageBackend* ActiveServer(uint64_t slot) { return servers_[active_[slot]]; }
+
   std::vector<StorageBackend*> servers_;
   MultiServerDpIrOptions options_;
+  /// Indices into servers_ of the D live replicas, then the spares.
+  std::vector<size_t> active_;
+  std::vector<size_t> spares_;
+  std::vector<std::string> failover_log_;
+  uint64_t failovers_ = 0;
+  uint64_t queries_ = 0;
   uint64_t n_;
   uint64_t k_;
   Rng rng_;

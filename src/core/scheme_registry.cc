@@ -1,6 +1,7 @@
 #include "core/scheme_registry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
 
@@ -20,6 +21,7 @@
 #include "pir/xor_pir.h"
 #include "storage/async_sharded_backend.h"
 #include "storage/fusing_backend.h"
+#include "storage/retrying_backend.h"
 #include "storage/sharded_backend.h"
 #include "storage/socket_backend.h"
 #include "storage/write_back_cache.h"
@@ -200,11 +202,10 @@ class XorPirScheme : public RamScheme {
 /// key bytes up (TransportStats::aux_bytes).
 class DpfPirScheme : public RamScheme {
  public:
-  DpfPirScheme(std::unique_ptr<StorageBackend> server0,
-               std::unique_ptr<StorageBackend> server1)
-      : server0_(std::move(server0)),
-        server1_(std::move(server1)),
-        pir_(server0_.get(), server1_.get()) {}
+  /// `replicas.size() >= 2`; replicas beyond the active pair are failover
+  /// spares (see TwoServerDpfPir).
+  explicit DpfPirScheme(std::vector<std::unique_ptr<StorageBackend>> replicas)
+      : replicas_(std::move(replicas)), pir_(Pointers(replicas_)) {}
 
   uint64_t n() const override { return pir_.n(); }
   size_t record_size() const override { return pir_.block_size(); }
@@ -213,14 +214,20 @@ class DpfPirScheme : public RamScheme {
     return std::optional<Block>(std::move(block));
   }
   TransportStats TransportTotals() const override {
-    TransportStats stats = server0_->Stats();
-    stats += server1_->Stats();
+    TransportStats stats;
+    for (const auto& replica : replicas_) stats += replica->Stats();
     return stats;
   }
 
  private:
-  std::unique_ptr<StorageBackend> server0_;
-  std::unique_ptr<StorageBackend> server1_;
+  static std::vector<StorageBackend*> Pointers(
+      const std::vector<std::unique_ptr<StorageBackend>>& owned) {
+    std::vector<StorageBackend*> pointers;
+    for (const auto& replica : owned) pointers.push_back(replica.get());
+    return pointers;
+  }
+
+  std::vector<std::unique_ptr<StorageBackend>> replicas_;
   TwoServerDpfPir pir_;
 };
 
@@ -264,6 +271,7 @@ StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
     options.socket_path = config.socket_path;
     options.host = config.socket_host;
     options.port = config.socket_port;
+    options.max_reconnects = config.socket_reconnect_max;
     if (!options.host.empty() && options.port == 0) {
       return InvalidArgumentError("socket backend needs socket_port with "
                                   "socket_host");
@@ -274,12 +282,56 @@ StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
       return InvalidArgumentError("socket backend needs socket_host with "
                                   "socket_port");
     }
-    return SocketBackendFactory(std::move(options),
-                                config.counting_only_transcript);
+    if (config.socket_namespace_base == 0) {
+      return SocketBackendFactory(std::move(options),
+                                  config.counting_only_transcript);
+    }
+    if (config.socket_namespace_base >> 63 != 0) {
+      return InvalidArgumentError(
+          "socket_namespace_base must stay below 2^63 (the upper half is "
+          "server-minted private ids)");
+    }
+    // Shared-namespace minting: the k-th backend this factory builds
+    // attaches to namespace base + k, so a reconnecting backend finds its
+    // arena again (a private namespace would have been freed at the
+    // disconnect). Seeds are decorrelated per backend so two replicas
+    // never back off in lockstep.
+    auto next = std::make_shared<std::atomic<uint64_t>>(0);
+    const bool counting = config.counting_only_transcript;
+    const uint64_t base = config.socket_namespace_base;
+    return BackendFactory(
+        [options, next, counting, base](uint64_t n, size_t block_size) {
+          SocketBackendOptions per = options;
+          const uint64_t k = next->fetch_add(1);
+          per.namespace_id = base + k;
+          per.attach_or_create = true;
+          per.reconnect_seed = options.reconnect_seed + 1 + k;
+          auto backend =
+              std::make_unique<SocketBackend>(n, block_size, std::move(per));
+          if (counting) backend->SetTranscriptCountingOnly(true);
+          return std::unique_ptr<StorageBackend>(std::move(backend));
+        });
+  }
+  if (config.backend == "retry") {
+    if (config.retry_inner == "retry") {
+      return InvalidArgumentError("retry_inner cannot itself be 'retry'");
+    }
+    SchemeConfig inner = config;
+    inner.backend = config.retry_inner;
+    DPSTORE_ASSIGN_OR_RETURN(BackendFactory inner_factory,
+                             BackendFactoryFor(inner));
+    RetryingBackendOptions options;
+    options.max_attempts = config.retry_max_attempts;
+    options.base_backoff_ms = config.retry_base_ms;
+    options.cap_backoff_ms = config.retry_cap_ms;
+    options.seed = config.seed;
+    return RetryingBackendFactory(std::move(options),
+                                  std::move(inner_factory));
   }
   return NotFoundError(
       "unknown backend '" + config.backend +
-      "' (known: memory, sharded, async_sharded, cached, fused, socket)");
+      "' (known: memory, sharded, async_sharded, cached, fused, socket, "
+      "retry)");
 }
 
 SchemeRegistry& SchemeRegistry::Instance() {
@@ -364,14 +416,17 @@ SchemeRegistry::SchemeRegistry() {
     DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
     std::vector<std::unique_ptr<StorageBackend>> backends;
     std::vector<StorageBackend*> pointers;
-    for (int replica = 0; replica < 2; ++replica) {
+    // Protocol width stays D = 2; endpoints beyond that are failover
+    // spares the scheme swaps in when an active replica dies.
+    const uint64_t replica_count = std::max<uint64_t>(2, config.replicas);
+    for (uint64_t replica = 0; replica < replica_count; ++replica) {
       DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
                                MakePublicDatabase(config, factory));
       pointers.push_back(backend.get());
       backends.push_back(std::move(backend));
     }
     MultiServerDpIrOptions options;
-    options.num_servers = pointers.size();
+    options.num_servers = 2;
     options.epsilon = EffectiveEpsilon(config);
     options.alpha = config.alpha;
     options.seed = config.seed;
@@ -471,12 +526,19 @@ SchemeRegistry::SchemeRegistry() {
       replica1.socket_path = config.socket_path2;
       DPSTORE_ASSIGN_OR_RETURN(factory1, BackendFactoryFor(replica1));
     }
-    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> server0,
-                             MakePublicDatabase(config, factory0));
-    DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> server1,
-                             MakePublicDatabase(config, factory1));
-    return std::unique_ptr<RamScheme>(std::make_unique<DpfPirScheme>(
-        std::move(server0), std::move(server1)));
+    // Endpoints beyond the active pair are failover spares; they alternate
+    // between the two factories so the spare pool spans both server
+    // processes when socket_path2 splits the deployment.
+    const uint64_t replica_count = std::max<uint64_t>(2, config.replicas);
+    std::vector<std::unique_ptr<StorageBackend>> replicas;
+    for (uint64_t r = 0; r < replica_count; ++r) {
+      DPSTORE_ASSIGN_OR_RETURN(
+          std::unique_ptr<StorageBackend> replica,
+          MakePublicDatabase(config, r % 2 == 0 ? factory0 : factory1));
+      replicas.push_back(std::move(replica));
+    }
+    return std::unique_ptr<RamScheme>(
+        std::make_unique<DpfPirScheme>(std::move(replicas)));
   });
 
   // The multi-server DP-IR with its real record carried by the DPF eval
@@ -487,14 +549,16 @@ SchemeRegistry::SchemeRegistry() {
     DPSTORE_ASSIGN_OR_RETURN(BackendFactory factory, BackendFactoryFor(config));
     std::vector<std::unique_ptr<StorageBackend>> backends;
     std::vector<StorageBackend*> pointers;
-    for (int replica = 0; replica < 2; ++replica) {
+    // The DPF path needs exactly 2 ACTIVE replicas; extras are spares.
+    const uint64_t replica_count = std::max<uint64_t>(2, config.replicas);
+    for (uint64_t replica = 0; replica < replica_count; ++replica) {
       DPSTORE_ASSIGN_OR_RETURN(std::unique_ptr<StorageBackend> backend,
                                MakePublicDatabase(config, factory));
       pointers.push_back(backend.get());
       backends.push_back(std::move(backend));
     }
     MultiServerDpIrOptions options;
-    options.num_servers = pointers.size();
+    options.num_servers = 2;
     options.epsilon = EffectiveEpsilon(config);
     options.alpha = config.alpha;
     options.seed = config.seed;

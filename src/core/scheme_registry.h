@@ -39,10 +39,12 @@ struct SchemeConfig {
   /// shard, legs genuinely overlapped), "cached" (WriteBackCacheBackend
   /// of `cache_blocks` blocks over an in-memory server), "fused"
   /// (FusingBackend coalescing adjacent same-direction exchanges up to
-  /// `fuse_blocks` blocks over an in-memory server), or "socket"
+  /// `fuse_blocks` blocks over an in-memory server), "socket"
   /// (SocketBackend: the real RPC transport — exchanges serialized over a
   /// socket to a dpstore_server at `socket_path` / `socket_host:port`, or
-  /// to an in-process socketpair server when neither is set).
+  /// to an in-process socketpair server when neither is set), or "retry"
+  /// (RetryingBackend decorating a `retry_inner` backend: bounded retry of
+  /// exchanges that failed before any state change).
   std::string backend = "memory";
   uint64_t shards = 4;
   /// Write-back cache capacity in blocks (backend "cached").
@@ -64,6 +66,22 @@ struct SchemeConfig {
   /// spawns its own in-process socketpair server.
   std::string socket_host;
   uint16_t socket_port = 0;
+  /// Bounded auto-reconnect budget per socket backend (backend "socket");
+  /// 0 keeps the classic latch-on-first-break semantics.
+  int socket_reconnect_max = 0;
+  /// When nonzero, each socket backend the factory builds attaches to the
+  /// SHARED server namespace `socket_namespace_base + k` (k = build
+  /// order) instead of a connection-private arena — required for
+  /// reconnect to find its data again, since private namespaces are freed
+  /// at disconnect. Ids must stay below 2^63.
+  uint64_t socket_namespace_base = 0;
+  /// RetryingBackend knobs (backend "retry"): the decorated topology and
+  /// the attempt/backoff policy. `retry_inner` accepts any backend name
+  /// except "retry" itself.
+  std::string retry_inner = "memory";
+  int retry_max_attempts = 3;
+  uint64_t retry_base_ms = 1;
+  uint64_t retry_cap_ms = 100;
   /// Optional sink accumulating hit/miss counters across every cache the
   /// factory builds for this scheme (backend "cached").
   std::shared_ptr<CacheStats> cache_stats;
@@ -79,6 +97,12 @@ struct SchemeConfig {
   double epsilon = 0.0;
   /// DP-IR-family error probability.
   double alpha = 0.1;
+
+  /// Replica endpoints built for the multi-server schemes (dpf_pir and
+  /// multi_server_dp_ir*). The scheme's protocol width stays what it was
+  /// (2 for dpf_pir, D for multi_server_dp_ir); endpoints beyond that are
+  /// SPARES the scheme fails over to when an active replica dies.
+  uint64_t replicas = 2;
 };
 
 /// Resolves SchemeConfig's backend fields. NotFound for unknown names.

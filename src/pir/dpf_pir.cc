@@ -21,13 +21,19 @@ uint8_t DomainDepthFor(uint64_t n) {
 
 TwoServerDpfPir::TwoServerDpfPir(StorageBackend* server0,
                                  StorageBackend* server1)
-    : server0_(server0), server1_(server1) {
-  DPSTORE_CHECK(server0 != nullptr);
-  DPSTORE_CHECK(server1 != nullptr);
-  DPSTORE_CHECK_EQ(server0->n(), server1->n());
-  DPSTORE_CHECK_EQ(server0->block_size(), server1->block_size());
-  DPSTORE_CHECK_GT(server0->n(), 0u);
-  depth_ = DomainDepthFor(server0->n());
+    : TwoServerDpfPir(std::vector<StorageBackend*>{server0, server1}) {}
+
+TwoServerDpfPir::TwoServerDpfPir(std::vector<StorageBackend*> replicas)
+    : replicas_(std::move(replicas)) {
+  DPSTORE_CHECK_GE(replicas_.size(), 2u);
+  for (StorageBackend* replica : replicas_) {
+    DPSTORE_CHECK(replica != nullptr);
+    DPSTORE_CHECK_EQ(replica->n(), replicas_[0]->n());
+    DPSTORE_CHECK_EQ(replica->block_size(), replicas_[0]->block_size());
+  }
+  DPSTORE_CHECK_GT(replicas_[0]->n(), 0u);
+  for (size_t i = 2; i < replicas_.size(); ++i) spares_.push_back(i);
+  depth_ = DomainDepthFor(replicas_[0]->n());
   DPSTORE_CHECK_LE(depth_, crypto::kMaxDpfDepth)
       << "database too large for the DPF domain cap";
 }
@@ -36,26 +42,54 @@ uint64_t TwoServerDpfPir::QueryBytesPerServer() const {
   return crypto::DpfKeyBytes(depth_);
 }
 
+void TwoServerDpfPir::FailoverSlot(int slot, const Status& why) {
+  std::string entry = "query " + std::to_string(queries_) + ": replica " +
+                      std::to_string(active_[slot]) + " failed (" +
+                      StatusCodeToString(why.code()) + ")";
+  if (spares_.empty()) {
+    entry += ", no spare left";
+  } else {
+    entry += ", failing over to replica " + std::to_string(spares_.front());
+    active_[slot] = spares_.front();
+    spares_.erase(spares_.begin());
+    ++failovers_;
+  }
+  failover_log_.push_back(std::move(entry));
+}
+
 StatusOr<Block> TwoServerDpfPir::Query(BlockId index) {
   if (index >= n()) {
     return OutOfRangeError("TwoServerDpfPir::Query index out of range");
   }
-  server0_->BeginQuery();
-  server1_->BeginQuery();
+  ++queries_;
+  StorageBackend* server0 = replicas_[active_[0]];
+  StorageBackend* server1 = replicas_[active_[1]];
+  server0->BeginQuery();
+  server1->BeginQuery();
   DPSTORE_ASSIGN_OR_RETURN(crypto::DpfKeyPair keys,
                            crypto::DpfGen(index, depth_));
   // One eval exchange per replica: the key travels up, one aggregate
   // block travels down. Submit both before waiting so the two servers'
   // scans genuinely overlap on transports that can (async, socket).
-  Ticket t0 = server0_->Submit(
+  Ticket t0 = server0->Submit(
       StorageRequest::DpfEvalOf(keys.key0.Serialize(), /*dpf_offset=*/0));
-  Ticket t1 = server1_->Submit(
+  Ticket t1 = server1->Submit(
       StorageRequest::DpfEvalOf(keys.key1.Serialize(), /*dpf_offset=*/0));
-  DPSTORE_ASSIGN_OR_RETURN(StorageReply r0, server0_->Wait(t0));
-  DPSTORE_ASSIGN_OR_RETURN(StorageReply r1, server1_->Wait(t1));
+  // Wait BOTH before deciding anything: both tickets are consumed and the
+  // query fails or succeeds as a unit.
+  StatusOr<StorageReply> r0 = server0->Wait(t0);
+  StatusOr<StorageReply> r1 = server1->Wait(t1);
+  if (!r0.ok() || !r1.ok()) {
+    // Atomic failure: no partial answer escapes. Reconfigure the failed
+    // slot(s) so the NEXT query — including the caller's retry, which
+    // regenerates keys above — runs against a live pair.
+    if (!r0.ok()) FailoverSlot(0, r0.status());
+    if (!r1.ok()) FailoverSlot(1, r1.status());
+    return !r0.ok() ? r0.status() : r1.status();
+  }
   // a0 ^ a1 = XOR over x of (bit0(x) ^ bit1(x)) * block(x) = block(index).
-  Block answer = ToBlock(r0.blocks[0]);
-  kernels::XorAccumulate(answer.data(), r1.blocks[0].data(), answer.size());
+  Block answer = ToBlock(r0->blocks[0]);
+  kernels::XorAccumulate(answer.data(), r1->blocks[0].data(), answer.size());
   return answer;
 }
 

@@ -25,16 +25,31 @@
 /// partial XORs compose), cached (flushes then scans), fused (bypasses
 /// the queue), and socket (the key crosses the wire to a real
 /// dpstore_server process).
+///
+/// FAILOVER: the scheme accepts more than two replicas; the extras are
+/// spares. A dead replica fails the in-flight query atomically at Wait
+/// (nothing partial is returned), the failed slot is swapped for a spare,
+/// and the NEXT query — including the caller's retry of the failed one —
+/// runs against the new pair with FRESH keys from DpfGen. Retried traffic
+/// is therefore freshly randomized by construction: a byte-identical
+/// resend of a DPF key would hand the surviving server two correlated
+/// views, which is exactly what the two-server hiding argument forbids
+/// (and why RetryingBackend refuses to retry kDpfEval at the transport
+/// level). Reconfigurations are recorded in failover_log().
 
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "storage/backend.h"
 #include "util/statusor.h"
 
 namespace dpstore {
 
-/// Client of the two-server DPF PIR. Both backends must hold identical
-/// replicas of the same geometry.
+/// Client of the two-server DPF PIR. All backends must hold identical
+/// replicas of the same geometry; replicas beyond the first two are
+/// spares.
 class TwoServerDpfPir {
  public:
   /// Key randomness comes from the system RNG (crypto/dpf.h), not a
@@ -42,9 +57,11 @@ class TwoServerDpfPir {
   /// noise to pin down, and fresh seeds per query are what the hiding
   /// argument needs.
   TwoServerDpfPir(StorageBackend* server0, StorageBackend* server1);
+  /// `replicas.size() >= 2`; replicas [2..) are failover spares.
+  explicit TwoServerDpfPir(std::vector<StorageBackend*> replicas);
 
-  uint64_t n() const { return server0_->n(); }
-  size_t block_size() const { return server0_->block_size(); }
+  uint64_t n() const { return replicas_[active_[0]]->n(); }
+  size_t block_size() const { return replicas_[active_[0]]->block_size(); }
 
   /// Tree depth of the keys: ceil(log2 n), floored at 1. The domain
   /// 2^depth rounds n up to a power of two; bits for points >= n land
@@ -57,9 +74,30 @@ class TwoServerDpfPir {
 
   StatusOr<Block> Query(BlockId index);
 
+  /// Replica indices currently serving as (server0, server1).
+  std::pair<size_t, size_t> active_replicas() const {
+    return {active_[0], active_[1]};
+  }
+  size_t replica_count() const { return replicas_.size(); }
+  /// Completed reconfigurations (slot swapped for a spare).
+  uint64_t failovers() const { return failovers_; }
+  /// Human-readable reconfiguration record, one entry per failed slot.
+  const std::vector<std::string>& failover_log() const {
+    return failover_log_;
+  }
+
  private:
-  StorageBackend* server0_;
-  StorageBackend* server1_;
+  /// Swaps `slot` for the next spare (if any) and records the event.
+  void FailoverSlot(int slot, const Status& why);
+
+  std::vector<StorageBackend*> replicas_;
+  /// Indices into replicas_ of the live pair.
+  size_t active_[2] = {0, 1};
+  /// Unused replica indices, consumed in order on failover.
+  std::vector<size_t> spares_;
+  std::vector<std::string> failover_log_;
+  uint64_t failovers_ = 0;
+  uint64_t queries_ = 0;
   uint8_t depth_;
 };
 

@@ -65,6 +65,11 @@ void PrintUsage(std::FILE* out, const char* argv0) {
                "                   (mmap arenas + write-ahead journal;\n"
                "                   recovers on startup, checkpoints on "
                "drain)\n"
+               "  --shed-after-ms <n>  answer requests queued longer than\n"
+               "                   <n> ms with DEADLINE_EXCEEDED instead of\n"
+               "                   executing them (0 sheds everything "
+               "queued;\n"
+               "                   default: shedding off)\n"
                "  --help           print this help and exit\n",
                argv0);
 }
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
   int port = -1;
   long threads = 4;
   long max_conns = 64;
+  long shed_after_ms = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -155,6 +161,14 @@ int main(int argc, char** argv) {
       if (max_conns < 0) return Usage(argv[0]);
     } else if (arg == "--data-dir" && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (arg == "--shed-after-ms" && i + 1 < argc) {
+      // 0 is meaningful here (shed every queued request), so ParseCount's
+      // positive-only contract doesn't fit.
+      char* end = nullptr;
+      shed_after_ms = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || shed_after_ms < 0) {
+        return Usage(argv[0]);
+      }
     } else {
       // Unknown flag (or a flag missing its value): refuse loudly rather
       // than silently serving with a misconfiguration.
@@ -194,6 +208,7 @@ int main(int argc, char** argv) {
   options.num_threads = static_cast<size_t>(threads);
   options.max_conns = static_cast<size_t>(max_conns);
   options.persist.data_dir = data_dir;
+  options.shed_after_ms = shed_after_ms;
   dpstore::StatusOr<std::unique_ptr<dpstore::StorageService>> made =
       dpstore::StorageService::Make(options);
   if (!made.ok()) {
@@ -249,11 +264,11 @@ int main(int argc, char** argv) {
   std::printf(
       "dpstore_server: drained: conns accepted=%" PRIu64 " rejected=%" PRIu64
       " | frames=%" PRIu64 " exchanges=%" PRIu64 " (fused %" PRIu64
-      " in %" PRIu64 " batches) | namespaces live=%" PRIu64
+      " in %" PRIu64 " batches, shed %" PRIu64 ") | namespaces live=%" PRIu64
       " created=%" PRIu64 " | blocks moved=%" PRIu64 "\n",
       counters.connections_accepted, counters.connections_rejected,
       counters.frames_served, counters.exchanges_served,
-      counters.fused_frames, counters.fused_batches,
+      counters.fused_frames, counters.fused_batches, counters.frames_shed,
       counters.engine.namespaces, counters.engine.namespaces_created,
       counters.engine.blocks_moved);
   if (!data_dir.empty()) {

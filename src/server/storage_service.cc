@@ -4,8 +4,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -157,10 +159,17 @@ bool FusableFrame(const wire::DecodedFrame& frame, const NamespaceHandle& ns) {
 /// starts) and `reader` (joined only after `done`) are guarded by the
 /// service mutex; `ns`, `version` and the socket writes are additionally
 /// touched only by the worker that holds the connection `busy`.
+/// One decoded frame plus when the reader enqueued it — the age the
+/// shedding policy (options.shed_after_ms) measures.
+struct QueuedFrame {
+  wire::DecodedFrame frame;
+  std::chrono::steady_clock::time_point arrival;
+};
+
 struct StorageService::Connection {
   int fd = -1;
   std::thread reader;
-  std::deque<wire::DecodedFrame> queue;
+  std::deque<QueuedFrame> queue;
   bool scheduled = false;     ///< in ready_
   bool busy = false;          ///< a worker owns it right now
   bool reader_done = false;   ///< reader thread returned
@@ -269,7 +278,8 @@ void StorageService::ReaderLoop(std::shared_ptr<Connection> conn) {
       ScheduleLocked(conn);
       return;
     }
-    conn->queue.push_back(std::move(*frame));
+    conn->queue.push_back(
+        QueuedFrame{std::move(*frame), std::chrono::steady_clock::now()});
     ScheduleLocked(conn);
   }
 }
@@ -299,8 +309,38 @@ void StorageService::WorkerLoop(unsigned tid) {
 void StorageService::ProcessLocked(unsigned tid,
                                    std::unique_lock<std::mutex>& lock,
                                    const std::shared_ptr<Connection>& conn) {
-  wire::DecodedFrame head = std::move(conn->queue.front());
+  QueuedFrame queued = std::move(conn->queue.front());
   conn->queue.pop_front();
+  wire::DecodedFrame head = std::move(queued.frame);
+
+  // Load shedding: a request that sat in the queue past its budget is
+  // answered with DeadlineExceeded WITHOUT touching the engine — the
+  // client's Wait sees the same code its own deadline_ms would produce,
+  // and the server spends its overload time on fresher work. Exactly one
+  // reply frame still flows per request frame, so the stream stays in
+  // protocol. Control frames are never shed (an Open must bind the
+  // namespace or the whole connection is wedged).
+  if (options_.shed_after_ms >= 0 &&
+      head.header.type == wire::FrameType::kRequest) {
+    const auto age = std::chrono::steady_clock::now() - queued.arrival;
+    if (age >= std::chrono::milliseconds(options_.shed_after_ms)) {
+      const uint64_t age_ms = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(age).count());
+      lock.unlock();
+      Status sent = SendError(
+          conn->fd,
+          DeadlineExceededError("server shed: frame queued " +
+                                std::to_string(age_ms) + " ms, budget " +
+                                std::to_string(options_.shed_after_ms) +
+                                " ms"),
+          head.header.ticket, conn->version);
+      lock.lock();
+      ++counters_.frames_served;
+      ++counters_.frames_shed;
+      if (!sent.ok()) FailLocked(conn);
+      return;
+    }
+  }
 
   if (!FusableFrame(head, conn->ns)) {
     // Control frames, pre-open traffic and possibly-failing requests take
@@ -351,7 +391,7 @@ void StorageService::ProcessLocked(unsigned tid,
   };
   auto harvest = [&](const std::shared_ptr<Connection>& c) {
     while (!c->queue.empty() && budget > 0) {
-      wire::DecodedFrame& front = c->queue.front();
+      wire::DecodedFrame& front = c->queue.front().frame;
       if (front.header.type != wire::FrameType::kRequest ||
           static_cast<StorageRequest::Op>(front.header.code) != op ||
           front.indices.size() > budget || !FusableFrame(front, c->ns)) {
@@ -367,11 +407,12 @@ void StorageService::ProcessLocked(unsigned tid,
     const std::shared_ptr<Connection>& other = ready_[i];
     if (other->ns.valid() && other->ns.id() == nsid &&
         !other->queue.empty() &&
-        other->queue.front().header.type == wire::FrameType::kRequest &&
-        static_cast<StorageRequest::Op>(other->queue.front().header.code) ==
-            op &&
-        other->queue.front().indices.size() <= budget &&
-        FusableFrame(other->queue.front(), other->ns)) {
+        other->queue.front().frame.header.type ==
+            wire::FrameType::kRequest &&
+        static_cast<StorageRequest::Op>(
+            other->queue.front().frame.header.code) == op &&
+        other->queue.front().frame.indices.size() <= budget &&
+        FusableFrame(other->queue.front().frame, other->ns)) {
       std::shared_ptr<Connection> c = other;
       ready_.erase(ready_.begin() + i);
       c->scheduled = false;

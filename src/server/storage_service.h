@@ -52,6 +52,15 @@ struct StorageServiceOptions {
   uint64_t fuse_blocks = 256;
   /// Stripe count for the shared engine's per-namespace locking.
   size_t lock_stripes = 16;
+  /// Queue-age load shedding (threaded mode): a kRequest frame that
+  /// waited in its connection's queue longer than this many ms is
+  /// answered with a DeadlineExceeded error frame instead of executed —
+  /// the server-side half of the client's `deadline_ms` budget, applied
+  /// where an overloaded server's time actually goes. -1 disables; 0
+  /// sheds every queued request (a deterministic test mode). Control
+  /// frames (Open/SetArray/Peek/Corrupt) always execute, and the
+  /// synchronous ServeBlocking path never queues, so it never sheds.
+  int64_t shed_after_ms = -1;
   /// Durability passthrough to the shared engine (--data-dir). With it
   /// set, an upload's ack is only written after its journal record is
   /// fdatasync-durable — and because a fused group executes as ONE engine
@@ -71,6 +80,7 @@ struct StorageServiceCounters {
   uint64_t exchanges_served = 0;      ///< kRequest frames answered
   uint64_t fused_batches = 0;         ///< engine calls carrying >1 frame
   uint64_t fused_frames = 0;          ///< request frames that rode fused
+  uint64_t frames_shed = 0;  ///< requests answered DeadlineExceeded unexecuted
   StorageEngineCounters engine;
 };
 

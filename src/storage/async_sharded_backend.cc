@@ -223,8 +223,8 @@ StatusOr<StorageReply> AsyncShardedBackend::Wait(Ticket ticket) {
     std::lock_guard<std::mutex> lock(pending_mu_);
     auto it = pending_.find(ticket);
     if (it == pending_.end()) {
-      return NotFoundError("Wait: unknown or already-consumed ticket " +
-                           std::to_string(ticket));
+      return InvalidArgumentError(
+          "Wait: unknown or already-consumed ticket " + std::to_string(ticket));
     }
     pending = std::move(it->second);
     pending_.erase(it);

@@ -71,8 +71,8 @@ StatusOr<StorageReply> StorageBackend::Wait(Ticket ticket) {
       return reply;
     }
   }
-  return NotFoundError("Wait: unknown or already-consumed ticket " +
-                       std::to_string(ticket));
+  return InvalidArgumentError("Wait: unknown or already-consumed ticket " +
+                              std::to_string(ticket));
 }
 
 StatusOr<StorageReply> StorageBackend::Exchange(StorageRequest request) {

@@ -46,6 +46,13 @@ struct TransportStats {
   /// equality compares the adversary-visible modeled axes, which must be
   /// bit-identical across backends, while measured time never is.
   double measured_wall_ms = 0.0;
+  /// Extra exchange attempts the transport made beyond the first try:
+  /// RetryingBackend resubmissions plus SocketBackend reconnect attempts.
+  /// Excluded from operator== for the same reason as measured_wall_ms —
+  /// retries are an environmental artifact, not part of the adversary view
+  /// (a retried query is freshly randomized, never a byte-identical
+  /// resend).
+  uint64_t retries = 0;
 
   TransportStats& operator+=(const TransportStats& other) {
     blocks_moved += other.blocks_moved;
@@ -53,6 +60,7 @@ struct TransportStats {
     roundtrips += other.roundtrips;
     aux_bytes += other.aux_bytes;
     measured_wall_ms += other.measured_wall_ms;
+    retries += other.retries;
     return *this;
   }
   friend TransportStats operator-(TransportStats a, const TransportStats& b) {
@@ -61,6 +69,7 @@ struct TransportStats {
     a.roundtrips -= b.roundtrips;
     a.aux_bytes -= b.aux_bytes;
     a.measured_wall_ms -= b.measured_wall_ms;
+    a.retries -= b.retries;
     return a;
   }
   friend bool operator==(const TransportStats& a, const TransportStats& b) {
@@ -110,6 +119,19 @@ struct StorageRequest {
   /// so each shard XORs its own slice of the selection bits and the XOR of
   /// the shard answers equals the whole-arena answer.
   uint64_t dpf_offset = 0;
+  /// Client-side completion budget in milliseconds, measured from Submit.
+  /// 0 means no deadline. Carried client-side only (no wire framing
+  /// change): a transport with real latency (SocketBackend) returns
+  /// DeadlineExceeded from Wait once the budget elapses and discards the
+  /// late reply when it eventually lands; in-process backends complete
+  /// exchanges synchronously and never trip it.
+  uint64_t deadline_ms = 0;
+  /// Marks an upload safe to resubmit after an ambiguous failure (the
+  /// request may already have been applied). Pure overwrites of
+  /// client-owned blocks are idempotent; RetryingBackend refuses to retry
+  /// uploads that do not set this, because a half-open connection cannot
+  /// distinguish "never applied" from "applied, ack lost".
+  bool idempotent = false;
 
   static StorageRequest DownloadOf(std::vector<BlockId> indices) {
     StorageRequest request;
@@ -310,6 +332,11 @@ class StorageBackend {
   /// Stats() surfaces it as TransportStats::measured_wall_ms.
   virtual double MeasuredWallMs() const { return 0.0; }
 
+  /// Extra exchange attempts beyond the first try (RetryingBackend
+  /// resubmissions, SocketBackend reconnects). 0 for backends that never
+  /// retry; Stats() surfaces it as TransportStats::retries.
+  virtual uint64_t RetriedAttempts() const { return 0; }
+
   // Convenience counters over transcript().
   uint64_t download_count() const { return transcript().download_count(); }
   uint64_t upload_count() const { return transcript().upload_count(); }
@@ -320,6 +347,7 @@ class StorageBackend {
   TransportStats Stats() const {
     TransportStats stats = StatsFromTranscript(transcript(), block_size());
     stats.measured_wall_ms = MeasuredWallMs();
+    stats.retries = RetriedAttempts();
     return stats;
   }
 

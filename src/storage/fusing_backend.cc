@@ -158,8 +158,8 @@ StatusOr<StorageReply> FusingBackend::Wait(Ticket ticket) {
       return reply;
     }
   }
-  return NotFoundError("Wait: unknown or already-consumed ticket " +
-                       std::to_string(ticket));
+  return InvalidArgumentError("Wait: unknown or already-consumed ticket " +
+                              std::to_string(ticket));
 }
 
 Status FusingBackend::FlushPending() {

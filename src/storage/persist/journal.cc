@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "util/crc32c.h"
+#include "util/io.h"
 
 namespace dpstore {
 namespace persist {
@@ -231,9 +232,8 @@ Status Journal::ScanAndReplay(
     buf.resize(static_cast<size_t>(sb.st_size));
     size_t got = 0;
     while (got < buf.size()) {
-      ssize_t r = ::pread(fd, buf.data() + got, buf.size() - got,
-                          static_cast<off_t>(got));
-      if (r < 0 && errno == EINTR) continue;
+      ssize_t r = io::PreadEintr(fd, buf.data() + got, buf.size() - got,
+                                 static_cast<off_t>(got));
       if (r <= 0) {
         ::close(fd);
         return Errno("pread", path);
@@ -319,8 +319,7 @@ Status Journal::StartFreshSegment(uint64_t seq, uint64_t base_lsn) {
   EncodeSegmentHeader(header, seq, base_lsn);
   size_t done = 0;
   while (done < sizeof(header)) {
-    ssize_t w = ::write(fd, header + done, sizeof(header) - done);
-    if (w < 0 && errno == EINTR) continue;
+    ssize_t w = io::WriteEintr(fd, header + done, sizeof(header) - done);
     if (w < 0) {
       ::close(fd);
       ::unlink(path.c_str());
@@ -353,8 +352,7 @@ Status Journal::ContinueSegment(const std::string& path, uint64_t seq,
 
 Status Journal::WriteAll(const uint8_t* buf, size_t len) {
   while (len > 0) {
-    ssize_t w = ::write(fd_, buf, len);
-    if (w < 0 && errno == EINTR) continue;
+    ssize_t w = io::WriteEintr(fd_, buf, len);
     if (w < 0) return Errno("write", dir_ + "/" + SegmentName(segment_seq_));
     buf += w;
     len -= static_cast<size_t>(w);

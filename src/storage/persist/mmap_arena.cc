@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/crc32c.h"
+#include "util/io.h"
 
 namespace dpstore {
 namespace persist {
@@ -73,11 +74,8 @@ Status Errno(const std::string& what, const std::string& path) {
 Status PwriteAll(int fd, const uint8_t* buf, size_t len, off_t off,
                  const std::string& path) {
   while (len > 0) {
-    ssize_t w = ::pwrite(fd, buf, len, off);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Errno("pwrite", path);
-    }
+    ssize_t w = io::PwriteEintr(fd, buf, len, off);
+    if (w < 0) return Errno("pwrite", path);
     buf += w;
     len -= static_cast<size_t>(w);
     off += w;

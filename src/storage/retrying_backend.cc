@@ -1,0 +1,83 @@
+#include "storage/retrying_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dpstore {
+
+RetryingBackend::RetryingBackend(std::unique_ptr<StorageBackend> inner,
+                                 RetryingBackendOptions options)
+    : inner_(std::move(inner)),
+      options_(std::move(options)),
+      jitter_rng_(options_.seed) {
+  DPSTORE_CHECK(inner_ != nullptr);
+  DPSTORE_CHECK_GE(options_.max_attempts, 1);
+}
+
+bool RetryingBackend::IsRetryableCode(StatusCode code) const {
+  return std::find(options_.retryable_codes.begin(),
+                   options_.retryable_codes.end(),
+                   code) != options_.retryable_codes.end();
+}
+
+Ticket RetryingBackend::Submit(StorageRequest request) {
+  Pending pending;
+  // The policy gate: downloads are read-only; uploads only when the scheme
+  // vouched for idempotence; kDpfEval never (re-randomization is the
+  // scheme's job — see the file comment).
+  pending.retryable =
+      !request.IsNoOp() &&
+      (request.op == StorageRequest::Op::kDownload ||
+       (request.op == StorageRequest::Op::kUpload && request.idempotent));
+  if (pending.retryable) pending.saved = request;
+  pending.inner_ticket = inner_->Submit(std::move(request));
+  const Ticket ticket = next_ticket_++;
+  pending_.emplace(ticket, std::move(pending));
+  return ticket;
+}
+
+StatusOr<StorageReply> RetryingBackend::Wait(Ticket ticket) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) {
+    return InvalidArgumentError("Wait: unknown or already-consumed ticket " +
+                                std::to_string(ticket));
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  StatusOr<StorageReply> reply = inner_->Wait(pending.inner_ticket);
+  int attempt = 1;
+  while (!reply.ok() && pending.retryable &&
+         attempt < options_.max_attempts &&
+         IsRetryableCode(reply.status().code())) {
+    uint64_t backoff = options_.base_backoff_ms;
+    for (int i = 1; i < attempt && backoff < options_.cap_backoff_ms; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, options_.cap_backoff_ms);
+    if (backoff > 0) {
+      backoff += jitter_rng_.Uniform(backoff);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    ++attempt;
+    ++retries_;
+    StorageRequest again = pending.saved;  // saved survives further rounds
+    reply = inner_->Wait(inner_->Submit(std::move(again)));
+  }
+  return reply;
+}
+
+BackendFactory RetryingBackendFactory(RetryingBackendOptions options,
+                                      BackendFactory inner_factory) {
+  return [options, inner_factory = std::move(inner_factory)](
+             uint64_t n, size_t block_size) -> std::unique_ptr<StorageBackend> {
+    return std::make_unique<RetryingBackend>(inner_factory(n, block_size),
+                                             options);
+  };
+}
+
+}  // namespace dpstore

@@ -1,0 +1,125 @@
+#ifndef DPSTORE_STORAGE_RETRYING_BACKEND_H_
+#define DPSTORE_STORAGE_RETRYING_BACKEND_H_
+
+/// \file
+/// RetryingBackend: a decorator that resubmits failed exchanges — but only
+/// the ones that provably caused no state change.
+///
+/// The retry policy is the interesting part, because two of the three
+/// exchange ops must NOT be blindly retried:
+///
+///  - kDownload: read-only, always safe to retry.
+///  - kUpload: a failure is ambiguous — on a half-open connection the
+///    server may have applied the write before the ack was lost. Retried
+///    only when the request is marked `idempotent` (a pure overwrite the
+///    scheme owns), never otherwise.
+///  - kDpfEval: NEVER retried here. A byte-identical resend of a DPF key
+///    is a privacy leak (the whole point of the two-server model is that
+///    each server sees one fresh pseudorandom key per query); the failure
+///    surfaces to the scheme, which re-runs query generation with fresh
+///    randomness (see TwoServerDpfPir failover).
+///
+/// Retries are visible in TransportStats::retries (excluded from the
+/// adversary-view equality, like measured_wall_ms) and never in the
+/// transcript: the inner backend records an exchange only when it
+/// completes, so a retried exchange still records exactly once.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/backend.h"
+#include "util/random.h"
+
+namespace dpstore {
+
+struct RetryingBackendOptions {
+  /// Total attempts per exchange, including the first (so 3 = up to two
+  /// retries). Must be >= 1.
+  int max_attempts = 3;
+  /// Exponential backoff between attempts: base doubles per retry, capped,
+  /// plus seeded jitter in [backoff, 2*backoff).
+  uint64_t base_backoff_ms = 1;
+  uint64_t cap_backoff_ms = 100;
+  /// Status codes worth retrying. Defaults to the two transient transport
+  /// failures; everything else (validation, NotFound, server logic errors)
+  /// is deterministic and retrying it would just repeat the answer.
+  std::vector<StatusCode> retryable_codes = {StatusCode::kUnavailable,
+                                             StatusCode::kDeadlineExceeded};
+  uint64_t seed = 7;
+};
+
+/// Decorates `inner` with bounded retry of safe exchanges. Owns the inner
+/// backend. Registry name: `retry`.
+class RetryingBackend : public StorageBackend {
+ public:
+  RetryingBackend(std::unique_ptr<StorageBackend> inner,
+                  RetryingBackendOptions options = {});
+
+  uint64_t n() const override { return inner_->n(); }
+  size_t block_size() const override { return inner_->block_size(); }
+
+  Status SetArray(std::vector<Block> blocks) override {
+    return inner_->SetArray(std::move(blocks));
+  }
+
+  Ticket Submit(StorageRequest request) override;
+  StatusOr<StorageReply> Wait(Ticket ticket) override;
+
+  void BeginQuery() override { inner_->BeginQuery(); }
+  const Transcript& transcript() const override {
+    return inner_->transcript();
+  }
+  void ResetTranscript() override { inner_->ResetTranscript(); }
+  void SetTranscriptCountingOnly(bool counting_only) override {
+    inner_->SetTranscriptCountingOnly(counting_only);
+  }
+  Block PeekBlock(BlockId index) const override {
+    return inner_->PeekBlock(index);
+  }
+  void CorruptBlock(BlockId index) override { inner_->CorruptBlock(index); }
+  void SetFailureRate(double rate, uint64_t seed = 7) override {
+    inner_->SetFailureRate(rate, seed);
+  }
+  double MeasuredWallMs() const override { return inner_->MeasuredWallMs(); }
+
+  /// Resubmissions made by this decorator plus whatever the inner
+  /// transport retried on its own (SocketBackend reconnects).
+  uint64_t RetriedAttempts() const override {
+    return retries_ + inner_->RetriedAttempts();
+  }
+
+  StorageBackend* inner() { return inner_.get(); }
+
+ protected:
+  StatusOr<StorageReply> Execute(StorageRequest request) override {
+    return Wait(Submit(std::move(request)));
+  }
+
+ private:
+  /// Bookkeeping for one exchange between Submit and Wait. `saved` holds a
+  /// resubmittable copy of the request only for retry-eligible ops.
+  struct Pending {
+    Ticket inner_ticket = 0;
+    bool retryable = false;
+    StorageRequest saved;
+  };
+
+  bool IsRetryableCode(StatusCode code) const;
+
+  std::unique_ptr<StorageBackend> inner_;
+  RetryingBackendOptions options_;
+  std::unordered_map<Ticket, Pending> pending_;
+  Ticket next_ticket_ = 1;
+  uint64_t retries_ = 0;
+  Rng jitter_rng_;
+};
+
+/// Wraps the backends produced by `inner_factory` in RetryingBackends.
+BackendFactory RetryingBackendFactory(RetryingBackendOptions options,
+                                      BackendFactory inner_factory);
+
+}  // namespace dpstore
+
+#endif  // DPSTORE_STORAGE_RETRYING_BACKEND_H_

@@ -89,8 +89,11 @@ SocketBackend::SocketBackend(uint64_t n, size_t block_size,
     : n_(n),
       block_size_(block_size),
       namespace_id_(options.namespace_id),
-      open_mode_(options.attach_or_create ? 1 : 0) {
-  StartConnection(n, block_size, options);
+      open_mode_(options.attach_or_create ? 1 : 0),
+      options_(std::move(options)),
+      reconnects_left_(options_.max_reconnects),
+      backoff_rng_(options_.reconnect_seed) {
+  StartConnection(n, block_size, options_);
 }
 
 void SocketBackend::StartConnection(uint64_t n, size_t block_size,
@@ -131,6 +134,57 @@ void SocketBackend::StartConnection(uint64_t n, size_t block_size,
   if (!ack.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     if (broken_.ok()) broken_ = ack.status();
+  }
+}
+
+void SocketBackend::TearDownConnection() {
+  // Both loop threads have either exited (they return once broken_ is
+  // set) or are stuck in a syscall on a half-dead peer; shutdown wakes
+  // the stuck ones, exactly as the destructor does.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (writer_.joinable()) writer_.join();
+  if (reader_.joinable()) reader_.join();
+  if (server_.joinable()) server_.join();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void SocketBackend::MaybeReconnect(std::unique_lock<std::mutex>& lock) {
+  if (broken_.ok() || reconnecting_ || stopping_) return;
+  while (!broken_.ok() && reconnects_left_ > 0 && !stopping_) {
+    --reconnects_left_;
+    ++reconnect_attempts_;
+    const int attempt = options_.max_reconnects - reconnects_left_;
+    uint64_t backoff = options_.reconnect_base_ms;
+    for (int i = 1; i < attempt && backoff < options_.reconnect_cap_ms; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, options_.reconnect_cap_ms);
+    // Full jitter in [backoff, 2*backoff): deterministic given the seed,
+    // decorrelated across backends seeded differently.
+    if (backoff > 0) backoff += backoff_rng_.Uniform(backoff);
+    reconnecting_ = true;
+    lock.unlock();
+    TearDownConnection();
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    {
+      std::lock_guard<std::mutex> relock(mu_);
+      broken_ = OkStatus();
+      out_queue_.clear();
+      // Deadline-abandoned exchanges will never be waited again; reap
+      // them here so the map only carries parked-but-unwaited replies
+      // (which BreakConnectionLocked already failed atomically).
+      for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+        it = it->second->abandoned ? in_flight_.erase(it) : std::next(it);
+      }
+    }
+    // Redial + re-Open. On failure this latches broken_ again and the
+    // loop burns the next unit of budget (or gives up).
+    StartConnection(n_, block_size_, options_);
+    lock.lock();
+    reconnecting_ = false;
   }
 }
 
@@ -181,7 +235,8 @@ Status SocketBackend::SetArray(std::vector<Block> blocks) {
 }
 
 Ticket SocketBackend::Submit(StorageRequest request) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  MaybeReconnect(lock);
   if (!broken_.ok()) return ParkImmediateLocked(broken_);
   // Free-by-contract exchanges never reach the wire (no frame, no fault
   // roll, no transcript event) — the base-class contract.
@@ -225,6 +280,7 @@ Ticket SocketBackend::Submit(StorageRequest request) {
     flight->expected_blocks = 0;  // uploads answer with an empty ack
   }
   flight->record = true;
+  flight->deadline_ms = request.deadline_ms;
   flight->submitted = std::chrono::steady_clock::now();
   in_flight_.emplace(ticket, std::move(flight));
   OutFrame out;
@@ -240,12 +296,30 @@ StatusOr<StorageReply> SocketBackend::Wait(Ticket ticket) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = in_flight_.find(ticket);
-    if (it == in_flight_.end()) {
-      return NotFoundError("Wait: unknown or already-consumed ticket " +
-                           std::to_string(ticket));
+    if (it == in_flight_.end() || it->second->abandoned) {
+      return InvalidArgumentError(
+          "Wait: unknown or already-consumed ticket " + std::to_string(ticket));
     }
     InFlight* slot = it->second.get();
-    reply_cv_.wait(lock, [slot] { return slot->done; });
+    if (slot->deadline_ms > 0) {
+      const auto deadline =
+          slot->submitted + std::chrono::milliseconds(slot->deadline_ms);
+      if (!reply_cv_.wait_until(lock, deadline,
+                                [slot] { return slot->done; })) {
+        // The exchange stays in the map, flagged: the reader discards the
+        // late reply without desynchronizing the stream, and the server
+        // may or may not have applied it — the same ambiguity as a broken
+        // connection, so callers treat DeadlineExceeded exactly like
+        // Unavailable for retry purposes.
+        slot->abandoned = true;
+        slot->record = false;
+        return DeadlineExceededError(
+            "Wait: exchange exceeded its " +
+            std::to_string(slot->deadline_ms) + " ms deadline");
+      }
+    } else {
+      reply_cv_.wait(lock, [slot] { return slot->done; });
+    }
     // Re-find: the map may have rehashed while we waited (slot pointers
     // are stable, iterators are not).
     flight = std::move(in_flight_.at(ticket));
@@ -302,6 +376,11 @@ double SocketBackend::MeasuredWallMs() const {
   return measured_wall_ms_;
 }
 
+uint64_t SocketBackend::RetriedAttempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconnect_attempts_;
+}
+
 StatusOr<StorageReply> SocketBackend::Execute(StorageRequest request) {
   return Wait(Submit(std::move(request)));
 }
@@ -319,6 +398,7 @@ StatusOr<StorageReply> SocketBackend::ControlRoundTrip(
     wire::FrameType type, uint64_t aux, uint32_t block_size,
     BlockBuffer body_owner) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (type != wire::FrameType::kOpen) MaybeReconnect(lock);
   if (!broken_.ok()) return broken_;
   const Ticket ticket = next_ticket_++;
   auto flight = std::make_unique<InFlight>();
@@ -391,6 +471,12 @@ void SocketBackend::ReaderLoop() {
       return;
     }
     auto it = in_flight_.find(frame->header.ticket);
+    if (it != in_flight_.end() && it->second->abandoned) {
+      // Late reply for a deadline-abandoned exchange: the stream is still
+      // in sync — consume the frame silently and reap the flight.
+      in_flight_.erase(it);
+      continue;
+    }
     if (it == in_flight_.end() || it->second->done) {
       BreakConnectionLocked(
           DataLossError("wire: reply for unknown or completed ticket " +
@@ -433,12 +519,20 @@ void SocketBackend::BreakConnectionLocked(Status why) {
     broken_ = UnavailableError("socket backend: connection broken: " +
                                why.ToString());
   }
-  for (auto& [ticket, flight] : in_flight_) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    InFlight* flight = it->second.get();
+    if (flight->abandoned) {
+      // Deadline-abandoned: nobody will Wait this ticket again, and the
+      // reply it was waiting for died with the connection.
+      it = in_flight_.erase(it);
+      continue;
+    }
     if (!flight->done) {
       flight->done = true;
       flight->record = false;  // nothing completed: record nothing
       flight->reply = broken_;
     }
+    ++it;
   }
   reply_cv_.notify_all();
   writer_cv_.notify_all();

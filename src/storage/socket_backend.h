@@ -49,6 +49,22 @@ struct SocketBackendOptions {
   /// reserved for server-minted private namespaces and is refused.
   uint64_t namespace_id = 0;
   bool attach_or_create = false;
+  /// Bounded auto-reconnect budget. 0 (the default) keeps the classic
+  /// latching semantics: the first broken read/write fails every future
+  /// exchange with Unavailable. With a positive budget, the next Submit
+  /// (or control call) after a break tears the dead connection down,
+  /// backs off (exponential from `reconnect_base_ms`, capped at
+  /// `reconnect_cap_ms`, plus seeded jitter in [0, backoff]), redials and
+  /// re-runs the Open handshake. Exchanges in flight at the break still
+  /// fail atomically — reconnect never replays them; that policy lives in
+  /// RetryingBackend and the schemes. NOTE: reconnecting to a PRIVATE
+  /// namespace gets a fresh zeroed arena (the server freed the old one at
+  /// disconnect) — pair reconnect with `attach_or_create` on a shared
+  /// namespace (or a durable server) when the data must survive.
+  int max_reconnects = 0;
+  uint64_t reconnect_base_ms = 1;
+  uint64_t reconnect_cap_ms = 200;
+  uint64_t reconnect_seed = 42;
 };
 
 /// StorageBackend whose server is on the far side of a socket.
@@ -119,6 +135,10 @@ class SocketBackend : public StorageBackend {
   /// real socket latency the CostModel previously only modeled.
   double MeasuredWallMs() const override;
 
+  /// Reconnect attempts made so far (successful or not); surfaced as
+  /// TransportStats::retries.
+  uint64_t RetriedAttempts() const override;
+
  protected:
   /// Never reached through the overridden Submit; provided so the class is
   /// concrete. Equivalent to a one-shot Submit+Wait.
@@ -139,6 +159,13 @@ class SocketBackend : public StorageBackend {
     bool record = false;
     /// DPF evals: serialized key bytes shipped, for RecordEval at Wait.
     uint64_t eval_query_bytes = 0;
+    /// Client-side completion budget from the request (0 = none): Wait
+    /// gives up after this many ms past `submitted`.
+    uint64_t deadline_ms = 0;
+    /// Wait timed out on this exchange and already returned
+    /// DeadlineExceeded; the reader discards the late reply (or a
+    /// connection break reaps it) without touching the stream state.
+    bool abandoned = false;
     bool done = false;
     StatusOr<StorageReply> reply{StorageReply{}};
     std::chrono::steady_clock::time_point submitted;
@@ -154,6 +181,15 @@ class SocketBackend : public StorageBackend {
 
   void StartConnection(uint64_t n, size_t block_size,
                        const SocketBackendOptions& options);
+  /// If the connection is broken and reconnect budget remains, tears it
+  /// down, backs off (exponential + jitter) and redials + re-Opens,
+  /// repeating until connected or the budget is spent. Drops the lock
+  /// while dialing; no-op while a reconnect is already running (the
+  /// re-Open handshake itself calls back into ControlRoundTrip).
+  void MaybeReconnect(std::unique_lock<std::mutex>& lock);
+  /// Joins the dead writer/reader (and fallback server) threads and
+  /// closes the socket. Called with mu_ NOT held.
+  void TearDownConnection();
   void WriterLoop();
   void ReaderLoop();
   /// Fails every in-flight exchange and latches `why`. Requires mu_.
@@ -173,6 +209,8 @@ class SocketBackend : public StorageBackend {
   /// Namespace binding the Open frame carries (from the options).
   uint64_t namespace_id_ = 0;
   uint8_t open_mode_ = 0;
+  /// Connection options, kept for redialing.
+  SocketBackendOptions options_;
   int fd_ = -1;
   std::thread writer_;
   std::thread reader_;
@@ -188,6 +226,11 @@ class SocketBackend : public StorageBackend {
   bool stopping_ = false;
   Status broken_ = OkStatus();
   double measured_wall_ms_ = 0.0;
+  /// Remaining reconnect budget / total attempts made (under mu_).
+  int reconnects_left_ = 0;
+  uint64_t reconnect_attempts_ = 0;
+  bool reconnecting_ = false;
+  Rng backoff_rng_;
 
   Transcript transcript_;
   FaultInjector faults_;

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "util/io.h"
+
 namespace dpstore {
 namespace wire {
 
@@ -254,7 +256,7 @@ StatusOr<DecodedFrame> DecodeFrame(BlockView bytes) {
     case FrameType::kReplyError: {
       if (header.count != rest) return TruncatedError("error message");
       if (header.code == 0 ||
-          header.code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+          header.code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
         return InvalidArgumentError("wire: error frame with bad status code " +
                                     std::to_string(header.code));
       }
@@ -309,9 +311,8 @@ Status WriteFrame(int fd, const EncodedFrame& frame) {
     struct msghdr msg{};
     msg.msg_iov = cursor;
     msg.msg_iovlen = iovcnt;
-    const ssize_t wrote = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    const ssize_t wrote = io::SendmsgEintr(fd, &msg, MSG_NOSIGNAL);
     if (wrote < 0) {
-      if (errno == EINTR) continue;
       return UnavailableError(std::string("wire: write failed: ") +
                               std::strerror(errno));
     }
@@ -336,9 +337,8 @@ namespace {
 Status ReadExactly(int fd, uint8_t* out, size_t len, bool clean_eof_ok) {
   size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::read(fd, out + got, len - got);
+    const ssize_t n = io::ReadEintr(fd, out + got, len - got);
     if (n < 0) {
-      if (errno == EINTR) continue;
       return UnavailableError(std::string("wire: read failed: ") +
                               std::strerror(errno));
     }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kDataLoss = 7,
   kUnavailable = 8,
   kUnimplemented = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name ("OK", "NOT_FOUND", ...).
@@ -76,6 +77,7 @@ Status ResourceExhaustedError(std::string message);
 Status DataLossError(std::string message);
 Status UnavailableError(std::string message);
 Status UnimplementedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Evaluates `expr` (a Status expression); returns it from the enclosing
 /// function if not OK.

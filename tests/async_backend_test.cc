@@ -120,8 +120,8 @@ TEST(AsyncShardedBackendTest, TicketsAreSingleUse) {
   AsyncShardedBackend backend(8, 8, 2);
   Ticket t = backend.Submit(StorageRequest::DownloadOf({1}));
   ASSERT_TRUE(backend.Wait(t).ok());
-  EXPECT_EQ(backend.Wait(t).status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(backend.Wait(9999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(backend.Wait(t).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(backend.Wait(9999).status().code(), StatusCode::kInvalidArgument);
 }
 
 // --- Fault atomicity ---------------------------------------------------------

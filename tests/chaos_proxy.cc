@@ -1,0 +1,281 @@
+#include "chaos_proxy.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "storage/wire.h"
+#include "util/check.h"
+#include "util/io.h"
+#include "util/random.h"
+
+namespace dpstore {
+namespace test {
+
+namespace {
+
+int DialUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool ReadFull(int fd, uint8_t* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = io::ReadEintr(fd, buf + got, len - got);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// send(MSG_NOSIGNAL), not write: a destination severed by the schedule
+// (or a vanished client) must surface as EPIPE here, not kill the whole
+// test process with SIGPIPE.
+bool WriteFull(int fd, const uint8_t* buf, size_t len) {
+  size_t put = 0;
+  while (put < len) {
+    ssize_t n;
+    do {
+      n = ::send(fd, buf + put, len - put, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    put += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// FNV-1a over one frame (length prefix + body) with the 8 ticket bytes
+/// (body offset 4..12) zeroed: the retry-privacy audit compares frames
+/// up to their ticket, since an honest retry necessarily reuses nothing
+/// BUT possibly the ticket counter's neighborhood.
+uint64_t HashFrameSansTicket(const std::vector<uint8_t>& frame) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    const bool ticket_byte = i >= 8 && i < 16;  // 4B prefix + header [4,12)
+    const uint8_t byte = ticket_byte ? 0 : frame[i];
+    h ^= byte;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// One proxied connection: the accepted client socket and its upstream
+/// dial. Severing shuts both down (close waits for Stop, so pump threads
+/// never race a reused fd number).
+struct ChaosProxy::Link {
+  int client_fd = -1;
+  int server_fd = -1;
+  uint64_t index = 0;
+  std::atomic<bool> severed{false};
+};
+
+ChaosProxy::ChaosProxy(std::string listen_path, std::string upstream_path,
+                       ChaosOptions options)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path)),
+      options_(options) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+void ChaosProxy::Start() {
+  std::remove(listen_path_.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  DPSTORE_CHECK_GE(listen_fd_, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  DPSTORE_CHECK_LT(listen_path_.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, listen_path_.c_str(), listen_path_.size() + 1);
+  DPSTORE_CHECK_EQ(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "chaos proxy bind failed: " << listen_path_;
+  DPSTORE_CHECK_EQ(::listen(listen_fd_, 64), 0);
+  acceptor_ = std::thread(&ChaosProxy::AcceptLoop, this);
+}
+
+void ChaosProxy::AcceptLoop() {
+  for (;;) {
+    const int client = io::AcceptEintr(listen_fd_, nullptr, nullptr);
+    if (client < 0) return;  // listener closed by Stop
+    if (stopping_.load()) {
+      ::close(client);
+      return;
+    }
+    const int server = DialUnix(upstream_path_);
+    if (server < 0) {
+      // Upstream down (e.g. mid-kill in the durable test): refusing the
+      // client here is exactly what a dead server looks like.
+      ::close(client);
+      continue;
+    }
+    auto link = std::make_shared<Link>();
+    link->client_fd = client;
+    link->server_fd = server;
+    std::lock_guard<std::mutex> lock(mu_);
+    link->index = next_conn_++;
+    ++counters_.connections;
+    links_.push_back(link);
+    pumps_.emplace_back(&ChaosProxy::Pump, this, link, /*upstream=*/true);
+    pumps_.emplace_back(&ChaosProxy::Pump, this, link, /*upstream=*/false);
+  }
+}
+
+void ChaosProxy::Sever(const std::shared_ptr<Link>& link) {
+  if (link->severed.exchange(true)) return;
+  ::shutdown(link->client_fd, SHUT_RDWR);
+  ::shutdown(link->server_fd, SHUT_RDWR);
+}
+
+void ChaosProxy::Pump(std::shared_ptr<Link> link, bool upstream) {
+  const int src = upstream ? link->client_fd : link->server_fd;
+  const int dst = upstream ? link->server_fd : link->client_fd;
+  // Independent deterministic stream per connection per direction.
+  Rng rng(options_.seed * 2654435761ull + link->index * 2 +
+          (upstream ? 0 : 1));
+  int frames = 0;
+  std::vector<uint8_t> frame;
+  for (;;) {
+    uint8_t prefix[4];
+    if (!ReadFull(src, prefix, sizeof(prefix))) break;
+    const uint64_t length = static_cast<uint64_t>(prefix[0]) |
+                            static_cast<uint64_t>(prefix[1]) << 8 |
+                            static_cast<uint64_t>(prefix[2]) << 16 |
+                            static_cast<uint64_t>(prefix[3]) << 24;
+    if (length == 0 || length > wire::kMaxFrameBytes) break;
+    frame.resize(4 + length);
+    std::memcpy(frame.data(), prefix, 4);
+    if (!ReadFull(src, frame.data() + 4, length)) break;
+    ++frames;
+
+    // The privacy audit: count byte-identical upstream DPF key resends.
+    // Body layout: version, type, code, reserved, ticket... (wire.h).
+    if (upstream && length >= wire::kHeaderBytes && frame[5] == 1 &&
+        frame[6] == 2) {
+      const uint64_t hash = HashFrameSansTicket(frame);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.dpf_frames;
+      if (!dpf_hashes_.insert(hash).second) ++counters_.dpf_duplicates;
+    }
+
+    if (!upstream && drop_next_reply_.load() &&
+        frames > options_.warmup_frames &&
+        drop_next_reply_.exchange(false)) {
+      // Half-open fixture: the server spoke (so it executed), the client
+      // never hears it.
+      Sever(link);
+      break;
+    }
+
+    // Fault schedule (post-warmup, first hit wins).
+    if (frames > options_.warmup_frames && !stopping_.load() &&
+        !calm_.load()) {
+      if (options_.delay_prob > 0 && rng.Bernoulli(options_.delay_prob)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.delays;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 + rng.Uniform(options_.delay_ms_max)));
+      } else if (options_.stall_prob > 0 &&
+                 rng.Bernoulli(options_.stall_prob)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.stalls;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.stall_ms));
+      } else if (options_.cut_prob > 0 && rng.Bernoulli(options_.cut_prob)) {
+        // Mid-frame cut: a PREFIX of the frame, then both sides die.
+        const size_t keep = 1 + rng.Uniform(frame.size() - 1);
+        (void)WriteFull(dst, frame.data(), keep);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.cuts;
+        }
+        Sever(link);
+        break;
+      } else if (options_.reset_prob > 0 &&
+                 rng.Bernoulli(options_.reset_prob)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.resets;
+        }
+        Sever(link);
+        break;
+      } else if (options_.corrupt_prob > 0 &&
+                 rng.Bernoulli(options_.corrupt_prob)) {
+        // Flip one HEADER byte (version..ticket, body offsets [0,12)):
+        // always structurally detectable, and the intact length prefix
+        // keeps the stream framed — corruption must never desynchronize
+        // the test itself.
+        const size_t offset = 4 + rng.Uniform(12);
+        frame[offset] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.corruptions;
+      }
+    }
+
+    if (!WriteFull(dst, frame.data(), frame.size())) break;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.frames_forwarded;
+  }
+  Sever(link);
+}
+
+void ChaosProxy::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& link : links_) Sever(link);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // No new pumps can start now (acceptor gone); join and close.
+  std::vector<std::thread> pumps;
+  std::vector<std::shared_ptr<Link>> links;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pumps.swap(pumps_);
+    links.swap(links_);
+  }
+  for (std::thread& pump : pumps) {
+    if (pump.joinable()) pump.join();
+  }
+  for (const auto& link : links) {
+    ::close(link->client_fd);
+    ::close(link->server_fd);
+  }
+  std::remove(listen_path_.c_str());
+}
+
+ChaosCounters ChaosProxy::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace test
+}  // namespace dpstore

@@ -1,0 +1,142 @@
+#ifndef DPSTORE_TESTS_CHAOS_PROXY_H_
+#define DPSTORE_TESTS_CHAOS_PROXY_H_
+
+// ChaosProxy: a seeded, frame-aware fault-injecting proxy between a
+// SocketBackend client and a real dpstore_server, for the chaos suite
+// (tests/chaos_test.cc) and the bench's chaos cell.
+//
+// The proxy listens on its own Unix-domain socket and dials the upstream
+// server once per accepted connection, then pumps whole wire frames
+// ([u32 len][body]) in both directions. Because both endpoints speak the
+// codec honestly, the proxy can read exact frame boundaries and inject
+// faults at deterministic, schedule-chosen points:
+//
+//   * delay    — sleep before forwarding a frame (jittered latency);
+//   * stall    — a long sleep (deadline/shedding territory);
+//   * cut      — forward only a PREFIX of the frame, then close both
+//                sides: the victim sees mid-frame EOF (DataLoss);
+//   * reset    — drop the frame and close both sides immediately;
+//   * corrupt  — flip one byte in the frame's first 32 bytes (length
+//                prefix or header) before forwarding, so the damage is
+//                structurally detectable — a framing error, never a
+//                silently-wrong payload the transport could not be
+//                expected to catch.
+//
+// Every decision comes from one Rng seeded per connection from the
+// schedule seed, so a failing run replays exactly from its seed. The
+// first `warmup_frames` frames of each direction of each connection are
+// always forwarded untouched (lets Open/SetArray handshakes through, on
+// fresh connections AND reconnects).
+//
+// The proxy also audits the client for the privacy invariant the retry
+// layer must preserve: every upstream kDpfEval request frame is hashed
+// with its ticket bytes zeroed, and byte-identical resends are counted
+// in DpfDuplicates(). A correct client NEVER resends a DPF key — retries
+// regenerate keys — so the suite asserts this stays 0.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace dpstore {
+namespace test {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  /// Per-connection, per-direction frames always forwarded untouched.
+  int warmup_frames = 6;
+  /// Per-frame fault probabilities, evaluated in this order (first hit
+  /// wins). All zero = a faithful pass-through proxy.
+  double delay_prob = 0.0;
+  double stall_prob = 0.0;
+  double cut_prob = 0.0;
+  double reset_prob = 0.0;
+  double corrupt_prob = 0.0;
+  /// delay sleeps Uniform(delay_ms_max)+1 ms; stall sleeps stall_ms.
+  uint64_t delay_ms_max = 3;
+  uint64_t stall_ms = 40;
+};
+
+struct ChaosCounters {
+  uint64_t connections = 0;
+  uint64_t frames_forwarded = 0;
+  uint64_t delays = 0;
+  uint64_t stalls = 0;
+  uint64_t cuts = 0;
+  uint64_t resets = 0;
+  uint64_t corruptions = 0;
+  /// Upstream kDpfEval request frames seen / byte-identical resends
+  /// (ticket bytes excluded from the comparison).
+  uint64_t dpf_frames = 0;
+  uint64_t dpf_duplicates = 0;
+};
+
+class ChaosProxy {
+ public:
+  /// Proxies `listen_path` -> `upstream_path` (both Unix-domain).
+  /// Start() binds and begins accepting; CHECK-fails if the bind fails.
+  ChaosProxy(std::string listen_path, std::string upstream_path,
+             ChaosOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  void Start();
+  /// Closes the listener and every proxied connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Arms a one-shot half-open fault: the next server->client reply frame
+  /// (after warmup) is DROPPED and the connection closed, so the server
+  /// has provably executed the request while the client provably never
+  /// learns it. The deterministic "ambiguous upload" fixture.
+  void DropNextReply() { drop_next_reply_.store(true); }
+
+  /// While calm, the proxy forwards faithfully (schedule suspended; the
+  /// DPF audit stays on). Scheme CONSTRUCTION runs calm — several scheme
+  /// constructors CHECK_OK their setup traffic, so injecting there would
+  /// abort the process instead of failing an exchange — then the storm
+  /// resumes for queries.
+  void SetCalm(bool calm) { calm_.store(calm); }
+
+  ChaosCounters Counters() const;
+
+ private:
+  struct Link;
+
+  void AcceptLoop();
+  /// Pumps frames src -> dst; `upstream` marks the client->server
+  /// direction (where DPF frames are audited and warmup is counted
+  /// separately).
+  void Pump(std::shared_ptr<Link> link, bool upstream);
+  /// Closes both sides of one proxied connection.
+  static void Sever(const std::shared_ptr<Link>& link);
+
+  const std::string listen_path_;
+  const std::string upstream_path_;
+  const ChaosOptions options_;
+
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drop_next_reply_{false};
+  std::atomic<bool> calm_{false};
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Link>> links_;
+  std::vector<std::thread> pumps_;
+  uint64_t next_conn_ = 0;
+  ChaosCounters counters_;
+  std::unordered_set<uint64_t> dpf_hashes_;
+};
+
+}  // namespace test
+}  // namespace dpstore
+
+#endif  // DPSTORE_TESTS_CHAOS_PROXY_H_

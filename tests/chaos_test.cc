@@ -1,0 +1,510 @@
+// Chaos suite (PR 9): every registered RAM scheme is driven over the real
+// wire — SocketBackend -> seeded ChaosProxy -> forked dpstore_server —
+// while the proxy injects delays, stalls, mid-frame cuts, connection
+// resets and header corruption from a deterministic schedule. The
+// invariants under test:
+//
+//   * every acked reply is bit-correct (a Wait that returns OK returns
+//     exactly the marker block; chaos may fail queries, never falsify
+//     them);
+//   * every failure is atomic (an errored Wait left no partial answer,
+//     and for the durable fixture the recovered arena equals the acked
+//     model ± the one ambiguous in-flight op — the crash_recovery_test
+//     standard);
+//   * no byte-identical retransmissions: a retried DPF query regenerates
+//     its keys, so the proxy's ticket-blind frame audit must never see
+//     the same key frame twice (the retry layer's privacy contract).
+//
+// Replica failover (dpf_pir / multi_server_dp_ir spares) is exercised
+// in-memory here too — deterministic dead replicas, no sockets — because
+// this is the suite that owns the fault-tolerance contract.
+//
+// Seeds: DPSTORE_CHAOS_SEED overrides the schedule seed (CI runs 5);
+// requires DPSTORE_SERVER_BIN for the process-level tests (GTEST_SKIP
+// without it, like every harness suite).
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos_proxy.h"
+#include "core/multi_server_dp_ir.h"
+#include "core/scheme_registry.h"
+#include "pir/dpf_pir.h"
+#include "server_harness.h"
+#include "storage/block.h"
+#include "storage/retrying_backend.h"
+#include "storage/server.h"
+#include "storage/socket_backend.h"
+#include "util/check.h"
+
+namespace dpstore {
+namespace {
+
+constexpr uint64_t kN = 64;
+constexpr size_t kBlockSize = 32;
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("DPSTORE_CHAOS_SEED");
+  if (env == nullptr) return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+std::string TempSock(const char* tag) {
+  return "/tmp/dpstore_chaos_" + std::string(tag) + "_" +
+         std::to_string(getpid()) + ".sock";
+}
+
+std::vector<Block> MarkerDb(uint64_t n, size_t block_size) {
+  std::vector<Block> db(n);
+  for (uint64_t i = 0; i < n; ++i) db[i] = MarkerBlock(i, block_size);
+  return db;
+}
+
+std::unique_ptr<StorageServer> MarkerReplica(uint64_t n, size_t block_size) {
+  auto replica = std::make_unique<StorageServer>(n, block_size);
+  DPSTORE_CHECK_OK(replica->SetArray(MarkerDb(n, block_size)));
+  return replica;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory replica failover: deterministic dead replicas, no processes.
+
+TEST(ChaosTest, DpfPirFailsOverToSpareAndRetriesWithFreshTraffic) {
+  auto good0 = MarkerReplica(kN, kBlockSize);
+  auto bad1 = MarkerReplica(kN, kBlockSize);
+  auto spare2 = MarkerReplica(kN, kBlockSize);
+  bad1->SetFailureRate(1.0, /*seed=*/3);
+
+  TwoServerDpfPir pir({good0.get(), bad1.get(), spare2.get()});
+  EXPECT_EQ(pir.replica_count(), 3u);
+
+  // The dead replica fails the query atomically at Wait...
+  auto failed = pir.Query(5);
+  EXPECT_FALSE(failed.ok());
+  // ...and the slot is reconfigured onto the spare.
+  EXPECT_EQ(pir.failovers(), 1u);
+  ASSERT_EQ(pir.failover_log().size(), 1u);
+  EXPECT_NE(pir.failover_log()[0].find("failing over to replica 2"),
+            std::string::npos)
+      << pir.failover_log()[0];
+  EXPECT_EQ(pir.active_replicas().second, 2u);
+
+  // The caller's retry — fresh DpfGen keys by construction — succeeds
+  // bit-correct against the new pair. Every block, for good measure.
+  for (BlockId i = 0; i < kN; ++i) {
+    auto got = pir.Query(i);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(IsMarkerBlock(*got, i)) << "block " << i;
+  }
+
+  // Spares exhausted: a later death fails queries but never crashes, and
+  // the log records the no-spare reconfiguration attempt.
+  good0->SetFailureRate(1.0, /*seed=*/4);
+  auto dead = pir.Query(1);
+  EXPECT_FALSE(dead.ok());
+  EXPECT_EQ(pir.failovers(), 1u);  // no spare left: nothing to swap in
+  ASSERT_EQ(pir.failover_log().size(), 2u);
+  EXPECT_NE(pir.failover_log()[1].find("no spare left"), std::string::npos)
+      << pir.failover_log()[1];
+}
+
+TEST(ChaosTest, MultiServerDpIrFailsOverToSpare) {
+  auto good0 = MarkerReplica(kN, kBlockSize);
+  auto bad1 = MarkerReplica(kN, kBlockSize);
+  auto spare2 = MarkerReplica(kN, kBlockSize);
+  bad1->SetFailureRate(1.0, /*seed=*/5);
+
+  MultiServerDpIrOptions options;
+  options.num_servers = 2;
+  options.epsilon = 2.0;
+  options.alpha = 0.1;
+  options.seed = ChaosSeed();
+  MultiServerDpIr scheme({good0.get(), bad1.get(), spare2.get()}, options);
+  EXPECT_EQ(scheme.num_servers(), 2u);
+  EXPECT_EQ(scheme.replica_count(), 3u);
+
+  auto failed = scheme.Query(7);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(scheme.failovers(), 1u);
+  ASSERT_FALSE(scheme.failover_log().empty());
+  EXPECT_NE(scheme.failover_log()[0].find("failing over to replica 2"),
+            std::string::npos);
+
+  // Retried queries run against the live ensemble with FRESH subsets
+  // (rng_ advances per query; a resend would repeat the old masks).
+  int answered = 0;
+  for (BlockId i = 0; i < kN; ++i) {
+    auto got = scheme.Query(i % kN);
+    ASSERT_TRUE(got.ok()) << got.status();
+    if (got->has_value()) {
+      ++answered;
+      EXPECT_TRUE(IsMarkerBlock(**got, i % kN));
+    }
+  }
+  EXPECT_GT(answered, 0);
+  EXPECT_EQ(scheme.failovers(), 1u);  // no further deaths
+}
+
+// ---------------------------------------------------------------------------
+// Process-level chaos: every registered RAM scheme over the proxied wire.
+
+class ChaosServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bin_ = test::ServerBinary();
+    if (bin_.empty()) GTEST_SKIP() << "DPSTORE_SERVER_BIN unset";
+  }
+
+  std::string bin_;
+};
+
+/// Builds `name` against the proxy with a fresh shared-namespace range,
+/// reconnect budget and spare replicas. Construction must run CALM (see
+/// ChaosProxy::SetCalm).
+StatusOr<std::unique_ptr<RamScheme>> BuildScheme(const std::string& name,
+                                                 const std::string& proxy_path,
+                                                 uint64_t* namespace_base,
+                                                 uint64_t seed) {
+  SchemeConfig config;
+  config.n = kN;
+  config.value_size = kBlockSize;
+  config.seed = seed;
+  config.backend = "socket";
+  config.socket_path = proxy_path;
+  config.socket_reconnect_max = 1000;
+  config.socket_namespace_base = *namespace_base;
+  config.replicas = 3;  // one spare for the failover-capable schemes
+  *namespace_base += 256;
+  return SchemeRegistry::Instance().MakeRam(name, config);
+}
+
+TEST_F(ChaosServerTest, EveryRamSchemeServesBitCorrectUnderChaos) {
+  const std::string server_path = TempSock("srv");
+  const std::string proxy_path = TempSock("pxy");
+  const pid_t pid = test::SpawnServer(bin_, server_path, {"--threads", "4"});
+  ASSERT_GT(pid, 0);
+
+  test::ChaosOptions chaos;
+  chaos.seed = ChaosSeed();
+  chaos.warmup_frames = 2;
+  chaos.delay_prob = 0.08;
+  chaos.stall_prob = 0.01;
+  chaos.stall_ms = 25;
+  chaos.cut_prob = 0.03;
+  chaos.reset_prob = 0.03;
+  chaos.corrupt_prob = 0.03;
+  test::ChaosProxy proxy(proxy_path, server_path, chaos);
+  proxy.Start();
+
+  uint64_t namespace_base = 1000;
+  const std::vector<std::string> names =
+      SchemeRegistry::Instance().RamSchemeNames();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    proxy.SetCalm(true);
+    auto built = BuildScheme(name, proxy_path, &namespace_base, chaos.seed);
+    ASSERT_TRUE(built.ok()) << built.status();
+    std::unique_ptr<RamScheme> scheme = std::move(*built);
+    proxy.SetCalm(false);
+
+    int acked = 0;
+    for (int q = 0; q < 8; ++q) {
+      const BlockId id = (q * 13 + 7) % kN;
+      bool answered = false;
+      for (int attempt = 0; attempt < 8 && !answered; ++attempt) {
+        StatusOr<std::optional<Block>> got = scheme->QueryRead(id);
+        if (got.ok()) {
+          // THE acked-bit-correctness invariant: chaos may fail a query,
+          // it must never make an OK reply wrong.
+          if (got->has_value()) {
+            EXPECT_TRUE(IsMarkerBlock(**got, id))
+                << "query " << q << " id " << id;
+          }
+          ++acked;
+          answered = true;
+          continue;
+        }
+        // Atomic failure: rebuild from scratch (calm) and retry — a
+        // stateful scheme's client model may be ahead of a server that
+        // never applied the failed exchange, which is exactly the
+        // ambiguity a real deployment resolves by re-initializing.
+        proxy.SetCalm(true);
+        built = BuildScheme(name, proxy_path, &namespace_base, chaos.seed + 1 +
+                                                                   attempt);
+        ASSERT_TRUE(built.ok()) << built.status();
+        scheme = std::move(*built);
+        proxy.SetCalm(false);
+      }
+    }
+    EXPECT_GT(acked, 0) << "no query ever succeeded for " << name;
+  }
+
+  const test::ChaosCounters counters = proxy.Counters();
+  EXPECT_GT(counters.frames_forwarded, 0u);
+  // The retry-privacy audit: dpf_pir and multi_server_dp_ir_dpf ran with
+  // scheme-level retries above, and every retried DPF key must have been
+  // freshly generated — zero byte-identical key frames, ever.
+  EXPECT_GT(counters.dpf_frames, 0u);
+  EXPECT_EQ(counters.dpf_duplicates, 0u);
+
+  proxy.Stop();
+  test::StopServer(pid);
+}
+
+// ---------------------------------------------------------------------------
+// Client deadlines and server-side shedding.
+
+TEST_F(ChaosServerTest, DeadlineExceededSurfacesAndConnectionSurvives) {
+  const std::string server_path = TempSock("dl_srv");
+  const std::string proxy_path = TempSock("dl_pxy");
+  const pid_t pid = test::SpawnServer(bin_, server_path);
+  ASSERT_GT(pid, 0);
+
+  test::ChaosOptions chaos;
+  chaos.seed = ChaosSeed();
+  chaos.warmup_frames = 2;  // Open + SetArray pass clean
+  chaos.stall_prob = 1.0;   // every later frame stalls past the deadline
+  chaos.stall_ms = 150;
+  test::ChaosProxy proxy(proxy_path, server_path, chaos);
+  proxy.Start();
+
+  SocketBackendOptions options;
+  options.socket_path = proxy_path;
+  SocketBackend backend(kN, kBlockSize, options);
+  ASSERT_TRUE(backend.SetArray(MarkerDb(kN, kBlockSize)).ok());
+
+  StorageRequest request = StorageRequest::DownloadOf({3});
+  request.deadline_ms = 30;
+  auto late = backend.Wait(backend.Submit(std::move(request)));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded)
+      << late.status();
+
+  // The connection survived the abandonment: the late reply is silently
+  // consumed and an undeadlined exchange still completes, bit-correct.
+  auto fine = backend.Wait(backend.Submit(StorageRequest::DownloadOf({3})));
+  ASSERT_TRUE(fine.ok()) << fine.status();
+  EXPECT_TRUE(IsMarkerBlock(fine->blocks[0], 3));
+
+  proxy.Stop();
+  test::StopServer(pid);
+}
+
+TEST_F(ChaosServerTest, ServerShedsStaleRequestsWithDeadlineExceeded) {
+  const std::string server_path = TempSock("shed");
+  // --shed-after-ms 0: every queued request is shed, deterministically;
+  // control frames (Open/SetArray) still execute.
+  const pid_t pid =
+      test::SpawnServer(bin_, server_path, {"--shed-after-ms", "0"});
+  ASSERT_GT(pid, 0);
+
+  SocketBackendOptions options;
+  options.socket_path = server_path;
+  SocketBackend backend(kN, kBlockSize, options);
+  ASSERT_TRUE(backend.SetArray(MarkerDb(kN, kBlockSize)).ok());
+
+  auto shed = backend.Wait(backend.Submit(StorageRequest::DownloadOf({1})));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded)
+      << shed.status();
+  // Shedding is per frame, not per connection: the stream stays open and
+  // in protocol (the next request is also answered — shed again).
+  auto again = backend.Wait(backend.Submit(StorageRequest::DownloadOf({2})));
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kDeadlineExceeded);
+
+  test::StopServer(pid);
+}
+
+// ---------------------------------------------------------------------------
+// Half-open uploads: the ambiguity RetryingBackend must respect.
+
+TEST_F(ChaosServerTest, HalfOpenUploadIsNotRetriedUnlessIdempotent) {
+  const std::string server_path = TempSock("ho_srv");
+  const std::string proxy_path = TempSock("ho_pxy");
+  const pid_t pid = test::SpawnServer(bin_, server_path);
+  ASSERT_GT(pid, 0);
+
+  test::ChaosOptions chaos;  // pass-through; faults are armed one-shot
+  chaos.seed = ChaosSeed();
+  chaos.warmup_frames = 0;
+  test::ChaosProxy proxy(proxy_path, server_path, chaos);
+  proxy.Start();
+
+  constexpr uint64_t kSharedNs = 77;
+  SocketBackendOptions socket_options;
+  socket_options.socket_path = proxy_path;
+  socket_options.namespace_id = kSharedNs;
+  socket_options.attach_or_create = true;
+  socket_options.max_reconnects = 10;
+  RetryingBackendOptions retry_options;
+  retry_options.max_attempts = 3;
+  retry_options.base_backoff_ms = 0;
+  RetryingBackend backend(
+      std::make_unique<SocketBackend>(kN, kBlockSize, socket_options),
+      retry_options);
+
+  const Block a(kBlockSize, 0xAA);
+  const Block b(kBlockSize, 0xBB);
+  const Block c(kBlockSize, 0xCC);
+  ASSERT_TRUE(backend.Upload(5, a).ok());
+
+  // Sever the connection BETWEEN the server executing the upload and the
+  // client reading the ack: the canonical half-open failure. The write
+  // may or may not have been applied from the client's viewpoint — so a
+  // non-idempotent upload must NOT be retried (a blind resubmit could
+  // double-apply a non-overwrite op), and the ambiguity must surface.
+  proxy.DropNextReply();
+  {
+    StorageRequest request = StorageRequest::UploadOf({6}, {b});
+    auto ambiguous = backend.Wait(backend.Submit(std::move(request)));
+    EXPECT_FALSE(ambiguous.ok()) << "ambiguous upload must surface";
+  }
+  // The server HAD executed it (it produced the dropped reply): prove no
+  // retry happened by observing exactly the first application and a
+  // retry counter of zero.
+  EXPECT_EQ(backend.RetriedAttempts(),
+            backend.inner()->RetriedAttempts());  // decorator added none
+
+  // Re-establish the connection with a clean download BEFORE arming the
+  // next drop, so the drop lands on the upload's ack (the fault under
+  // test) and not on the reconnect handshake's Open ack.
+  auto warm = backend.Download(5);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(*warm, a);
+
+  // An IDEMPOTENT upload through the same fault IS retried to success:
+  // the reconnecting transport resubmits the pure overwrite and the ack
+  // arrives on the second attempt.
+  proxy.DropNextReply();
+  {
+    StorageRequest request = StorageRequest::UploadOf({7}, {c});
+    request.idempotent = true;
+    auto retried = backend.Wait(backend.Submit(std::move(request)));
+    EXPECT_TRUE(retried.ok()) << retried.status();
+  }
+  EXPECT_GT(backend.RetriedAttempts(), backend.inner()->RetriedAttempts());
+
+  // Server-side truth, via a fresh un-proxied tenant of the namespace:
+  // both uploads applied (the half-open one exactly once — 0xBB, not
+  // torn), block 5 untouched.
+  SocketBackendOptions verify_options;
+  verify_options.socket_path = server_path;
+  verify_options.namespace_id = kSharedNs;
+  verify_options.attach_or_create = true;
+  SocketBackend verify(kN, kBlockSize, verify_options);
+  auto state = verify.DownloadMany({5, 6, 7});
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_EQ((*state)[0], a);
+  EXPECT_EQ((*state)[1], b);
+  EXPECT_EQ((*state)[2], c);
+
+  proxy.Stop();
+  test::StopServer(pid);
+}
+
+// ---------------------------------------------------------------------------
+// Durable atomicity: chaos + SIGKILL, then the recovered arena must equal
+// the acked model ± the ambiguous in-flight ops (crash_recovery_test's
+// standard, reached through the chaos proxy instead of a clean socket).
+
+TEST_F(ChaosServerTest, DurableArenaMatchesAckedModelAfterChaosAndKill) {
+  char tmpl[] = "/tmp/dpstore_chaos_data_XXXXXX";
+  const char* data_dir = mkdtemp(tmpl);
+  ASSERT_NE(data_dir, nullptr);
+  const std::string server_path = TempSock("du_srv");
+  const std::string proxy_path = TempSock("du_pxy");
+  pid_t pid =
+      test::SpawnServer(bin_, server_path, {"--data-dir", data_dir});
+  ASSERT_GT(pid, 0);
+
+  test::ChaosOptions chaos;
+  chaos.seed = ChaosSeed();
+  chaos.warmup_frames = 2;
+  chaos.cut_prob = 0.05;
+  chaos.reset_prob = 0.05;
+  chaos.corrupt_prob = 0.03;
+  test::ChaosProxy proxy(proxy_path, server_path, chaos);
+  proxy.Start();
+
+  constexpr uint64_t kSharedNs = 21;
+  SocketBackendOptions socket_options;
+  socket_options.socket_path = proxy_path;
+  socket_options.namespace_id = kSharedNs;
+  socket_options.attach_or_create = true;
+  socket_options.max_reconnects = 500;
+  RetryingBackendOptions retry_options;
+  retry_options.max_attempts = 4;
+  retry_options.base_backoff_ms = 0;
+  RetryingBackend backend(
+      std::make_unique<SocketBackend>(kN, kBlockSize, socket_options),
+      retry_options);
+
+  // Acked model + per-index ambiguous candidate (an upload whose Wait
+  // failed: every attempt carried the same bytes, so "applied or not" is
+  // a two-way ambiguity per index, exactly ±1 in-flight op wide).
+  std::vector<Block> acked(kN, Block(kBlockSize, 0));
+  std::vector<std::optional<Block>> ambiguous(kN);
+  int acks = 0;
+  for (uint64_t op = 0; op < 80; ++op) {
+    const BlockId index = (op * 7) % kN;
+    Block value(kBlockSize);
+    for (size_t i = 0; i < kBlockSize; ++i) {
+      value[i] = static_cast<uint8_t>(op * 151 + i * 29 + 13);
+    }
+    StorageRequest request = StorageRequest::UploadOf({index}, {value});
+    request.idempotent = true;  // pure overwrite: safe to resubmit
+    auto reply = backend.Wait(backend.Submit(std::move(request)));
+    if (reply.ok()) {
+      acked[index] = value;
+      ambiguous[index].reset();
+      ++acks;
+    } else {
+      ambiguous[index] = value;  // maybe applied, maybe not
+    }
+  }
+  EXPECT_GT(acks, 0);
+
+  // SIGKILL mid-everything, then recover over the same data dir.
+  test::KillServer(pid);
+  proxy.Stop();
+  pid = test::SpawnServer(bin_, server_path, {"--data-dir", data_dir});
+  ASSERT_GT(pid, 0) << "recovery refused after chaos run";
+
+  SocketBackendOptions verify_options;
+  verify_options.socket_path = server_path;
+  verify_options.namespace_id = kSharedNs;
+  verify_options.attach_or_create = true;
+  SocketBackend verify(kN, kBlockSize, verify_options);
+  std::vector<BlockId> all(kN);
+  for (uint64_t i = 0; i < kN; ++i) all[i] = i;
+  auto state = verify.DownloadMany(all);
+  ASSERT_TRUE(state.ok()) << state.status();
+  for (uint64_t i = 0; i < kN; ++i) {
+    const bool matches_acked = (*state)[i] == acked[i];
+    const bool matches_ambiguous =
+        ambiguous[i].has_value() && (*state)[i] == *ambiguous[i];
+    EXPECT_TRUE(matches_acked || matches_ambiguous)
+        << "block " << i << " is neither the acked value nor the one "
+        << "ambiguous in-flight value — a non-atomic (torn or invented) "
+        << "write survived recovery";
+  }
+
+  test::StopServer(pid);
+  // Best-effort cleanup of the data dir.
+  std::string cleanup = "rm -rf " + std::string(data_dir);
+  (void)!std::system(cleanup.c_str());
+}
+
+}  // namespace
+}  // namespace dpstore

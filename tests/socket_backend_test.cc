@@ -120,8 +120,8 @@ TEST(SocketBackendTest, EmptyExchangesAreFreeAndTicketsSingleUse) {
 
   Ticket t = backend.Submit(StorageRequest::DownloadOf({1}));
   ASSERT_TRUE(backend.Wait(t).ok());
-  EXPECT_EQ(backend.Wait(t).status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(backend.Wait(12345).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(backend.Wait(t).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(backend.Wait(12345).status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SocketBackendTest, MeasuredWallClockAccumulatesPerExchange) {

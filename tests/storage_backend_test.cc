@@ -10,6 +10,7 @@
 #include "analysis/cost_model.h"
 #include "storage/backend.h"
 #include "storage/server.h"
+#include "core/scheme_registry.h"
 #include "storage/sharded_backend.h"
 
 namespace dpstore {
@@ -143,8 +144,8 @@ TEST(ExchangeApiTest, TicketsAreSingleUseAndUnknownTicketsRejected) {
   StorageServer server(4, 8);
   Ticket t = server.Submit(StorageRequest::DownloadOf({0}));
   ASSERT_TRUE(server.Wait(t).ok());
-  EXPECT_EQ(server.Wait(t).status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(server.Wait(424242).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.Wait(t).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Wait(424242).status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ExchangeApiTest, SeveralTicketsMayBeInFlightAndWaitInAnyOrder) {
@@ -394,6 +395,42 @@ TEST(ShardedBackendTest, FactoryProducesWorkingBackend) {
   auto got = backend->Download(7);
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(IsMarkerBlock(*got, 7));
+}
+
+// --- Ticket misuse, uniformly across the whole backend matrix ---------------
+
+/// Every registered backend topology must reject Wait on a never-issued
+/// ticket and on an already-consumed ticket with the SAME code
+/// (InvalidArgument: the caller broke the Submit/Wait contract; NotFound
+/// stays reserved for missing data), and must stay fully usable after the
+/// misuse — a bad Wait is a caller bug, not a transport failure.
+TEST(TicketMisuseTest, EveryBackendRejectsUnknownAndConsumedTicketsAlike) {
+  for (const char* name :
+       {"memory", "sharded", "async_sharded", "cached", "fused", "socket",
+        "retry"}) {
+    SCOPED_TRACE(name);
+    SchemeConfig config;
+    config.backend = name;  // "socket" spawns an in-process pair server
+    auto factory = BackendFactoryFor(config);
+    ASSERT_TRUE(factory.ok()) << factory.status();
+    std::unique_ptr<StorageBackend> backend = (*factory)(8, 8);
+    ASSERT_TRUE(backend->SetArray(MakeDatabase(8, 8)).ok());
+
+    // Never-issued ticket.
+    EXPECT_EQ(backend->Wait(987654321).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Already-consumed ticket.
+    Ticket t = backend->Submit(StorageRequest::DownloadOf({3}));
+    ASSERT_TRUE(backend->Wait(t).ok());
+    EXPECT_EQ(backend->Wait(t).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // The backend shrugged it off: a fresh exchange still round-trips.
+    auto fine = backend->Wait(backend->Submit(StorageRequest::DownloadOf({5})));
+    ASSERT_TRUE(fine.ok()) << fine.status();
+    EXPECT_TRUE(IsMarkerBlock(fine->blocks[0], 5));
+  }
 }
 
 }  // namespace
