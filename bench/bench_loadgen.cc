@@ -23,10 +23,21 @@
 //   --clients <n>      single-cell mode: client count (default 4)
 //   --rate <ops/s>     single-cell mode: offered load (default 400)
 //   --ops <n>          single-cell mode: ops per client (default derived)
+//   --cluster <file>   cluster mode: run the open-loop cell against the
+//                      multi-process cluster described by <file>
+//                      (docs/cluster.md; the servers must already be up),
+//                      plus a rebalance-pricing cell when the config has a
+//                      warm spare. Kill a node mid-sweep and the clients'
+//                      ClusterBackends fail over live ("dpstore_cluster:"
+//                      lines on stderr) — the CI cluster job's drill.
 //
 // Cells emitted:
 //   BENCH_loadgen_<scheme>_c<clients>_r<rate>.json   one per sweep cell
+//   BENCH_loadgen_rebalance.json                     cluster mode only
 //   BENCH_loadgen.json                               closing summary
+//
+// Cluster cells are emitted only under --cluster (never in the default
+// sweep), so bench/baseline/BENCH_all.json's cell set stays stable.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -49,6 +60,7 @@
 
 #include "core/scheme_registry.h"
 #include "server/storage_service.h"
+#include "storage/cluster.h"
 #include "util/check.h"
 #include "util/io.h"
 
@@ -270,6 +282,66 @@ void EmitCell(const std::string& scheme, const std::string& transport,
   json.Emit();
 }
 
+/// Slurps the cluster config file for SchemeConfig::cluster_config (the
+/// registry wants the text; parse errors surface typed from the factory).
+bool SlurpFile(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+/// The rebalance-pricing cell: plan moving range 0 to the first warm
+/// spare, execute it, and record predicted volume next to measured
+/// wall-clock — the cost model the operator consults before a move
+/// (docs/cluster.md).
+bool RunRebalanceCell(const ClusterConfig& cluster) {
+  const uint64_t kBlocks = 4096;
+  const size_t kBlockSize = 64;
+  ClusterBackend backend(kBlocks, kBlockSize, cluster);
+  std::vector<Block> db(kBlocks);
+  for (uint64_t i = 0; i < kBlocks; ++i) db[i] = MarkerBlock(i, kBlockSize);
+  const Status seeded = backend.SetArray(std::move(db));
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "loadgen: rebalance seed failed: %s\n",
+                 seeded.ToString().c_str());
+    return false;
+  }
+  const std::string spare = cluster.nodes()[cluster.spares()[0]].name;
+  auto plan = backend.PlanRebalance(0, spare, /*batch_blocks=*/256);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "loadgen: rebalance plan failed: %s\n",
+                 plan.status().ToString().c_str());
+    return false;
+  }
+  auto wall_ms = backend.ExecuteRebalance(*plan);
+  if (!wall_ms.ok()) {
+    std::fprintf(stderr, "loadgen: rebalance failed: %s\n",
+                 wall_ms.status().ToString().c_str());
+    return false;
+  }
+  bench::BenchJson json("loadgen_rebalance");
+  json.Metric("from", plan->from);
+  json.Metric("to", plan->to);
+  json.Metric("blocks", plan->blocks);
+  json.Metric("bytes", plan->bytes);
+  json.Metric("batches", plan->batches);
+  json.Metric("batch_blocks", plan->batch_blocks);
+  json.Metric("measured_wall_ms", *wall_ms);
+  json.Metric("mb_per_sec",
+              *wall_ms > 0 ? static_cast<double>(plan->bytes) / 1e6 /
+                                 (*wall_ms / 1e3)
+                           : 0.0);
+  json.Emit();
+  return true;
+}
+
 uint64_t DeriveOpsPerClient(double rate, unsigned clients) {
   // Aim for ~0.5 s of offered load per cell, bounded so cells stay quick
   // but still fill the tail percentiles.
@@ -290,6 +362,7 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   std::string one_scheme;
   std::string data_dir;
+  std::string cluster_file;
   unsigned clients = 4;
   double rate = 400.0;
   uint64_t ops = 0;
@@ -323,15 +396,61 @@ int main(int argc, char** argv) {
     } else if (arg == "--ops" && i + 1 < argc) {
       ops = static_cast<uint64_t>(std::atoll(argv[++i]));
       single_cell = true;
+    } else if (arg == "--cluster" && i + 1 < argc) {
+      cluster_file = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--unix <path> [--unix2 <path>] | "
-                   "--addr <host:port> | --data-dir <d>] "
+                   "--addr <host:port> | --data-dir <d> | "
+                   "--cluster <config-file>] "
                    "[--scheme <name>] [--clients <n>] [--rate <ops/s>] "
                    "[--ops <n>]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  // Cluster mode: the same open-loop cell, but every client's scheme is
+  // built over a ClusterBackend fanning exchanges across the running
+  // multi-process deployment named by the config file. No in-process
+  // server — the cluster IS the target.
+  if (!cluster_file.empty()) {
+    std::string text;
+    if (!SlurpFile(cluster_file, &text)) {
+      std::fprintf(stderr, "loadgen: cannot read %s\n", cluster_file.c_str());
+      return 2;
+    }
+    auto cluster = ClusterConfig::Parse(text);
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "loadgen: bad cluster config: %s\n",
+                   cluster.status().ToString().c_str());
+      return 2;
+    }
+    bench::BenchJson summary("loadgen");
+    int cells = 0;
+    int failed = 0;
+    SchemeConfig cluster_base;
+    cluster_base.backend = "cluster";
+    cluster_base.cluster_config = text;
+    if (one_scheme.empty()) one_scheme = "dp_ir";
+    if (clients == 0) clients = 1;
+    const uint64_t per_client =
+        ops > 0 ? ops : DeriveOpsPerClient(rate, clients);
+    const CellResult result =
+        RunCell(one_scheme, cluster_base, clients, rate, per_client);
+    EmitCell(one_scheme, "cluster", clients, rate, result, "cluster");
+    ++cells;
+    if (!result.ok) ++failed;
+    // Price and execute a range move when the topology has a spare.
+    if (!cluster->spares().empty()) {
+      ++cells;
+      if (!RunRebalanceCell(*cluster)) ++failed;
+    }
+    summary.Metric("cells", cells);
+    summary.Metric("failed", failed);
+    summary.Metric("transport", "cluster");
+    summary.Emit();
+    return failed == 0 ? 0 : 1;
   }
 
   // No target given: bring up the full service stack in-process —

@@ -20,6 +20,7 @@
 #include "pir/trivial_pir.h"
 #include "pir/xor_pir.h"
 #include "storage/async_sharded_backend.h"
+#include "storage/cluster.h"
 #include "storage/fusing_backend.h"
 #include "storage/retrying_backend.h"
 #include "storage/sharded_backend.h"
@@ -312,6 +313,26 @@ StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
           return std::unique_ptr<StorageBackend>(std::move(backend));
         });
   }
+  if (config.backend == "cluster") {
+    if (config.cluster_config.empty()) {
+      return InvalidArgumentError(
+          "cluster backend needs cluster_config text (docs/cluster.md)");
+    }
+    DPSTORE_ASSIGN_OR_RETURN(ClusterConfig cluster,
+                             ClusterConfig::Parse(config.cluster_config));
+    if (config.socket_namespace_base >> 63 != 0) {
+      return InvalidArgumentError(
+          "socket_namespace_base must stay below 2^63 (the upper half is "
+          "server-minted private ids)");
+    }
+    ClusterBackendOptions options;
+    options.leg_deadline_ms = config.cluster_leg_deadline_ms;
+    options.max_reconnects = config.socket_reconnect_max;
+    options.namespace_base = config.socket_namespace_base;
+    options.reconnect_seed = config.seed;
+    return ClusterBackendFactory(std::move(cluster), std::move(options),
+                                 config.counting_only_transcript);
+  }
   if (config.backend == "retry") {
     if (config.retry_inner == "retry") {
       return InvalidArgumentError("retry_inner cannot itself be 'retry'");
@@ -331,7 +352,7 @@ StatusOr<BackendFactory> BackendFactoryFor(const SchemeConfig& config) {
   return NotFoundError(
       "unknown backend '" + config.backend +
       "' (known: memory, sharded, async_sharded, cached, fused, socket, "
-      "retry)");
+      "cluster, retry)");
 }
 
 SchemeRegistry& SchemeRegistry::Instance() {

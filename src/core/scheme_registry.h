@@ -42,7 +42,10 @@ struct SchemeConfig {
   /// `fuse_blocks` blocks over an in-memory server), "socket"
   /// (SocketBackend: the real RPC transport — exchanges serialized over a
   /// socket to a dpstore_server at `socket_path` / `socket_host:port`, or
-  /// to an in-process socketpair server when neither is set), or "retry"
+  /// to an in-process socketpair server when neither is set), "cluster"
+  /// (ClusterBackend: shard ranges + replica groups + warm spares over
+  /// per-node SocketBackend legs against N real dpstore_server processes,
+  /// parsed from `cluster_config`; docs/cluster.md), or "retry"
   /// (RetryingBackend decorating a `retry_inner` backend: bounded retry of
   /// exchanges that failed before any state change).
   std::string backend = "memory";
@@ -75,6 +78,16 @@ struct SchemeConfig {
   /// reconnect to find its data again, since private namespaces are freed
   /// at disconnect. Ids must stay below 2^63.
   uint64_t socket_namespace_base = 0;
+  /// Cluster topology text for backend "cluster" (a ClusterBackend fanning
+  /// exchanges over per-node SocketBackend legs): the parsed config names
+  /// node endpoints, shard ranges, replica groups, and warm spares. Format
+  /// and semantics: docs/cluster.md. Parse errors surface from
+  /// BackendFactoryFor as typed InvalidArgument.
+  std::string cluster_config;
+  /// Per-leg completion budget in ms for cluster legs (backend "cluster");
+  /// 0 = none. A leg that trips it triggers the same failover as a dead
+  /// connection.
+  uint64_t cluster_leg_deadline_ms = 0;
   /// RetryingBackend knobs (backend "retry"): the decorated topology and
   /// the attempt/backoff policy. `retry_inner` accepts any backend name
   /// except "retry" itself.

@@ -19,9 +19,12 @@
 // in-memory here too — deterministic dead replicas, no sockets — because
 // this is the suite that owns the fault-tolerance contract.
 //
-// Seeds: DPSTORE_CHAOS_SEED overrides the schedule seed (CI runs 5);
-// requires DPSTORE_SERVER_BIN for the process-level tests (GTEST_SKIP
-// without it, like every harness suite).
+// Seeds: DPSTORE_TEST_SEED overrides the schedule seed (CI runs 5;
+// DPSTORE_CHAOS_SEED is the legacy alias) — the effective seed is printed
+// at startup, so any CI failure reproduces locally with
+// `DPSTORE_TEST_SEED=<n> ctest -R chaos_test`. Requires DPSTORE_SERVER_BIN
+// for the process-level tests (GTEST_SKIP without it, like every harness
+// suite).
 
 #include <unistd.h>
 
@@ -52,10 +55,23 @@ namespace {
 constexpr uint64_t kN = 64;
 constexpr size_t kBlockSize = 32;
 
+// DPSTORE_TEST_SEED is the one cross-suite reproduction knob (chaos_test
+// and cluster_test both read it); DPSTORE_CHAOS_SEED remains as the PR 9
+// alias. Printed once so a CI failure line names the exact local rerun.
 uint64_t ChaosSeed() {
-  const char* env = std::getenv("DPSTORE_CHAOS_SEED");
-  if (env == nullptr) return 1;
-  return std::strtoull(env, nullptr, 10);
+  static const uint64_t seed = [] {
+    const char* env = std::getenv("DPSTORE_TEST_SEED");
+    if (env == nullptr) env = std::getenv("DPSTORE_CHAOS_SEED");
+    const uint64_t value =
+        env == nullptr ? 1 : std::strtoull(env, nullptr, 10);
+    std::fprintf(stderr,
+                 "chaos_test: seed=%llu (rerun: DPSTORE_TEST_SEED=%llu "
+                 "ctest -R chaos_test)\n",
+                 static_cast<unsigned long long>(value),
+                 static_cast<unsigned long long>(value));
+    return value;
+  }();
+  return seed;
 }
 
 std::string TempSock(const char* tag) {

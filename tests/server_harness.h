@@ -16,6 +16,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +25,40 @@
 
 namespace dpstore {
 namespace test {
+
+/// Polls a Unix listener until a connect succeeds, the wall-clock deadline
+/// expires, or the child dies. Connect-retry under a steady_clock deadline
+/// (no fixed attempt count, no fixed total sleep): a loaded CI machine gets
+/// the full budget, a fast local run pays only the first few
+/// exponentially-backed-off sleeps (1ms doubling to a 20ms cap). Returns
+/// true once the listener accepts; false if the deadline passed or `pid`
+/// (when >= 0) exited (the exit is reaped). Pass pid -1 to poll a path
+/// with no child to watch (e.g. a proxy listener in this process).
+inline bool WaitForListener(
+    const std::string& path, pid_t pid,
+    std::chrono::milliseconds budget = std::chrono::seconds(15)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  useconds_t backoff_us = 1000;
+  for (;;) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+      const int rc =
+          connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      close(fd);
+      if (rc == 0) return true;
+    }
+    if (pid >= 0) {
+      int status = 0;
+      if (waitpid(pid, &status, WNOHANG) == pid) return false;  // died early
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    usleep(backoff_us);
+    backoff_us = std::min<useconds_t>(backoff_us * 2, 20 * 1000);
+  }
+}
 
 /// Path of the dpstore_server binary, or "" when the env var is unset
 /// (callers GTEST_SKIP in that case).
@@ -53,22 +89,9 @@ inline pid_t SpawnServer(const std::string& bin, const std::string& path,
     _exit(127);  // exec failed
   }
   // Poll readiness: a successful connect means the listener is up.
-  for (int attempt = 0; attempt < 200; ++attempt) {
-    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd >= 0) {
-      sockaddr_un addr{};
-      addr.sun_family = AF_UNIX;
-      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
-                    path.c_str());
-      const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr));
-      close(fd);
-      if (rc == 0) return pid;
-    }
-    int status = 0;
-    if (waitpid(pid, &status, WNOHANG) == pid) return -1;  // died early
-    usleep(25 * 1000);
-  }
+  if (WaitForListener(path, pid)) return pid;
+  // Deadline passed (still running) or the child died early (already
+  // reaped by the poll — the second waitpid is then a harmless ECHILD).
   kill(pid, SIGKILL);
   waitpid(pid, nullptr, 0);
   return -1;
